@@ -1,0 +1,91 @@
+"""E12 (table): degraded-read cost — device reads per user read.
+
+Availability in practice is the cost of serving reads while failed disks
+are still being rebuilt. Replaying the same uniform read-only workload
+against live arrays with 0-3 failed disks gives each scheme's device-read
+amplification; a dash marks failure counts the scheme cannot survive.
+"""
+
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_table
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.core.oi_layout import oi_raid
+from repro.layouts import MirrorLayout, ParityDeclusteringLayout, Raid50Layout
+from repro.layouts.recovery import is_recoverable
+from repro.workloads.generators import uniform_workload
+from repro.workloads.trace import replay_trace
+
+REQUESTS = 120
+# Failure sets chosen survivable-where-possible for each scheme.
+FAILURE_SETS = {0: [], 1: [0], 2: [0, 10], 3: [0, 7, 14]}
+
+
+def _amplification(make_array, failures):
+    array = make_array()
+    if failures and not is_recoverable(array.layout, failures):
+        return None
+    writes = uniform_workload(
+        array.user_units, REQUESTS, write_fraction=1.0, seed=1
+    )
+    replay_trace(array, writes)
+    for disk in failures:
+        array.fail_disk(disk)
+    reads = uniform_workload(
+        array.user_units, REQUESTS, write_fraction=0.0, seed=2
+    )
+    result = replay_trace(array, reads)
+    return result.read_amplification
+
+
+def _body() -> ExperimentResult:
+    factories = {
+        "oi-raid": lambda: OIRAIDArray(oi_raid(7, 3), unit_bytes=32),
+        "raid50": lambda: LayoutArray(Raid50Layout(7, 3), unit_bytes=32),
+        "parity-declustering": lambda: LayoutArray(
+            ParityDeclusteringLayout(n_disks=21, stripe_width=3),
+            unit_bytes=32,
+        ),
+        "3-replication": lambda: LayoutArray(
+            MirrorLayout(21, copies=3), unit_bytes=32
+        ),
+    }
+    rows = []
+    metrics = {}
+    for name, factory in factories.items():
+        row = [name]
+        for f, failures in FAILURE_SETS.items():
+            amp = _amplification(factory, failures)
+            row.append("-" if amp is None else amp)
+            if amp is not None:
+                metrics[f"{name}_f{f}"] = amp
+        rows.append(row)
+    report = format_table(
+        ["scheme", "0 failed", "1 failed", "2 failed", "3 failed"],
+        rows,
+        title=(
+            f"E12: device reads per user read, uniform read workload "
+            f"({REQUESTS} requests), '-' = data loss"
+        ),
+    )
+    return ExperimentResult("E12", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E12",
+    "table",
+    "reads stay serviceable (bounded amplification) through 3 failures",
+    _body,
+)
+
+
+def test_e12_degraded_read(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    assert result.metric("oi-raid_f0") == 1.0
+    # OI-RAID serves reads at every failure count; amplification bounded.
+    for f in (1, 2, 3):
+        assert 1.0 <= result.metric(f"oi-raid_f{f}") < 3.0
+    # Parity declustering couples every disk pair (λ=1), so any second
+    # failure loses data; RAID50 survives these *spread* patterns but dies
+    # on any same-group pair (covered in E6).
+    assert "parity-declustering_f2" not in result.metrics
+    assert "raid50_f2" in result.metrics

@@ -1,0 +1,80 @@
+"""E14 (extension figure): sequential vs random write cost.
+
+Small random writes pay OI-RAID's full (optimal) 3-parity update each; a
+sequential span batches whole outer stripes, sharing one outer-parity
+read-modify-write across the stripe's data units. This experiment measures
+device I/Os per user unit as the batch size grows, on the live data path.
+"""
+
+import numpy as np
+
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_series
+from repro.core.array import OIRAIDArray
+from repro.core.oi_layout import oi_raid
+
+BATCH_SIZES = (1, 2, 4, 8, 16)
+ROUNDS = 12
+
+
+def _cost_per_unit(batch: int, seed: int) -> tuple:
+    layout = oi_raid(7, 3)
+    array = OIRAIDArray(layout, unit_bytes=16)
+    rng = np.random.default_rng(seed)
+    total_units = 0
+    array.disks.reset_stats()
+    start = 0
+    for _ in range(ROUNDS):
+        units = [(start + i) % array.user_units for i in range(batch)]
+        start += batch
+        updates = {
+            u: rng.integers(0, 256, 16, dtype=np.uint8) for u in units
+        }
+        array.write_batch(updates)
+        total_units += len(units)
+    reads = sum(d.stats.read_ops for d in array.disks)
+    writes = sum(d.stats.write_ops for d in array.disks)
+    assert array.verify()
+    return reads / total_units, writes / total_units
+
+
+def _body() -> ExperimentResult:
+    series = {"device reads/unit": {}, "device writes/unit": {}}
+    metrics = {}
+    for batch in BATCH_SIZES:
+        reads, writes = _cost_per_unit(batch, seed=batch)
+        series["device reads/unit"][batch] = reads
+        series["device writes/unit"][batch] = writes
+        metrics[f"reads_b{batch}"] = reads
+        metrics[f"writes_b{batch}"] = writes
+    report = format_series(
+        "batch (sequential units)",
+        series,
+        title=(
+            "E14: write cost per user unit vs sequential batch size "
+            "(OI-RAID, 21 disks)"
+        ),
+    )
+    return ExperimentResult("E14", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E14",
+    "figure",
+    "sequential batches amortize the outer-parity update",
+    _body,
+)
+
+
+def test_e14_sequential_writes(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    # Single-unit writes: 1 data + 3 parity = 4 device writes.
+    assert result.metric("writes_b1") == 4.0
+    # Costs fall monotonically with batch size and save >= 25% at 16.
+    previous = float("inf")
+    for batch in BATCH_SIZES:
+        current = result.metric(f"writes_b{batch}")
+        assert current <= previous + 1e-9
+        previous = current
+    assert result.metric("writes_b16") < 3.0
+    assert result.metric("reads_b16") < result.metric("reads_b1")

@@ -1,0 +1,106 @@
+"""E18 (extension figure): surviving latent sector errors during rebuild.
+
+The classic RAID5 failure mode is not a second whole-disk failure — it is
+an unreadable sector discovered on a survivor *during* rebuild, when the
+one parity equation that could have fixed it is already spent. OI-RAID's
+double coverage decodes around the bad sector through the cell's second
+stripe.
+
+Method: write data, fail one disk, sprinkle Poisson latent sector errors
+over the survivors at a per-disk rate, attempt a full rebuild, and check
+both completion and data integrity. Repeated over seeded trials.
+"""
+
+import random
+
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_series
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.core.oi_layout import oi_raid
+from repro.disks.faults import FailureInjector
+from repro.errors import DataLossError, LatentSectorError
+from repro.layouts import ParityDeclusteringLayout, Raid5Layout
+
+RATES = (0.25, 0.5, 1.0, 2.0, 4.0)
+TRIALS = 15
+
+
+def _survives(make_array, rate: float, seed: int) -> bool:
+    array = make_array()
+    rng = random.Random(seed)
+    payloads = {}
+    for unit in rng.sample(range(array.user_units), 8):
+        payload = bytes(rng.randrange(256) for _ in range(array.unit_bytes))
+        array.write_unit(unit, payload)
+        payloads[unit] = payload
+    array.fail_disk(rng.randrange(array.layout.n_disks))
+    injector = FailureInjector(100, seed=seed + 1)
+    injector.inject_latent_errors(
+        array.disks, errors_per_disk=rate, sector=array.unit_bytes
+    )
+    try:
+        array.reconstruct()
+        if not array.verify():  # scrub heals survivable LSEs, raises else
+            return False
+        return all(
+            bytes(array.read_unit(u)) == p for u, p in payloads.items()
+        )
+    except (LatentSectorError, DataLossError):
+        return False
+
+
+def _body() -> ExperimentResult:
+    factories = {
+        "oi-raid": lambda: OIRAIDArray(oi_raid(7, 3), unit_bytes=16),
+        "raid5 (7-wide)": lambda: LayoutArray(Raid5Layout(7), unit_bytes=16),
+        "parity-declustering": lambda: LayoutArray(
+            ParityDeclusteringLayout(n_disks=21, stripe_width=3),
+            unit_bytes=16,
+        ),
+    }
+    series = {name: {} for name in factories}
+    metrics = {}
+    for name, factory in factories.items():
+        for rate in RATES:
+            ok = sum(
+                _survives(factory, rate, seed=trial * 100 + int(rate * 4))
+                for trial in range(TRIALS)
+            )
+            fraction = ok / TRIALS
+            series[name][rate] = fraction
+            metrics[f"{name.split(' ')[0]}_r{rate}"] = fraction
+    report = format_series(
+        "LSEs per surviving disk (mean)",
+        series,
+        title=(
+            f"E18: rebuild success rate with latent sector errors on "
+            f"survivors ({TRIALS} trials/point)"
+        ),
+    )
+    return ExperimentResult("E18", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E18",
+    "figure",
+    "double coverage rides out unreadable sectors mid-rebuild",
+    _body,
+)
+
+
+def test_e18_latent_errors(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    # OI-RAID shrugs off realistic LSE rates (real-world rates are well
+    # below 1 per disk per rebuild) and degrades gracefully past them;
+    # residual failures at high rates are correlated damage hitting both
+    # of a cell's stripes while one disk is already down.
+    for rate in (0.25, 0.5):
+        assert result.metric(f"oi-raid_r{rate}") == 1.0
+    assert result.metric("oi-raid_r1.0") >= 0.9
+    # The single-equation layouts collapse almost immediately.
+    assert result.metric("raid5_r0.5") < 0.3
+    assert result.metric("raid5_r2.0") == 0.0
+    for rate in (0.25, 0.5, 1.0, 2.0):
+        assert result.metric(f"oi-raid_r{rate}") > result.metric(
+            f"parity-declustering_r{rate}"
+        )

@@ -1,0 +1,97 @@
+"""E1 (table): scheme properties — tolerance, efficiency, update cost.
+
+Abstract claims under test: "OI-RAID tolerates at least three disk failures
+... while keeping optimal data update complexity and practically low
+storage overhead."
+
+Analytic columns come from :mod:`repro.analysis`; measured columns from the
+actual layouts (exhaustive tolerance enumeration, geometry-derived
+efficiency, cascade-exact update penalty). Analytic and measured must
+agree exactly — that agreement is asserted, not assumed.
+"""
+
+from repro.analysis.overhead import scheme_table
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_table
+from repro.core.oi_layout import oi_raid
+from repro.core.tolerance import guaranteed_tolerance
+from repro.layouts import (
+    FlatMDSLayout,
+    MirrorLayout,
+    ParityDeclusteringLayout,
+    Raid5Layout,
+    Raid6Layout,
+    Raid50Layout,
+)
+
+V, K, G = 7, 3, 3  # the Fano-plane reference configuration (21 disks)
+
+
+def _build_layouts():
+    return {
+        "raid5": Raid5Layout(K),
+        "raid50": Raid50Layout(V, K),
+        "raid6": Raid6Layout(K + 1),
+        "parity-declustering": ParityDeclusteringLayout(
+            n_disks=V * G, stripe_width=K
+        ),
+        "3-replication": MirrorLayout(V * G, copies=3),
+        "flat-rs3": FlatMDSLayout(V * G, parities=3),
+        "oi-raid": oi_raid(V, K, group_size=G),
+    }
+
+
+def _body() -> ExperimentResult:
+    analytic = {row.name: row for row in scheme_table(V, K, G)}
+    layouts = _build_layouts()
+    rows = []
+    metrics = {}
+    for name, layout in layouts.items():
+        expected = analytic[name]
+        measured_tol = guaranteed_tolerance(layout, limit=4)
+        rows.append(
+            [
+                name,
+                layout.n_disks,
+                measured_tol,
+                layout.storage_efficiency,
+                layout.update_penalty(),
+                expected.recovery_parallelism,
+            ]
+        )
+        assert measured_tol == expected.fault_tolerance, name
+        assert abs(layout.storage_efficiency - expected.storage_efficiency) < 1e-9
+        assert layout.update_penalty() == expected.parity_updates_per_write
+        metrics[f"{name}_tolerance"] = float(measured_tol)
+        metrics[f"{name}_efficiency"] = layout.storage_efficiency
+    report = format_table(
+        [
+            "scheme",
+            "disks",
+            "tolerance (measured)",
+            "efficiency (measured)",
+            "parity updates/write",
+            "recovery parallelism",
+        ],
+        rows,
+        title=f"E1: scheme properties at the (v={V}, k={K}, g={G}) scale",
+    )
+    return ExperimentResult("E1", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E1",
+    "table",
+    ">=3-fault tolerance at optimal update cost and practical overhead",
+    _body,
+)
+
+
+def test_e1_scheme_properties(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    assert result.metric("oi-raid_tolerance") == 3
+    assert result.metric("raid50_tolerance") == 1
+    # "Practically low storage overhead": above 3-replication.
+    assert result.metric("oi-raid_efficiency") > result.metric(
+        "3-replication_efficiency"
+    )

@@ -1,0 +1,76 @@
+"""E2 (table): the constructible OI-RAID configuration space.
+
+Shows that practical array sizes are reachable with the classical BIBD
+families the library constructs, and what each configuration delivers
+(efficiency, measured rebuild speedup vs the ideal parallel bound).
+"""
+
+from repro.analysis.speedup import ideal_parallel_speedup, measured_speedup
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_table
+from repro.core.oi_layout import oi_raid
+from repro.design.catalog import available_designs
+
+MAX_DISKS = 100
+
+
+def _body() -> ExperimentResult:
+    rows = []
+    metrics = {}
+    for k in (3, 4, 5):
+        for v, b, r in available_designs(k, max_v=40):
+            layout = oi_raid(v, k)
+            if layout.n_disks > MAX_DISKS:
+                continue
+            measured = measured_speedup(layout)
+            ideal = ideal_parallel_speedup(layout)
+            rows.append(
+                [
+                    f"({v},{b},{r},{k},1)",
+                    layout.g,
+                    layout.n_disks,
+                    layout.units_per_disk,
+                    layout.storage_efficiency,
+                    measured,
+                    ideal,
+                ]
+            )
+            metrics[f"speedup_v{v}_k{k}"] = measured
+            metrics[f"ideal_v{v}_k{k}"] = ideal
+    report = format_table(
+        [
+            "BIBD (v,b,r,k,λ)",
+            "g",
+            "disks",
+            "units/disk",
+            "efficiency",
+            "rebuild speedup",
+            "ideal bound",
+        ],
+        rows,
+        title=f"E2: constructible configurations (<= {MAX_DISKS} disks)",
+    )
+    return ExperimentResult("E2", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E2",
+    "table",
+    "practical array sizes are constructible; speedup grows with scale",
+    _body,
+)
+
+
+def test_e2_configurations(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    # Speedup grows with v at fixed k = 3.
+    assert (
+        result.metric("speedup_v7_k3")
+        < result.metric("speedup_v13_k3")
+        < result.metric("speedup_v27_k3")
+    )
+    # The planner lands within 2x of the perfect-parallel bound everywhere.
+    for name, value in result.metrics.items():
+        if name.startswith("speedup_"):
+            ideal = result.metrics["ideal_" + name[len("speedup_") :]]
+            assert value > ideal / 2

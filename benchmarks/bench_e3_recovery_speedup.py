@@ -1,0 +1,85 @@
+"""E3 (figure): single-disk recovery speedup vs array size.
+
+The headline comparison — the abstract's "much higher speed up of disk
+failure recovery than existing approaches". Series (all normalized to a
+RAID5 rebuild of the same disk):
+
+* OI-RAID (k = 3, g = 3) at n = 21 .. 81 disks,
+* parity declustering over the same n with the same stripe width — faster
+  but only 1-fault-tolerant,
+* RAID50 with the same group size — the same-tolerance-class *scalable*
+  baseline, pinned at 1x,
+* RAID5 — the unit baseline.
+
+Expected shape: OI-RAID's speedup grows linearly with n while RAID50 stays
+flat; parity declustering sits above OI-RAID by roughly the read-
+amplification factor (the capacity OI-RAID spends on 3-fault tolerance).
+"""
+
+from repro.analysis.speedup import measured_speedup, parity_declustering_speedup
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_series
+from repro.core.oi_layout import oi_raid
+from repro.layouts import FlatMDSLayout, ParityDeclusteringLayout, Raid50Layout
+
+K, G = 3, 3
+VS = (7, 9, 13, 15, 19, 21, 25, 27)
+
+
+def _body() -> ExperimentResult:
+    series = {
+        "oi-raid": {},
+        "parity-declustering": {},
+        "flat-rs3": {},
+        "raid50": {},
+        "raid5": {},
+    }
+    metrics = {}
+    for v in VS:
+        n = v * G
+        oi = measured_speedup(oi_raid(v, K, group_size=G))
+        pd_layout = ParityDeclusteringLayout(n_disks=n, stripe_width=K)
+        pd = measured_speedup(pd_layout, balance=False)
+        r50 = measured_speedup(Raid50Layout(v, G))
+        flat = measured_speedup(FlatMDSLayout(n, parities=3))
+        series["oi-raid"][n] = oi
+        series["parity-declustering"][n] = pd
+        series["flat-rs3"][n] = flat
+        series["raid50"][n] = r50
+        series["raid5"][n] = 1.0
+        metrics[f"oi_n{n}"] = oi
+        metrics[f"pd_n{n}"] = pd
+        metrics[f"flat_n{n}"] = flat
+        metrics[f"raid50_n{n}"] = r50
+        assert pd == parity_declustering_speedup(n, K)
+    report = format_series(
+        "n_disks",
+        series,
+        title="E3: single-disk recovery speedup vs RAID5 (read phase)",
+    )
+    return ExperimentResult("E3", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E3",
+    "figure",
+    "recovery speedup grows with array size; RAID50 stays at 1x",
+    _body,
+)
+
+
+def test_e3_recovery_speedup(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    for v in VS:
+        n = v * G
+        oi = result.metric(f"oi_n{n}")
+        # OI-RAID beats both same-tolerance baselines by a growing factor:
+        # RAID50 (tolerance-class comparison) and flat 3-parity RS (the
+        # exact-tolerance flat competitor, whose rebuild reads everything).
+        assert oi > 4 * result.metric(f"raid50_n{n}")
+        assert oi > 4 * result.metric(f"flat_n{n}")
+        # ...and pays at most ~2.5x of parity declustering's speedup for
+        # two extra failures of tolerance.
+        assert oi > result.metric(f"pd_n{n}") / 2.5
+    # Growth: roughly linear in n (within planner integer effects).
+    assert result.metric("oi_n81") > 3.0 * result.metric("oi_n21")

@@ -1,0 +1,72 @@
+"""E4 (figure): rebuild wall-clock vs disk capacity.
+
+The paper's motivation — "it takes a long time to recover a failed disk due
+to its large capacity and limited I/O" — quantified: rebuild time grows
+linearly with capacity for every scheme, and OI-RAID divides the slope by
+its parallelism factor.
+"""
+
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_series
+from repro.core.oi_layout import oi_raid
+from repro.layouts import ParityDeclusteringLayout, Raid50Layout
+from repro.layouts.recovery import plan_recovery
+from repro.sim.rebuild import DiskModel, analytic_rebuild_time
+
+TERABYTE = 1e12
+CAPACITIES_TB = (1, 2, 4, 8, 16)
+
+
+def _body() -> ExperimentResult:
+    layouts = {
+        "oi-raid": oi_raid(7, 3),
+        "parity-declustering": ParityDeclusteringLayout(
+            n_disks=21, stripe_width=3
+        ),
+        "raid50": Raid50Layout(7, 3),
+    }
+    plans = {
+        name: plan_recovery(layout, [0]) for name, layout in layouts.items()
+    }
+    series = {name: {} for name in layouts}
+    series["raid5 (baseline)"] = {}
+    metrics = {}
+    for tb in CAPACITIES_TB:
+        disk = DiskModel(capacity_bytes=tb * TERABYTE)
+        for name, layout in layouts.items():
+            hours = (
+                analytic_rebuild_time(
+                    layout, [0], disk, plan=plans[name]
+                ).seconds
+                / 3600.0
+            )
+            series[name][tb] = hours
+            metrics[f"{name}_{tb}tb"] = hours
+        series["raid5 (baseline)"][tb] = disk.raid5_rebuild_seconds / 3600.0
+    report = format_series(
+        "capacity_tb",
+        series,
+        title="E4: single-disk rebuild time (hours) vs disk capacity, "
+        "21 disks, 100 MiB/s",
+    )
+    return ExperimentResult("E4", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E4",
+    "figure",
+    "rebuild time scales linearly with capacity; OI-RAID flattens the slope",
+    _body,
+)
+
+
+def test_e4_capacity_scaling(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    # Linear in capacity.
+    ratio = result.metric("oi-raid_16tb") / result.metric("oi-raid_1tb")
+    assert abs(ratio - 16.0) < 1e-6
+    # OI-RAID's slope is several times below RAID50's at every point.
+    for tb in CAPACITIES_TB:
+        assert result.metric(f"oi-raid_{tb}tb") < result.metric(
+            f"raid50_{tb}tb"
+        ) / 3.5

@@ -1,0 +1,97 @@
+"""Performance microbenchmarks of the library's hot kernels.
+
+Unlike the E* experiments (which reproduce the paper's tables/figures),
+these use pytest-benchmark for what it is best at: wall-clock timing of
+the computational kernels — GF(256) buffer math, codec encode/decode, the
+peeling oracle, and the recovery planner — so performance regressions in
+the substrate show up in the benchmark report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.gf256 import GF256
+from repro.codes.raid5 import Raid5Codec
+from repro.codes.reedsolomon import ReedSolomonCodec
+from repro.core.oi_layout import oi_raid
+from repro.layouts.recovery import is_recoverable, plan_recovery
+
+UNIT = 64 * 1024  # 64 KiB stripe units for throughput numbers
+
+
+@pytest.fixture(scope="module")
+def buffers():
+    rng = np.random.default_rng(0)
+    return [rng.integers(0, 256, UNIT, dtype=np.uint8) for _ in range(10)]
+
+
+@pytest.fixture(scope="module")
+def fano_oi():
+    return oi_raid(7, 3)
+
+
+@pytest.fixture(scope="module")
+def big_oi():
+    return oi_raid(19, 3)
+
+
+class TestGFKernels:
+    def test_gf_mul_bytes_64k(self, benchmark, buffers):
+        result = benchmark(GF256.mul_bytes, 0x57, buffers[0])
+        assert result.size == UNIT
+
+    def test_gf_addmul_64k(self, benchmark, buffers):
+        acc = np.zeros(UNIT, dtype=np.uint8)
+
+        def run():
+            GF256.addmul(acc, 0x1D, buffers[1])
+
+        benchmark(run)
+
+
+class TestCodecThroughput:
+    def test_raid5_encode_8_plus_1(self, benchmark, buffers):
+        codec = Raid5Codec(9)
+        parity = benchmark(codec.encode, buffers[:8])
+        assert parity.size == UNIT
+
+    def test_raid5_repair(self, benchmark, buffers):
+        codec = Raid5Codec(9)
+        stripe = buffers[:8] + [codec.encode(buffers[:8])]
+        surviving = stripe[1:]
+        repaired = benchmark(codec.repair_unit, surviving, 0)
+        assert np.array_equal(repaired, stripe[0])
+
+    def test_rs_encode_8_plus_3(self, benchmark, buffers):
+        codec = ReedSolomonCodec(8, 3)
+        parities = benchmark(codec.encode, buffers[:8])
+        assert len(parities) == 3
+
+    def test_rs_decode_3_erasures(self, benchmark, buffers):
+        codec = ReedSolomonCodec(8, 3)
+        stripe = buffers[:8] + codec.encode(buffers[:8])
+        erased = [None, None, None] + stripe[3:]
+
+        decoded = benchmark(codec.decode, erased)
+        assert np.array_equal(decoded[0], stripe[0])
+
+
+class TestLayoutAlgorithms:
+    def test_layout_construction_21_disks(self, benchmark):
+        layout = benchmark(oi_raid, 7, 3)
+        assert layout.n_disks == 21
+
+    def test_peeling_oracle_triple_failure(self, benchmark, fano_oi):
+        assert benchmark(is_recoverable, fano_oi, [0, 1, 9])
+
+    def test_plan_single_failure_21_disks(self, benchmark, fano_oi):
+        plan = benchmark(plan_recovery, fano_oi, [0])
+        assert plan.total_write_units == fano_oi.units_per_disk
+
+    def test_plan_single_failure_57_disks(self, benchmark, big_oi):
+        plan = benchmark(plan_recovery, big_oi, [0])
+        assert plan.total_write_units == big_oi.units_per_disk
+
+    def test_plan_group_failure_21_disks(self, benchmark, fano_oi):
+        plan = benchmark(plan_recovery, fano_oi, [0, 1, 2])
+        assert plan.total_write_units == 3 * fano_oi.units_per_disk

@@ -1,0 +1,48 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_e*.py`` registers one experiment (one table/figure of the
+paper's evaluation, per DESIGN.md). The ``experiment_report`` fixture runs
+the body under pytest-benchmark, prints the rendered report with capture
+disabled (so ``pytest benchmarks/ --benchmark-only`` output contains the
+reproduced tables), and appends it to ``benchmarks/reports/<id>.txt`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def collect_only(config) -> bool:
+    return config.getoption("collectonly", default=False)
+
+
+@pytest.fixture
+def experiment_report(benchmark, capsys):
+    """Run an Experiment under the benchmark fixture and publish its report."""
+
+    def runner(experiment):
+        from repro.bench.runner import run_experiment
+
+        result = benchmark.pedantic(
+            lambda: run_experiment(experiment, quiet=True),
+            iterations=1,
+            rounds=1,
+        )
+        REPORTS_DIR.mkdir(exist_ok=True)
+        path = REPORTS_DIR / f"{experiment.exp_id.lower()}.txt"
+        header = (
+            f"=== {experiment.exp_id} ({experiment.kind}) ===\n"
+            f"claim: {experiment.claim}\n"
+        )
+        path.write_text(header + result.report + "\n")
+        with capsys.disabled():
+            print()
+            print(header + result.report)
+        return result
+
+    return runner

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scenario: losing a whole enclosure (one full disk group).
+
+OI-RAID's groups map naturally onto hardware enclosures / JBOD shelves.
+Losing a shelf kills every disk of one group simultaneously — the inner
+layer is useless (all its survivors are gone) and the outer BIBD layer must
+carry the entire recovery. This script shows that:
+
+* the array keeps serving reads and writes with a dead group,
+* recovery still engages every surviving disk in parallel,
+* RAID50 with the same shelf mapping would have lost data outright.
+
+Run:  python examples/enclosure_failure.py
+"""
+
+import random
+
+from repro import OIRAIDArray, Raid50Layout, is_recoverable, recovery_summary
+from repro.workloads.generators import uniform_workload
+from repro.workloads.trace import replay_trace
+
+
+def main() -> None:
+    array = OIRAIDArray.build(v=7, k=3, unit_bytes=256)
+    layout = array.oi_layout
+    group = 4
+    shelf = layout.grouping.group_disks(group)
+    print(f"array: {layout.n_disks} disks in {layout.design.v} shelves of "
+          f"{layout.g}; failing shelf {group} = disks {shelf}")
+
+    # Fill with a random workload and remember some payloads.
+    rng = random.Random(7)
+    reference = {}
+    for unit in rng.sample(range(array.user_units), 30):
+        payload = bytes(rng.randrange(256) for _ in range(array.unit_bytes))
+        array.write_unit(unit, payload)
+        reference[unit] = payload
+
+    # The shelf dies.
+    array.fail_group(group)
+
+    # Foreground traffic continues against the degraded array.
+    traffic = uniform_workload(array.user_units, 60, write_fraction=0.3,
+                               seed=8)
+    result = replay_trace(array, traffic)
+    print(f"degraded service: {result.requests} requests OK, device read "
+          f"amplification {result.read_amplification:.2f}x")
+
+    # Recovery profile for the 3-disk shelf loss.
+    summary = recovery_summary(layout, shelf)
+    print(f"shelf recovery  : {summary.participating_disks} of "
+          f"{layout.n_disks - 3} survivors engaged, "
+          f"speedup {summary.speedup_vs_raid5:.2f}x vs RAID5")
+
+    array.reconstruct()
+    assert array.verify()
+    for unit, payload in reference.items():
+        assert bytes(array.read_unit(unit)) == payload
+    print("rebuild complete; all reference payloads intact")
+
+    # The same event kills a RAID50 deployment with shelf-aligned groups.
+    r50 = Raid50Layout(7, 3)
+    survived = is_recoverable(r50, shelf)
+    print(f"RAID50 with the same shelves would have survived: {survived}")
+    assert not survived
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario: rebuilding online, under foreground load.
+
+Production arrays rebuild while serving users. This example sweeps the
+fraction of disk bandwidth reserved for foreground I/O and reports the
+rebuild-time curve for OI-RAID vs RAID50, using the event-driven simulator
+(FCFS disk queues + repair-step dependencies). It then replays an actual
+trace against a live degraded array to show the served-request view.
+
+Run:  python examples/online_rebuild.py
+"""
+
+from repro import DiskModel, OIRAIDArray, oi_raid, simulate_rebuild
+from repro.bench.tables import format_series
+from repro.layouts import Raid50Layout
+from repro.util.units import format_duration
+from repro.workloads.generators import zipf_workload
+from repro.workloads.trace import replay_trace
+
+
+def main() -> None:
+    oi = oi_raid(7, 3)
+    r50 = Raid50Layout(7, 3)
+    capacity = 4e12  # 4 TB drives
+
+    series = {"oi-raid": {}, "raid50": {}}
+    for foreground in (0.0, 0.25, 0.5, 0.75):
+        disk = DiskModel(capacity_bytes=capacity,
+                         foreground_fraction=foreground)
+        for name, layout in (("oi-raid", oi), ("raid50", r50)):
+            result = simulate_rebuild(layout, [0], disk)
+            series[name][f"{foreground:.0%}"] = result.seconds / 3600.0
+    print(
+        format_series(
+            "foreground share",
+            series,
+            title="single-disk rebuild time (hours), 4 TB drives, "
+                  "event-driven simulation",
+        )
+    )
+
+    quiet = series["oi-raid"]["0%"]
+    busy = series["oi-raid"]["75%"]
+    print(f"\nOI-RAID rebuild: {format_duration(quiet * 3600)} idle -> "
+          f"{format_duration(busy * 3600)} at 75% foreground load")
+
+    # Live view: serve a hot (Zipf) workload on a degraded array.
+    array = OIRAIDArray.build(7, 3, unit_bytes=256)
+    warm = zipf_workload(array.user_units, 150, write_fraction=1.0, seed=1)
+    replay_trace(array, warm)
+    array.fail_disk(5)
+    hot = zipf_workload(array.user_units, 120, write_fraction=0.2, seed=2)
+    degraded = replay_trace(array, hot)
+    array.reconstruct()
+    assert array.verify()
+    print(f"\nserved {degraded.requests} requests degraded "
+          f"(device read amplification {degraded.read_amplification:.2f}x), "
+          f"then rebuilt and verified")
+
+
+if __name__ == "__main__":
+    main()

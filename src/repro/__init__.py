@@ -1,0 +1,97 @@
+"""OI-RAID: a two-layer RAID architecture for fast recovery and high
+reliability — a full reproduction of Wang, Xu, Li & Wu (DSN 2016).
+
+Quickstart::
+
+    from repro import OIRAIDArray, recovery_summary
+
+    array = OIRAIDArray.build(7, 3)        # Fano plane: 21 disks, 7 groups
+    array.write(0, b"hello oi-raid")
+    array.fail_disk(4)
+    assert bytes(array.read(0, 13)) == b"hello oi-raid"   # degraded read
+    array.reconstruct()                     # parallel rebuild
+    print(recovery_summary(array.layout, [4]).speedup_vs_raid5)
+
+Package map — see DESIGN.md for the full inventory:
+
+* :mod:`repro.design` — BIBD constructions (the outer layer's combinatorics)
+* :mod:`repro.codes` — GF(256), RAID5/RAID6/Reed-Solomon codecs
+* :mod:`repro.disks` — simulated devices and fault injection
+* :mod:`repro.layouts` — the layout interface + all baseline layouts
+* :mod:`repro.core` — OI-RAID itself (layout, recovery, data path)
+* :mod:`repro.sim` — rebuild timing and reliability simulation
+* :mod:`repro.analysis` — closed-form models
+* :mod:`repro.workloads` — request generators and traces
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``
+"""
+
+from repro.core import (
+    DistributedSpareArray,
+    LayoutArray,
+    OIRAIDArray,
+    OIRAIDLayout,
+    guaranteed_tolerance,
+    measure_update_cost,
+    oi_raid,
+    recovery_summary,
+    scrub,
+    survivable_fraction,
+)
+from repro.design import BIBD, find_bibd
+from repro.errors import (
+    DataLossError,
+    DecodeError,
+    DesignError,
+    ReproError,
+)
+from repro.layouts import (
+    MirrorLayout,
+    ParityDeclusteringLayout,
+    Raid5Layout,
+    Raid6Layout,
+    Raid50Layout,
+    is_recoverable,
+    plan_recovery,
+)
+from repro.sim import (
+    DiskModel,
+    analytic_rebuild_time,
+    simulate_rebuild,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "OIRAIDLayout",
+    "oi_raid",
+    "OIRAIDArray",
+    "LayoutArray",
+    "DistributedSpareArray",
+    "recovery_summary",
+    "guaranteed_tolerance",
+    "survivable_fraction",
+    "measure_update_cost",
+    "scrub",
+    # designs
+    "BIBD",
+    "find_bibd",
+    # layouts
+    "Raid5Layout",
+    "Raid6Layout",
+    "Raid50Layout",
+    "ParityDeclusteringLayout",
+    "MirrorLayout",
+    "plan_recovery",
+    "is_recoverable",
+    # simulation
+    "DiskModel",
+    "analytic_rebuild_time",
+    "simulate_rebuild",
+    # errors
+    "ReproError",
+    "DesignError",
+    "DecodeError",
+    "DataLossError",
+]

@@ -1,0 +1,33 @@
+"""Analytic models: storage overhead, update cost, speedup, balance.
+
+Closed-form counterparts of the measured quantities; every experiment
+reports both so disagreements surface as test failures rather than silent
+drift.
+"""
+
+from repro.analysis.balance import balance_report, jain_fairness
+from repro.analysis.overhead import (
+    SchemeProperties,
+    scheme_table,
+    storage_efficiency,
+)
+from repro.analysis.reliability import reliability_comparison
+from repro.analysis.speedup import (
+    ideal_parallel_speedup,
+    measured_speedup,
+    parity_declustering_speedup,
+)
+from repro.analysis.update_cost import analytic_update_cost
+
+__all__ = [
+    "storage_efficiency",
+    "SchemeProperties",
+    "scheme_table",
+    "analytic_update_cost",
+    "ideal_parallel_speedup",
+    "measured_speedup",
+    "parity_declustering_speedup",
+    "balance_report",
+    "jain_fairness",
+    "reliability_comparison",
+]

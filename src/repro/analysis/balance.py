@@ -1,0 +1,63 @@
+"""Load-balance metrics for recovery plans (experiment E5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.util.stats import coefficient_of_variation, mean
+
+
+def jain_fairness(loads: Sequence[float]) -> float:
+    """Jain's fairness index: 1 is perfectly even, 1/n is one-disk-only."""
+    if not loads:
+        raise ValueError("fairness of empty load vector")
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    squares = sum(x * x for x in loads)
+    return total * total / (len(loads) * squares)
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Summary of one per-disk load distribution."""
+
+    n_disks: int
+    mean_load: float
+    max_load: float
+    min_load: float
+    cv: float
+    fairness: float
+
+    @property
+    def peak_to_mean(self) -> float:
+        if self.mean_load == 0:
+            return 0.0
+        return self.max_load / self.mean_load
+
+
+def balance_report(
+    loads: Dict[int, float], n_disks: int, exclude: Sequence[int] = ()
+) -> BalanceReport:
+    """Build a report over all non-excluded disks (zero loads included).
+
+    *exclude* is normally the failed-disk set; survivors with zero reads
+    count as zeros so idle spindles hurt the balance score.
+    """
+    excluded = set(exclude)
+    values = [
+        float(loads.get(d, 0.0)) for d in range(n_disks) if d not in excluded
+    ]
+    if not values:
+        raise ValueError("no disks left after exclusion")
+    mu = mean(values)
+    cv = coefficient_of_variation(values) if mu > 0 else 0.0
+    return BalanceReport(
+        n_disks=len(values),
+        mean_load=mu,
+        max_load=max(values),
+        min_load=min(values),
+        cv=cv,
+        fairness=jain_fairness(values),
+    )

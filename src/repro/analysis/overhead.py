@@ -1,0 +1,125 @@
+"""Storage overhead and the E1 scheme-properties table.
+
+The abstract's positioning: OI-RAID tolerates >= 3 failures at
+``(k-1)(g-1) / (k g)`` efficiency — between RAID6 and 3-replication, i.e.
+"practically low storage overhead" for the tolerance it buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+from repro.util.checks import check_positive
+
+
+def storage_efficiency(scheme: str, **params: int) -> float:
+    """Closed-form user-data fraction for a named scheme.
+
+    Schemes: ``raid5`` / ``raid50`` (width k), ``raid6`` (width k),
+    ``parity_declustering`` (stripe width k), ``replication`` (copies c),
+    ``oi_raid`` (outer width k, group size g).
+    """
+    if scheme in ("raid5", "raid50", "parity_declustering"):
+        k = params["k"]
+        check_positive("k", k, 2)
+        return (k - 1) / k
+    if scheme == "raid6":
+        k = params["k"]
+        check_positive("k", k, 3)
+        return (k - 2) / k
+    if scheme == "replication":
+        c = params["c"]
+        check_positive("c", c, 2)
+        return 1 / c
+    if scheme == "oi_raid":
+        k, g = params["k"], params["g"]
+        check_positive("k", k, 2)
+        check_positive("g", g, 2)
+        return (k - 1) / k * (g - 1) / g
+    if scheme == "flat_mds":
+        k, m = params["k"], params["m"]
+        check_positive("k", k, 2)
+        check_positive("m", m, 1)
+        if m >= k:
+            raise ReproError(f"flat MDS needs m < width ({m} >= {k})")
+        return (k - m) / k
+    raise ReproError(f"unknown scheme {scheme!r}")
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """One row of the E1 comparison table."""
+
+    name: str
+    n_disks: int
+    fault_tolerance: int
+    storage_efficiency: float
+    parity_updates_per_write: int
+    recovery_parallelism: str
+
+    @property
+    def storage_overhead(self) -> float:
+        """Raw bytes per user byte."""
+        return 1.0 / self.storage_efficiency
+
+
+def scheme_table(v: int, k: int, g: int) -> List[SchemeProperties]:
+    """The E1 table for comparable configurations around n = v*g disks.
+
+    All single-parity schemes use stripe width k; OI-RAID uses the
+    (v, k) outer design with groups of g.
+    """
+    check_positive("v", v, 2)
+    check_positive("k", k, 2)
+    check_positive("g", g, 2)
+    n = v * g
+    return [
+        SchemeProperties(
+            "raid5", k, 1, storage_efficiency("raid5", k=k), 1, "k-1 disks"
+        ),
+        SchemeProperties(
+            "raid50",
+            n,
+            1,
+            storage_efficiency("raid50", k=k),
+            1,
+            "k-1 disks (one group)",
+        ),
+        SchemeProperties(
+            "raid6", k + 1, 2, storage_efficiency("raid6", k=k + 1), 2, "k-1 disks"
+        ),
+        SchemeProperties(
+            "parity-declustering",
+            n,
+            1,
+            storage_efficiency("parity_declustering", k=k),
+            1,
+            "all n-1 disks",
+        ),
+        SchemeProperties(
+            "3-replication",
+            n,
+            2,
+            storage_efficiency("replication", c=3),
+            2,
+            "replica disks",
+        ),
+        SchemeProperties(
+            "flat-rs3",
+            n,
+            3,
+            storage_efficiency("flat_mds", k=n, m=3),
+            3,
+            "n-1 disks, full read",
+        ),
+        SchemeProperties(
+            "oi-raid",
+            n,
+            3,
+            storage_efficiency("oi_raid", k=k, g=g),
+            3,
+            "all n-1 disks",
+        ),
+    ]

@@ -1,0 +1,57 @@
+"""Recovery-speedup models (experiments E2, E3).
+
+Speedup convention: time for the read phase of a single-disk rebuild,
+normalized to RAID5 (whose busiest survivor reads its full capacity).
+
+* RAID5 / RAID50: 1 — every stripe of the failed disk reads the same
+  ``k-1`` survivors in full.
+* Parity declustering over a (v, b, r, k, 1) design: ``(v-1)/(k-1)`` —
+  the classic declustering ratio.
+* OI-RAID: measured from the planner (the surrogate-read optimization has
+  no tidy closed form), bounded above by the *ideal* parallel speedup —
+  total read volume spread perfectly over all survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.layouts.base import Layout
+from repro.layouts.recovery import plan_recovery
+from repro.util.checks import check_positive
+
+
+def parity_declustering_speedup(v: int, k: int) -> float:
+    """The declustering ratio (v - 1) / (k - 1)."""
+    check_positive("v", v, 2)
+    check_positive("k", k, 2)
+    if k > v:
+        raise ValueError(f"stripe width {k} exceeds disk count {v}")
+    return (v - 1) / (k - 1)
+
+
+def measured_speedup(
+    layout: Layout, failed_disks: Sequence[int] = (0,), balance: bool = True
+) -> float:
+    """Planner-derived read-phase speedup for a failure pattern."""
+    plan = plan_recovery(layout, failed_disks, balance=balance)
+    peak = plan.max_read_units
+    if peak == 0:
+        return float("inf")
+    return layout.units_per_disk / peak
+
+
+def ideal_parallel_speedup(
+    layout: Layout, failed_disks: Sequence[int] = (0,)
+) -> float:
+    """Upper bound: the plan's total reads spread perfectly over survivors.
+
+    A plan achieving ``measured == ideal`` is perfectly balanced; the gap
+    is the E5 experiment's headroom metric.
+    """
+    plan = plan_recovery(layout, failed_disks)
+    survivors = layout.n_disks - len(plan.failed_disks)
+    if plan.total_read_units == 0:
+        return float("inf")
+    per_disk = plan.total_read_units / survivors
+    return layout.units_per_disk / per_disk

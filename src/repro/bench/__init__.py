@@ -1,0 +1,12 @@
+"""Benchmark harness helpers: tables, series, and the experiment registry."""
+
+from repro.bench.runner import Experiment, ExperimentResult, run_experiment
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+]

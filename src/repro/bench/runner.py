@@ -1,0 +1,73 @@
+"""The experiment runner: a tiny registry tying benches to DESIGN.md ids.
+
+Each ``benchmarks/bench_e*.py`` declares an :class:`Experiment` and calls
+:func:`run_experiment`, which times the body, prints the rendered report,
+and returns a structured result the pytest-benchmark wrapper asserts on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Identity of one reproduced table/figure."""
+
+    exp_id: str
+    kind: str  # "table" | "figure" | "ablation"
+    claim: str  # the abstract-level claim being tested
+    body: Callable[[], "ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    exp_id: str
+    report: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def metric(self, name: str) -> float:
+        """Look up one named metric, with a helpful error if absent."""
+        if name not in self.metrics:
+            raise KeyError(
+                f"{self.exp_id} produced no metric {name!r}; "
+                f"have {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Register for discovery (duplicate ids are a bench bug)."""
+    if experiment.exp_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {experiment.exp_id}")
+    _REGISTRY[experiment.exp_id] = experiment
+    return experiment
+
+
+def registered() -> List[Experiment]:
+    """All experiments registered in this process."""
+    return list(_REGISTRY.values())
+
+
+def run_experiment(
+    experiment: Experiment, quiet: bool = False
+) -> ExperimentResult:
+    """Execute, time, and (unless quiet) print one experiment."""
+    start = time.perf_counter()
+    result = experiment.body()
+    result.seconds = time.perf_counter() - start
+    if not quiet:
+        print()
+        print(f"=== {experiment.exp_id} ({experiment.kind}) ===")
+        print(f"claim: {experiment.claim}")
+        print(result.report)
+        print(f"[{result.seconds:.2f}s]")
+    return result

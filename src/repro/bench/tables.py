@@ -1,0 +1,74 @@
+"""Plain-text table and series rendering for the benchmark reports.
+
+Every ``benchmarks/bench_e*.py`` prints its rows with these helpers so the
+reproduced tables/figures have one consistent, diffable format that
+EXPERIMENTS.md quotes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cellv = Union[str, int, float]
+
+
+def _render(value: Cellv, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value != 0 and (abs(value) >= 10**6 or abs(value) < 10**-3):
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cellv]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    rendered = [[_render(c, precision) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Dict[str, Dict[Cellv, Cellv]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render figure data: one x column plus one column per named series.
+
+    *series* maps series name -> {x: y}; missing points render as ``-``.
+    """
+    xs: List[Cellv] = []
+    for points in series.values():
+        for x in points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort(key=lambda v: (isinstance(v, str), v))
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[Cellv] = [x]
+        for name in series:
+            row.append(series[name].get(x, "-"))
+        rows.append(row)
+    return format_table(headers, rows, title=title, precision=precision)

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives operators the planning surface without writing Python:
+
+* ``info``       — properties of one OI-RAID configuration
+* ``designs``    — the constructible configuration space for a stripe width
+* ``plan``       — recovery plan summary for a failure pattern
+* ``tolerance``  — survivable-fraction profile (enumerated/sampled)
+* ``rebuild``    — rebuild wall-clock under a disk model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.speedup import measured_speedup
+from repro.bench.tables import format_table
+from repro.core.oi_layout import oi_raid
+from repro.core.recovery import recovery_summary
+from repro.core.tolerance import tolerance_profile
+from repro.design.catalog import available_designs
+from repro.errors import ReproError
+from repro.sim.rebuild import DiskModel, analytic_rebuild_time
+from repro.util.units import format_duration
+
+
+def _add_layout_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-v", "--groups", type=int, required=True,
+                        help="number of disk groups (BIBD points)")
+    parser.add_argument("-k", "--stripe-width", type=int, required=True,
+                        help="outer stripe width (BIBD block size)")
+    parser.add_argument("-g", "--group-size", type=int, default=None,
+                        help="disks per group (default: smallest prime >= k)")
+    parser.add_argument("--outer-parities", type=int, default=1)
+    parser.add_argument("--inner-parities", type=int, default=1)
+    parser.add_argument("--no-skew", action="store_true",
+                        help="build the aligned ablation layout")
+
+
+def _layout_from(args: argparse.Namespace):
+    return oi_raid(
+        args.groups,
+        args.stripe_width,
+        group_size=args.group_size,
+        skewed=not args.no_skew,
+        outer_parities=args.outer_parities,
+        inner_parities=args.inner_parities,
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    layout = _layout_from(args)
+    rows = [[key, str(value)] for key, value in layout.describe().items()]
+    rows.append(["guaranteed tolerance (bound)", str(layout.design_tolerance)])
+    rows.append(["rebuild speedup vs RAID5", f"{measured_speedup(layout):.2f}x"])
+    print(format_table(["property", "value"], rows, title="OI-RAID configuration"))
+    return 0
+
+
+def _cmd_designs(args: argparse.Namespace) -> int:
+    entries = available_designs(args.stripe_width, max_v=args.max_groups)
+    rows = []
+    for v, b, r in entries:
+        layout = oi_raid(v, args.stripe_width)
+        rows.append(
+            [
+                f"({v},{b},{r},{args.stripe_width},1)",
+                layout.g,
+                layout.n_disks,
+                f"{layout.storage_efficiency:.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["BIBD", "g", "disks", "efficiency"],
+            rows,
+            title=f"constructible designs for k={args.stripe_width}",
+        )
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    layout = _layout_from(args)
+    summary = recovery_summary(layout, args.failed)
+    rows = [
+        ["failed disks", str(list(summary.failed_disks))],
+        ["units to regenerate", str(summary.recovered_units)],
+        ["surviving disks reading", f"{summary.participating_disks}/{layout.n_disks - len(summary.failed_disks)}"],
+        ["busiest disk reads", f"{summary.max_read_fraction:.1%} of capacity"],
+        ["read amplification", f"{summary.read_amplification:.2f}x"],
+        ["speedup vs RAID5", f"{summary.speedup_vs_raid5:.2f}x"],
+        ["load CV", f"{summary.load_cv():.3f}"],
+    ]
+    print(format_table(["metric", "value"], rows, title="recovery plan"))
+    return 0
+
+
+def _cmd_tolerance(args: argparse.Namespace) -> int:
+    layout = _layout_from(args)
+    profile = tolerance_profile(
+        layout,
+        max_failures=args.max_failures,
+        max_patterns_per_size=args.samples,
+    )
+    rows = [[f, fraction] for f, fraction in sorted(profile.items())]
+    print(
+        format_table(
+            ["concurrent failures", "survivable fraction"],
+            rows,
+            title=f"tolerance profile (<= {args.samples or 'all'} patterns/size)",
+        )
+    )
+    return 0
+
+
+def _cmd_rebuild(args: argparse.Namespace) -> int:
+    layout = _layout_from(args)
+    disk = DiskModel(
+        capacity_bytes=args.capacity_tb * 1e12,
+        bandwidth_bytes_per_s=args.bandwidth_mib * 1024 * 1024,
+        foreground_fraction=args.foreground,
+    )
+    result = analytic_rebuild_time(layout, args.failed, disk)
+    rows = [
+        ["failed disks", str(list(result.failed_disks))],
+        ["rebuild time", format_duration(result.seconds)],
+        ["RAID5-equivalent", format_duration(result.raid5_seconds)],
+        ["speedup", f"{result.speedup_vs_raid5:.2f}x"],
+        ["bytes read", f"{result.bytes_read / 1e12:.2f} TB"],
+        ["bytes written", f"{result.bytes_written / 1e12:.2f} TB"],
+    ]
+    print(format_table(["metric", "value"], rows, title="rebuild estimate"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OI-RAID reproduction: configuration & recovery planning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe one configuration")
+    _add_layout_args(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_designs = sub.add_parser("designs", help="list constructible designs")
+    p_designs.add_argument("-k", "--stripe-width", type=int, required=True)
+    p_designs.add_argument("--max-groups", type=int, default=40)
+    p_designs.set_defaults(func=_cmd_designs)
+
+    p_plan = sub.add_parser("plan", help="plan recovery for failed disks")
+    _add_layout_args(p_plan)
+    p_plan.add_argument("-f", "--failed", type=int, nargs="+", required=True)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_tol = sub.add_parser("tolerance", help="survivable-fraction profile")
+    _add_layout_args(p_tol)
+    p_tol.add_argument("--max-failures", type=int, default=4)
+    p_tol.add_argument("--samples", type=int, default=500,
+                       help="patterns sampled per size (0 = exhaustive)")
+    p_tol.set_defaults(func=_cmd_tolerance)
+
+    p_rb = sub.add_parser("rebuild", help="estimate rebuild wall-clock")
+    _add_layout_args(p_rb)
+    p_rb.add_argument("-f", "--failed", type=int, nargs="+", default=[0])
+    p_rb.add_argument("--capacity-tb", type=float, default=4.0)
+    p_rb.add_argument("--bandwidth-mib", type=float, default=100.0)
+    p_rb.add_argument("--foreground", type=float, default=0.0)
+    p_rb.set_defaults(func=_cmd_rebuild)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "samples", None) == 0:
+        args.samples = None
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Erasure-coding substrate: GF(256), XOR/RAID5, RAID6 and Reed-Solomon.
+
+OI-RAID's reference instantiation uses single-parity (RAID5) codes in both
+layers; RAID6 and Reed-Solomon are provided for the baselines and for the
+generalized inner/outer codes the paper positions as drop-in replacements.
+"""
+
+from repro.codes.gf256 import GF256
+from repro.codes.raid5 import Raid5Codec
+from repro.codes.raid6 import Raid6Codec
+from repro.codes.reedsolomon import ReedSolomonCodec
+from repro.codes.stripe import StripeSpec
+from repro.codes.xor import xor_blocks
+
+__all__ = [
+    "GF256",
+    "xor_blocks",
+    "Raid5Codec",
+    "Raid6Codec",
+    "ReedSolomonCodec",
+    "StripeSpec",
+]

@@ -1,0 +1,142 @@
+"""GF(2^8) arithmetic with vectorized numpy kernels.
+
+The field is built over the AES/Rijndael polynomial x^8+x^4+x^3+x+1 (0x11B).
+Scalar ops use log/antilog tables; bulk ops (`mul_bytes`, `addmul`) operate
+on numpy uint8 arrays, which is what the Reed-Solomon and RAID6 codecs use
+for stripe-sized buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_POLY = 0x11B
+_GENERATOR = 0x03
+
+
+def _gf_mul_slow(a: int, b: int) -> int:
+    """Bit-serial GF(256) multiply, used only to build the tables at import."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _POLY
+        b >>= 1
+    return result
+
+
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+_value = 1
+for _i in range(255):
+    _EXP[_i] = _value
+    _LOG[_value] = _i
+    _value = _gf_mul_slow(_value, _GENERATOR)
+_EXP[255:510] = _EXP[0:255]
+
+
+class GF256:
+    """Stateless namespace of GF(2^8) operations (all methods are static)."""
+
+    order = 256
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition == subtraction == XOR in characteristic 2."""
+        return (a ^ b) & 0xFF
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+    @staticmethod
+    def inv(a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return int(_EXP[255 - int(_LOG[a])])
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+    @staticmethod
+    def pow(a: int, n: int) -> int:
+        if a == 0:
+            if n == 0:
+                return 1
+            if n < 0:
+                raise ZeroDivisionError("0 has no negative powers in GF(256)")
+            return 0
+        return int(_EXP[(int(_LOG[a]) * n) % 255])
+
+    @staticmethod
+    def exp(n: int) -> int:
+        """The n-th power of the generator 0x03."""
+        return int(_EXP[n % 255])
+
+    # -- bulk (buffer) operations ---------------------------------------------
+
+    @staticmethod
+    def mul_bytes(coeff: int, data: np.ndarray) -> np.ndarray:
+        """Multiply every byte of *data* by the scalar *coeff*."""
+        buf = np.asarray(data, dtype=np.uint8)
+        if coeff == 0:
+            return np.zeros_like(buf)
+        if coeff == 1:
+            return buf.copy()
+        log_c = int(_LOG[coeff])
+        out = np.zeros_like(buf)
+        nonzero = buf != 0
+        out[nonzero] = _EXP[_LOG[buf[nonzero]] + log_c]
+        return out
+
+    @staticmethod
+    def addmul(acc: np.ndarray, coeff: int, data: np.ndarray) -> None:
+        """In place: ``acc ^= coeff * data`` (the RS inner loop)."""
+        if coeff == 0:
+            return
+        np.bitwise_xor(acc, GF256.mul_bytes(coeff, data), out=acc)
+
+    @staticmethod
+    def solve(matrix: Sequence[Sequence[int]], rhs: np.ndarray) -> np.ndarray:
+        """Solve A·x = rhs over GF(256); rhs rows are byte buffers.
+
+        *matrix* is m×m of field scalars; *rhs* is an m×L uint8 array. Used
+        by the Reed-Solomon decoder. Raises :class:`ZeroDivisionError` on a
+        singular matrix (which, for Vandermonde-derived systems, indicates a
+        caller bug rather than an undecodable erasure pattern).
+        """
+        a = [list(row) for row in matrix]
+        m = len(a)
+        b = np.array(rhs, dtype=np.uint8, copy=True)
+        for col in range(m):
+            pivot = next(
+                (row for row in range(col, m) if a[row][col] != 0), None
+            )
+            if pivot is None:
+                raise ZeroDivisionError("singular matrix over GF(256)")
+            if pivot != col:
+                a[col], a[pivot] = a[pivot], a[col]
+                b[[col, pivot]] = b[[pivot, col]]
+            inv = GF256.inv(a[col][col])
+            a[col] = [GF256.mul(inv, x) for x in a[col]]
+            b[col] = GF256.mul_bytes(inv, b[col])
+            for row in range(m):
+                if row != col and a[row][col] != 0:
+                    factor = a[row][col]
+                    a[row] = [
+                        GF256.add(x, GF256.mul(factor, y))
+                        for x, y in zip(a[row], a[col])
+                    ]
+                    GF256.addmul(b[row], factor, b[col])
+        return b

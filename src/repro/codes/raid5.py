@@ -1,0 +1,108 @@
+"""RAID5 codec: k-1 data units + 1 XOR parity unit.
+
+This is the code OI-RAID deploys in *both* layers in the paper's reference
+instantiation. The codec is stateless and works on lists of byte buffers;
+placement (which disk holds which unit, parity rotation) is the layouts'
+job, not the codec's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.stripe import StripeSpec
+from repro.codes.xor import as_unit, xor_blocks
+from repro.errors import DecodeError
+from repro.util.checks import check_index, check_positive
+
+
+class Raid5Codec:
+    """Single-parity MDS code over *width* units (width - 1 data + 1 parity)."""
+
+    def __init__(self, width: int) -> None:
+        check_positive("width", width, 2)
+        self.width = width
+
+    def spec(self, unit_bytes: int) -> StripeSpec:
+        """The stripe geometry for a given unit size."""
+        return StripeSpec(self.width - 1, 1, unit_bytes)
+
+    @property
+    def fault_tolerance(self) -> int:
+        return 1
+
+    def encode(self, data_units: Sequence[Sequence[int]]) -> np.ndarray:
+        """Compute the parity unit for ``width - 1`` data units."""
+        if len(data_units) != self.width - 1:
+            raise DecodeError(
+                f"RAID5(width={self.width}) encode needs {self.width - 1} "
+                f"data units, got {len(data_units)}"
+            )
+        return xor_blocks(data_units)
+
+    def decode(
+        self, units: Sequence[Optional[Sequence[int]]]
+    ) -> List[np.ndarray]:
+        """Reconstruct the full stripe from units with at most one ``None``.
+
+        *units* lists all ``width`` units in position order (parity position
+        is up to the caller — XOR parity is position-agnostic). Returns the
+        complete list of units; raises :class:`DecodeError` if more than one
+        unit is missing.
+        """
+        if len(units) != self.width:
+            raise DecodeError(
+                f"RAID5(width={self.width}) decode needs {self.width} unit "
+                f"slots, got {len(units)}"
+            )
+        missing = [i for i, u in enumerate(units) if u is None]
+        present = [as_unit(u) for u in units if u is not None]
+        if len(missing) > 1:
+            raise DecodeError(
+                f"RAID5 cannot reconstruct {len(missing)} missing units"
+            )
+        result = [as_unit(u) if u is not None else None for u in units]
+        if missing:
+            result[missing[0]] = xor_blocks(present)
+        return result  # type: ignore[return-value]
+
+    def repair_unit(
+        self, surviving: Sequence[Sequence[int]], lost_index: int
+    ) -> np.ndarray:
+        """Rebuild one lost unit from the ``width - 1`` surviving units."""
+        check_index("lost_index", lost_index, self.width)
+        if len(surviving) != self.width - 1:
+            raise DecodeError(
+                f"repair needs the {self.width - 1} surviving units, "
+                f"got {len(surviving)}"
+            )
+        return xor_blocks(surviving)
+
+    def update_parity(
+        self,
+        old_parity: Sequence[int],
+        old_data: Sequence[int],
+        new_data: Sequence[int],
+    ) -> np.ndarray:
+        """Small-write parity update: P' = P xor D_old xor D_new.
+
+        This is the read-modify-write path whose cost E8 (update complexity)
+        measures: one parity touched per user write.
+        """
+        return xor_blocks([old_parity, old_data, new_data])
+
+    def verify(self, units: Sequence[Sequence[int]]) -> bool:
+        """True when the stripe's units XOR to zero (parity consistent)."""
+        if len(units) != self.width:
+            return False
+        return not xor_blocks(units).any()
+
+    def io_costs(self) -> Dict[str, int]:
+        """Unit I/O counts used by the analytic update-cost model (E8)."""
+        return {
+            "small_write_reads": 2,  # old data + old parity
+            "small_write_writes": 2,  # new data + new parity
+            "repair_reads_per_unit": self.width - 1,
+        }

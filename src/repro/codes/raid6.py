@@ -1,0 +1,147 @@
+"""RAID6 codec: P (XOR) + Q (GF(256) weighted) parity, tolerating 2 erasures.
+
+Used as a baseline in the scheme-properties and reliability experiments
+(E1, E7). The Q parity uses the standard generator-power weighting
+Q = Σ g^i · D_i, so the width is limited to 255 data units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.gf256 import GF256
+from repro.codes.stripe import StripeSpec
+from repro.codes.xor import as_unit, xor_blocks
+from repro.errors import DecodeError
+from repro.util.checks import check_positive
+
+
+class Raid6Codec:
+    """Double-parity MDS code: width - 2 data units, P and Q parity units.
+
+    Unit order convention for :meth:`decode`: data units first (positions
+    ``0..width-3``), then P (position ``width-2``), then Q (``width-1``).
+    """
+
+    def __init__(self, width: int) -> None:
+        check_positive("width", width, 3)
+        if width - 2 > 255:
+            raise DecodeError(f"RAID6 width {width} exceeds GF(256) limit")
+        self.width = width
+
+    def spec(self, unit_bytes: int) -> StripeSpec:
+        """The stripe geometry for a given unit size."""
+        return StripeSpec(self.width - 2, 2, unit_bytes)
+
+    @property
+    def fault_tolerance(self) -> int:
+        return 2
+
+    def encode(
+        self, data_units: Sequence[Sequence[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (P, Q) for ``width - 2`` data units."""
+        if len(data_units) != self.width - 2:
+            raise DecodeError(
+                f"RAID6(width={self.width}) encode needs {self.width - 2} "
+                f"data units, got {len(data_units)}"
+            )
+        buffers = [as_unit(u) for u in data_units]
+        p = xor_blocks(buffers)
+        q = np.zeros_like(buffers[0])
+        for i, buf in enumerate(buffers):
+            GF256.addmul(q, GF256.exp(i), buf)
+        return p, q
+
+    def decode(
+        self, units: Sequence[Optional[Sequence[int]]]
+    ) -> List[np.ndarray]:
+        """Reconstruct the stripe from up to two missing units."""
+        if len(units) != self.width:
+            raise DecodeError(
+                f"RAID6(width={self.width}) decode needs {self.width} unit "
+                f"slots, got {len(units)}"
+            )
+        missing = [i for i, u in enumerate(units) if u is None]
+        if len(missing) > 2:
+            raise DecodeError(
+                f"RAID6 cannot reconstruct {len(missing)} missing units"
+            )
+        result: List[Optional[np.ndarray]] = [
+            as_unit(u) if u is not None else None for u in units
+        ]
+        if not missing:
+            return result  # type: ignore[return-value]
+
+        n_data = self.width - 2
+        p_idx, q_idx = self.width - 2, self.width - 1
+
+        def recompute_parities(data: List[np.ndarray]) -> None:
+            p, q = self.encode(data)
+            result[p_idx], result[q_idx] = p, q
+
+        data_missing = [i for i in missing if i < n_data]
+        if not data_missing:
+            # Only parity lost: recompute from intact data.
+            recompute_parities([result[i] for i in range(n_data)])  # type: ignore[misc]
+            return result  # type: ignore[return-value]
+
+        length = next(u.size for u in result if u is not None)
+        if len(data_missing) == 1:
+            d = data_missing[0]
+            if p_idx in missing:
+                # Use Q: g^d * D_d = Q xor Σ_{i != d} g^i D_i
+                acc = result[q_idx].copy()  # type: ignore[union-attr]
+                for i in range(n_data):
+                    if i != d:
+                        GF256.addmul(acc, GF256.exp(i), result[i])  # type: ignore[arg-type]
+                result[d] = GF256.mul_bytes(GF256.inv(GF256.exp(d)), acc)
+                recompute_parities([result[i] for i in range(n_data)])  # type: ignore[misc]
+            else:
+                survivors = [
+                    result[i] for i in range(n_data) if i != d
+                ] + [result[p_idx]]
+                result[d] = xor_blocks(survivors)  # type: ignore[arg-type]
+                if q_idx in missing:
+                    recompute_parities([result[i] for i in range(n_data)])  # type: ignore[misc]
+            return result  # type: ignore[return-value]
+
+        # Two data units lost; P and Q must both be intact.
+        d1, d2 = data_missing
+        p_syn = result[p_idx].copy()  # type: ignore[union-attr]
+        q_syn = result[q_idx].copy()  # type: ignore[union-attr]
+        for i in range(n_data):
+            if i not in (d1, d2):
+                np.bitwise_xor(p_syn, result[i], out=p_syn)  # type: ignore[arg-type]
+                GF256.addmul(q_syn, GF256.exp(i), result[i])  # type: ignore[arg-type]
+        # Solve: D1 ^ D2 = p_syn;  g^d1 D1 ^ g^d2 D2 = q_syn.
+        g1, g2 = GF256.exp(d1), GF256.exp(d2)
+        denom = GF256.add(g1, g2)
+        coeff = GF256.inv(denom)
+        rhs = GF256.mul_bytes(g2, p_syn)
+        np.bitwise_xor(rhs, q_syn, out=rhs)
+        result[d1] = GF256.mul_bytes(coeff, rhs)
+        result[d2] = xor_blocks([p_syn, result[d1]])
+        del length  # length check implicit via xor_blocks
+        return result  # type: ignore[return-value]
+
+    def verify(self, units: Sequence[Sequence[int]]) -> bool:
+        """True when both parities are consistent with the data units."""
+        if len(units) != self.width:
+            return False
+        data = [as_unit(u) for u in units[: self.width - 2]]
+        p, q = self.encode(data)
+        return bool(
+            np.array_equal(p, as_unit(units[-2]))
+            and np.array_equal(q, as_unit(units[-1]))
+        )
+
+    def io_costs(self) -> Dict[str, int]:
+        """Unit I/O counts for the analytic update-cost model (E8)."""
+        return {
+            "small_write_reads": 3,  # old data + old P + old Q
+            "small_write_writes": 3,
+            "repair_reads_per_unit": self.width - 2,
+        }

@@ -1,0 +1,47 @@
+"""Stripe geometry shared by codecs and layouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodingError
+from repro.util.checks import check_positive
+
+
+@dataclass(frozen=True)
+class StripeSpec:
+    """Geometry of one erasure-coded stripe.
+
+    Attributes:
+        data_units: number of data units per stripe (k - m in code terms).
+        parity_units: number of parity units per stripe.
+        unit_bytes: size of each stripe unit in bytes.
+    """
+
+    data_units: int
+    parity_units: int
+    unit_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive("data_units", self.data_units, 1)
+        check_positive("parity_units", self.parity_units, 1)
+        check_positive("unit_bytes", self.unit_bytes, 1)
+        if self.width > 255:
+            raise CodingError(
+                f"stripe width {self.width} exceeds GF(256) codec limit of 255"
+            )
+
+    @property
+    def width(self) -> int:
+        """Total units per stripe (data + parity)."""
+        return self.data_units + self.parity_units
+
+    @property
+    def stripe_bytes(self) -> int:
+        """User-visible bytes per stripe."""
+        return self.data_units * self.unit_bytes
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of raw capacity available to user data."""
+        return self.data_units / self.width

@@ -1,0 +1,44 @@
+"""XOR parity primitives shared by the RAID5-style codecs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CodingError
+
+
+def as_unit(buf, length: int = None) -> np.ndarray:
+    """Coerce *buf* to a 1-D uint8 array, optionally checking its length."""
+    if isinstance(buf, (bytes, bytearray, memoryview)):
+        arr = np.frombuffer(buf, dtype=np.uint8)
+    else:
+        arr = np.asarray(buf, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise CodingError(f"stripe units must be 1-D byte buffers, got ndim={arr.ndim}")
+    if length is not None and arr.size != length:
+        raise CodingError(f"stripe unit has {arr.size} bytes, expected {length}")
+    return arr
+
+
+def xor_blocks(blocks: Iterable[Sequence[int]]) -> np.ndarray:
+    """XOR an iterable of equal-length byte buffers together.
+
+    Raises :class:`CodingError` on empty input or length mismatch. This is
+    the parity kernel of both OI-RAID layers in the RAID5 instantiation.
+    """
+    acc = None
+    for block in blocks:
+        arr = as_unit(block)
+        if acc is None:
+            acc = arr.copy()
+        elif arr.size != acc.size:
+            raise CodingError(
+                f"cannot XOR buffers of different sizes ({arr.size} vs {acc.size})"
+            )
+        else:
+            np.bitwise_xor(acc, arr, out=acc)
+    if acc is None:
+        raise CodingError("xor_blocks needs at least one buffer")
+    return acc

@@ -1,0 +1,42 @@
+"""OI-RAID: the paper's contribution.
+
+The two-layer architecture:
+
+* :class:`~repro.core.oi_layout.OIRAIDLayout` — the BIBD-driven, skewed,
+  two-layer placement (outer RAID5 across groups, inner RAID5 within each
+  group),
+* :mod:`~repro.core.recovery` — recovery planning and per-disk load summaries,
+* :mod:`~repro.core.tolerance` — exhaustive fault-tolerance verification,
+* :class:`~repro.core.array.OIRAIDArray` — a full data path (read / write /
+  degraded read / reconstruct) over simulated disks,
+* :mod:`~repro.core.update` — update-complexity accounting.
+"""
+
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.core.grouping import DiskGrouping
+from repro.core.oi_layout import OIRAIDLayout, oi_raid
+from repro.core.recovery import RecoverySummary, recovery_summary
+from repro.core.scrub import ScrubReport, scrub
+from repro.core.sparing import DistributedSpareArray
+from repro.core.skew import skew_disk_index, verify_skew_balance
+from repro.core.tolerance import guaranteed_tolerance, survivable_fraction
+from repro.core.update import UpdateCostReport, measure_update_cost
+
+__all__ = [
+    "OIRAIDLayout",
+    "oi_raid",
+    "DiskGrouping",
+    "skew_disk_index",
+    "verify_skew_balance",
+    "LayoutArray",
+    "OIRAIDArray",
+    "recovery_summary",
+    "RecoverySummary",
+    "scrub",
+    "ScrubReport",
+    "DistributedSpareArray",
+    "guaranteed_tolerance",
+    "survivable_fraction",
+    "measure_update_cost",
+    "UpdateCostReport",
+]

@@ -1,0 +1,495 @@
+"""The data path: a live array over simulated disks for any layout.
+
+:class:`LayoutArray` executes reads, writes (with incremental parity
+maintenance across both OI-RAID layers), degraded reads, full verification,
+and reconstruction — all driven by the layout's stripes and the generic
+recovery planner. :class:`OIRAIDArray` specializes it with OI-RAID
+constructors and group-aware helpers.
+
+Addressing: user data units are the layout's data cells in (disk, addr)
+order, tiled over ``cycles`` repetitions of the layout cycle; unit *L* of
+cycle ``L // D`` maps to data cell ``L % D``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codes.xor import as_unit
+from repro.core.encoder import StripeCodec, codec_for
+from repro.core.oi_layout import OIRAIDLayout, oi_raid
+from repro.disks.array import DiskArray
+from repro.errors import ArrayError, DataLossError, LatentSectorError
+from repro.layouts.base import Cell, Layout
+from repro.layouts.recovery import RecoveryPlan, plan_recovery
+from repro.util.checks import check_index, check_positive
+
+
+class LayoutArray:
+    """A functional disk array implementing one layout's data path.
+
+    Args:
+        layout: placement geometry (OI-RAID or any baseline).
+        unit_bytes: stripe-unit size in bytes.
+        cycles: layout-cycle repetitions (scales capacity).
+        bandwidth: per-disk bandwidth passed to the simulated disks.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        unit_bytes: int = 512,
+        cycles: int = 1,
+        bandwidth: float = 100 * 1024 * 1024,
+    ) -> None:
+        check_positive("unit_bytes", unit_bytes, 1)
+        check_positive("cycles", cycles, 1)
+        self.layout = layout
+        self.unit_bytes = unit_bytes
+        self.cycles = cycles
+        capacity = cycles * layout.units_per_disk * unit_bytes
+        self.disks = DiskArray(layout.n_disks, capacity, bandwidth)
+        self._codecs: Dict[int, StripeCodec] = {
+            s.stripe_id: codec_for(s) for s in layout.stripes
+        }
+        self._stripe_levels = sorted({s.level for s in layout.stripes})
+        self._plan_cache: Dict[frozenset, RecoveryPlan] = {}
+        self._step_for_cell: Dict[frozenset, Dict[Cell, int]] = {}
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def data_units_per_cycle(self) -> int:
+        return len(self.layout.data_cells)
+
+    @property
+    def user_units(self) -> int:
+        return self.cycles * self.data_units_per_cycle
+
+    @property
+    def user_capacity(self) -> int:
+        return self.user_units * self.unit_bytes
+
+    def _locate(self, logical_unit: int) -> Tuple[int, Cell]:
+        check_index("logical_unit", logical_unit, self.user_units)
+        cycle, index = divmod(logical_unit, self.data_units_per_cycle)
+        return cycle, self.layout.data_cells[index]
+
+    def _phys_offset(self, cycle: int, addr: int) -> int:
+        return (cycle * self.layout.units_per_disk + addr) * self.unit_bytes
+
+    # -- raw cell I/O ----------------------------------------------------------------
+
+    def _read_cell(self, cycle: int, cell: Cell) -> np.ndarray:
+        disk, addr = cell
+        return self.disks.read(disk, self._phys_offset(cycle, addr), self.unit_bytes)
+
+    def _write_cell(self, cycle: int, cell: Cell, data: np.ndarray) -> None:
+        disk, addr = cell
+        self.disks.write(disk, self._phys_offset(cycle, addr), data)
+
+    def _cell_online(self, cell: Cell) -> bool:
+        return self.disks.disk(cell[0]).online
+
+    def _cell_available(self, cycle: int, cell: Cell) -> bool:
+        """Whether the cell's current copy is readable (overridable by
+        location-aware subclasses such as the distributed-sparing array)."""
+        del cycle  # location-independent in the base layout
+        return self._cell_online(cell)
+
+    # -- failure bookkeeping ------------------------------------------------------------
+
+    @property
+    def failed_disks(self) -> List[int]:
+        return self.disks.failed_disks
+
+    def fail_disk(self, disk_id: int) -> None:
+        """Inject a disk crash; the cached recovery plans are invalidated."""
+        self.disks.fail_disk(disk_id)
+        self._plan_cache.clear()
+        self._step_for_cell.clear()
+
+    def _plan_for(self, cycle: int) -> RecoveryPlan:
+        """The recovery plan governing *cycle* (cycle-independent here;
+        the distributed-sparing subclass overrides with per-cycle lost
+        sets)."""
+        key = (frozenset(self.failed_disks), self._plan_key_extra(cycle))
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._build_plan(cycle)
+            self._plan_cache[key] = plan
+            self._step_for_cell[key] = {
+                cell: i
+                for i, step in enumerate(plan.steps)
+                for cell in step.targets
+            }
+        return plan
+
+    def _plan_key_extra(self, cycle: int):
+        """Extra cache-key component (subclasses with per-cycle plans)."""
+        del cycle
+        return None
+
+    def _build_plan(self, cycle: int) -> RecoveryPlan:
+        del cycle
+        return plan_recovery(self.layout, sorted(self.failed_disks))
+
+    # -- degraded resolution -------------------------------------------------------------
+
+    def _read_cell_resilient(self, cycle: int, cell: Cell) -> np.ndarray:
+        """Read a cell, decoding around a latent sector error if one fires.
+
+        On a medium error the value is rebuilt from any stripe containing
+        the cell whose other members are readable, then written back —
+        healing the sector the way a real array's verify-after-read path
+        does. Raises :class:`LatentSectorError` only when every covering
+        stripe is unusable (which, for cells in two stripes, needs
+        correlated damage).
+        """
+        try:
+            return self._read_cell(cycle, cell)
+        except LatentSectorError:
+            pass
+        for stripe_id in self.layout.stripes_containing(cell):
+            stripe = self.layout.stripes[stripe_id]
+            known: Dict[int, np.ndarray] = {}
+            target_pos = None
+            usable = True
+            for pos, unit in enumerate(stripe.units):
+                if unit.cell == cell:
+                    target_pos = pos
+                    continue
+                # Only fully-online copies may serve as decode sources: a
+                # REBUILDING replacement reads as blank and would decode
+                # (and then "heal") garbage.
+                if not self._cell_available(cycle, unit.cell):
+                    usable = False
+                    break
+                try:
+                    known[pos] = self._read_cell(cycle, unit.cell)
+                except LatentSectorError:
+                    usable = False
+                    break
+            if not usable or target_pos is None:
+                continue
+            repaired = self._codecs[stripe_id].repair(known)
+            value = repaired[target_pos]
+            self._write_cell(cycle, cell, value)  # heal the sector
+            return value
+        raise LatentSectorError(
+            f"cell {cell} (cycle {cycle}) unreadable and no covering "
+            f"stripe can decode it"
+        )
+
+    def _resolve_cell(
+        self,
+        cycle: int,
+        cell: Cell,
+        memo: Dict[Cell, np.ndarray],
+    ) -> np.ndarray:
+        """Value of *cell*, reconstructing through the plan if its disk failed."""
+        if cell in memo:
+            return memo[cell]
+        if self._cell_available(cycle, cell):
+            value = self._read_cell_resilient(cycle, cell)
+            memo[cell] = value
+            return value
+        plan = self._plan_for(cycle)
+        key = (frozenset(self.failed_disks), self._plan_key_extra(cycle))
+        step_index = self._step_for_cell[key].get(cell)
+        if step_index is None:
+            raise DataLossError(
+                f"cell {cell} is unrecoverable under failures "
+                f"{self.failed_disks}"
+            )
+        step = plan.steps[step_index]
+        stripe = self.layout.stripes[step.stripe_id]
+        known: Dict[int, np.ndarray] = {}
+        for pos, unit in enumerate(stripe.units):
+            if unit.cell in step.targets:
+                continue
+            known[pos] = self._resolve_cell(cycle, unit.cell, memo)
+        repaired = self._codecs[stripe.stripe_id].repair(known)
+        for pos, value in repaired.items():
+            memo[stripe.units[pos].cell] = value
+        return memo[cell]
+
+    # -- user I/O ------------------------------------------------------------------------
+
+    def read_unit(self, logical_unit: int) -> np.ndarray:
+        """Read one user unit, transparently degrading on failed disks."""
+        cycle, cell = self._locate(logical_unit)
+        if self._cell_available(cycle, cell):
+            return self._read_cell_resilient(cycle, cell)
+        return self._resolve_cell(cycle, cell, {})
+
+    def write_unit(self, logical_unit: int, data) -> None:
+        """Write one user unit, updating all protecting parities in place.
+
+        Parity maintenance is the small-write path: read old value, XOR
+        delta into every parity of every stripe containing the cell,
+        propagating level by level (outer parity deltas feed inner rows).
+        Writes targeting failed disks update parity only; the rebuilt disk
+        will contain the new data.
+        """
+        self.write_batch({logical_unit: data})
+
+    def write_batch(self, updates: Dict[int, "np.ndarray"]) -> None:
+        """Write several user units, coalescing shared parity updates.
+
+        Units of the same stripe share one parity read-modify-write
+        instead of one per unit, so batched (sequential, full-stripe)
+        traffic pays markedly less parity I/O than the same units written
+        one by one — the effect the E14 experiment measures. Semantically
+        identical to issuing the writes individually.
+        """
+        per_cycle: Dict[int, Dict[Cell, np.ndarray]] = {}
+        for logical_unit, data in updates.items():
+            buf = as_unit(data)
+            if buf.size != self.unit_bytes:
+                raise ArrayError(
+                    f"unit writes must be exactly {self.unit_bytes} bytes, "
+                    f"got {buf.size}"
+                )
+            cycle, cell = self._locate(logical_unit)
+            per_cycle.setdefault(cycle, {})[cell] = buf
+        for cycle, cell_updates in per_cycle.items():
+            self._write_cells(cycle, cell_updates)
+
+    def _write_cells(
+        self, cycle: int, updates: Dict[Cell, np.ndarray]
+    ) -> None:
+        """Apply new values to data cells of one cycle, plus all parity."""
+        changed: Dict[Cell, np.ndarray] = {}
+        memo: Dict[Cell, np.ndarray] = {}
+        for cell, buf in updates.items():
+            old = (
+                self._read_cell_resilient(cycle, cell)
+                if self._cell_available(cycle, cell)
+                else self._resolve_cell(cycle, cell, memo)
+            )
+            delta = np.bitwise_xor(old, buf)
+            if not delta.any():
+                continue
+            if self._cell_available(cycle, cell):
+                self._write_cell(cycle, cell, buf)
+            changed[cell] = delta
+        if not changed:
+            return
+        for level in self._stripe_levels:
+            # Aggregate this level's deltas per stripe (a cell may feed a
+            # stripe at this level as a non-parity member).
+            per_stripe: Dict[int, Dict[int, np.ndarray]] = {}
+            for c, d in changed.items():
+                for stripe_id in self.layout.stripes_containing(c):
+                    stripe = self.layout.stripes[stripe_id]
+                    if stripe.level != level:
+                        continue
+                    pos = stripe.cells().index(c)
+                    if pos in stripe.parity:
+                        continue
+                    per_stripe.setdefault(stripe_id, {})[pos] = d
+            for stripe_id, deltas in sorted(per_stripe.items()):
+                stripe = self.layout.stripes[stripe_id]
+                parity_deltas = self._codecs[stripe_id].parity_delta(deltas)
+                for pos, pdelta in parity_deltas.items():
+                    pcell = stripe.units[pos].cell
+                    if self._cell_available(cycle, pcell):
+                        old_parity = self._read_cell(cycle, pcell)
+                        self._write_cell(
+                            cycle, pcell, np.bitwise_xor(old_parity, pdelta)
+                        )
+                    merged = changed.get(pcell)
+                    changed[pcell] = (
+                        pdelta
+                        if merged is None
+                        else np.bitwise_xor(merged, pdelta)
+                    )
+
+    def read(self, offset: int, length: int) -> np.ndarray:
+        """Byte-addressed read across unit boundaries."""
+        self._check_span(offset, length)
+        out = np.zeros(length, dtype=np.uint8)
+        pos = 0
+        while pos < length:
+            unit, within = divmod(offset + pos, self.unit_bytes)
+            take = min(length - pos, self.unit_bytes - within)
+            out[pos : pos + take] = self.read_unit(unit)[within : within + take]
+            pos += take
+        return out
+
+    def write(self, offset: int, data) -> None:
+        """Byte-addressed write; partial units use read-modify-write.
+
+        The span is submitted as one batch so stripes written in full pay
+        one parity update total, not one per unit.
+        """
+        buf = as_unit(data)
+        self._check_span(offset, buf.size)
+        batch: Dict[int, np.ndarray] = {}
+        pos = 0
+        while pos < buf.size:
+            unit, within = divmod(offset + pos, self.unit_bytes)
+            take = min(buf.size - pos, self.unit_bytes - within)
+            if take == self.unit_bytes:
+                batch[unit] = buf[pos : pos + take]
+            else:
+                current = self.read_unit(unit).copy()
+                current[within : within + take] = buf[pos : pos + take]
+                batch[unit] = current
+            pos += take
+        self.write_batch(batch)
+
+    def _check_span(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.user_capacity:
+            raise ArrayError(
+                f"span [{offset}, {offset + length}) outside user capacity "
+                f"{self.user_capacity}"
+            )
+
+    # -- reconstruction ---------------------------------------------------------------------
+
+    def _materialize(self, cycle: int, source) -> np.ndarray:
+        """Obtain one surviving value per the plan's sourcing decision.
+
+        Direct sources read the cell; surrogate sources read the other
+        units of the source's ``via`` stripe and decode — the physical
+        reads therefore match the plan's load accounting exactly, which
+        the integration tests assert.
+        """
+        if source.via is None:
+            return self._read_cell_resilient(cycle, source.cell)
+        stripe = self.layout.stripes[source.via]
+        known: Dict[int, np.ndarray] = {}
+        for pos, unit in enumerate(stripe.units):
+            if unit.cell != source.cell:
+                known[pos] = self._read_cell_resilient(cycle, unit.cell)
+        repaired = self._codecs[stripe.stripe_id].repair(known)
+        for pos, value in repaired.items():
+            if stripe.units[pos].cell == source.cell:
+                return value
+        raise DataLossError(
+            f"surrogate decode via stripe {source.via} did not produce "
+            f"cell {source.cell} (bug)"
+        )
+
+    def reconstruct(self) -> int:
+        """Rebuild all failed disks onto blank replacements.
+
+        Executes the recovery plan cycle by cycle, writing regenerated
+        units to the replacement disks, then marks them online. Returns the
+        number of units regenerated. Raises :class:`DataLossError` when the
+        failure pattern exceeds the layout's correction capability.
+        """
+        failed = sorted(self.failed_disks)
+        if not failed:
+            return 0
+        plan = self._plan_for(0)  # raises DataLossError if unrecoverable
+        for disk_id in failed:
+            self.disks.replace_disk(disk_id)
+        regenerated = 0
+        for cycle in range(self.cycles):
+            memo: Dict[Cell, np.ndarray] = {}
+            for step in plan.steps:
+                stripe = self.layout.stripes[step.stripe_id]
+                values: Dict[Cell, np.ndarray] = {}
+                for source in step.sources:
+                    values[source.cell] = self._materialize(cycle, source)
+                for cell in step.reuses:
+                    values[cell] = memo[cell]
+                known: Dict[int, np.ndarray] = {}
+                for pos, unit in enumerate(stripe.units):
+                    if unit.cell in values:
+                        known[pos] = values[unit.cell]
+                # The plan provides exactly width - tolerance knowns; the
+                # codec decodes every absent position, of which only the
+                # step's targets are actually lost and written back.
+                repaired = self._codecs[stripe.stripe_id].repair(known)
+                for pos, value in repaired.items():
+                    cell = stripe.units[pos].cell
+                    memo[cell] = value
+                    if cell in step.targets:
+                        self._write_cell(cycle, cell, value)
+                        regenerated += 1
+        for disk_id in failed:
+            self.disks.disk(disk_id).complete_rebuild()
+        self._plan_cache.clear()
+        self._step_for_cell.clear()
+        return regenerated
+
+    # -- verification ----------------------------------------------------------------------
+
+    def verify(self) -> bool:
+        """Check every stripe's parity in every cycle (the scrub path).
+
+        Reads are resilient: a latent sector error encountered mid-scrub
+        is decoded through the cell's other coverage and healed in place,
+        exactly like a production scrub's verify-after-read — so verify
+        reports *logical* consistency, and raises only when a media error
+        is genuinely unrecoverable.
+        """
+        for cycle in range(self.cycles):
+            for stripe in self.layout.stripes:
+                values = {
+                    pos: self._read_cell_resilient(cycle, unit.cell)
+                    for pos, unit in enumerate(stripe.units)
+                }
+                if not self._codecs[stripe.stripe_id].verify(values):
+                    return False
+        return True
+
+    def corrupt_cell(self, cycle: int, cell: Cell, flip_byte: int = 0) -> None:
+        """Silently flip one byte of a cell (for scrub/verify tests)."""
+        value = self._read_cell(cycle, cell).copy()
+        value[flip_byte] ^= 0xFF
+        self._write_cell(cycle, cell, value)
+
+
+class OIRAIDArray(LayoutArray):
+    """A live OI-RAID array.
+
+    Construct directly from a layout, or with :meth:`build` from
+    ``(v, k)`` parameters — ``OIRAIDArray.build(7, 3)`` is the 21-disk
+    Fano-plane reference configuration.
+    """
+
+    def __init__(
+        self,
+        layout: OIRAIDLayout,
+        unit_bytes: int = 512,
+        cycles: int = 1,
+        bandwidth: float = 100 * 1024 * 1024,
+    ) -> None:
+        if not isinstance(layout, OIRAIDLayout):
+            raise ArrayError("OIRAIDArray requires an OIRAIDLayout")
+        super().__init__(layout, unit_bytes, cycles, bandwidth)
+        self.oi_layout = layout
+
+    @classmethod
+    def build(
+        cls,
+        v: int,
+        k: int,
+        group_size: Optional[int] = None,
+        unit_bytes: int = 512,
+        cycles: int = 1,
+        **layout_kwargs,
+    ) -> "OIRAIDArray":
+        layout = oi_raid(v, k, group_size=group_size, **layout_kwargs)
+        return cls(layout, unit_bytes=unit_bytes, cycles=cycles)
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Guaranteed tolerance: m_outer + m_inner + 1 (3 for RAID5²)."""
+        return self.oi_layout.design_tolerance
+
+    def fail_group(self, group: int) -> None:
+        """Fail every disk of one group (an enclosure-loss scenario)."""
+        for disk_id in self.oi_layout.grouping.group_disks(group):
+            self.fail_disk(disk_id)
+
+    def group_of(self, disk_id: int) -> int:
+        """The OI-RAID group a disk belongs to."""
+        return self.oi_layout.group_of_disk(disk_id)

@@ -1,0 +1,204 @@
+"""Stripe codecs: the bridge between layout stripes and erasure codes.
+
+A :class:`StripeCodec` computes parity, applies incremental (delta) parity
+updates, and repairs missing units for one :class:`~repro.layouts.base.Stripe`.
+All codes here are GF(2^8)-linear with XOR addition, so a unit's *delta*
+(``old XOR new``) propagates to each parity as a code-coefficient multiple —
+this is what makes the read-modify-write path touch exactly one unit per
+parity (the paper's "optimal data update complexity").
+
+Selection: mirror stripes replicate; tolerance-1 stripes use XOR (RAID5 —
+both OI-RAID layers in the reference instantiation); tolerance-2 use P+Q;
+anything beyond uses Cauchy Reed-Solomon.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+import numpy as np
+
+from repro.codes.gf256 import GF256
+from repro.codes.raid6 import Raid6Codec
+from repro.codes.reedsolomon import ReedSolomonCodec
+from repro.codes.xor import as_unit, xor_blocks
+from repro.errors import DecodeError
+from repro.layouts.base import Stripe
+
+
+class StripeCodec(abc.ABC):
+    """Parity arithmetic for one stripe's positions."""
+
+    def __init__(self, stripe: Stripe) -> None:
+        self.stripe = stripe
+        self.data_positions = stripe.data_positions
+        self.parity_positions = stripe.parity
+
+    @abc.abstractmethod
+    def encode(self, values: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Parity values from a complete map of data-position values."""
+
+    @abc.abstractmethod
+    def parity_delta(
+        self, deltas: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        """Parity deltas caused by the given data-position deltas."""
+
+    @abc.abstractmethod
+    def repair(self, known: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Values of all missing positions, from the surviving ones.
+
+        *known* maps positions to values; missing = all other positions.
+        Raises :class:`DecodeError` if too many positions are missing.
+        """
+
+    def verify(self, values: Dict[int, np.ndarray]) -> bool:
+        """True when the parity positions match a fresh encode."""
+        data = {p: values[p] for p in self.data_positions}
+        expected = self.encode(data)
+        return all(
+            np.array_equal(expected[p], values[p])
+            for p in self.parity_positions
+        )
+
+    def _check_repairable(self, known: Dict[int, np.ndarray]) -> List[int]:
+        missing = [p for p in range(self.stripe.width) if p not in known]
+        if len(missing) > self.stripe.tolerance:
+            raise DecodeError(
+                f"stripe {self.stripe.stripe_id}: {len(missing)} positions "
+                f"missing, tolerance is {self.stripe.tolerance}"
+            )
+        return missing
+
+
+class XorStripeCodec(StripeCodec):
+    """Single XOR parity (RAID5 and both OI-RAID layers)."""
+
+    def encode(self, values: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        parity = xor_blocks([values[p] for p in self.data_positions])
+        return {self.parity_positions[0]: parity}
+
+    def parity_delta(
+        self, deltas: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        return {self.parity_positions[0]: xor_blocks(list(deltas.values()))}
+
+    def repair(self, known: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        missing = self._check_repairable(known)
+        if not missing:
+            return {}
+        return {missing[0]: xor_blocks(list(known.values()))}
+
+
+class MirrorStripeCodec(StripeCodec):
+    """Replication: every parity position is a copy of the data position."""
+
+    def encode(self, values: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        primary = as_unit(values[self.data_positions[0]])
+        return {p: primary.copy() for p in self.parity_positions}
+
+    def parity_delta(
+        self, deltas: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        delta = as_unit(next(iter(deltas.values())))
+        return {p: delta.copy() for p in self.parity_positions}
+
+    def repair(self, known: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        missing = self._check_repairable(known)
+        if not missing:
+            return {}
+        if not known:
+            raise DecodeError(
+                f"stripe {self.stripe.stripe_id}: all replicas missing"
+            )
+        source = as_unit(next(iter(known.values())))
+        return {p: source.copy() for p in missing}
+
+
+class PQStripeCodec(StripeCodec):
+    """RAID6 P+Q parity, delegating the heavy lifting to Raid6Codec."""
+
+    def __init__(self, stripe: Stripe) -> None:
+        super().__init__(stripe)
+        self._codec = Raid6Codec(stripe.width)
+        # Codec unit order: data positions in stripe order, then P, then Q.
+        self._order = list(self.data_positions) + list(self.parity_positions)
+
+    def encode(self, values: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        p, q = self._codec.encode([values[i] for i in self.data_positions])
+        return {self.parity_positions[0]: p, self.parity_positions[1]: q}
+
+    def parity_delta(
+        self, deltas: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        p_delta = xor_blocks(list(deltas.values()))
+        q_delta = np.zeros_like(p_delta)
+        for pos, delta in deltas.items():
+            GF256.addmul(q_delta, GF256.exp(self.data_positions.index(pos)), as_unit(delta))
+        return {self.parity_positions[0]: p_delta, self.parity_positions[1]: q_delta}
+
+    def repair(self, known: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        missing = self._check_repairable(known)
+        if not missing:
+            return {}
+        slots = [known.get(pos) for pos in self._order]
+        decoded = self._codec.decode(slots)
+        return {
+            pos: decoded[slot]
+            for slot, pos in enumerate(self._order)
+            if pos in missing
+        }
+
+
+class RSStripeCodec(StripeCodec):
+    """Cauchy Reed-Solomon for stripes with tolerance >= 3."""
+
+    def __init__(self, stripe: Stripe) -> None:
+        super().__init__(stripe)
+        self._codec = ReedSolomonCodec(
+            len(self.data_positions), len(self.parity_positions)
+        )
+        self._order = list(self.data_positions) + list(self.parity_positions)
+
+    def encode(self, values: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        parities = self._codec.encode([values[i] for i in self.data_positions])
+        return dict(zip(self.parity_positions, parities))
+
+    def parity_delta(
+        self, deltas: Dict[int, np.ndarray]
+    ) -> Dict[int, np.ndarray]:
+        out: Dict[int, np.ndarray] = {}
+        for j, ppos in enumerate(self.parity_positions):
+            acc = None
+            for pos, delta in deltas.items():
+                coeff = self._codec.parity_matrix[j][
+                    self.data_positions.index(pos)
+                ]
+                term = GF256.mul_bytes(coeff, as_unit(delta))
+                acc = term if acc is None else np.bitwise_xor(acc, term)
+            out[ppos] = acc
+        return out
+
+    def repair(self, known: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        missing = self._check_repairable(known)
+        if not missing:
+            return {}
+        slots = [known.get(pos) for pos in self._order]
+        decoded = self._codec.decode(slots)
+        return {
+            pos: decoded[slot]
+            for slot, pos in enumerate(self._order)
+            if pos in missing
+        }
+
+
+def codec_for(stripe: Stripe) -> StripeCodec:
+    """Select the stripe codec implied by a stripe's kind and tolerance."""
+    if stripe.kind == "mirror":
+        return MirrorStripeCodec(stripe)
+    if stripe.tolerance == 1:
+        return XorStripeCodec(stripe)
+    if stripe.tolerance == 2:
+        return PQStripeCodec(stripe)
+    return RSStripeCodec(stripe)

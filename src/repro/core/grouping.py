@@ -1,0 +1,75 @@
+"""Disk grouping: the map between global disk ids and (group, member) pairs.
+
+OI-RAID partitions ``n = v * g`` disks into ``v`` groups of ``g``; the BIBD's
+points index the groups. Disk ``(p, x)`` has global id ``p * g + x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.design.bibd import BIBD
+from repro.errors import LayoutError
+from repro.util.checks import check_index, check_positive
+
+
+@dataclass(frozen=True)
+class DiskGrouping:
+    """The group structure of an OI-RAID array.
+
+    Attributes:
+        design: the outer-layer BIBD (points = groups).
+        group_size: disks per group (g).
+    """
+
+    design: BIBD
+    group_size: int
+
+    def __post_init__(self) -> None:
+        check_positive("group_size", self.group_size, 2)
+        if self.design.lam != 1:
+            raise LayoutError(
+                f"OI-RAID requires a λ=1 design, got λ={self.design.lam}"
+            )
+
+    @property
+    def n_groups(self) -> int:
+        return self.design.v
+
+    @property
+    def n_disks(self) -> int:
+        return self.design.v * self.group_size
+
+    def disk_id(self, group: int, member: int) -> int:
+        """Global disk id of member *member* of group *group*."""
+        check_index("group", group, self.n_groups)
+        check_index("member", member, self.group_size)
+        return group * self.group_size + member
+
+    def locate(self, disk_id: int) -> Tuple[int, int]:
+        """(group, member) of a global disk id."""
+        check_index("disk_id", disk_id, self.n_disks)
+        return divmod(disk_id, self.group_size)
+
+    def group_disks(self, group: int) -> List[int]:
+        """Global ids of all disks in *group*."""
+        check_index("group", group, self.n_groups)
+        base = group * self.group_size
+        return list(range(base, base + self.group_size))
+
+    def blocks_of_group(self, group: int) -> Tuple[int, ...]:
+        """The BIBD blocks (outer-stripe families) through *group*."""
+        return self.design.blocks_through(group)
+
+    def partner_groups(self, group: int) -> List[int]:
+        """All groups sharing at least one block with *group*.
+
+        For a λ=1 design this is every other group exactly once — the
+        combinatorial fact behind OI-RAID's all-disk recovery parallelism.
+        """
+        partners = set()
+        for t in self.design.blocks_through(group):
+            partners.update(self.design.blocks[t])
+        partners.discard(group)
+        return sorted(partners)

@@ -1,0 +1,105 @@
+"""Recovery summaries: per-disk load and speedup for a failure pattern.
+
+Wraps the generic planner (:mod:`repro.layouts.recovery`) with the
+derived quantities the experiments report: per-disk read load normalized to
+disk capacity, the RAID5-equivalent speedup, and balance metrics.
+
+The speedup convention (used throughout the benchmarks): RAID5 rebuild
+reads every survivor in full, so its read phase takes ``C / B`` (capacity
+over bandwidth). A layout whose busiest survivor reads the fraction
+``max_load`` of its capacity finishes the read phase in ``max_load * C/B``
+— speedup ``1 / max_load``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.layouts.base import Layout
+from repro.layouts.recovery import RecoveryPlan, plan_recovery
+from repro.util.stats import coefficient_of_variation
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """Derived metrics of one recovery plan (one layout cycle).
+
+    Attributes:
+        layout_name: the layout the plan was computed for.
+        failed_disks: the failure pattern.
+        units_per_disk: cycle length, for normalization.
+        read_units: per-surviving-disk units read.
+        total_read_units: sum of reads (read amplification numerator).
+        recovered_units: units regenerated (== lost units).
+    """
+
+    layout_name: str
+    failed_disks: Tuple[int, ...]
+    n_disks: int
+    units_per_disk: int
+    read_units: Dict[int, int]
+    total_read_units: int
+    recovered_units: int
+
+    @property
+    def max_read_fraction(self) -> float:
+        """Busiest survivor's reads as a fraction of one disk's capacity."""
+        if not self.read_units:
+            return 0.0
+        return max(self.read_units.values()) / self.units_per_disk
+
+    @property
+    def speedup_vs_raid5(self) -> float:
+        """Read-phase rebuild speedup over plain RAID5 (see module doc)."""
+        frac = self.max_read_fraction
+        if frac == 0:
+            return float("inf")
+        return 1.0 / frac
+
+    @property
+    def participating_disks(self) -> int:
+        """Survivors that contribute at least one read."""
+        return sum(1 for units in self.read_units.values() if units > 0)
+
+    @property
+    def read_amplification(self) -> float:
+        """Units read per unit recovered."""
+        if self.recovered_units == 0:
+            return 0.0
+        return self.total_read_units / self.recovered_units
+
+    def load_cv(self) -> float:
+        """Coefficient of variation of per-survivor read load (E5 metric).
+
+        Computed over *all* survivors (disks with zero reads included), so
+        schemes that idle most of the array score poorly, as they should.
+        """
+        survivors = [
+            d for d in range(self.n_disks) if d not in self.failed_disks
+        ]
+        loads = [self.read_units.get(d, 0) for d in survivors]
+        return coefficient_of_variation(loads)
+
+
+def summarize_plan(layout: Layout, plan: RecoveryPlan) -> RecoverySummary:
+    """Condense a plan into the reportable metrics."""
+    return RecoverySummary(
+        layout_name=layout.name,
+        failed_disks=plan.failed_disks,
+        n_disks=layout.n_disks,
+        units_per_disk=layout.units_per_disk,
+        read_units=plan.read_units_per_disk(),
+        total_read_units=plan.total_read_units,
+        recovered_units=plan.total_write_units,
+    )
+
+
+def recovery_summary(
+    layout: Layout,
+    failed_disks: Sequence[int],
+    balance: bool = True,
+) -> RecoverySummary:
+    """Plan recovery for *failed_disks* and summarize it."""
+    plan = plan_recovery(layout, failed_disks, balance=balance)
+    return summarize_plan(layout, plan)

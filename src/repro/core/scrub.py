@@ -1,0 +1,167 @@
+"""Scrubbing: detection, localization, and repair of silent corruption.
+
+Erasure codes address *erasures* (known-missing devices); disks also
+corrupt data silently. Periodic scrubbing recomputes every stripe's parity
+and flags mismatches. Flat layouts (RAID5 & friends) can only *detect* a
+silently corrupted unit this way — one inconsistent equation cannot say
+which member lied. OI-RAID's two-layer structure can *localize*: every
+outer unit sits in exactly two stripes (its outer stripe and its inner
+row), so a single corrupt unit makes exactly two equations fail and their
+intersection is the culprit, which is then rewritten from either equation.
+
+This is a capability the two-layer architecture gets for free, reported as
+part of the E14 extension experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.array import LayoutArray
+from repro.errors import ArrayError
+from repro.layouts.base import Cell
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass.
+
+    Attributes:
+        inconsistent_stripes: (cycle, stripe_id) pairs that failed parity.
+        localized: cells identified as corrupt (intersection of >= 2
+            failing stripes).
+        repaired: localized cells rewritten with their decoded value.
+        unlocated: cycles holding failures the layout cannot localize
+            (single-stripe cells, or ambiguous multi-corruption).
+    """
+
+    inconsistent_stripes: List[Tuple[int, int]] = field(default_factory=list)
+    localized: List[Tuple[int, Cell]] = field(default_factory=list)
+    repaired: List[Tuple[int, Cell]] = field(default_factory=list)
+    unlocated: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.inconsistent_stripes
+
+
+def _inconsistent_stripes(array: LayoutArray, cycle: int) -> List[int]:
+    bad = []
+    for stripe in array.layout.stripes:
+        values = {
+            pos: array._read_cell(cycle, unit.cell)
+            for pos, unit in enumerate(stripe.units)
+        }
+        if not array._codecs[stripe.stripe_id].verify(values):
+            bad.append(stripe.stripe_id)
+    return bad
+
+
+def _repair_cell(
+    array: LayoutArray, cycle: int, cell: Cell, suspects: Set[Cell] = frozenset()
+) -> np.ndarray:
+    """Decode *cell*'s correct value from one of its stripes, treating the
+    cell as an erasure. Prefers a stripe containing no other suspect."""
+    options = list(array.layout.stripes_containing(cell))
+    stripe_id = next(
+        (
+            sid
+            for sid in options
+            if not any(
+                c in suspects and c != cell
+                for c in array.layout.stripes[sid].cells()
+            )
+        ),
+        options[0],
+    )
+    stripe = array.layout.stripes[stripe_id]
+    known: Dict[int, np.ndarray] = {}
+    target_pos = None
+    for pos, unit in enumerate(stripe.units):
+        if unit.cell == cell:
+            target_pos = pos
+        else:
+            known[pos] = array._read_cell(cycle, unit.cell)
+    if target_pos is None:
+        raise ArrayError(f"cell {cell} not in stripe {stripe_id} (bug)")
+    repaired = array._codecs[stripe_id].repair(known)
+    return repaired[target_pos]
+
+
+def scrub(array: LayoutArray, repair: bool = True) -> ScrubReport:
+    """Scrub every stripe of every cycle; localize and optionally repair.
+
+    Requires a healthy array (scrubbing a degraded array would conflate
+    erasures with corruption). Localization handles any number of corrupt
+    cells per cycle as long as each lies in two failing stripes and the
+    failing stripes' intersections are unambiguous — the common
+    single-corruption case trivially satisfies this.
+    """
+    if array.failed_disks:
+        raise ArrayError("scrub requires a healthy array (no failed disks)")
+    report = ScrubReport()
+    for cycle in range(array.cycles):
+        bad = _inconsistent_stripes(array, cycle)
+        if not bad:
+            continue
+        report.inconsistent_stripes.extend((cycle, sid) for sid in bad)
+        suspects = _localize(array, bad)
+        if suspects is None:
+            report.unlocated.append(cycle)
+            continue
+        for cell in sorted(suspects):
+            report.localized.append((cycle, cell))
+            if repair:
+                value = _repair_cell(array, cycle, cell, suspects)
+                array._write_cell(cycle, cell, value)
+                report.repaired.append((cycle, cell))
+    return report
+
+
+def _localize(array: LayoutArray, bad: List[int]) -> "Set[Cell] | None":
+    """Identify the corrupt cells behind the failing stripes, or None.
+
+    Constraint propagation over two rules:
+
+    * *exoneration* — a cell vouched for by any consistent stripe cannot
+      be a liar;
+    * *explanation* — a failing stripe already containing a known liar
+      provides no further evidence.
+
+    A failing, unexplained stripe whose non-exonerated members reduce to a
+    single cell convicts that cell; iterate to fixpoint. Returns None when
+    some failing stripe remains unexplained (flat layouts, or genuinely
+    ambiguous multi-corruption).
+    """
+    bad_set = set(bad)
+
+    def exonerated(cell: Cell) -> bool:
+        return any(
+            sid not in bad_set
+            for sid in array.layout.stripes_containing(cell)
+        )
+
+    corrupt: Set[Cell] = set()
+    unexplained = set(bad)
+    progress = True
+    while progress:
+        progress = False
+        for sid in sorted(unexplained):
+            members = array.layout.stripes[sid].cells()
+            if any(cell in corrupt for cell in members):
+                unexplained.discard(sid)
+                progress = True
+                continue
+            candidates = [
+                cell
+                for cell in members
+                if not exonerated(cell) and cell not in corrupt
+            ]
+            if len(candidates) == 1:
+                corrupt.add(candidates[0])
+                unexplained.discard(sid)
+                progress = True
+    return corrupt if not unexplained else None

@@ -1,0 +1,94 @@
+"""The skewed data layout: rotating disk selection within outer stripes.
+
+An outer stripe of block ``B = (p_0, ..., p_{k-1})`` in *skew class*
+``(a, m)`` uses disk ``(a + i*m) mod g`` of group ``p_i`` at position i. Over
+the g² classes of a block:
+
+* each disk of each member group appears in exactly g classes, and
+* when g is prime and g >= k, every ordered pair of member-group disks
+  (positions i != j) co-occurs in exactly g / g² = 1/g of each one's
+  classes — i.e. partners are spread *uniformly* over the other group.
+
+That uniformity is what turns single-disk recovery into a parallel read of
+all surviving disks; :func:`verify_skew_balance` checks it explicitly, and
+the OI-RAID layout records whether its parameters achieve it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.util.checks import check_index, check_positive
+
+
+def skew_disk_index(a: int, m: int, position: int, g: int) -> int:
+    """Disk index within the group at *position* for skew class ``(a, m)``."""
+    check_positive("g", g, 2)
+    check_index("a", a, g)
+    check_index("m", m, g)
+    if position < 0:
+        raise IndexError(f"position must be >= 0, got {position}")
+    return (a + position * m) % g
+
+
+def pair_cooccurrence(
+    g: int, k: int
+) -> Dict[Tuple[int, int, int, int], int]:
+    """Count, over all g² skew classes, how often (position i = disk x)
+    co-occurs with (position j = disk y), for i < j.
+
+    Keys are ``(i, j, x, y)``; a perfectly skewed layout has every count
+    equal to ``g² / g² * g = g / ...`` — concretely, ``g²`` class pairs
+    spread over ``g²`` (x, y) combinations per position pair would give 1,
+    but each class fixes both x and y, so the uniform value is
+    ``g² / g² = 1`` when the slope map is a bijection — i.e. each (x, y)
+    occurs exactly once per (i, j) pair. Non-coprime position gaps break
+    this (some pairs occur g times, others never).
+    """
+    check_positive("g", g, 2)
+    check_positive("k", k, 2)
+    counts: Dict[Tuple[int, int, int, int], int] = {}
+    for a in range(g):
+        for m in range(g):
+            disks = [skew_disk_index(a, m, i, g) for i in range(k)]
+            for i in range(k):
+                for j in range(i + 1, k):
+                    key = (i, j, disks[i], disks[j])
+                    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def verify_skew_balance(g: int, k: int) -> bool:
+    """True when every (position-pair, disk-pair) co-occurs exactly once.
+
+    Holds iff every position gap 1..k-1 is invertible mod g, i.e. coprime
+    to g (prime g >= k is the convenient sufficient choice). The OI-RAID
+    constructor uses this to flag configurations whose recovery load is
+    provably uniform.
+    """
+    counts = pair_cooccurrence(g, k)
+    expected_keys = (k * (k - 1) // 2) * g * g
+    return len(counts) == expected_keys and all(
+        c == 1 for c in counts.values()
+    )
+
+
+def recommended_group_size(k: int) -> int:
+    """The smallest prime g >= k (guarantees skew balance)."""
+    from repro.util.primes import next_prime
+
+    check_positive("k", k, 2)
+    return next_prime(k)
+
+
+def is_balanced_group_size(g: int, k: int) -> bool:
+    """Cheap closed-form version of :func:`verify_skew_balance`.
+
+    Every position gap 1..k-1 must be coprime to g so the slope map is a
+    bijection for every pair of stripe positions.
+    """
+    import math
+
+    check_positive("g", g, 2)
+    check_positive("k", k, 2)
+    return all(math.gcd(gap, g) == 1 for gap in range(1, k))

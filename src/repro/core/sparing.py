@@ -1,0 +1,281 @@
+"""Distributed sparing: rebuild into reserved space on the survivors.
+
+With a dedicated hot spare, rebuild *writes* serialize onto one
+replacement disk and cap the end-to-end speedup no matter how parallel the
+reads are. Declustered arrays instead reserve a little spare space on
+every disk and rebuild a failed disk's units *into the survivors*, so
+writes parallelize like the reads do. When a replacement eventually
+arrives, the relocated units migrate back (copy-back) off the critical
+path.
+
+:class:`DistributedSpareArray` adds this to the live data path:
+
+* each disk carries ``spare_units_per_disk`` extra units beyond the layout
+  cycle(s),
+* :meth:`rebuild_distributed` regenerates every lost unit and relocates it
+  to a surviving disk's spare slot — never onto a disk that already holds
+  a unit of any stripe containing it, preserving the layout's fault
+  tolerance,
+* reads, writes, parity maintenance, and verification transparently
+  follow the relocation map,
+* :meth:`copy_back` migrates relocated units home once the failed disks
+  are replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.array import LayoutArray
+from repro.errors import ArrayError
+from repro.layouts.base import Cell, Layout
+from repro.layouts.recovery import RecoveryPlan, plan_recovery
+from repro.util.checks import check_positive
+
+Slot = Tuple[int, int]  # (disk, spare index)
+
+
+class DistributedSpareArray(LayoutArray):
+    """A :class:`LayoutArray` with per-disk spare space and relocation.
+
+    Args:
+        spare_units_per_disk: spare units reserved at the end of each
+            disk, shared by all cycles. Sizing rule of thumb: one failed
+            disk consumes ``cycles * units_per_disk`` slots spread over
+            the survivors, so ``ceil(cycles * units_per_disk / (n - 1))``
+            covers one failure; multiply for more.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        unit_bytes: int = 512,
+        cycles: int = 1,
+        spare_units_per_disk: int = 4,
+        bandwidth: float = 100 * 1024 * 1024,
+    ) -> None:
+        check_positive("spare_units_per_disk", spare_units_per_disk, 1)
+        super().__init__(layout, unit_bytes, cycles, bandwidth)
+        self.spare_units_per_disk = spare_units_per_disk
+        # Grow every disk by the spare region.
+        extra = spare_units_per_disk * unit_bytes
+        for disk in self.disks:
+            disk.capacity += extra
+        self._spare_free: Dict[int, List[int]] = {
+            d: list(range(spare_units_per_disk))
+            for d in range(layout.n_disks)
+        }
+        self._remap: Dict[Tuple[int, Cell], Slot] = {}
+        self._spare_base = cycles * layout.units_per_disk * unit_bytes
+
+    # -- location-aware cell I/O -----------------------------------------------------
+
+    def _slot_offset(self, slot_index: int) -> int:
+        return self._spare_base + slot_index * self.unit_bytes
+
+    def _location(self, cycle: int, cell: Cell) -> Tuple[int, int]:
+        """(disk, byte offset) where the cell's current copy lives."""
+        slot = self._remap.get((cycle, cell))
+        if slot is not None:
+            return slot[0], self._slot_offset(slot[1])
+        return cell[0], self._phys_offset(cycle, cell[1])
+
+    def _read_cell(self, cycle: int, cell: Cell) -> np.ndarray:
+        disk, offset = self._location(cycle, cell)
+        return self.disks.read(disk, offset, self.unit_bytes)
+
+    def _write_cell(self, cycle: int, cell: Cell, data: np.ndarray) -> None:
+        disk, offset = self._location(cycle, cell)
+        self.disks.write(disk, offset, data)
+
+    def _cell_online(self, cell: Cell) -> bool:
+        # Home-location availability for un-relocated cells; relocated
+        # cells are checked per cycle in _cell_available (the base class
+        # only calls this with cycle-independent intent on healthy paths).
+        return self.disks.disk(cell[0]).online
+
+    def _cell_available(self, cycle: int, cell: Cell) -> bool:
+        disk, _offset = self._location(cycle, cell)
+        return self.disks.disk(disk).online
+
+    # -- degraded-path plans honor relocation ----------------------------------------
+
+    def _plan_key_extra(self, cycle: int):
+        # Plans become cycle-specific once any unit is relocated.
+        return cycle if self._remap else None
+
+    def _build_plan(self, cycle: int):
+        lost = self.lost_cells_by_cycle().get(cycle, set())
+        return plan_recovery(
+            self.layout,
+            self.failed_disks,
+            lost_override=lost,
+        )
+
+    def reconstruct(self) -> int:
+        """Dedicated-replacement rebuild is superseded here.
+
+        With relocated units in play, rebuilding onto replacements must go
+        through :meth:`replace_failed` + :meth:`copy_back`; plain
+        :meth:`reconstruct` is only valid while nothing is relocated.
+        """
+        if self._remap:
+            raise ArrayError(
+                "units are relocated to spare space; use replace_failed() "
+                "followed by copy_back() instead of reconstruct()"
+            )
+        return super().reconstruct()
+
+    # -- lost-cell accounting -----------------------------------------------------------
+
+    def lost_cells_by_cycle(self) -> Dict[int, Set[Cell]]:
+        """Layout cells whose current copy sits on a failed disk."""
+        failed = set(self.failed_disks)
+        lost: Dict[int, Set[Cell]] = {c: set() for c in range(self.cycles)}
+        if not failed:
+            return lost
+        for cycle in range(self.cycles):
+            for disk in failed:
+                for addr in range(self.layout.units_per_disk):
+                    cell = (disk, addr)
+                    if (cycle, cell) not in self._remap:
+                        lost[cycle].add(cell)
+        for (cycle, cell), (disk, _slot) in self._remap.items():
+            if disk in failed:
+                lost[cycle].add(cell)
+        return lost
+
+    # -- relocation targeting --------------------------------------------------------------
+
+    def _stripe_disks(self, cycle: int, cell: Cell) -> Set[int]:
+        """Disks currently hosting any unit of any stripe containing *cell*."""
+        disks: Set[int] = set()
+        for stripe_id in self.layout.stripes_containing(cell):
+            for unit in self.layout.stripes[stripe_id].units:
+                disks.add(self._location(cycle, unit.cell)[0])
+        return disks
+
+    def _pick_spare(self, cycle: int, cell: Cell, writes: Dict[int, int]) -> int:
+        """A surviving disk with a free slot that keeps stripes disk-disjoint."""
+        forbidden = self._stripe_disks(cycle, cell)
+        failed = set(self.failed_disks)
+        candidates = [
+            d
+            for d in range(self.layout.n_disks)
+            if d not in failed and d not in forbidden and self._spare_free[d]
+        ]
+        if not candidates:
+            raise ArrayError(
+                f"no spare slot available for cell {cell} (cycle {cycle}); "
+                f"add spare capacity or replace disks"
+            )
+        return min(candidates, key=lambda d: (writes.get(d, 0), d))
+
+    # -- rebuild ---------------------------------------------------------------------------
+
+    def rebuild_distributed(self) -> int:
+        """Regenerate every lost unit into the survivors' spare space.
+
+        The failed disks stay failed (no replacement needed); afterwards
+        the array serves all data from relocated copies at full redundancy.
+        Returns the number of units relocated. Raises
+        :class:`DataLossError` if the failure pattern is undecodable and
+        :class:`ArrayError` if spare space runs out.
+        """
+        lost_map = self.lost_cells_by_cycle()
+        relocated = 0
+        writes: Dict[int, int] = {}
+        for cycle, lost in lost_map.items():
+            if not lost:
+                continue
+            plan: RecoveryPlan = plan_recovery(
+                self.layout, self.failed_disks, lost_override=lost
+            )
+            memo: Dict[Cell, np.ndarray] = {}
+            for step in plan.steps:
+                stripe = self.layout.stripes[step.stripe_id]
+                values: Dict[Cell, np.ndarray] = {}
+                for source in step.sources:
+                    values[source.cell] = self._materialize(cycle, source)
+                for reuse in step.reuses:
+                    values[reuse] = memo[reuse]
+                known = {
+                    pos: values[unit.cell]
+                    for pos, unit in enumerate(stripe.units)
+                    if unit.cell in values
+                }
+                repaired = self._codecs[stripe.stripe_id].repair(known)
+                for pos, value in repaired.items():
+                    cell = stripe.units[pos].cell
+                    memo[cell] = value
+                    if cell not in step.targets:
+                        continue
+                    target_disk = self._pick_spare(cycle, cell, writes)
+                    slot_index = self._spare_free[target_disk].pop(0)
+                    self._remap[(cycle, cell)] = (target_disk, slot_index)
+                    self.disks.write(
+                        target_disk, self._slot_offset(slot_index), value
+                    )
+                    writes[target_disk] = writes.get(target_disk, 0) + 1
+                    relocated += 1
+        self._plan_cache.clear()
+        self._step_for_cell.clear()
+        return relocated
+
+    def copy_back(self) -> int:
+        """Migrate relocated units back home after disks are replaced.
+
+        Every remapped cell whose home disk is online again is copied back
+        and its spare slot freed. Returns the number migrated.
+        """
+        migrated = 0
+        for (cycle, cell), (disk, slot_index) in sorted(self._remap.items()):
+            if not self.disks.disk(cell[0]).online:
+                continue
+            value = self.disks.read(
+                disk, self._slot_offset(slot_index), self.unit_bytes
+            )
+            self.disks.write(
+                cell[0], self._phys_offset(cycle, cell[1]), value
+            )
+            self._spare_free[disk].append(slot_index)
+            self._spare_free[disk].sort()
+            del self._remap[(cycle, cell)]
+            migrated += 1
+        self._plan_cache.clear()
+        self._step_for_cell.clear()
+        return migrated
+
+    def replace_failed(self) -> None:
+        """Swap blank replacements in for all failed disks (pre copy-back).
+
+        Refuses unless every failed disk's units are safely relocated —
+        bringing a blank disk online with un-regenerated cells would
+        silently zero data. Run :meth:`rebuild_distributed` first.
+        """
+        pending = {
+            disk
+            for cycle_lost in self.lost_cells_by_cycle().values()
+            for (disk, _addr) in cycle_lost
+        }
+        stranded = pending & set(self.failed_disks)
+        # Relocated copies on a failed disk also count as lost.
+        if any(cells for cells in self.lost_cells_by_cycle().values()):
+            raise ArrayError(
+                f"disks {sorted(stranded) or self.failed_disks} still hold "
+                f"unrecovered units; run rebuild_distributed() before "
+                f"replace_failed()"
+            )
+        for disk_id in list(self.failed_disks):
+            self.disks.replace_disk(disk_id)
+            self.disks.disk(disk_id).complete_rebuild()
+
+    @property
+    def relocated_units(self) -> int:
+        return len(self._remap)
+
+    def spare_slots_free(self) -> int:
+        """Total unoccupied spare slots across all disks."""
+        return sum(len(slots) for slots in self._spare_free.values())

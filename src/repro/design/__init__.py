@@ -1,0 +1,52 @@
+"""Balanced Incomplete Block Designs (BIBDs) and their constructions.
+
+The outer layer of OI-RAID is driven by a ``(v, b, r, k, λ)``-BIBD whose
+points are disk groups. This package provides:
+
+* :class:`~repro.design.bibd.BIBD` — validated design objects,
+* classical constructions (Steiner triple systems, projective and affine
+  planes, cyclic difference families),
+* a backtracking search for small parameter sets,
+* a catalog (:func:`~repro.design.catalog.find_bibd`) that picks whichever
+  construction applies to requested parameters.
+"""
+
+from repro.design.affine import affine_plane
+from repro.design.bibd import BIBD, derive_parameters
+from repro.design.bruck_ryser import (
+    symmetric_design_excluded,
+    ternary_form_solvable,
+)
+from repro.design.catalog import available_designs, find_bibd
+from repro.design.difference import (
+    develop_difference_family,
+    develop_field_family,
+    is_difference_family,
+    netto_triple_family,
+)
+from repro.design.field import GF
+from repro.design.projective import fano_plane, projective_plane
+from repro.design.resolvable import is_resolvable, parallel_classes
+from repro.design.search import search_bibd
+from repro.design.steiner import steiner_triple_system
+
+__all__ = [
+    "BIBD",
+    "derive_parameters",
+    "GF",
+    "steiner_triple_system",
+    "projective_plane",
+    "fano_plane",
+    "affine_plane",
+    "develop_difference_family",
+    "develop_field_family",
+    "is_difference_family",
+    "netto_triple_family",
+    "search_bibd",
+    "is_resolvable",
+    "parallel_classes",
+    "find_bibd",
+    "available_designs",
+    "symmetric_design_excluded",
+    "ternary_form_solvable",
+]

@@ -1,0 +1,46 @@
+"""Affine planes AG(2, q) as (resolvable) BIBDs.
+
+An affine plane of order q is a ``(q², q²+q, q+1, q, 1)``-BIBD: points are
+GF(q)², blocks are the affine lines. Affine planes are *resolvable* — the
+q²+q lines fall into q+1 parallel classes, each partitioning the point set —
+which OI-RAID can exploit to place spare capacity one parallel class at a
+time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.design.bibd import BIBD
+from repro.design.field import get_field
+from repro.errors import DesignError
+from repro.util.primes import prime_power_base
+
+
+def affine_plane(q: int) -> BIBD:
+    """Construct AG(2, q); raises :class:`DesignError` if q is not a prime power."""
+    if prime_power_base(q) is None:
+        raise DesignError(
+            f"affine plane of order {q} via field construction needs a prime "
+            f"power; {q} is not one"
+        )
+    f = get_field(q)
+
+    def point_index(x: int, y: int) -> int:
+        return x * q + y
+
+    blocks: List[Tuple[int, ...]] = []
+    # Lines y = m*x + c (q parallel classes, one per slope m) ...
+    for m in f.elements():
+        for c in f.elements():
+            blocks.append(
+                tuple(
+                    sorted(
+                        point_index(x, f.add(f.mul(m, x), c)) for x in f.elements()
+                    )
+                )
+            )
+    # ... plus the vertical class x = c.
+    for c in f.elements():
+        blocks.append(tuple(sorted(point_index(c, y) for y in f.elements())))
+    return BIBD(q * q, tuple(blocks), 1)

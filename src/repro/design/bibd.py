@@ -1,0 +1,208 @@
+"""The BIBD object and parameter arithmetic.
+
+A ``(v, b, r, k, λ)``-BIBD is a family of *b* blocks, each a *k*-subset of a
+*v*-set of points, such that every point lies in exactly *r* blocks and every
+unordered pair of points lies in exactly *λ* blocks. The identities
+
+    b * k == v * r        and        λ * (v - 1) == r * (k - 1)
+
+determine *b* and *r* from ``(v, k, λ)``; :func:`derive_parameters` performs
+that derivation and rejects non-integral parameter sets (a necessary — not
+sufficient — existence condition).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import DesignError
+from repro.util.checks import check_index, check_positive
+
+
+def derive_parameters(v: int, k: int, lam: int = 1) -> Tuple[int, int]:
+    """Return ``(b, r)`` for a ``(v, k, λ)`` design, or raise.
+
+    Raises :class:`DesignError` when the divisibility conditions fail, i.e.
+    when no design with these parameters can exist.
+    """
+    check_positive("v", v, 2)
+    check_positive("k", k, 2)
+    check_positive("lam", lam, 1)
+    if k > v:
+        raise DesignError(f"block size k={k} exceeds point count v={v}")
+    r_num = lam * (v - 1)
+    if r_num % (k - 1) != 0:
+        raise DesignError(
+            f"no ({v}, {k}, {lam})-BIBD: λ(v-1)={r_num} not divisible by k-1={k - 1}"
+        )
+    r = r_num // (k - 1)
+    b_num = v * r
+    if b_num % k != 0:
+        raise DesignError(
+            f"no ({v}, {k}, {lam})-BIBD: vr={b_num} not divisible by k={k}"
+        )
+    b = b_num // k
+    if k < v and b < v:
+        raise DesignError(
+            f"no ({v}, {k}, {lam})-BIBD: Fisher's inequality requires "
+            f"b >= v, but b = {b}"
+        )
+    return b, r
+
+
+@dataclass(frozen=True)
+class BIBD:
+    """A validated balanced incomplete block design.
+
+    Attributes:
+        v: number of points (points are ``0..v-1``).
+        blocks: tuple of blocks; each block is a sorted tuple of points.
+        lam: pair-coverage multiplicity λ.
+
+    ``b``, ``r`` and ``k`` are derived properties. Construction validates the
+    full BIBD definition (uniform block size, uniform replication, exact pair
+    coverage) and raises :class:`DesignError` on any violation.
+    """
+
+    v: int
+    blocks: Tuple[Tuple[int, ...], ...]
+    lam: int = 1
+    _incidence: Dict[int, Tuple[int, ...]] = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        normalized = tuple(tuple(sorted(block)) for block in self.blocks)
+        object.__setattr__(self, "blocks", normalized)
+        self._validate()
+        incidence: Dict[int, List[int]] = {p: [] for p in range(self.v)}
+        for t, block in enumerate(self.blocks):
+            for p in block:
+                incidence[p].append(t)
+        object.__setattr__(
+            self, "_incidence", {p: tuple(ts) for p, ts in incidence.items()}
+        )
+
+    def _validate(self) -> None:
+        check_positive("v", self.v, 2)
+        check_positive("lam", self.lam, 1)
+        if not self.blocks:
+            raise DesignError("a BIBD must have at least one block")
+        k = len(self.blocks[0])
+        if k < 2:
+            raise DesignError("blocks must contain at least two points")
+        replication = [0] * self.v
+        pair_count: Dict[Tuple[int, int], int] = {}
+        for block in self.blocks:
+            if len(block) != k:
+                raise DesignError(
+                    f"non-uniform block size: expected {k}, got {len(block)}"
+                )
+            if len(set(block)) != k:
+                raise DesignError(f"block {block} contains a repeated point")
+            for p in block:
+                if not 0 <= p < self.v:
+                    raise DesignError(f"point {p} outside range [0, {self.v})")
+                replication[p] += 1
+            for pair in itertools.combinations(block, 2):
+                pair_count[pair] = pair_count.get(pair, 0) + 1
+        r = replication[0]
+        bad = [p for p, c in enumerate(replication) if c != r]
+        if bad:
+            raise DesignError(
+                f"replication is not uniform: point 0 in {r} blocks, "
+                f"point {bad[0]} in {replication[bad[0]]}"
+            )
+        expected_pairs = self.v * (self.v - 1) // 2
+        if len(pair_count) != expected_pairs or any(
+            c != self.lam for c in pair_count.values()
+        ):
+            raise DesignError(
+                f"pair coverage is not uniformly λ={self.lam} "
+                f"({len(pair_count)}/{expected_pairs} pairs covered)"
+            )
+        expected_b, expected_r = derive_parameters(self.v, k, self.lam)
+        if len(self.blocks) != expected_b or r != expected_r:
+            raise DesignError(
+                f"block/replication counts (b={len(self.blocks)}, r={r}) do not "
+                f"match derived parameters (b={expected_b}, r={expected_r})"
+            )
+
+    @property
+    def b(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    @property
+    def k(self) -> int:
+        """Block size."""
+        return len(self.blocks[0])
+
+    @property
+    def r(self) -> int:
+        """Replication: number of blocks through each point."""
+        return len(self._incidence[0])
+
+    @property
+    def parameters(self) -> Tuple[int, int, int, int, int]:
+        """The classical ``(v, b, r, k, λ)`` tuple."""
+        return (self.v, self.b, self.r, self.k, self.lam)
+
+    def blocks_through(self, point: int) -> Tuple[int, ...]:
+        """Indices of the blocks containing *point*, in block order."""
+        check_index("point", point, self.v)
+        return self._incidence[point]
+
+    def block_containing_pair(self, p: int, q: int) -> Tuple[int, ...]:
+        """Indices of blocks containing both *p* and *q* (λ of them)."""
+        check_index("p", p, self.v)
+        check_index("q", q, self.v)
+        if p == q:
+            raise ValueError("pair must consist of two distinct points")
+        return tuple(
+            t for t in self._incidence[p] if q in self.blocks[t]
+        )
+
+    def position_in_block(self, block_index: int, point: int) -> int:
+        """Return the index of *point* within block *block_index*."""
+        check_index("block_index", block_index, self.b)
+        block = self.blocks[block_index]
+        try:
+            return block.index(point)
+        except ValueError:
+            raise DesignError(
+                f"point {point} is not in block {block_index} = {block}"
+            ) from None
+
+    def incidence_matrix(self) -> List[List[int]]:
+        """The v×b 0/1 incidence matrix (rows = points, columns = blocks)."""
+        matrix = [[0] * self.b for _ in range(self.v)]
+        for t, block in enumerate(self.blocks):
+            for p in block:
+                matrix[p][t] = 1
+        return matrix
+
+    def is_steiner(self) -> bool:
+        """True when λ = 1 (a Steiner system S(2, k, v))."""
+        return self.lam == 1
+
+    def complement(self) -> "BIBD":
+        """The complementary design (blocks replaced by their complements).
+
+        Valid whenever ``v - k >= 2``; the result is a
+        ``(v, b, b - r, v - k, b - 2r + λ)`` design.
+        """
+        if self.v - self.k < 2:
+            raise DesignError("complement would have blocks of size < 2")
+        points = set(range(self.v))
+        blocks = tuple(
+            tuple(sorted(points - set(block))) for block in self.blocks
+        )
+        return BIBD(self.v, blocks, self.b - 2 * self.r + self.lam)
+
+
+def from_blocks(v: int, blocks: Iterable[Sequence[int]], lam: int = 1) -> BIBD:
+    """Convenience constructor from any iterable of point sequences."""
+    return BIBD(v, tuple(tuple(block) for block in blocks), lam)

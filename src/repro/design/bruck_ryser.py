@@ -1,0 +1,137 @@
+"""The Bruck-Ryser-Chowla nonexistence test for symmetric designs.
+
+Counting conditions (divisibility, Fisher) admit many parameter sets for
+which no design exists; for *symmetric* designs (b == v) the classical
+Bruck-Ryser-Chowla theorem rules out infinitely many of them:
+
+* v even: a symmetric (v, k, λ) design requires ``k - λ`` to be a perfect
+  square (excludes e.g. the (22, 7, 2) biplane);
+* v odd: the ternary form ``x² = (k-λ) y² + (-1)^((v-1)/2) λ z²`` must
+  have a nontrivial integer solution (excludes e.g. the projective plane
+  of order 6, i.e. the (43, 7, 1) design, and the (29, 8, 2) biplane).
+
+Solvability of the odd-case form is decided with Legendre's theorem on
+``a x² + b y² + c z² = 0``: after reducing the coefficients to squarefree,
+pairwise-coprime values with mixed signs, the form is isotropic iff
+``-bc``, ``-ca`` and ``-ab`` are quadratic residues modulo |a|, |b| and
+|c| respectively.
+
+The catalog consults this before searching so impossible symmetric
+requests fail fast with a proof-backed error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.util.checks import check_positive
+
+
+def _squarefree(n: int) -> int:
+    """Strip square factors from |n|, preserving sign (0 stays 0)."""
+    if n == 0:
+        return 0
+    sign = -1 if n < 0 else 1
+    n = abs(n)
+    result = 1
+    f = 2
+    while f * f <= n:
+        count = 0
+        while n % f == 0:
+            n //= f
+            count += 1
+        if count % 2 == 1:
+            result *= f
+        f += 1
+    return sign * result * n
+
+
+def _odd_prime_factors(n: int) -> List[int]:
+    n = abs(n)
+    primes = []
+    while n % 2 == 0:
+        n //= 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            primes.append(f)
+            while n % f == 0:
+                n //= f
+        f += 2
+    if n > 1:
+        primes.append(n)
+    return primes
+
+
+def _is_qr_mod(n: int, m: int) -> bool:
+    """True when n is a quadratic residue modulo every odd prime | m."""
+    for p in _odd_prime_factors(m):
+        residue = n % p
+        if residue == 0:
+            continue  # coprimality is arranged by the reduction
+        if pow(residue, (p - 1) // 2, p) != 1:
+            return False
+    return True
+
+
+def ternary_form_solvable(a: int, b: int, c: int) -> bool:
+    """Does ``a x² + b y² + c z² = 0`` have a nontrivial integer solution?
+
+    Implements Legendre's criterion after the standard reduction to
+    squarefree, pairwise-coprime coefficients.
+    """
+    if a == 0 or b == 0 or c == 0:
+        return True  # set the matching variable to 1, the others to 0
+    a, b, c = _squarefree(a), _squarefree(b), _squarefree(c)
+    # Make pairwise coprime: a shared prime p in two coefficients can be
+    # divided out of both and multiplied into the third (substituting
+    # p * variable), preserving solvability.
+    changed = True
+    while changed:
+        changed = False
+        for first, second, third in ((0, 1, 2), (0, 2, 1), (1, 2, 0)):
+            coeffs = [a, b, c]
+            g = math.gcd(abs(coeffs[first]), abs(coeffs[second]))
+            if g > 1:
+                p = _odd_prime_factors(g)[0] if _odd_prime_factors(g) else 2
+                coeffs[first] //= p
+                coeffs[second] //= p
+                coeffs[third] *= p
+                a, b, c = (_squarefree(x) for x in coeffs)
+                changed = True
+                break
+    if a > 0 and b > 0 and c > 0:
+        return False
+    if a < 0 and b < 0 and c < 0:
+        return False
+    return (
+        _is_qr_mod(-b * c, a)
+        and _is_qr_mod(-c * a, b)
+        and _is_qr_mod(-a * b, c)
+    )
+
+
+def symmetric_design_excluded(v: int, k: int, lam: int) -> bool:
+    """True when Bruck-Ryser-Chowla *proves* no symmetric design exists.
+
+    Callers must pass symmetric parameters (``b == v``, equivalently
+    ``λ (v - 1) == k (k - 1)``); False means "not excluded by BRC", not
+    "exists" — BRC famously does not exclude the order-10 plane.
+    """
+    check_positive("v", v, 2)
+    check_positive("k", k, 2)
+    check_positive("lam", lam, 1)
+    if lam * (v - 1) != k * (k - 1):
+        raise ValueError(
+            f"({v}, {k}, {lam}) is not a symmetric parameter set"
+        )
+    n = k - lam
+    if n <= 0:
+        return False
+    if v % 2 == 0:
+        root = math.isqrt(n)
+        return root * root != n
+    sign = 1 if ((v - 1) // 2) % 2 == 0 else -1
+    # x² - n y² - sign·λ z² = 0 must be solvable.
+    return not ternary_form_solvable(1, -n, -sign * lam)

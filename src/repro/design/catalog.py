@@ -1,0 +1,115 @@
+"""A construction catalog: get a BIBD for requested parameters.
+
+:func:`find_bibd` routes a ``(v, k, λ=1)`` request to whichever construction
+applies — Steiner triple systems for k = 3, projective/affine planes when the
+parameters match, a small table of known difference families, and finally
+backtracking search for small leftovers.
+
+:func:`available_designs` enumerates the (v, n_disks) configuration space an
+OI-RAID deployment can pick from for a given stripe width k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.design.affine import affine_plane
+from repro.design.bibd import BIBD, derive_parameters
+from repro.design.bruck_ryser import symmetric_design_excluded
+from repro.design.difference import develop_difference_family
+from repro.design.projective import projective_plane
+from repro.design.search import search_bibd
+from repro.design.steiner import steiner_triple_system
+from repro.errors import DesignError, NoSuchDesignError
+from repro.util.primes import prime_power_base
+
+# Known (v, k, 1) difference families beyond the systematic constructions.
+# Source: classical small difference families (each entry is re-verified at
+# develop time, so a typo here fails loudly rather than corrupting layouts).
+_KNOWN_FAMILIES: Dict[Tuple[int, int], Tuple[Tuple[int, ...], ...]] = {
+    (21, 5): ((0, 1, 4, 14, 16),),
+    (41, 5): ((0, 1, 4, 11, 29), (0, 2, 8, 17, 22)),
+    (37, 4): ((0, 1, 3, 24), (0, 4, 26, 32), (0, 10, 18, 30)),
+    (13, 4): ((0, 1, 3, 9),),
+}
+
+
+def find_bibd(v: int, k: int, lam: int = 1) -> BIBD:
+    """Construct a ``(v, k, λ)``-BIBD or raise :class:`NoSuchDesignError`.
+
+    λ = 1 is the OI-RAID requirement (every pair of groups shares exactly one
+    block); other λ are supported only through search.
+    """
+    b, r = derive_parameters(v, k, lam)  # raises early on impossible params
+    if b == v and v > k and symmetric_design_excluded(v, k, lam):
+        raise NoSuchDesignError(
+            f"no ({v}, {k}, {lam})-BIBD: excluded by the "
+            f"Bruck-Ryser-Chowla theorem"
+        )
+
+    if lam == 1:
+        if v == k:
+            # Degenerate single-block "design" is not a BIBD (pair coverage
+            # fails for v == k only when b > 1); the one-block complete design
+            # is valid and useful as a trivial outer layer.
+            return BIBD(v, (tuple(range(v)),), 1)
+        if k == 3:
+            return steiner_triple_system(v)
+        if (v, k) in _KNOWN_FAMILIES:
+            return develop_difference_family(v, _KNOWN_FAMILIES[(v, k)], lam=1)
+        if v == k * k and prime_power_base(k) is not None:
+            return affine_plane(k)
+        q = k - 1
+        if v == q * q + q + 1 and prime_power_base(q) is not None:
+            return projective_plane(q)
+
+    if v <= 30:
+        design = search_bibd(v, k, lam)
+        if design is not None:
+            return design
+        raise NoSuchDesignError(
+            f"exhaustive search proved no ({v}, {k}, {lam})-BIBD exists"
+        )
+    raise NoSuchDesignError(
+        f"no construction available for a ({v}, {k}, {lam})-BIBD "
+        f"(v={v} too large for search)"
+    )
+
+
+def available_designs(
+    k: int, max_v: int = 200, lam: int = 1
+) -> List[Tuple[int, int, int]]:
+    """List ``(v, b, r)`` for which :func:`find_bibd` has a construction.
+
+    Only parameter sets with a *systematic* construction are listed (search
+    results are excluded so this stays fast); used to enumerate OI-RAID
+    configuration sweeps.
+    """
+    found: List[Tuple[int, int, int]] = []
+    for v in range(k + 1, max_v + 1):
+        try:
+            b, r = derive_parameters(v, k, lam)
+        except DesignError:
+            continue
+        constructible = False
+        if lam == 1:
+            if k == 3 and v % 6 == 3:
+                constructible = True  # Bose construction
+            elif k == 3 and v % 6 == 1 and (
+                prime_power_base(v) is not None or v <= 91
+            ):
+                # Netto for prime powers; capped Heffter backtracking is
+                # known-fast for the small composite stragglers (55/85/91).
+                constructible = True
+            elif (v, k) in _KNOWN_FAMILIES:
+                constructible = True
+            elif v == k * k and prime_power_base(k) is not None:
+                constructible = True
+            elif (
+                v == (k - 1) * (k - 1) + k
+                and prime_power_base(k - 1) is not None
+            ):
+                constructible = True
+        if constructible:
+            found.append((v, b, r))
+    return found

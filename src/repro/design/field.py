@@ -1,0 +1,232 @@
+"""Finite fields GF(q) for prime powers q.
+
+The projective- and affine-plane BIBD constructions need arithmetic over
+GF(q). Elements are represented as integers ``0..q-1``: for prime q this is
+ordinary modular arithmetic; for q = p**e the integer's base-p digits are the
+coefficients of a polynomial over GF(p), reduced modulo a monic irreducible
+polynomial found by exhaustive search (q is small in every use here).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.errors import DesignError
+from repro.util.primes import prime_power_base
+
+
+def _to_digits(x: int, p: int, e: int) -> List[int]:
+    digits = []
+    for _ in range(e):
+        digits.append(x % p)
+        x //= p
+    return digits
+
+
+def _from_digits(digits: List[int], p: int) -> int:
+    value = 0
+    for d in reversed(digits):
+        value = value * p + d
+    return value
+
+
+def _poly_mul_mod(a: List[int], b: List[int], mod: List[int], p: int) -> List[int]:
+    """Multiply polynomials a*b over GF(p), reduce modulo monic *mod*."""
+    e = len(mod) - 1
+    product = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            product[i + j] = (product[i + j] + ai * bj) % p
+    for top in range(len(product) - 1, e - 1, -1):
+        coeff = product[top]
+        if coeff == 0:
+            continue
+        product[top] = 0
+        for j in range(e):
+            product[top - e + j] = (product[top - e + j] - coeff * mod[j]) % p
+    return product[:e] + [0] * (e - len(product))
+
+
+class GF:
+    """Arithmetic in the finite field with q elements.
+
+    >>> f = GF(4)
+    >>> f.mul(2, 3)  # x * (x+1) = x^2 + x = (x+1) + x ... in GF(4)
+    1
+    """
+
+    def __init__(self, q: int) -> None:
+        decomposition = prime_power_base(q)
+        if decomposition is None:
+            raise DesignError(f"GF({q}) does not exist: {q} is not a prime power")
+        self.q = q
+        self.p, self.e = decomposition
+        if self.e > 1:
+            self._modulus = self._find_irreducible()
+            self._build_tables()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _find_irreducible(self) -> List[int]:
+        """Find a monic irreducible polynomial of degree e over GF(p).
+
+        A degree-e polynomial with no roots is irreducible for e in {2, 3};
+        for larger e we check that it has no factor of degree <= e // 2 by
+        trial division over all smaller monic polynomials.
+        """
+        p, e = self.p, self.e
+        for tail in range(p**e):
+            coeffs = _to_digits(tail, p, e) + [1]  # monic degree-e
+            if self._is_irreducible(coeffs):
+                return coeffs
+        raise DesignError(f"no irreducible polynomial found for GF({self.q})")
+
+    def _is_irreducible(self, coeffs: List[int]) -> bool:
+        p = self.p
+        e = len(coeffs) - 1
+        if coeffs[0] == 0:  # divisible by x
+            return False
+        if any(self._poly_eval(coeffs, x) == 0 for x in range(p)):
+            return False
+        if e <= 3:
+            return True
+        for deg in range(2, e // 2 + 1):
+            for tail in range(p**deg):
+                divisor = _to_digits(tail, p, deg) + [1]
+                if self._poly_divides(divisor, coeffs):
+                    return False
+        return True
+
+    def _poly_eval(self, coeffs: List[int], x: int) -> int:
+        value = 0
+        for c in reversed(coeffs):
+            value = (value * x + c) % self.p
+        return value
+
+    def _poly_divides(self, divisor: List[int], coeffs: List[int]) -> bool:
+        p = self.p
+        remainder = list(coeffs)
+        d = len(divisor) - 1
+        while len(remainder) - 1 >= d:
+            lead = remainder[-1]
+            if lead:
+                shift = len(remainder) - 1 - d
+                for j, dj in enumerate(divisor):
+                    remainder[shift + j] = (remainder[shift + j] - lead * dj) % p
+            remainder.pop()
+        return all(c == 0 for c in remainder)
+
+    def _build_tables(self) -> None:
+        """Precompute extension-field multiplication via dense tables."""
+        q, p, e = self.q, self.p, self.e
+        self._mul_table = [[0] * q for _ in range(q)]
+        for a in range(q):
+            da = _to_digits(a, p, e)
+            for b in range(a, q):
+                db = _to_digits(b, p, e)
+                prod = _from_digits(_poly_mul_mod(da, db, self._modulus, p), p)
+                self._mul_table[a][b] = prod
+                self._mul_table[b][a] = prod
+
+    # -- field operations ------------------------------------------------------
+
+    def _check(self, *values: int) -> None:
+        for x in values:
+            if not 0 <= x < self.q:
+                raise ValueError(f"{x} is not an element of GF({self.q})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition."""
+        self._check(a, b)
+        if self.e == 1:
+            return (a + b) % self.p
+        da, db = _to_digits(a, self.p, self.e), _to_digits(b, self.p, self.e)
+        return _from_digits([(x + y) % self.p for x, y in zip(da, db)], self.p)
+
+    def neg(self, a: int) -> int:
+        """Additive inverse."""
+        self._check(a)
+        if self.e == 1:
+            return (-a) % self.p
+        da = _to_digits(a, self.p, self.e)
+        return _from_digits([(-x) % self.p for x in da], self.p)
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction (a - b)."""
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        self._check(a, b)
+        if self.e == 1:
+            return (a * b) % self.p
+        return self._mul_table[a][b]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError for 0."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in a field")
+        if self.e == 1:
+            return pow(a, self.p - 2, self.p)
+        # q is tiny wherever extension fields are used; linear scan is fine.
+        for b in range(1, self.q):
+            if self._mul_table[a][b] == 1:
+                return b
+        raise DesignError(f"GF({self.q}) element {a} has no inverse (bug)")
+
+    def div(self, a: int, b: int) -> int:
+        """Field division (a / b)."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, n: int) -> int:
+        """Exponentiation by squaring (negative n inverts first)."""
+        self._check(a)
+        if n < 0:
+            return self.pow(self.inv(a), -n)
+        result = 1
+        base = a
+        while n:
+            if n & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            n >>= 1
+        return result
+
+    def elements(self) -> range:
+        """All field elements, as their integer encodings."""
+        return range(self.q)
+
+    def primitive_element(self) -> int:
+        """A generator of the multiplicative group GF(q)*."""
+        if self.q == 2:
+            return 1  # the multiplicative group is trivial
+        order = self.q - 1
+        factors = _prime_factors(order)
+        for g in range(2, self.q):
+            if all(self.pow(g, order // f) != 1 for f in factors):
+                return g
+        raise DesignError(f"no primitive element found in GF({self.q}) (bug)")
+
+
+@lru_cache(maxsize=None)
+def get_field(q: int) -> GF:
+    """Cached field constructor (table building is quadratic in q)."""
+    return GF(q)
+
+
+def _prime_factors(n: int) -> Tuple[int, ...]:
+    factors = []
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            factors.append(f)
+            while n % f == 0:
+                n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    return tuple(factors)

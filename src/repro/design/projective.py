@@ -1,0 +1,67 @@
+"""Projective planes PG(2, q) as BIBDs.
+
+A projective plane of order q is a ``(q²+q+1, q²+q+1, q+1, q+1, 1)``-BIBD:
+points are the 1-dimensional subspaces of GF(q)³, blocks are the lines. These
+give OI-RAID configurations with r == k == q+1 — the Fano plane (q = 2) is the
+paper-scale running example (7 groups, blocks of 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.design.bibd import BIBD
+from repro.design.field import get_field
+from repro.errors import DesignError
+from repro.util.primes import prime_power_base
+
+
+def _normalize(vec: Tuple[int, int, int], q: int) -> Tuple[int, int, int]:
+    """Scale a nonzero vector so its first nonzero coordinate is 1."""
+    f = get_field(q)
+    for coord in vec:
+        if coord != 0:
+            inv = f.inv(coord)
+            return tuple(f.mul(inv, c) for c in vec)  # type: ignore[return-value]
+    raise ValueError("cannot normalize the zero vector")
+
+
+def projective_plane(q: int) -> BIBD:
+    """Construct PG(2, q); raises :class:`DesignError` if q is not a prime power."""
+    if prime_power_base(q) is None:
+        raise DesignError(
+            f"projective plane of order {q} via field construction needs a "
+            f"prime power; {q} is not one"
+        )
+    f = get_field(q)
+    points: Dict[Tuple[int, int, int], int] = {}
+    for x in f.elements():
+        for y in f.elements():
+            for z in f.elements():
+                if (x, y, z) == (0, 0, 0):
+                    continue
+                rep = _normalize((x, y, z), q)
+                if rep not in points:
+                    points[rep] = len(points)
+    v = q * q + q + 1
+    if len(points) != v:
+        raise DesignError(f"PG(2,{q}) produced {len(points)} points, expected {v}")
+
+    # Lines are also projective points (a, b, c): the line ax + by + cz = 0.
+    blocks: List[Tuple[int, ...]] = []
+    for line in points:
+        a, b, c = line
+        members = tuple(
+            sorted(
+                index
+                for (x, y, z), index in points.items()
+                if f.add(f.add(f.mul(a, x), f.mul(b, y)), f.mul(c, z)) == 0
+            )
+        )
+        blocks.append(members)
+    return BIBD(v, tuple(blocks), 1)
+
+
+def fano_plane() -> BIBD:
+    """The (7, 7, 3, 3, 1) design — smallest projective plane, PG(2, 2)."""
+    return projective_plane(2)

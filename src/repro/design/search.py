@@ -1,0 +1,79 @@
+"""Backtracking search for small BIBDs.
+
+For parameter sets not covered by a classical construction (e.g. the
+(13, 13, 4, 4, 1) projective plane *is* covered, but (16, 20, 5, 4, 1) is
+not), a direct exhaustive search with pair-coverage pruning finds small
+designs quickly. Intended for v up to roughly 25 with λ = 1; larger requests
+should go through :mod:`repro.design.catalog` constructions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.design.bibd import BIBD, derive_parameters
+from repro.errors import NoSuchDesignError
+
+
+def search_bibd(
+    v: int, k: int, lam: int = 1, max_nodes: int = 2_000_000
+) -> Optional[BIBD]:
+    """Search for a ``(v, k, λ)``-BIBD by backtracking.
+
+    Returns a design, or None if the search space was exhausted without
+    finding one (a genuine nonexistence proof for small parameters), and
+    raises :class:`NoSuchDesignError` if *max_nodes* search nodes were
+    expanded without a verdict — the caller should treat that as "unknown".
+    """
+    b, r = derive_parameters(v, k, lam)  # raises if divisibility fails
+
+    candidates: List[Tuple[int, ...]] = [
+        block for block in itertools.combinations(range(v), k)
+    ]
+    pair_left: Dict[Tuple[int, int], int] = {
+        pair: lam for pair in itertools.combinations(range(v), 2)
+    }
+    point_left = [r] * v
+    chosen: List[Tuple[int, ...]] = []
+    nodes = 0
+
+    def block_fits(block: Tuple[int, ...]) -> bool:
+        if any(point_left[p] == 0 for p in block):
+            return False
+        return all(pair_left[pair] > 0 for pair in itertools.combinations(block, 2))
+
+    def apply(block: Tuple[int, ...], sign: int) -> None:
+        for p in block:
+            point_left[p] -= sign
+        for pair in itertools.combinations(block, 2):
+            pair_left[pair] -= sign
+
+    def backtrack(start: int) -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise NoSuchDesignError(
+                f"search for ({v}, {k}, {lam})-BIBD exceeded {max_nodes} nodes"
+            )
+        if len(chosen) == b:
+            return True
+        # Anchor the search on the lowest point still needing replication so
+        # identical partial solutions are never revisited in another order.
+        anchor = min(p for p in range(v) if point_left[p] > 0)
+        lo = start if chosen and anchor in chosen[-1] else 0
+        for i in range(lo, len(candidates)):
+            block = candidates[i]
+            if block[0] != anchor or not block_fits(block):
+                continue
+            apply(block, +1)
+            chosen.append(block)
+            if backtrack(i + 1):
+                return True
+            chosen.pop()
+            apply(block, -1)
+        return False
+
+    if backtrack(0):
+        return BIBD(v, tuple(chosen), lam)
+    return None

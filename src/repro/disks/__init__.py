@@ -1,0 +1,19 @@
+"""Simulated disk substrate: devices, arrays, spares, fault injection.
+
+The paper evaluates on disk arrays; this package provides the synthetic
+equivalent — block devices with a capacity/bandwidth model and injectable
+failures — over which the layouts and the recovery simulator run.
+"""
+
+from repro.disks.array import DiskArray
+from repro.disks.disk import DiskState, DiskStats, SimulatedDisk
+from repro.disks.faults import FailureInjector, FailureTrace
+
+__all__ = [
+    "SimulatedDisk",
+    "DiskState",
+    "DiskStats",
+    "DiskArray",
+    "FailureInjector",
+    "FailureTrace",
+]

@@ -1,0 +1,99 @@
+"""A collection of simulated disks addressed as (disk, offset)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.disks.disk import DiskState, SimulatedDisk
+from repro.errors import ArrayError
+from repro.util.checks import check_index, check_positive
+
+
+class DiskArray:
+    """A fixed-size set of equal disks plus failure bookkeeping.
+
+    This is deliberately dumb storage: layouts decide placement, arrays
+    move bytes. All disks share one capacity and bandwidth, matching the
+    homogeneous-array assumption of the paper's analysis.
+    """
+
+    def __init__(
+        self,
+        n_disks: int,
+        capacity: int,
+        bandwidth: float = 100 * 1024 * 1024,
+    ) -> None:
+        check_positive("n_disks", n_disks, 1)
+        check_positive("capacity", capacity, 1)
+        self.capacity = capacity
+        self.bandwidth = bandwidth
+        self.disks: List[SimulatedDisk] = [
+            SimulatedDisk(i, capacity, bandwidth) for i in range(n_disks)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.disks)
+
+    def __iter__(self) -> Iterator[SimulatedDisk]:
+        return iter(self.disks)
+
+    def disk(self, disk_id: int) -> SimulatedDisk:
+        """The device with the given id (bounds-checked)."""
+        check_index("disk_id", disk_id, len(self.disks))
+        return self.disks[disk_id]
+
+    # -- failure bookkeeping ------------------------------------------------------
+
+    @property
+    def failed_disks(self) -> List[int]:
+        return [d.disk_id for d in self.disks if d.state is DiskState.FAILED]
+
+    @property
+    def online_disks(self) -> List[int]:
+        return [d.disk_id for d in self.disks if d.state is DiskState.ONLINE]
+
+    def fail_disk(self, disk_id: int) -> None:
+        """Crash one disk."""
+        self.disk(disk_id).fail()
+
+    def fail_disks(self, disk_ids: Sequence[int]) -> None:
+        """Crash several disks."""
+        for disk_id in disk_ids:
+            self.fail_disk(disk_id)
+
+    def replace_disk(self, disk_id: int) -> None:
+        """Swap a failed disk for a blank replacement (REBUILDING state)."""
+        disk = self.disk(disk_id)
+        if disk.state is not DiskState.FAILED:
+            raise ArrayError(
+                f"disk {disk_id} is {disk.state.value}; only failed disks "
+                f"can be replaced"
+            )
+        disk.replace()
+
+    # -- data path ------------------------------------------------------------------
+
+    def read(self, disk_id: int, offset: int, length: int) -> np.ndarray:
+        """Read bytes from one disk."""
+        return self.disk(disk_id).read(offset, length)
+
+    def write(self, disk_id: int, offset: int, data) -> None:
+        """Write bytes to one disk."""
+        self.disk(disk_id).write(offset, data)
+
+    # -- statistics -------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero every disk's I/O counters."""
+        for disk in self.disks:
+            disk.stats.reset()
+
+    def read_load(self) -> Dict[int, int]:
+        """Bytes read per disk since the last reset (E5's raw data)."""
+        return {d.disk_id: d.stats.bytes_read for d in self.disks}
+
+    def write_load(self) -> Dict[int, int]:
+        """Bytes written per disk since the last reset."""
+        return {d.disk_id: d.stats.bytes_written for d in self.disks}

@@ -1,0 +1,197 @@
+"""A simulated block device.
+
+`SimulatedDisk` stores data sparsely (unwritten space reads back as zeros,
+like a fresh drive), tracks I/O statistics for the load-balance experiments,
+and models failure states. Bandwidth attributes are *descriptive* — the
+discrete-event simulator reads them to convert I/O volumes into time; the
+data path itself is functional and instantaneous.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import AddressError, DiskFailedError, LatentSectorError
+from repro.util.checks import check_positive
+
+
+class DiskState(enum.Enum):
+    """Lifecycle of a simulated device."""
+
+    ONLINE = "online"
+    FAILED = "failed"
+    REBUILDING = "rebuilding"
+
+
+@dataclass
+class DiskStats:
+    """Cumulative I/O accounting for one device."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+
+
+@dataclass
+class SimulatedDisk:
+    """A block device with sparse storage, stats, and a failure state.
+
+    Attributes:
+        disk_id: identifier within the owning array.
+        capacity: usable bytes.
+        bandwidth: sustained sequential bandwidth in bytes/second (used by
+            the rebuild simulator; 100 MiB/s is a typical 2016-era nearline
+            drive under rebuild-sized sequential I/O).
+    """
+
+    disk_id: int
+    capacity: int
+    bandwidth: float = 100 * 1024 * 1024
+    state: DiskState = DiskState.ONLINE
+    stats: DiskStats = field(default_factory=DiskStats)
+    _store: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _chunk: int = field(default=64 * 1024, repr=False)
+    _bad_ranges: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity, 1)
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    # -- failure state ----------------------------------------------------------
+
+    @property
+    def online(self) -> bool:
+        return self.state is DiskState.ONLINE
+
+    def fail(self) -> None:
+        """Crash the device: contents are lost, further I/O raises."""
+        self.state = DiskState.FAILED
+        self._store.clear()
+
+    def replace(self) -> None:
+        """Swap in a blank replacement device (rebuild writes target it)."""
+        self._store.clear()
+        self._bad_ranges.clear()
+        self.stats.reset()
+        self.state = DiskState.REBUILDING
+
+    def inject_latent_error(self, offset: int, length: int = 1) -> None:
+        """Mark a byte range unreadable (a latent sector error).
+
+        Reads overlapping the range raise :class:`LatentSectorError` until
+        the range is rewritten — matching real drives, where a successful
+        write remaps or refreshes the bad sector.
+        """
+        if offset < 0 or length < 1 or offset + length > self.capacity:
+            raise AddressError(
+                f"latent-error range [{offset}, {offset + length}) outside "
+                f"disk {self.disk_id}"
+            )
+        self._bad_ranges.append((offset, offset + length))
+
+    def _check_latent(self, offset: int, length: int) -> None:
+        for start, end in self._bad_ranges:
+            if offset < end and start < offset + length:
+                raise LatentSectorError(
+                    f"disk {self.disk_id}: unreadable sector range "
+                    f"[{start}, {end}) hit by read [{offset}, "
+                    f"{offset + length})"
+                )
+
+    def _clear_latent(self, offset: int, length: int) -> None:
+        self._bad_ranges = [
+            (start, end)
+            for start, end in self._bad_ranges
+            if not (offset <= start and end <= offset + length)
+        ]
+
+    def complete_rebuild(self) -> None:
+        """Mark a rebuilding replacement as fully online."""
+        if self.state is not DiskState.REBUILDING:
+            raise DiskFailedError(
+                f"disk {self.disk_id} is {self.state.value}, not rebuilding"
+            )
+        self.state = DiskState.ONLINE
+
+    def _check_io(self, offset: int, length: int) -> None:
+        if self.state is DiskState.FAILED:
+            raise DiskFailedError(f"disk {self.disk_id} has failed")
+        if offset < 0 or length < 0 or offset + length > self.capacity:
+            raise AddressError(
+                f"I/O [{offset}, {offset + length}) outside disk "
+                f"{self.disk_id} capacity {self.capacity}"
+            )
+
+    # -- data path ---------------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> np.ndarray:
+        """Read *length* bytes at *offset*; unwritten space reads as zeros.
+
+        Raises :class:`LatentSectorError` if the range overlaps an
+        injected bad sector.
+        """
+        self._check_io(offset, length)
+        self._check_latent(offset, length)
+        out = np.zeros(length, dtype=np.uint8)
+        pos = 0
+        while pos < length:
+            abs_off = offset + pos
+            chunk_id, within = divmod(abs_off, self._chunk)
+            take = min(length - pos, self._chunk - within)
+            chunk = self._store.get(chunk_id)
+            if chunk is not None:
+                out[pos : pos + take] = chunk[within : within + take]
+            pos += take
+        self.stats.bytes_read += length
+        self.stats.read_ops += 1
+        return out
+
+    def write(self, offset: int, data) -> None:
+        """Write a byte buffer at *offset* (bytes, bytearray, or array).
+
+        A write fully covering a bad sector range heals it (sector
+        remapping / refresh).
+        """
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            buf = np.frombuffer(data, dtype=np.uint8)
+        else:
+            buf = np.asarray(data, dtype=np.uint8)
+        self._check_io(offset, buf.size)
+        self._clear_latent(offset, buf.size)
+        pos = 0
+        while pos < buf.size:
+            abs_off = offset + pos
+            chunk_id, within = divmod(abs_off, self._chunk)
+            take = min(buf.size - pos, self._chunk - within)
+            chunk = self._store.get(chunk_id)
+            if chunk is None:
+                chunk = np.zeros(self._chunk, dtype=np.uint8)
+                self._store[chunk_id] = chunk
+            chunk[within : within + take] = buf[pos : pos + take]
+            pos += take
+        self.stats.bytes_written += buf.size
+        self.stats.write_ops += 1
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes of backing memory in use (sparse chunks allocated)."""
+        return len(self._store) * self._chunk
+
+    def seconds_to_transfer(self, n_bytes: float) -> float:
+        """Time to move *n_bytes* at this device's sequential bandwidth."""
+        return n_bytes / self.bandwidth

@@ -1,0 +1,140 @@
+"""Failure injection for arrays.
+
+Generates disk-failure events from an exponential lifetime model (the
+standard assumption behind MTTDL analysis) and replays them against a
+:class:`~repro.disks.array.DiskArray`. The Monte-Carlo reliability
+experiment (E7) drives this at the *model* level; integration tests drive it
+against live arrays to exercise degraded paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.disks.array import DiskArray
+from repro.errors import SimulationError
+from repro.util.checks import check_positive
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected fault: disk *disk_id* fails at *time* seconds."""
+
+    time: float
+    disk_id: int
+
+
+@dataclass
+class FailureTrace:
+    """An ordered list of failure events, replayable against an array."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def add(self, time: float, disk_id: int) -> None:
+        """Append an event; times must be non-decreasing."""
+        if self.events and time < self.events[-1].time:
+            raise SimulationError("failure events must be time-ordered")
+        self.events.append(FailureEvent(time, disk_id))
+
+    def replay(self, array: DiskArray, until: Optional[float] = None) -> int:
+        """Apply events (up to time *until*) to *array*; returns count applied."""
+        applied = 0
+        for event in self.events:
+            if until is not None and event.time > until:
+                break
+            if array.disk(event.disk_id).online:
+                array.fail_disk(event.disk_id)
+                applied += 1
+        return applied
+
+
+class FailureInjector:
+    """Draws failure times from i.i.d. exponential disk lifetimes.
+
+    Args:
+        mttf_hours: mean time to failure of one disk, in hours. The DSN-era
+            convention of 10^5-10^6 hours brackets real AFR data.
+        seed: RNG seed for reproducible traces.
+    """
+
+    def __init__(self, mttf_hours: float, seed: Optional[int] = None) -> None:
+        if mttf_hours <= 0:
+            raise ValueError(f"mttf_hours must be > 0, got {mttf_hours}")
+        self.mttf_seconds = mttf_hours * 3600.0
+        self._rng = random.Random(seed)
+
+    def draw_lifetime(self) -> float:
+        """One exponential lifetime, in seconds."""
+        return self._rng.expovariate(1.0 / self.mttf_seconds)
+
+    def trace_for(
+        self, n_disks: int, horizon_seconds: float
+    ) -> FailureTrace:
+        """First failure time of each disk within the horizon, time-ordered.
+
+        Models the no-repair case (each disk fails at most once); repair
+        processes are layered on by the reliability simulators.
+        """
+        check_positive("n_disks", n_disks, 1)
+        times: List[Tuple[float, int]] = []
+        for disk_id in range(n_disks):
+            t = self.draw_lifetime()
+            if t <= horizon_seconds:
+                times.append((t, disk_id))
+        trace = FailureTrace()
+        for t, disk_id in sorted(times):
+            trace.add(t, disk_id)
+        return trace
+
+    def inject_latent_errors(
+        self, array: DiskArray, errors_per_disk: float, sector: int = 512
+    ) -> int:
+        """Sprinkle latent sector errors over an array's online disks.
+
+        Each online disk receives a Poisson-distributed number of
+        *sector*-sized unreadable ranges at uniform offsets (the standard
+        LSE model); returns the number injected.
+        """
+        if errors_per_disk < 0:
+            raise ValueError("errors_per_disk must be >= 0")
+        check_positive("sector", sector, 1)
+        injected = 0
+        for disk in array:
+            if not disk.online:
+                continue
+            count = self._poisson(errors_per_disk)
+            for _ in range(count):
+                sectors = disk.capacity // sector
+                if sectors == 0:
+                    break
+                # Real LSEs are sector-aligned; alignment also lets a
+                # covering rewrite heal them.
+                offset = self._rng.randrange(sectors) * sector
+                disk.inject_latent_error(offset, sector)
+                injected += 1
+        return injected
+
+    def _poisson(self, mean: float) -> int:
+        """Knuth's algorithm (means here are tiny)."""
+        import math
+
+        if mean == 0:
+            return 0
+        threshold = math.exp(-mean)
+        count, product = 0, self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+    def sample_burst(self, n_disks: int, n_failures: int) -> List[int]:
+        """A uniformly random set of simultaneously failed disks."""
+        check_positive("n_disks", n_disks, 1)
+        check_positive("n_failures", n_failures, 1)
+        if n_failures > n_disks:
+            raise ValueError(
+                f"cannot fail {n_failures} of {n_disks} disks"
+            )
+        return sorted(self._rng.sample(range(n_disks), n_failures))

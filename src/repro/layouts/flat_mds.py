@@ -1,0 +1,49 @@
+"""Flat m-parity MDS layout: the direct same-tolerance competitor.
+
+A single Reed-Solomon stripe family across all n disks with m rotating
+parities tolerates any m failures — with m = 3 this matches OI-RAID's
+guarantee, which makes it the fair flat baseline for E1/E3: same
+tolerance, better capacity, but every rebuild reads all survivors in full
+(speedup ~1) and wide stripes make degraded reads expensive (k - 1 = n - m - 1
+reads per lost unit).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LayoutError
+from repro.layouts.base import Layout, Stripe, Unit
+
+
+class FlatMDSLayout(Layout):
+    """One RS(n - m, m) stripe per row across all *n* disks, rotated."""
+
+    name = "flat-mds"
+
+    def __init__(self, n_disks: int, parities: int = 3) -> None:
+        if parities < 1:
+            raise LayoutError(f"parities must be >= 1, got {parities}")
+        if n_disks <= parities + 0:
+            raise LayoutError(
+                f"flat MDS with {parities} parities needs > {parities} "
+                f"disks, got {n_disks}"
+            )
+        self.parities = parities
+        super().__init__(n_disks, units_per_disk=n_disks)
+        stripes = []
+        for row in range(n_disks):
+            units = tuple(Unit(disk, row) for disk in range(n_disks))
+            parity = tuple(
+                sorted((row + j) % n_disks for j in range(parities))
+            )
+            stripes.append(
+                Stripe(
+                    stripe_id=row,
+                    kind="flat-mds",
+                    units=units,
+                    parity=parity,
+                    tolerance=parities,
+                    level=0,
+                )
+            )
+        self._stripes = tuple(stripes)
+        self._finalize()

@@ -1,0 +1,46 @@
+"""N-way replication as a layout (the availability-cost upper baseline)."""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, Stripe, Unit
+from repro.errors import LayoutError
+
+
+class MirrorLayout(Layout):
+    """Each data unit replicated onto *copies* consecutive disks, rotated.
+
+    Modeled as stripes of width *copies* whose non-primary members are
+    marked parity (they carry no unique user data); tolerance is
+    ``copies - 1``. Used in E1/E7 as the replication reference point
+    (3-way by default in those experiments).
+    """
+
+    name = "mirror"
+
+    def __init__(self, n_disks: int, copies: int = 2) -> None:
+        if copies < 2:
+            raise LayoutError(f"replication needs >= 2 copies, got {copies}")
+        if n_disks < copies:
+            raise LayoutError(
+                f"replication of {copies} copies needs >= {copies} disks, "
+                f"got {n_disks}"
+            )
+        self.copies = copies
+        super().__init__(n_disks, units_per_disk=copies)
+        stripes = []
+        for primary in range(n_disks):
+            units = tuple(
+                Unit((primary + c) % n_disks, c) for c in range(copies)
+            )
+            stripes.append(
+                Stripe(
+                    stripe_id=primary,
+                    kind="mirror",
+                    units=units,
+                    parity=tuple(range(1, copies)),
+                    tolerance=copies - 1,
+                    level=0,
+                )
+            )
+        self._stripes = tuple(stripes)
+        self._finalize()

@@ -1,0 +1,84 @@
+"""Parity declustering (Holland & Gibson) — the closest prior approach.
+
+Points of a ``(v, b, r, k, 1)``-BIBD are *disks*; every block yields k
+rotated-parity RAID5 stripes across its k disks. Because each pair of disks
+shares exactly one block, a failed disk's reconstruction reads are spread
+over all ``v - 1`` survivors (each survivor contributes ``k/(v-1)`` of a
+RAID5 rebuild), giving a recovery speedup of roughly ``(v-1)/(k-1)`` over
+RAID5 — but tolerance stays at one disk failure, the gap OI-RAID closes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.design.bibd import BIBD
+from repro.design.catalog import find_bibd
+from repro.errors import LayoutError
+from repro.layouts.base import Layout, Stripe, Unit
+
+
+class ParityDeclusteringLayout(Layout):
+    """BIBD-declustered RAID5: blocks of *design* map stripes to disk sets.
+
+    Args:
+        design: a λ=1 BIBD whose points are the disks. Pass either a design
+            or (n_disks, stripe_width) to have one constructed.
+    """
+
+    name = "parity-declustering"
+
+    def __init__(
+        self,
+        design: Optional[BIBD] = None,
+        n_disks: Optional[int] = None,
+        stripe_width: Optional[int] = None,
+    ) -> None:
+        if design is None:
+            if n_disks is None or stripe_width is None:
+                raise LayoutError(
+                    "pass either a BIBD or both n_disks and stripe_width"
+                )
+            design = find_bibd(n_disks, stripe_width, lam=1)
+        if design.lam != 1:
+            raise LayoutError(
+                f"parity declustering requires λ=1, got λ={design.lam}"
+            )
+        self.design = design
+        k = design.k
+        super().__init__(design.v, units_per_disk=design.r * k)
+
+        next_addr: Dict[int, int] = {disk: 0 for disk in range(design.v)}
+        stripes = []
+        for block in design.blocks:
+            # k rotations of the parity position within this block, so each
+            # member disk serves parity for an equal share of the block.
+            base_addrs = {}
+            for disk in block:
+                base_addrs[disk] = next_addr[disk]
+                next_addr[disk] += k
+            for rotation in range(k):
+                units = tuple(
+                    Unit(disk, base_addrs[disk] + rotation) for disk in block
+                )
+                stripes.append(
+                    Stripe(
+                        stripe_id=len(stripes),
+                        kind="raid5",
+                        units=units,
+                        parity=(rotation,),
+                        tolerance=1,
+                        level=0,
+                    )
+                )
+        self._stripes = tuple(stripes)
+        self._finalize()
+
+    @property
+    def stripe_width(self) -> int:
+        return self.design.k
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["bibd"] = self.design.parameters
+        return info

@@ -1,0 +1,39 @@
+"""Rotated-parity RAID5 over n disks (the left-symmetric textbook layout)."""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, Stripe, Unit
+from repro.errors import LayoutError
+
+
+class Raid5Layout(Layout):
+    """One stripe per row across all *n* disks, parity rotating by row.
+
+    The cycle is ``n`` rows so every disk holds parity exactly once —
+    rotation matters for read balance, not correctness. Tolerates exactly
+    one disk failure; reconstruction reads every surviving disk in full,
+    which is the 1x recovery-speed baseline all experiments normalize to.
+    """
+
+    name = "raid5"
+
+    def __init__(self, n_disks: int) -> None:
+        if n_disks < 2:
+            raise LayoutError(f"RAID5 needs >= 2 disks, got {n_disks}")
+        super().__init__(n_disks, units_per_disk=n_disks)
+        stripes = []
+        for row in range(n_disks):
+            units = tuple(Unit(disk, row) for disk in range(n_disks))
+            parity_disk = (n_disks - 1 - row) % n_disks
+            stripes.append(
+                Stripe(
+                    stripe_id=row,
+                    kind="raid5",
+                    units=units,
+                    parity=(parity_disk,),
+                    tolerance=1,
+                    level=0,
+                )
+            )
+        self._stripes = tuple(stripes)
+        self._finalize()

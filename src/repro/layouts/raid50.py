@@ -1,0 +1,56 @@
+"""RAID50: data striped over independent RAID5 groups.
+
+This is the natural way to scale RAID5 to many disks and the primary
+"existing approach" OI-RAID is compared against: same single-parity update
+cost, but a failed disk is rebuilt *only* from its own group of
+``group_width`` disks, so recovery speed does not improve as the array
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, Stripe, Unit
+from repro.errors import LayoutError
+
+
+class Raid50Layout(Layout):
+    """*n_groups* independent rotated-parity RAID5 sets of *group_width*."""
+
+    name = "raid50"
+
+    def __init__(self, n_groups: int, group_width: int) -> None:
+        if n_groups < 1:
+            raise LayoutError(f"RAID50 needs >= 1 group, got {n_groups}")
+        if group_width < 2:
+            raise LayoutError(
+                f"RAID50 group width must be >= 2, got {group_width}"
+            )
+        self.n_groups = n_groups
+        self.group_width = group_width
+        super().__init__(n_groups * group_width, units_per_disk=group_width)
+        stripes = []
+        for group in range(n_groups):
+            base = group * group_width
+            for row in range(group_width):
+                units = tuple(
+                    Unit(base + i, row) for i in range(group_width)
+                )
+                parity_pos = (group_width - 1 - row) % group_width
+                stripes.append(
+                    Stripe(
+                        stripe_id=len(stripes),
+                        kind="raid5",
+                        units=units,
+                        parity=(parity_pos,),
+                        tolerance=1,
+                        level=0,
+                    )
+                )
+        self._stripes = tuple(stripes)
+        self._finalize()
+
+    def group_of(self, disk: int) -> int:
+        """The RAID5 group a disk belongs to."""
+        if not 0 <= disk < self.n_disks:
+            raise LayoutError(f"no such disk {disk}")
+        return disk // self.group_width

@@ -1,0 +1,38 @@
+"""Rotated-parity RAID6 (P+Q) over n disks."""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, Stripe, Unit
+from repro.errors import LayoutError
+
+
+class Raid6Layout(Layout):
+    """One P+Q stripe per row across all *n* disks, parity pair rotating.
+
+    Tolerates any two disk failures; used by the reliability (E7) and
+    scheme-property (E1) comparisons.
+    """
+
+    name = "raid6"
+
+    def __init__(self, n_disks: int) -> None:
+        if n_disks < 3:
+            raise LayoutError(f"RAID6 needs >= 3 disks, got {n_disks}")
+        super().__init__(n_disks, units_per_disk=n_disks)
+        stripes = []
+        for row in range(n_disks):
+            units = tuple(Unit(disk, row) for disk in range(n_disks))
+            p_disk = (n_disks - 1 - row) % n_disks
+            q_disk = (n_disks - row) % n_disks
+            stripes.append(
+                Stripe(
+                    stripe_id=row,
+                    kind="raid6",
+                    units=units,
+                    parity=(p_disk, q_disk),
+                    tolerance=2,
+                    level=0,
+                )
+            )
+        self._stripes = tuple(stripes)
+        self._finalize()

@@ -1,0 +1,367 @@
+"""Generic recovery planning by iterative peeling, with load balancing.
+
+Works for every :class:`~repro.layouts.base.Layout`: a stripe whose lost
+cells number at most its tolerance can repair them from its surviving cells.
+Peeling repeats until everything is recovered (plan) or no stripe is
+eligible (data loss). The same peeling, stripped of cost accounting, is the
+fault-tolerance oracle used by the exhaustive enumeration experiments (E6).
+
+Load balancing happens at two levels, and both are what turns OI-RAID's
+geometry into its recovery speedup:
+
+1. **Repair-stripe choice** — a lost OI-RAID outer unit can be repaired by
+   its outer stripe or its inner row; the planner picks greedily to keep
+   the maximum per-disk read load low.
+2. **Value sourcing (surrogate reads)** — any *surviving* value a repair
+   needs can either be read directly from its disk or decoded from the
+   *other* stripe containing it (reading that stripe's remaining units).
+   Offloading hot disks this way is how a failed disk's group peers — the
+   only disks that can serve its inner rows directly — shed load onto the
+   rest of the array, engaging every surviving spindle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DataLossError
+from repro.layouts.base import Cell, Layout, Stripe
+
+
+def lost_cells(layout: Layout, failed_disks: Sequence[int]) -> Set[Cell]:
+    """All cells of the layout cycle residing on the failed disks."""
+    failed = set(failed_disks)
+    for disk in failed:
+        if not 0 <= disk < layout.n_disks:
+            raise ValueError(f"no such disk {disk} in {layout.name}")
+    return {
+        (disk, addr)
+        for disk in failed
+        for addr in range(layout.units_per_disk)
+    }
+
+
+def _eligible(stripe: Stripe, lost: Set[Cell]) -> Optional[Tuple[Cell, ...]]:
+    """The stripe's lost cells if it can repair them all, else None."""
+    in_stripe = tuple(c for c in stripe.cells() if c in lost)
+    if 0 < len(in_stripe) <= stripe.tolerance:
+        return in_stripe
+    return None
+
+
+def is_recoverable(layout: Layout, failed_disks: Sequence[int]) -> bool:
+    """True if the failure pattern is decodable by iterative peeling.
+
+    Peeling is exact (not merely sufficient) for the layouts in this
+    library: every stripe is MDS on its own cells, stripes share at most
+    one cell pairwise, and no cell is parity in two stripes — so any
+    decodable pattern is decodable greedily.
+    """
+    lost = lost_cells(layout, failed_disks)
+    if not lost:
+        return True
+    pending = set(range(len(layout.stripes)))
+    progress = True
+    while lost and progress:
+        progress = False
+        for stripe_id in sorted(pending):
+            stripe = layout.stripes[stripe_id]
+            repairable = _eligible(stripe, lost)
+            if repairable:
+                lost.difference_update(repairable)
+                pending.discard(stripe_id)
+                progress = True
+    return not lost
+
+
+@dataclass(frozen=True)
+class ValueSource:
+    """How one surviving value a repair needs is obtained.
+
+    Attributes:
+        cell: the cell whose value is needed.
+        via: ``None`` for a direct read of *cell*; otherwise the stripe id
+            the value is decoded from.
+        reads: the physical cell reads this source costs (``(cell,)`` when
+            direct; the surrogate stripe's other cells otherwise).
+    """
+
+    cell: Cell
+    via: Optional[int]
+    reads: Tuple[Cell, ...]
+
+
+@dataclass(frozen=True)
+class RepairStep:
+    """Repair *targets* using *stripe_id*.
+
+    ``sources`` are the surviving values consumed (with their read costs);
+    ``reuses`` are values produced by earlier steps (no disk reads).
+    """
+
+    stripe_id: int
+    targets: Tuple[Cell, ...]
+    sources: Tuple[ValueSource, ...]
+    reuses: Tuple[Cell, ...]
+
+    @property
+    def reads(self) -> Tuple[Cell, ...]:
+        """All physical reads of this step."""
+        return tuple(c for s in self.sources for c in s.reads)
+
+
+@dataclass
+class RecoveryPlan:
+    """An ordered, validated repair schedule for a failure pattern."""
+
+    layout_name: str
+    failed_disks: Tuple[int, ...]
+    steps: List[RepairStep] = field(default_factory=list)
+
+    @property
+    def recovered_cells(self) -> List[Cell]:
+        return [cell for step in self.steps for cell in step.targets]
+
+    def read_units_per_disk(self) -> Dict[int, int]:
+        """Units read from each surviving disk (the E5 load distribution)."""
+        loads: Dict[int, int] = {}
+        for step in self.steps:
+            for disk, _addr in step.reads:
+                loads[disk] = loads.get(disk, 0) + 1
+        return loads
+
+    @property
+    def max_read_units(self) -> int:
+        loads = self.read_units_per_disk()
+        return max(loads.values()) if loads else 0
+
+    @property
+    def total_read_units(self) -> int:
+        return sum(len(step.reads) for step in self.steps)
+
+    @property
+    def total_write_units(self) -> int:
+        return len(self.recovered_cells)
+
+
+def _surrogate_options(
+    layout: Layout, cell: Cell, lost_or_target: Set[Cell]
+) -> List[Tuple[int, Tuple[Cell, ...]]]:
+    """Stripes that can decode *cell* purely from online, un-lost cells."""
+    options = []
+    for stripe_id in layout.stripes_containing(cell):
+        stripe = layout.stripes[stripe_id]
+        if stripe.tolerance < 1:
+            continue
+        others = tuple(c for c in stripe.cells() if c != cell)
+        if any(c in lost_or_target for c in others):
+            continue
+        options.append((stripe_id, others))
+    return options
+
+
+def _select_sources(
+    stripe: Stripe,
+    lost: Set[Cell],
+    recovered: Set[Cell],
+    loads: Dict[int, int],
+) -> Tuple[Tuple[Cell, ...], Tuple[Cell, ...]]:
+    """Pick the surviving values a repair of *stripe* actually needs.
+
+    An MDS stripe decodes from any ``width - tolerance`` known values, so
+    a stripe with fewer losses than its tolerance can skip some survivors.
+    Free values first (cells already recovered by earlier steps), then the
+    least-loaded disks; returns (fresh reads, reuses).
+    """
+    survivors = [c for c in stripe.cells() if c not in lost]
+    needed = stripe.width - stripe.tolerance
+    reuse_pool = [c for c in survivors if c in recovered]
+    fresh_pool = sorted(
+        (c for c in survivors if c not in recovered),
+        key=lambda c: (loads.get(c[0], 0), c),
+    )
+    chosen_reuse = reuse_pool[:needed]
+    chosen_fresh = fresh_pool[: max(0, needed - len(chosen_reuse))]
+    return tuple(chosen_fresh), tuple(chosen_reuse)
+
+
+def plan_recovery(
+    layout: Layout,
+    failed_disks: Sequence[int],
+    balance: bool = True,
+    offload: bool = True,
+    max_offload_rounds: int = 10_000,
+    lost_override: Optional[Set[Cell]] = None,
+) -> RecoveryPlan:
+    """Build a repair schedule, or raise :class:`DataLossError`.
+
+    ``balance`` controls the repair-stripe choice (greedy min-peak vs.
+    first-eligible); ``offload`` enables the surrogate-read pass. The E10
+    ablation and the baseline comparisons disable these selectively.
+
+    ``lost_override`` plans for an explicit lost-cell set instead of whole
+    disks — the distributed-sparing array uses this because relocated
+    units make "which cells are lost" diverge from "which disks failed".
+    Load accounting then attributes reads to the layout's *home* disks,
+    so callers with relocations should treat per-disk loads as approximate.
+    """
+    failed = tuple(sorted(set(failed_disks)))
+    all_lost = (
+        set(lost_override)
+        if lost_override is not None
+        else lost_cells(layout, failed)
+    )
+    plan = RecoveryPlan(layout.name, failed)
+    if not all_lost:
+        return plan
+
+    lost = set(all_lost)
+    recovered: Set[Cell] = set()
+    loads: Dict[int, int] = {}
+
+    candidate_ids: Set[int] = set()
+    for cell in lost:
+        candidate_ids.update(layout.stripes_containing(cell))
+
+    raw_steps: List[Tuple[Stripe, Tuple[Cell, ...], Tuple[Cell, ...], Tuple[Cell, ...]]] = []
+    while lost:
+        best = None
+        for stripe_id in sorted(candidate_ids):
+            stripe = layout.stripes[stripe_id]
+            repairable = _eligible(stripe, lost)
+            if not repairable:
+                continue
+            reads, _reuse = _select_sources(stripe, lost, recovered, loads)
+            if balance:
+                new_loads = dict(loads)
+                for disk, _addr in reads:
+                    new_loads[disk] = new_loads.get(disk, 0) + 1
+                peak = max(new_loads.values()) if new_loads else 0
+                key = (peak, -len(repairable), len(reads))
+            else:
+                key = (stripe_id, 0, 0)
+            if best is None or (key, stripe_id) < (best[0], best[1].stripe_id):
+                best = (key, stripe, repairable)
+        if best is None:
+            raise DataLossError(
+                f"{layout.name}: failure of disks {list(failed)} is not "
+                f"recoverable ({len(lost)} cells stranded)"
+            )
+        _key, stripe, repairable = best
+        fresh, reuse = _select_sources(stripe, lost, recovered, loads)
+        raw_steps.append((stripe, tuple(repairable), fresh, reuse))
+        for disk, _addr in fresh:
+            loads[disk] = loads.get(disk, 0) + 1
+        lost.difference_update(repairable)
+        recovered.update(repairable)
+        candidate_ids.discard(stripe.stripe_id)
+
+    # Materialize sources (all direct initially).
+    sources_per_step: List[List[ValueSource]] = [
+        [ValueSource(cell, None, (cell,)) for cell in fresh]
+        for _stripe, _targets, fresh, _reuse in raw_steps
+    ]
+
+    if offload:
+        _offload_pass(
+            layout, all_lost, raw_steps, sources_per_step, max_offload_rounds
+        )
+
+    for (stripe, targets, _fresh, reuse), sources in zip(
+        raw_steps, sources_per_step
+    ):
+        plan.steps.append(
+            RepairStep(stripe.stripe_id, targets, tuple(sources), reuse)
+        )
+    return plan
+
+
+def _offload_pass(
+    layout: Layout,
+    all_lost: Set[Cell],
+    raw_steps: Sequence[Tuple],
+    sources_per_step: List[List[ValueSource]],
+    max_rounds: int,
+) -> None:
+    """Hill-climb value sourcing to minimize the peak per-disk read load.
+
+    Each needed value may be read directly or decoded from its other
+    stripe; moves are accepted only if they strictly improve
+    ``(peak load, number of disks at peak, total reads)``.
+    """
+    loads: Dict[int, int] = {}
+    for sources in sources_per_step:
+        for src in sources:
+            for disk, _addr in src.reads:
+                loads[disk] = loads.get(disk, 0) + 1
+
+    # Precompute each needed cell's sourcing options once.
+    option_cache: Dict[Cell, List[ValueSource]] = {}
+
+    def options_for(cell: Cell) -> List[ValueSource]:
+        cached = option_cache.get(cell)
+        if cached is None:
+            cached = [ValueSource(cell, None, (cell,))]
+            for stripe_id, others in _surrogate_options(layout, cell, all_lost):
+                cached.append(ValueSource(cell, stripe_id, others))
+            option_cache[cell] = cached
+        return cached
+
+    def score(ld: Dict[int, int]) -> Tuple[int, int, int]:
+        if not ld:
+            return (0, 0, 0)
+        peak = max(ld.values())
+        return (peak, sum(1 for v in ld.values() if v == peak), sum(ld.values()))
+
+    current = score(loads)
+    for _ in range(max_rounds):
+        peak = current[0]
+        if peak == 0:
+            break
+        peak_disks = {d for d, v in loads.items() if v == peak}
+        best_move = None
+        best_score = current
+        for step_idx, sources in enumerate(sources_per_step):
+            for src_idx, src in enumerate(sources):
+                if not any(d in peak_disks for d, _a in src.reads):
+                    continue
+                for alt in options_for(src.cell):
+                    if alt.via == src.via:
+                        continue
+                    trial = dict(loads)
+                    for disk, _a in src.reads:
+                        trial[disk] -= 1
+                        if trial[disk] == 0:
+                            del trial[disk]
+                    for disk, _a in alt.reads:
+                        trial[disk] = trial.get(disk, 0) + 1
+                    trial_score = score(trial)
+                    if trial_score < best_score:
+                        best_score = trial_score
+                        best_move = (step_idx, src_idx, alt, trial)
+        if best_move is None:
+            break
+        step_idx, src_idx, alt, loads = best_move
+        sources_per_step[step_idx][src_idx] = alt
+        current = best_score
+
+
+def survivable_fraction(
+    layout: Layout,
+    n_failures: int,
+    sample: Optional[Sequence[Sequence[int]]] = None,
+) -> float:
+    """Fraction of *n_failures*-disk patterns the layout survives."""
+    import itertools
+
+    if sample is None:
+        patterns: List[Tuple[int, ...]] = list(
+            itertools.combinations(range(layout.n_disks), n_failures)
+        )
+    else:
+        patterns = [tuple(sorted(p)) for p in sample]
+    if not patterns:
+        raise ValueError("no failure patterns to evaluate")
+    survived = sum(1 for p in patterns if is_recoverable(layout, p))
+    return survived / len(patterns)

@@ -1,0 +1,40 @@
+"""Simulation substrate: discrete events, rebuild timing, reliability.
+
+* :mod:`repro.sim.engine` — a minimal discrete-event simulator with FCFS
+  resources (the simulated disks' queues).
+* :mod:`repro.sim.rebuild` — converts recovery plans into rebuild *time*
+  under a disk bandwidth model, both analytically (bandwidth-bound bounds)
+  and event-driven (queueing + step dependencies), with dedicated or
+  distributed sparing and optional foreground load.
+* :mod:`repro.sim.markov` — continuous-time Markov MTTDL models.
+* :mod:`repro.sim.montecarlo` — system-lifetime Monte-Carlo, cross-checking
+  the Markov results and capturing what the chains abstract away.
+"""
+
+from repro.sim.engine import Event, FcfsServer, Simulator
+from repro.sim.latency import LatencyModel, LatencyResult, simulate_read_latency
+from repro.sim.markov import MarkovReliabilityModel, mttdl_raid5_array
+from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
+from repro.sim.rebuild import (
+    DiskModel,
+    RebuildResult,
+    analytic_rebuild_time,
+    simulate_rebuild,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "FcfsServer",
+    "DiskModel",
+    "RebuildResult",
+    "analytic_rebuild_time",
+    "simulate_rebuild",
+    "MarkovReliabilityModel",
+    "mttdl_raid5_array",
+    "simulate_read_latency",
+    "LatencyModel",
+    "LatencyResult",
+    "simulate_lifetimes",
+    "LifetimeResult",
+]

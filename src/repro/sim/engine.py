@@ -1,0 +1,108 @@
+"""A minimal discrete-event simulation engine.
+
+Deterministic, heap-ordered, with stable tie-breaking (events scheduled
+earlier fire first at equal timestamps) so simulations are exactly
+reproducible. :class:`FcfsServer` models a disk: a single server draining a
+FIFO queue of fixed-service-time requests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Run events in time order until the queue drains or a horizon hits."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule *action* at ``now + delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        event = Event(self.now + delay, next(self._seq), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Prevent a scheduled event from firing."""
+        event.cancelled = True
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Process events (up to time *until*); returns events processed."""
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event queue went backwards (bug)")
+            self.now = event.time
+            event.action()
+            processed += 1
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        self._processed += processed
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+
+class FcfsServer:
+    """A single FIFO server (one disk spindle) inside a :class:`Simulator`.
+
+    Submit work with :meth:`submit`; the completion callback fires when the
+    request reaches the head of the queue and its service time elapses.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "server") -> None:
+        self.sim = sim
+        self.name = name
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+        self.requests = 0
+
+    def submit(
+        self, service_time: float, on_done: Callable[[], None]
+    ) -> float:
+        """Enqueue a request; returns its completion time."""
+        if service_time < 0:
+            raise SimulationError(
+                f"{self.name}: negative service time {service_time}"
+            )
+        start = max(self.sim.now, self.busy_until)
+        done = start + service_time
+        self.busy_until = done
+        self.total_busy += service_time
+        self.requests += 1
+        self.sim.schedule(done - self.sim.now, on_done)
+        return done
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of [0, horizon] this server spent busy."""
+        if horizon <= 0:
+            raise SimulationError("utilization needs a positive horizon")
+        return min(1.0, self.total_busy / horizon)

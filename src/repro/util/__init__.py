@@ -1,0 +1,37 @@
+"""Small shared utilities: validation, primes, units, and statistics."""
+
+from repro.util.checks import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.util.primes import is_prime, next_prime, prime_power_base
+from repro.util.stats import coefficient_of_variation, mean, percentile
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    format_bytes,
+    format_duration,
+)
+
+__all__ = [
+    "check_index",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "is_prime",
+    "next_prime",
+    "prime_power_base",
+    "coefficient_of_variation",
+    "mean",
+    "percentile",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "format_duration",
+]

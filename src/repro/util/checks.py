@@ -1,0 +1,45 @@
+"""Argument-validation helpers.
+
+These raise built-in exception types (``TypeError``/``ValueError``) because
+bad arguments are caller programming errors, not library failures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_type(name: str, value: Any, expected: type) -> None:
+    """Raise ``TypeError`` unless *value* is an instance of *expected*.
+
+    ``bool`` is rejected where an ``int`` is expected, because silently
+    treating ``True`` as 1 hides bugs in parameter plumbing.
+    """
+    if expected is int and isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got bool")
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+
+
+def check_positive(name: str, value: int, minimum: int = 1) -> None:
+    """Raise unless *value* is an integer >= *minimum*."""
+    check_type(name, value, int)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+
+
+def check_index(name: str, value: int, size: int) -> None:
+    """Raise unless ``0 <= value < size``."""
+    check_type(name, value, int)
+    if not 0 <= value < size:
+        raise IndexError(f"{name} must be in [0, {size}), got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise unless *value* is a real number in [0, 1]."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

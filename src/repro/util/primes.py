@@ -1,0 +1,50 @@
+"""Primality helpers used by the BIBD constructions and the skew layout."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+def is_prime(n: int) -> bool:
+    """Return True if *n* is a prime number (deterministic trial division)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime >= *n* (>= 2 for any input)."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def prime_power_base(n: int) -> Optional[Tuple[int, int]]:
+    """Decompose *n* as ``p ** e`` with ``p`` prime; return ``(p, e)`` or None.
+
+    Used to decide whether a finite field GF(n) exists, which gates the
+    projective/affine-plane BIBD constructions.
+    """
+    if n < 2:
+        return None
+    p = 2
+    while p * p <= n:
+        if n % p == 0:
+            e = 0
+            m = n
+            while m % p == 0:
+                m //= p
+                e += 1
+            return (p, e) if m == 1 else None
+        p += 1
+    return (n, 1)

@@ -1,0 +1,47 @@
+"""Tiny statistics helpers (no numpy dependency for scalar paths)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by mean — the load-balance metric.
+
+    Zero means perfectly balanced load. Raises if the mean is zero.
+    """
+    mu = mean(values)
+    if mu == 0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    var = sum((x - mu) ** 2 for x in values) / len(values)
+    return math.sqrt(var) / mu
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    value = ordered[lo] + frac * (ordered[hi] - ordered[lo])
+    # Clamp: float rounding in the interpolation must never push the
+    # result outside the bracketing samples (hypothesis-found edge case
+    # with near-equal subnormal inputs).
+    return min(max(value, ordered[lo]), ordered[hi])

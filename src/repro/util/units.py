@@ -1,0 +1,33 @@
+"""Byte and time units, and human-readable formatting for reports."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+_BYTE_UNITS = [(TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")]
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count like ``4.0 TiB`` / ``512 B`` for report tables."""
+    if n < 0:
+        raise ValueError(f"byte count must be >= 0, got {n}")
+    for factor, suffix in _BYTE_UNITS:
+        if n >= factor:
+            return f"{n / factor:.1f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration like ``2.3 h`` / ``41 s`` for report tables."""
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {seconds}")
+    if seconds >= 86400:
+        return f"{seconds / 86400:.2f} d"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.2f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds:.1f} s"

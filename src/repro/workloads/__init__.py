@@ -1,0 +1,18 @@
+"""Synthetic workloads and traces for the data-path and E9 experiments."""
+
+from repro.workloads.generators import (
+    Request,
+    sequential_workload,
+    uniform_workload,
+    zipf_workload,
+)
+from repro.workloads.trace import Trace, replay_trace
+
+__all__ = [
+    "Request",
+    "uniform_workload",
+    "zipf_workload",
+    "sequential_workload",
+    "Trace",
+    "replay_trace",
+]

@@ -1,0 +1,133 @@
+"""Record/replay traces against a live array.
+
+Replaying a trace returns per-request results plus the array's I/O stat
+deltas, which the E9 and E12 experiments use to attribute device load to
+foreground traffic versus redundancy maintenance. Traces serialize to
+JSON-lines so experiment inputs can be pinned in version control.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.core.array import LayoutArray
+from repro.errors import ReproError
+from repro.workloads.generators import Request
+
+
+@dataclass
+class Trace:
+    """An ordered request sequence with provenance metadata."""
+
+    name: str
+    requests: List[Request] = field(default_factory=list)
+
+    def append(self, request: Request) -> None:
+        """Add one request to the tail of the trace."""
+        self.requests.append(request)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON-lines: one header line, one per request."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"trace": self.name, "version": 1}) + "\n")
+            for request in self.requests:
+                handle.write(
+                    json.dumps(
+                        {
+                            "unit": request.unit,
+                            "write": request.is_write,
+                            "seed": request.payload_seed,
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            header_line = handle.readline()
+            try:
+                header = json.loads(header_line)
+                if header.get("version") != 1 or "trace" not in header:
+                    raise ValueError("bad header")
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise ReproError(
+                    f"{path}: not a version-1 trace file"
+                ) from exc
+            trace = cls(header["trace"])
+            for line_no, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                    trace.append(
+                        Request(
+                            unit=int(record["unit"]),
+                            is_write=bool(record["write"]),
+                            payload_seed=int(record["seed"]),
+                        )
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise ReproError(
+                        f"{path}:{line_no}: malformed trace record"
+                    ) from exc
+        return trace
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a trace."""
+
+    requests: int
+    reads: int
+    writes: int
+    device_reads: int
+    device_writes: int
+    checksum: int
+
+    @property
+    def read_amplification(self) -> float:
+        """Device reads per user request (degradation indicator)."""
+        if self.requests == 0:
+            return 0.0
+        return self.device_reads / self.requests
+
+
+def replay_trace(
+    array: LayoutArray, requests: Sequence[Request]
+) -> ReplayResult:
+    """Execute requests in order; returns I/O accounting and a checksum.
+
+    The checksum (sum of first bytes of read results) pins replay
+    determinism across layouts in the integration tests.
+    """
+    array.disks.reset_stats()
+    reads = writes = 0
+    checksum = 0
+    for request in requests:
+        if request.is_write:
+            array.write_unit(request.unit, request.payload(array.unit_bytes))
+            writes += 1
+        else:
+            value = array.read_unit(request.unit)
+            checksum = (checksum + int(value[0])) % (2**32)
+            reads += 1
+    stats: Dict[int, int] = array.disks.read_load()
+    device_reads = sum(d.stats.read_ops for d in array.disks)
+    device_writes = sum(d.stats.write_ops for d in array.disks)
+    del stats
+    return ReplayResult(
+        requests=len(requests),
+        reads=reads,
+        writes=writes,
+        device_reads=device_reads,
+        device_writes=device_writes,
+        checksum=checksum,
+    )

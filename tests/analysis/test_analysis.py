@@ -1,0 +1,169 @@
+"""Analytic models: overhead, update cost, speedup, balance, reliability."""
+
+import pytest
+
+from repro.analysis.balance import balance_report, jain_fairness
+from repro.analysis.overhead import (
+    SchemeProperties,
+    scheme_table,
+    storage_efficiency,
+)
+from repro.analysis.reliability import (
+    SchemeReliabilitySpec,
+    reliability_comparison,
+)
+from repro.analysis.speedup import (
+    ideal_parallel_speedup,
+    measured_speedup,
+    parity_declustering_speedup,
+)
+from repro.analysis.update_cost import analytic_update_cost
+from repro.errors import ReproError
+from repro.layouts import ParityDeclusteringLayout, Raid5Layout
+
+
+class TestOverhead:
+    def test_raid5(self):
+        assert storage_efficiency("raid5", k=5) == pytest.approx(0.8)
+
+    def test_raid6(self):
+        assert storage_efficiency("raid6", k=6) == pytest.approx(4 / 6)
+
+    def test_replication(self):
+        assert storage_efficiency("replication", c=3) == pytest.approx(1 / 3)
+
+    def test_oi_raid(self):
+        assert storage_efficiency("oi_raid", k=3, g=3) == pytest.approx(4 / 9)
+        assert storage_efficiency("oi_raid", k=5, g=5) == pytest.approx(16 / 25)
+
+    def test_oi_between_raid6_and_replication_for_wide_stripes(self):
+        oi = storage_efficiency("oi_raid", k=6, g=7)
+        assert storage_efficiency("replication", c=3) < oi
+        assert oi < storage_efficiency("raid6", k=8)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ReproError):
+            storage_efficiency("raid7", k=5)
+
+    def test_scheme_table_rows(self):
+        rows = scheme_table(7, 3, 3)
+        by_name = {r.name: r for r in rows}
+        assert by_name["oi-raid"].fault_tolerance == 3
+        assert by_name["oi-raid"].parity_updates_per_write == 3
+        assert by_name["raid50"].fault_tolerance == 1
+        assert by_name["parity-declustering"].n_disks == 21
+
+    def test_overhead_is_inverse_efficiency(self):
+        row = SchemeProperties("x", 10, 1, 0.5, 1, "-")
+        assert row.storage_overhead == pytest.approx(2.0)
+
+    def test_oi_matches_layout_measurement(self, fano_layout):
+        assert storage_efficiency("oi_raid", k=3, g=3) == pytest.approx(
+            fano_layout.storage_efficiency
+        )
+
+
+class TestUpdateCost:
+    def test_all_schemes(self):
+        assert analytic_update_cost("raid5").parity_units_touched == 1
+        assert analytic_update_cost("raid6").parity_units_touched == 2
+        assert analytic_update_cost("oi_raid").parity_units_touched == 3
+        assert analytic_update_cost("rs3").parity_units_touched == 3
+        assert (
+            analytic_update_cost("replication", copies=3).writes == 3
+        )
+
+    def test_total_ios(self):
+        assert analytic_update_cost("oi_raid").total_ios == 8
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            analytic_update_cost("nope")
+
+    def test_oi_matches_layout_penalty(self, fano_layout):
+        assert (
+            analytic_update_cost("oi_raid").parity_units_touched
+            == fano_layout.update_penalty()
+        )
+
+
+class TestSpeedup:
+    def test_declustering_formula(self):
+        assert parity_declustering_speedup(21, 3) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            parity_declustering_speedup(3, 4)
+
+    def test_declustering_layout_matches_formula(self):
+        layout = ParityDeclusteringLayout(n_disks=7, stripe_width=3)
+        assert measured_speedup(layout, balance=False) == pytest.approx(
+            parity_declustering_speedup(7, 3)
+        )
+
+    def test_measured_at_most_ideal(self, fano_layout):
+        measured = measured_speedup(fano_layout)
+        ideal = ideal_parallel_speedup(fano_layout)
+        assert measured <= ideal + 1e-9
+        assert measured > 0.5 * ideal  # the planner gets most of the bound
+
+    def test_raid5_is_unity(self):
+        assert measured_speedup(Raid5Layout(5)) == pytest.approx(1.0)
+
+
+class TestBalance:
+    def test_jain_bounds(self):
+        assert jain_fairness([1, 1, 1, 1]) == pytest.approx(1.0)
+        assert jain_fairness([4, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_fairness([0, 0]) == 1.0
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+    def test_report_includes_idle_disks(self):
+        report = balance_report({0: 10}, n_disks=5, exclude=[4])
+        assert report.n_disks == 4
+        assert report.min_load == 0
+        assert report.max_load == 10
+        assert report.fairness == pytest.approx(0.25)
+
+    def test_perfectly_even(self):
+        report = balance_report({d: 3 for d in range(4)}, 4)
+        assert report.cv == pytest.approx(0.0)
+        assert report.peak_to_mean == pytest.approx(1.0)
+
+    def test_all_excluded_rejected(self):
+        with pytest.raises(ValueError):
+            balance_report({}, 2, exclude=[0, 1])
+
+
+class TestReliabilityComparison:
+    def test_oi_dominates_baselines(self):
+        rows = reliability_comparison(
+            21,
+            [
+                SchemeReliabilitySpec("raid50", 1, 1.0),
+                SchemeReliabilitySpec("raid6-ish", 2, 1.0),
+                SchemeReliabilitySpec("oi-raid", 3, 6.0),
+            ],
+            mttf_hours=50_000.0,
+            base_mttr_hours=24.0,
+        )
+        by_name = {r.name: r for r in rows}
+        assert (
+            by_name["oi-raid"].mttdl_hours
+            > by_name["raid6-ish"].mttdl_hours
+            > by_name["raid50"].mttdl_hours
+        )
+        assert by_name["oi-raid"].prob_loss_10y < 1e-6
+
+    def test_mttr_scaled_by_speedup(self):
+        rows = reliability_comparison(
+            10,
+            [SchemeReliabilitySpec("fast", 1, 4.0)],
+            base_mttr_hours=24.0,
+        )
+        assert rows[0].mttr_hours == pytest.approx(6.0)
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            reliability_comparison(
+                10, [SchemeReliabilitySpec("bad", 1, 0.0)]
+            )

@@ -1,0 +1,52 @@
+"""Rebuild-window exposure math."""
+
+import math
+
+import pytest
+
+from repro.analysis.window import prob_failures_within, window_risk
+
+
+class TestProbFailuresWithin:
+    def test_zero_window_is_safe(self):
+        assert prob_failures_within(20, 0.0, 1000.0, 1) == 0.0
+
+    def test_single_survivor_closed_form(self):
+        w, mttf = 10.0, 100.0
+        expected = 1 - math.exp(-w / mttf)
+        assert prob_failures_within(1, w, mttf, 1) == pytest.approx(expected)
+
+    def test_at_least_beyond_population(self):
+        assert prob_failures_within(3, 10.0, 100.0, 4) == 0.0
+
+    def test_monotone_in_window(self):
+        short = prob_failures_within(20, 1.0, 1000.0, 1)
+        long = prob_failures_within(20, 10.0, 1000.0, 1)
+        assert 0 < short < long < 1
+
+    def test_monotone_in_threshold(self):
+        one = prob_failures_within(20, 24.0, 1000.0, 1)
+        three = prob_failures_within(20, 24.0, 1000.0, 3)
+        assert three < one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prob_failures_within(20, -1.0, 1000.0, 1)
+        with pytest.raises(ValueError):
+            prob_failures_within(20, 1.0, 0.0, 1)
+
+
+class TestWindowRisk:
+    def test_faster_rebuild_and_deeper_tolerance_compound(self):
+        raid50 = window_risk("raid50", 21, 1, rebuild_hours=24.0)
+        oi = window_risk("oi-raid", 21, 3, rebuild_hours=24.0 / 6.75)
+        # One extra failure during rebuild is already fatal for RAID50...
+        assert raid50.p_exceeds_tolerance == raid50.p_one_more
+        # ...while OI-RAID needs three more in a 6.75x shorter window.
+        assert oi.p_exceeds_tolerance < raid50.p_exceeds_tolerance / 1e6
+
+    def test_window_scaling(self):
+        slow = window_risk("x", 21, 1, rebuild_hours=24.0)
+        fast = window_risk("x", 21, 1, rebuild_hours=2.4)
+        ratio = fast.p_one_more / slow.p_one_more
+        assert ratio == pytest.approx(0.1, rel=0.02)  # small-p linearity

@@ -1,0 +1,123 @@
+"""GF(256): field axioms, buffer kernels, linear solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.gf256 import GF256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestScalarOps:
+    def test_add_is_xor(self):
+        assert GF256.add(0x53, 0xCA) == 0x53 ^ 0xCA
+
+    def test_known_aes_product(self):
+        # 0x53 * 0xCA = 0x01 under the Rijndael polynomial.
+        assert GF256.mul(0x53, 0xCA) == 0x01
+
+    def test_mul_by_zero_and_one(self):
+        for a in range(256):
+            assert GF256.mul(a, 0) == 0
+            assert GF256.mul(a, 1) == a
+
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200)
+    def test_distributive(self, a, b, c):
+        assert GF256.mul(a, GF256.add(b, c)) == GF256.add(
+            GF256.mul(a, b), GF256.mul(a, c)
+        )
+
+    def test_every_nonzero_has_inverse(self):
+        for a in range(1, 256):
+            assert GF256.mul(a, GF256.inv(a)) == 1
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+
+    @given(elements, nonzero)
+    def test_div_inverts_mul(self, a, b):
+        assert GF256.div(GF256.mul(a, b), b) == a
+
+    def test_pow_cycle(self):
+        # The generator has multiplicative order 255.
+        g = 0x03
+        assert GF256.pow(g, 255) == 1
+        seen = {GF256.pow(g, i) for i in range(255)}
+        assert len(seen) == 255
+
+    def test_pow_of_zero(self):
+        assert GF256.pow(0, 0) == 1
+        assert GF256.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, -1)
+
+    def test_exp_wraps(self):
+        assert GF256.exp(0) == 1
+        assert GF256.exp(255) == GF256.exp(0)
+
+
+class TestBufferOps:
+    def test_mul_bytes_matches_scalar(self):
+        data = np.arange(256, dtype=np.uint8)
+        for coeff in (0, 1, 2, 0x1D, 0xFF):
+            out = GF256.mul_bytes(coeff, data)
+            expected = [GF256.mul(coeff, int(x)) for x in data]
+            assert out.tolist() == expected
+
+    def test_mul_bytes_copy_semantics(self):
+        data = np.array([1, 2, 3], dtype=np.uint8)
+        out = GF256.mul_bytes(1, data)
+        out[0] = 99
+        assert data[0] == 1
+
+    def test_addmul_accumulates(self):
+        acc = np.zeros(4, dtype=np.uint8)
+        data = np.array([1, 2, 3, 4], dtype=np.uint8)
+        GF256.addmul(acc, 2, data)
+        GF256.addmul(acc, 2, data)
+        assert not acc.any()  # adding twice in char 2 cancels
+
+    def test_addmul_zero_coeff_is_noop(self):
+        acc = np.array([7, 7], dtype=np.uint8)
+        GF256.addmul(acc, 0, np.array([1, 2], dtype=np.uint8))
+        assert acc.tolist() == [7, 7]
+
+
+class TestSolve:
+    def test_identity_system(self):
+        rhs = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        out = GF256.solve([[1, 0], [0, 1]], rhs)
+        assert np.array_equal(out, rhs)
+
+    def test_roundtrip_random_system(self):
+        rng = np.random.default_rng(0)
+        m = 4
+        matrix = [[GF256.exp(i * j + i + j) for j in range(m)] for i in range(m)]
+        x = rng.integers(0, 256, size=(m, 8), dtype=np.uint8)
+        rhs = np.zeros_like(x)
+        for i in range(m):
+            for j in range(m):
+                GF256.addmul(rhs[i], matrix[i][j], x[j])
+        solved = GF256.solve(matrix, rhs)
+        assert np.array_equal(solved, x)
+
+    def test_singular_matrix_rejected(self):
+        rhs = np.zeros((2, 4), dtype=np.uint8)
+        with pytest.raises(ZeroDivisionError):
+            GF256.solve([[1, 1], [1, 1]], rhs)

@@ -1,0 +1,111 @@
+"""RAID5 codec: encode/decode/repair/small-write/verify."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.raid5 import Raid5Codec
+from repro.errors import DecodeError
+
+buffers = st.lists(
+    st.binary(min_size=8, max_size=8), min_size=4, max_size=4
+)
+
+
+def _units(seed: int, width: int, size: int = 16):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(width)]
+
+
+class TestEncodeDecode:
+    def test_parity_is_xor(self):
+        codec = Raid5Codec(4)
+        data = _units(0, 3)
+        parity = codec.encode(data)
+        assert np.array_equal(parity, data[0] ^ data[1] ^ data[2])
+
+    def test_encode_wrong_arity_rejected(self):
+        with pytest.raises(DecodeError):
+            Raid5Codec(4).encode(_units(0, 2))
+
+    @pytest.mark.parametrize("width", [2, 3, 5, 9])
+    @pytest.mark.parametrize("lost", [0, 1])
+    def test_decode_any_single_erasure(self, width, lost):
+        codec = Raid5Codec(width)
+        data = _units(width, width - 1)
+        stripe = data + [codec.encode(data)]
+        lost_index = lost * (width - 1)  # first or last position
+        erased = [u if i != lost_index else None for i, u in enumerate(stripe)]
+        decoded = codec.decode(erased)
+        for original, recovered in zip(stripe, decoded):
+            assert np.array_equal(original, recovered)
+
+    def test_decode_no_erasure_passthrough(self):
+        codec = Raid5Codec(3)
+        data = _units(1, 2)
+        stripe = data + [codec.encode(data)]
+        decoded = codec.decode(stripe)
+        assert all(np.array_equal(a, b) for a, b in zip(stripe, decoded))
+
+    def test_decode_two_erasures_rejected(self):
+        codec = Raid5Codec(4)
+        data = _units(2, 3)
+        stripe = data + [codec.encode(data)]
+        stripe[0] = stripe[2] = None
+        with pytest.raises(DecodeError):
+            codec.decode(stripe)
+
+    def test_decode_wrong_slot_count_rejected(self):
+        with pytest.raises(DecodeError):
+            Raid5Codec(4).decode([None, None, None])
+
+
+class TestRepairAndUpdate:
+    def test_repair_unit(self):
+        codec = Raid5Codec(5)
+        data = _units(3, 4)
+        parity = codec.encode(data)
+        stripe = data + [parity]
+        for lost in range(5):
+            surviving = [u for i, u in enumerate(stripe) if i != lost]
+            repaired = codec.repair_unit(surviving, lost)
+            assert np.array_equal(repaired, stripe[lost])
+
+    def test_repair_wrong_arity_rejected(self):
+        with pytest.raises(DecodeError):
+            Raid5Codec(5).repair_unit(_units(0, 2), 0)
+
+    def test_small_write_parity_update(self):
+        codec = Raid5Codec(4)
+        data = _units(4, 3)
+        parity = codec.encode(data)
+        new0 = _units(5, 1)[0]
+        updated = codec.update_parity(parity, data[0], new0)
+        full = codec.encode([new0, data[1], data[2]])
+        assert np.array_equal(updated, full)
+
+    @given(buffers)
+    @settings(max_examples=50)
+    def test_verify_roundtrip_property(self, bufs):
+        codec = Raid5Codec(5)
+        data = [np.frombuffer(b, dtype=np.uint8) for b in bufs]
+        stripe = data + [codec.encode(data)]
+        assert codec.verify(stripe)
+
+    def test_verify_detects_corruption(self):
+        codec = Raid5Codec(4)
+        data = _units(6, 3)
+        stripe = data + [codec.encode(data)]
+        stripe[1] = stripe[1].copy()
+        stripe[1][0] ^= 1
+        assert not codec.verify(stripe)
+
+    def test_io_costs(self):
+        costs = Raid5Codec(6).io_costs()
+        assert costs["small_write_reads"] == 2
+        assert costs["repair_reads_per_unit"] == 5
+
+    def test_width_lower_bound(self):
+        with pytest.raises(ValueError):
+            Raid5Codec(1)

@@ -1,0 +1,97 @@
+"""Reed-Solomon codec: MDS property over every erasure pattern."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.reedsolomon import ReedSolomonCodec
+from repro.errors import DecodeError
+
+
+def _stripe(codec: ReedSolomonCodec, seed: int = 0, size: int = 12):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(codec.k)]
+    return data + codec.encode(data)
+
+
+@pytest.mark.parametrize("k,m", [(2, 1), (3, 2), (4, 3), (5, 4), (6, 3)])
+def test_every_erasure_pattern_up_to_m(k, m):
+    codec = ReedSolomonCodec(k, m)
+    stripe = _stripe(codec, seed=k * 10 + m)
+    width = k + m
+    for n_lost in range(1, m + 1):
+        for lost in itertools.combinations(range(width), n_lost):
+            erased = [
+                u if i not in lost else None for i, u in enumerate(stripe)
+            ]
+            decoded = codec.decode(erased)
+            for a, b in zip(stripe, decoded):
+                assert np.array_equal(a, b)
+
+
+def test_too_many_erasures_rejected():
+    codec = ReedSolomonCodec(4, 2)
+    stripe = _stripe(codec)
+    stripe[0] = stripe[1] = stripe[2] = None
+    with pytest.raises(DecodeError):
+        codec.decode(stripe)
+
+
+def test_corrupt_survivor_detected():
+    codec = ReedSolomonCodec(3, 2)
+    stripe = _stripe(codec, 7)
+    stripe[4] = stripe[4].copy()
+    stripe[4][0] ^= 1
+    stripe[0] = None
+    with pytest.raises(DecodeError, match="disagrees"):
+        codec.decode(stripe)
+
+
+def test_verify():
+    codec = ReedSolomonCodec(5, 3)
+    stripe = _stripe(codec, 9)
+    assert codec.verify(stripe)
+    stripe[6] = stripe[6].copy()
+    stripe[6][3] ^= 0xAA
+    assert not codec.verify(stripe)
+
+
+def test_parameter_bounds():
+    with pytest.raises(DecodeError):
+        ReedSolomonCodec(200, 100)
+    with pytest.raises(ValueError):
+        ReedSolomonCodec(0, 1)
+    with pytest.raises(ValueError):
+        ReedSolomonCodec(1, 0)
+
+
+def test_unequal_unit_lengths_rejected():
+    codec = ReedSolomonCodec(2, 1)
+    with pytest.raises(DecodeError):
+        codec.encode(
+            [np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8)]
+        )
+
+
+def test_io_costs_scale_with_m():
+    assert ReedSolomonCodec(4, 3).io_costs()["small_write_writes"] == 4
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_configs_roundtrip(k, m, seed):
+    codec = ReedSolomonCodec(k, m)
+    stripe = _stripe(codec, seed)
+    rng = np.random.default_rng(seed)
+    lost = rng.choice(k + m, size=min(m, k + m), replace=False)
+    erased = [u if i not in lost else None for i, u in enumerate(stripe)]
+    decoded = codec.decode(erased)
+    for a, b in zip(stripe, decoded):
+        assert np.array_equal(a, b)

@@ -1,0 +1,67 @@
+"""XOR kernel and stripe geometry."""
+
+import numpy as np
+import pytest
+
+from repro.codes.stripe import StripeSpec
+from repro.codes.xor import as_unit, xor_blocks
+from repro.errors import CodingError
+
+
+class TestXorBlocks:
+    def test_single_buffer_is_copy(self):
+        data = np.array([1, 2, 3], dtype=np.uint8)
+        out = xor_blocks([data])
+        assert np.array_equal(out, data)
+        out[0] = 9
+        assert data[0] == 1
+
+    def test_xor_of_pair(self):
+        out = xor_blocks([[0xF0, 0x0F], [0xFF, 0xFF]])
+        assert out.tolist() == [0x0F, 0xF0]
+
+    def test_self_cancellation(self):
+        data = np.arange(16, dtype=np.uint8)
+        assert not xor_blocks([data, data]).any()
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodingError):
+            xor_blocks([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CodingError):
+            xor_blocks([[1, 2], [1, 2, 3]])
+
+    def test_accepts_bytes_and_lists(self):
+        out = xor_blocks([b"\x01\x02", [3, 4]])
+        assert out.tolist() == [2, 6]
+
+
+class TestAsUnit:
+    def test_length_check(self):
+        with pytest.raises(CodingError):
+            as_unit([1, 2, 3], length=4)
+
+    def test_dimensionality_check(self):
+        with pytest.raises(CodingError):
+            as_unit(np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestStripeSpec:
+    def test_derived_quantities(self):
+        spec = StripeSpec(data_units=4, parity_units=2, unit_bytes=512)
+        assert spec.width == 6
+        assert spec.stripe_bytes == 2048
+        assert spec.efficiency == pytest.approx(4 / 6)
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            StripeSpec(0, 1, 512)
+        with pytest.raises(ValueError):
+            StripeSpec(1, 0, 512)
+        with pytest.raises(ValueError):
+            StripeSpec(1, 1, 0)
+
+    def test_rejects_over_wide_stripes(self):
+        with pytest.raises(CodingError):
+            StripeSpec(254, 2, 512)

@@ -1,0 +1,57 @@
+"""Shared fixtures: canonical designs, layouts, and small live arrays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.core.oi_layout import OIRAIDLayout, oi_raid
+from repro.design.projective import fano_plane
+from repro.layouts import (
+    MirrorLayout,
+    ParityDeclusteringLayout,
+    Raid5Layout,
+    Raid6Layout,
+    Raid50Layout,
+)
+
+
+@pytest.fixture(scope="session")
+def fano():
+    """The (7, 7, 3, 3, 1) design — the paper-scale running example."""
+    return fano_plane()
+
+
+@pytest.fixture(scope="session")
+def fano_layout(fano) -> OIRAIDLayout:
+    """OI-RAID over the Fano plane: 21 disks, 7 groups of 3."""
+    return OIRAIDLayout(fano, group_size=3)
+
+
+@pytest.fixture(scope="session")
+def unskewed_layout(fano) -> OIRAIDLayout:
+    """The E10 ablation variant (no skew)."""
+    return OIRAIDLayout(fano, group_size=3, skewed=False)
+
+
+@pytest.fixture(scope="session")
+def all_baseline_layouts():
+    """One instance of every baseline layout, roughly 21 disks each."""
+    return [
+        Raid5Layout(7),
+        Raid6Layout(7),
+        Raid50Layout(7, 3),
+        ParityDeclusteringLayout(n_disks=21, stripe_width=3),
+        MirrorLayout(21, copies=3),
+    ]
+
+
+@pytest.fixture
+def small_oi_array(fano_layout) -> OIRAIDArray:
+    """A fresh, writable OI-RAID array (small units for speed)."""
+    return OIRAIDArray(fano_layout, unit_bytes=32, cycles=1)
+
+
+@pytest.fixture
+def raid5_array() -> LayoutArray:
+    return LayoutArray(Raid5Layout(5), unit_bytes=32, cycles=2)

@@ -1,0 +1,214 @@
+"""The live data path: reads, writes, degradation, reconstruction."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.errors import ArrayError, DataLossError
+from repro.layouts import MirrorLayout, Raid5Layout, Raid6Layout, Raid50Layout
+
+
+def _fill(array, n=25, seed=0):
+    """Write random payloads to random units; returns {unit: payload}."""
+    rng = random.Random(seed)
+    payloads = {}
+    units = rng.sample(range(array.user_units), min(n, array.user_units))
+    for u in units:
+        p = bytes(rng.randrange(256) for _ in range(array.unit_bytes))
+        array.write_unit(u, p)
+        payloads[u] = p
+    return payloads
+
+
+class TestAddressing:
+    def test_capacity_accounting(self, small_oi_array):
+        layout = small_oi_array.layout
+        assert small_oi_array.user_units == len(layout.data_cells)
+        assert (
+            small_oi_array.user_capacity
+            == small_oi_array.user_units * small_oi_array.unit_bytes
+        )
+
+    def test_unit_out_of_range(self, small_oi_array):
+        with pytest.raises(IndexError):
+            small_oi_array.read_unit(small_oi_array.user_units)
+
+    def test_byte_span_out_of_range(self, small_oi_array):
+        with pytest.raises(ArrayError):
+            small_oi_array.read(small_oi_array.user_capacity - 1, 2)
+
+    def test_wrong_unit_write_size(self, small_oi_array):
+        with pytest.raises(ArrayError):
+            small_oi_array.write_unit(0, b"short")
+
+    def test_multi_cycle_addressing(self, fano_layout):
+        array = OIRAIDArray(fano_layout, unit_bytes=16, cycles=3)
+        per_cycle = len(fano_layout.data_cells)
+        assert array.user_units == 3 * per_cycle
+        array.write_unit(2 * per_cycle + 1, bytes(range(16)))
+        assert bytes(array.read_unit(2 * per_cycle + 1)) == bytes(range(16))
+
+
+class TestHealthyDataPath:
+    def test_fresh_array_reads_zero_and_verifies(self, small_oi_array):
+        assert not small_oi_array.read_unit(0).any()
+        assert small_oi_array.verify()
+
+    def test_write_read_roundtrip(self, small_oi_array):
+        payloads = _fill(small_oi_array)
+        for u, p in payloads.items():
+            assert bytes(small_oi_array.read_unit(u)) == p
+
+    def test_parity_consistency_after_writes(self, small_oi_array):
+        _fill(small_oi_array, n=40)
+        assert small_oi_array.verify()
+
+    def test_overwrite_updates_parity(self, small_oi_array):
+        small_oi_array.write_unit(3, b"\xaa" * 32)
+        small_oi_array.write_unit(3, b"\x55" * 32)
+        assert small_oi_array.verify()
+        assert bytes(small_oi_array.read_unit(3)) == b"\x55" * 32
+
+    def test_idempotent_write_is_noop(self, small_oi_array):
+        small_oi_array.write_unit(0, b"\x11" * 32)
+        small_oi_array.disks.reset_stats()
+        small_oi_array.write_unit(0, b"\x11" * 32)
+        assert sum(d.stats.write_ops for d in small_oi_array.disks) == 0
+
+    def test_byte_addressed_io_spanning_units(self, small_oi_array):
+        blob = bytes(range(100))
+        small_oi_array.write(10, blob)
+        assert bytes(small_oi_array.read(10, 100)) == blob
+        assert small_oi_array.verify()
+
+    def test_scrub_detects_corruption(self, small_oi_array):
+        _fill(small_oi_array, n=5)
+        assert small_oi_array.verify()
+        small_oi_array.corrupt_cell(0, small_oi_array.layout.data_cells[0])
+        assert not small_oi_array.verify()
+
+
+class TestDegradedOperation:
+    @pytest.mark.parametrize("failures", [[0], [0, 4], [0, 1, 9], [6, 7, 8]])
+    def test_degraded_reads_return_written_data(
+        self, small_oi_array, failures
+    ):
+        payloads = _fill(small_oi_array, n=30, seed=2)
+        for d in failures:
+            small_oi_array.fail_disk(d)
+        for u, p in payloads.items():
+            assert bytes(small_oi_array.read_unit(u)) == p
+
+    def test_degraded_write_then_read(self, small_oi_array):
+        _fill(small_oi_array, n=10, seed=3)
+        small_oi_array.fail_disk(0)
+        small_oi_array.fail_disk(3)
+        target = 1
+        small_oi_array.write_unit(target, b"\xfe" * 32)
+        assert bytes(small_oi_array.read_unit(target)) == b"\xfe" * 32
+
+    def test_unrecoverable_pattern_raises(self, small_oi_array):
+        witness = None
+        from repro.core.tolerance import first_unrecoverable
+
+        witness = first_unrecoverable(small_oi_array.layout, 4)
+        assert witness is not None
+        for d in witness:
+            small_oi_array.fail_disk(d)
+        with pytest.raises(DataLossError):
+            small_oi_array.reconstruct()
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("failures", [[5], [2, 12], [0, 1, 2], [3, 9, 15]])
+    def test_reconstruct_restores_contents_and_parity(
+        self, small_oi_array, failures
+    ):
+        payloads = _fill(small_oi_array, n=30, seed=4)
+        for d in failures:
+            small_oi_array.fail_disk(d)
+        regenerated = small_oi_array.reconstruct()
+        assert regenerated == len(failures) * small_oi_array.layout.units_per_disk
+        assert small_oi_array.failed_disks == []
+        assert small_oi_array.verify()
+        for u, p in payloads.items():
+            assert bytes(small_oi_array.read_unit(u)) == p
+
+    def test_reconstruct_healthy_array_is_noop(self, small_oi_array):
+        assert small_oi_array.reconstruct() == 0
+
+    def test_degraded_write_survives_reconstruction(self, small_oi_array):
+        small_oi_array.write_unit(7, b"\x01" * 32)
+        small_oi_array.fail_disk(small_oi_array.layout.data_cells[7][0])
+        small_oi_array.write_unit(7, b"\x02" * 32)
+        small_oi_array.reconstruct()
+        assert bytes(small_oi_array.read_unit(7)) == b"\x02" * 32
+        assert small_oi_array.verify()
+
+    def test_measured_read_load_matches_plan(self, fano_layout):
+        from repro.layouts.recovery import plan_recovery
+
+        array = OIRAIDArray(fano_layout, unit_bytes=16)
+        _fill(array, n=10, seed=5)
+        array.fail_disk(2)
+        plan = plan_recovery(fano_layout, [2])
+        array.disks.reset_stats()
+        array.reconstruct()
+        measured = {
+            d.disk_id: d.stats.read_ops
+            for d in array.disks
+            if d.stats.read_ops
+        }
+        assert measured == plan.read_units_per_disk()
+
+    def test_repeated_fail_rebuild_cycles(self, small_oi_array):
+        payloads = _fill(small_oi_array, n=15, seed=6)
+        for round_ in range(3):
+            small_oi_array.fail_disk((round_ * 5) % 21)
+            small_oi_array.reconstruct()
+        assert small_oi_array.verify()
+        for u, p in payloads.items():
+            assert bytes(small_oi_array.read_unit(u)) == p
+
+
+class TestBaselineArrays:
+    @pytest.mark.parametrize(
+        "layout_factory,failures",
+        [
+            (lambda: Raid5Layout(5), [1]),
+            (lambda: Raid6Layout(6), [0, 3]),
+            (lambda: Raid50Layout(3, 3), [2, 4]),
+            (lambda: MirrorLayout(6, copies=3), [0, 3]),
+        ],
+        ids=["raid5", "raid6", "raid50", "mirror"],
+    )
+    def test_full_lifecycle(self, layout_factory, failures):
+        array = LayoutArray(layout_factory(), unit_bytes=16, cycles=2)
+        payloads = _fill(array, n=12, seed=7)
+        for d in failures:
+            array.fail_disk(d)
+        for u, p in payloads.items():
+            assert bytes(array.read_unit(u)) == p
+        array.reconstruct()
+        assert array.verify()
+        for u, p in payloads.items():
+            assert bytes(array.read_unit(u)) == p
+
+    def test_oi_array_requires_oi_layout(self):
+        with pytest.raises(ArrayError):
+            OIRAIDArray(Raid5Layout(4))  # type: ignore[arg-type]
+
+    def test_fail_group_helper(self, fano_layout):
+        array = OIRAIDArray(fano_layout, unit_bytes=16)
+        array.fail_group(2)
+        assert array.failed_disks == [6, 7, 8]
+        assert array.group_of(7) == 2
+        array.reconstruct()
+        assert array.verify()
+
+    def test_build_classmethod(self):
+        array = OIRAIDArray.build(7, 3, unit_bytes=16)
+        assert array.fault_tolerance == 3
+        assert array.layout.n_disks == 21

@@ -1,0 +1,161 @@
+"""Stripe codecs: encode / delta-update / repair for every code family."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import (
+    MirrorStripeCodec,
+    PQStripeCodec,
+    RSStripeCodec,
+    XorStripeCodec,
+    codec_for,
+)
+from repro.errors import DecodeError
+from repro.layouts.base import Stripe, Unit
+
+
+def _stripe(width, parity, tolerance, kind="t"):
+    units = tuple(Unit(i, 0) for i in range(width))
+    return Stripe(0, kind, units, parity, tolerance, 0)
+
+
+def _values(width, seed=0, size=16):
+    rng = np.random.default_rng(seed)
+    return {
+        i: rng.integers(0, 256, size, dtype=np.uint8) for i in range(width)
+    }
+
+
+def _full(codec, data):
+    values = dict(data)
+    values.update(codec.encode(data))
+    return values
+
+
+class TestCodecSelection:
+    def test_xor_for_tolerance_one(self):
+        assert isinstance(codec_for(_stripe(4, (1,), 1)), XorStripeCodec)
+
+    def test_pq_for_tolerance_two(self):
+        assert isinstance(codec_for(_stripe(5, (0, 1), 2)), PQStripeCodec)
+
+    def test_rs_for_higher_tolerance(self):
+        assert isinstance(codec_for(_stripe(7, (0, 1, 2), 3)), RSStripeCodec)
+
+    def test_mirror_by_kind(self):
+        stripe = _stripe(3, (1, 2), 2, kind="mirror")
+        assert isinstance(codec_for(stripe), MirrorStripeCodec)
+
+
+@pytest.mark.parametrize(
+    "stripe",
+    [
+        _stripe(4, (2,), 1),
+        _stripe(5, (0, 4), 2),
+        _stripe(6, (1, 3, 5), 3),
+        _stripe(3, (1, 2), 2, kind="mirror"),
+    ],
+    ids=["xor", "pq", "rs", "mirror"],
+)
+class TestCodecContract:
+    def test_encode_then_verify(self, stripe):
+        codec = codec_for(stripe)
+        data = {
+            p: v
+            for p, v in _values(stripe.width).items()
+            if p in stripe.data_positions
+        }
+        values = _full(codec, data)
+        assert codec.verify(values)
+
+    def test_repair_every_pattern_within_tolerance(self, stripe):
+        import itertools
+
+        codec = codec_for(stripe)
+        data = {
+            p: v
+            for p, v in _values(stripe.width, seed=3).items()
+            if p in stripe.data_positions
+        }
+        values = _full(codec, data)
+        for n_lost in range(1, stripe.tolerance + 1):
+            for lost in itertools.combinations(range(stripe.width), n_lost):
+                known = {p: v for p, v in values.items() if p not in lost}
+                repaired = codec.repair(known)
+                assert set(repaired) == set(lost)
+                for p in lost:
+                    assert np.array_equal(repaired[p], values[p])
+
+    def test_repair_beyond_tolerance_rejected(self, stripe):
+        codec = codec_for(stripe)
+        data = {
+            p: v
+            for p, v in _values(stripe.width, seed=5).items()
+            if p in stripe.data_positions
+        }
+        values = _full(codec, data)
+        lost = list(range(stripe.tolerance + 1))
+        known = {p: v for p, v in values.items() if p not in lost}
+        with pytest.raises(DecodeError):
+            codec.repair(known)
+
+    def test_repair_nothing_missing_is_empty(self, stripe):
+        codec = codec_for(stripe)
+        data = {
+            p: v
+            for p, v in _values(stripe.width, seed=7).items()
+            if p in stripe.data_positions
+        }
+        values = _full(codec, data)
+        assert codec.repair(values) == {}
+
+    def test_parity_delta_matches_full_reencode(self, stripe):
+        codec = codec_for(stripe)
+        rng = np.random.default_rng(11)
+        data = {
+            p: v
+            for p, v in _values(stripe.width, seed=9).items()
+            if p in stripe.data_positions
+        }
+        old_parity = codec.encode(data)
+        target = stripe.data_positions[0]
+        new_value = rng.integers(0, 256, 16, dtype=np.uint8)
+        delta = data[target] ^ new_value
+        parity_deltas = codec.parity_delta({target: delta})
+        new_data = dict(data)
+        new_data[target] = new_value
+        expected = codec.encode(new_data)
+        for p in stripe.parity:
+            updated = old_parity[p] ^ parity_deltas[p]
+            assert np.array_equal(updated, expected[p])
+
+    def test_multi_position_delta(self, stripe):
+        if len(stripe.data_positions) < 2:
+            pytest.skip("needs two data positions")
+        codec = codec_for(stripe)
+        rng = np.random.default_rng(13)
+        data = {
+            p: v
+            for p, v in _values(stripe.width, seed=15).items()
+            if p in stripe.data_positions
+        }
+        old_parity = codec.encode(data)
+        targets = stripe.data_positions[:2]
+        deltas = {}
+        new_data = dict(data)
+        for t in targets:
+            nv = rng.integers(0, 256, 16, dtype=np.uint8)
+            deltas[t] = data[t] ^ nv
+            new_data[t] = nv
+        parity_deltas = codec.parity_delta(deltas)
+        expected = codec.encode(new_data)
+        for p in stripe.parity:
+            assert np.array_equal(old_parity[p] ^ parity_deltas[p], expected[p])
+
+
+class TestMirrorSpecifics:
+    def test_all_replicas_missing_rejected(self):
+        stripe = _stripe(2, (1,), 1, kind="mirror")
+        codec = codec_for(stripe)
+        with pytest.raises(DecodeError):
+            codec.repair({})

@@ -1,0 +1,122 @@
+"""Generalized OI-RAID instantiations (beyond RAID5-in-both-layers).
+
+The paper deploys RAID5 in both layers "as an example"; the architecture
+admits any MDS code per layer. These tests pin the generalized geometry,
+the tolerance lower bound m_o + m_i + 1, and the full data path with P+Q
+and Reed-Solomon layers.
+"""
+
+import pytest
+
+from repro.core.array import OIRAIDArray
+from repro.core.oi_layout import OIRAIDLayout, oi_raid
+from repro.core.tolerance import first_unrecoverable, guaranteed_tolerance
+from repro.errors import LayoutError
+from repro.layouts.recovery import is_recoverable
+
+
+class TestGeneralizedGeometry:
+    def test_efficiency_closed_form(self, fano):
+        layout = OIRAIDLayout(fano, 3, outer_parities=1, inner_parities=2)
+        assert layout.storage_efficiency == pytest.approx(
+            layout.analytic_efficiency
+        )
+        assert layout.analytic_efficiency == pytest.approx(2 / 3 * 1 / 3)
+
+    def test_outer_stripes_carry_m_o_parities(self, fano):
+        layout = OIRAIDLayout(fano, 3, outer_parities=2)
+        for stripe in layout.outer_stripes():
+            assert len(stripe.parity) == 2
+            assert stripe.tolerance == 2
+
+    def test_inner_rows_carry_m_i_parities(self, fano):
+        layout = OIRAIDLayout(fano, 3, inner_parities=2)
+        for stripe in layout.inner_stripes():
+            assert len(stripe.parity) == 2
+            assert stripe.tolerance == 2
+
+    def test_unit_count_formula(self, fano):
+        layout = OIRAIDLayout(fano, 3, inner_parities=2)
+        # g=3, m_i=2: D = 1, U_o = 9, U_i = 9*2/(3-2) = 18.
+        assert layout.outer_units_per_disk == 9
+        assert layout.inner_units_per_disk == 18
+        assert layout.units_per_disk == 27
+
+    def test_parameter_validation(self, fano):
+        with pytest.raises(LayoutError):
+            OIRAIDLayout(fano, 3, outer_parities=3)  # == k
+        with pytest.raises(LayoutError):
+            OIRAIDLayout(fano, 3, inner_parities=3)  # == g
+        with pytest.raises(ValueError):
+            OIRAIDLayout(fano, 3, outer_parities=0)
+
+    def test_wider_config_with_pq_outer(self):
+        layout = oi_raid(13, 4, group_size=5, outer_parities=2)
+        assert layout.design_tolerance == 4
+        assert layout.storage_efficiency == pytest.approx(2 / 4 * 4 / 5)
+
+    def test_describe_reports_layers(self, fano):
+        info = OIRAIDLayout(fano, 3, outer_parities=2).describe()
+        assert info["outer_parities"] == 2
+        assert info["design_tolerance"] == 4
+
+
+class TestGeneralizedTolerance:
+    @pytest.mark.parametrize(
+        "m_o,m_i",
+        [(1, 1), (2, 1), (1, 2)],
+    )
+    def test_tolerance_bound_holds(self, fano, m_o, m_i):
+        layout = OIRAIDLayout(
+            fano, 3, outer_parities=m_o, inner_parities=m_i
+        )
+        bound = layout.design_tolerance
+        assert bound == m_o + m_i + 1
+        measured = guaranteed_tolerance(
+            layout, limit=bound, max_patterns_per_size=800
+        )
+        assert measured >= bound
+
+    def test_reference_bound_is_tight(self, fano_layout):
+        assert first_unrecoverable(fano_layout, 4) is not None
+
+    def test_double_group_loss_with_pq_inner(self, fano):
+        # m_i = 2 lets a group lose two disks and still repair internally;
+        # losing one full group of 3 plus a disk elsewhere stays safe.
+        layout = OIRAIDLayout(fano, 3, inner_parities=2)
+        group0 = layout.grouping.group_disks(0)
+        assert is_recoverable(layout, group0 + [5])
+
+
+class TestGeneralizedDataPath:
+    @pytest.mark.parametrize(
+        "m_o,m_i,failures",
+        [
+            (2, 1, [0, 1, 2, 3]),
+            (1, 2, [0, 1, 2, 3]),
+            (2, 2, [0, 1, 2, 3, 4]),
+        ],
+    )
+    def test_lifecycle_beyond_three_failures(self, fano, m_o, m_i, failures):
+        layout = OIRAIDLayout(
+            fano, 3, outer_parities=m_o, inner_parities=m_i
+        )
+        array = OIRAIDArray(layout, unit_bytes=16)
+        assert array.fault_tolerance == m_o + m_i + 1
+        import random
+
+        rng = random.Random(0)
+        payloads = {}
+        for unit in rng.sample(range(array.user_units), 12):
+            payload = bytes(rng.randrange(256) for _ in range(16))
+            array.write_unit(unit, payload)
+            payloads[unit] = payload
+        assert array.verify()
+        for disk in failures:
+            array.fail_disk(disk)
+        for unit, payload in payloads.items():
+            assert bytes(array.read_unit(unit)) == payload
+        array.reconstruct()
+        assert array.verify()
+        for unit, payload in payloads.items():
+            assert bytes(array.read_unit(unit)) == payload

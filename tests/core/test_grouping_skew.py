@@ -1,0 +1,113 @@
+"""Disk grouping and the skew algebra."""
+
+import pytest
+
+from repro.core.grouping import DiskGrouping
+from repro.core.skew import (
+    is_balanced_group_size,
+    pair_cooccurrence,
+    recommended_group_size,
+    skew_disk_index,
+    verify_skew_balance,
+)
+from repro.design.bibd import BIBD
+from repro.design.projective import fano_plane
+from repro.errors import LayoutError
+
+
+class TestGrouping:
+    @pytest.fixture(scope="class")
+    def grouping(self):
+        return DiskGrouping(fano_plane(), group_size=3)
+
+    def test_counts(self, grouping):
+        assert grouping.n_groups == 7
+        assert grouping.n_disks == 21
+
+    def test_disk_id_locate_roundtrip(self, grouping):
+        for group in range(7):
+            for member in range(3):
+                disk = grouping.disk_id(group, member)
+                assert grouping.locate(disk) == (group, member)
+
+    def test_group_disks(self, grouping):
+        assert grouping.group_disks(2) == [6, 7, 8]
+
+    def test_blocks_of_group_matches_design(self, grouping):
+        for group in range(7):
+            assert (
+                grouping.blocks_of_group(group)
+                == grouping.design.blocks_through(group)
+            )
+
+    def test_partner_groups_is_everyone_for_lambda_one(self, grouping):
+        for group in range(7):
+            partners = grouping.partner_groups(group)
+            assert partners == [p for p in range(7) if p != group]
+
+    def test_lambda_two_design_rejected(self):
+        design = BIBD(4, ((0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)), 2)
+        with pytest.raises(LayoutError):
+            DiskGrouping(design, 3)
+
+    def test_group_size_bounds(self):
+        with pytest.raises(ValueError):
+            DiskGrouping(fano_plane(), 1)
+
+    def test_index_bounds(self, grouping):
+        with pytest.raises(IndexError):
+            grouping.disk_id(7, 0)
+        with pytest.raises(IndexError):
+            grouping.locate(21)
+
+
+class TestSkew:
+    def test_disk_index_formula(self):
+        assert skew_disk_index(1, 2, 2, 5) == 0  # (1 + 4) mod 5
+
+    def test_each_disk_in_g_classes(self):
+        g, k = 3, 3
+        for i in range(k):
+            for x in range(g):
+                count = sum(
+                    1
+                    for a in range(g)
+                    for m in range(g)
+                    if skew_disk_index(a, m, i, g) == x
+                )
+                assert count == g
+
+    @pytest.mark.parametrize("g,k", [(3, 3), (5, 4), (5, 5), (7, 3)])
+    def test_balance_for_prime_g_at_least_k(self, g, k):
+        assert verify_skew_balance(g, k)
+
+    @pytest.mark.parametrize("g,k", [(4, 3), (3, 4), (6, 3), (2, 3)])
+    def test_imbalance_detected(self, g, k):
+        assert not verify_skew_balance(g, k)
+
+    def test_pair_cooccurrence_counts_sum(self):
+        g, k = 3, 3
+        counts = pair_cooccurrence(g, k)
+        # Each position pair contributes g^2 class observations.
+        per_pair = {}
+        for (i, j, _x, _y), c in counts.items():
+            per_pair[(i, j)] = per_pair.get((i, j), 0) + c
+        assert all(total == g * g for total in per_pair.values())
+
+    def test_closed_form_matches_enumeration(self):
+        for g in range(2, 8):
+            for k in range(2, min(g + 2, 6)):
+                assert is_balanced_group_size(g, k) == verify_skew_balance(
+                    g, k
+                )
+
+    def test_recommended_group_size(self):
+        assert recommended_group_size(3) == 3
+        assert recommended_group_size(4) == 5
+        assert recommended_group_size(6) == 7
+
+    def test_argument_validation(self):
+        with pytest.raises(IndexError):
+            skew_disk_index(3, 0, 0, 3)
+        with pytest.raises(IndexError):
+            skew_disk_index(0, 0, -1, 3)

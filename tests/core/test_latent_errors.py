@@ -1,0 +1,120 @@
+"""Latent sector errors: the classic rebuild-window hazard.
+
+A RAID5 rebuild that hits an unreadable sector on a survivor loses data;
+OI-RAID decodes around it through the cell's second stripe. These tests
+exercise the disk-level injection, the resilient read path, healing, and
+the LSE-during-rebuild scenario.
+"""
+
+import pytest
+
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.disks.disk import SimulatedDisk
+from repro.errors import AddressError, LatentSectorError
+from repro.layouts import Raid5Layout
+
+
+class TestDiskLevelInjection:
+    def test_read_of_bad_range_raises(self):
+        disk = SimulatedDisk(0, capacity=4096)
+        disk.write(0, b"\x11" * 512)
+        disk.inject_latent_error(100, 10)
+        with pytest.raises(LatentSectorError):
+            disk.read(0, 512)
+        # Non-overlapping reads still work.
+        assert disk.read(200, 16).tolist() == [0x11] * 16
+
+    def test_write_heals_covered_range(self):
+        disk = SimulatedDisk(0, capacity=4096)
+        disk.inject_latent_error(100, 10)
+        disk.write(96, b"\x22" * 32)
+        assert disk.read(100, 10).tolist() == [0x22] * 10
+
+    def test_partial_write_does_not_heal(self):
+        disk = SimulatedDisk(0, capacity=4096)
+        disk.inject_latent_error(100, 10)
+        disk.write(100, b"\x33" * 4)  # covers only part of the range
+        with pytest.raises(LatentSectorError):
+            disk.read(100, 10)
+
+    def test_replace_clears_bad_ranges(self):
+        disk = SimulatedDisk(0, capacity=4096)
+        disk.inject_latent_error(0, 8)
+        disk.fail()
+        disk.replace()
+        assert not disk.read(0, 8).any()
+
+    def test_injection_bounds(self):
+        disk = SimulatedDisk(0, capacity=64)
+        with pytest.raises(AddressError):
+            disk.inject_latent_error(60, 10)
+
+
+def _inject_on_cell(array, cycle, cell):
+    disk, addr = cell
+    offset = (cycle * array.layout.units_per_disk + addr) * array.unit_bytes
+    array.disks.disk(disk).inject_latent_error(offset, array.unit_bytes)
+
+
+class TestResilientReads:
+    def test_read_decodes_around_lse_and_heals(self, small_oi_array):
+        small_oi_array.write_unit(3, b"\x77" * 32)
+        cycle, cell = small_oi_array._locate(3)
+        _inject_on_cell(small_oi_array, cycle, cell)
+        assert bytes(small_oi_array.read_unit(3)) == b"\x77" * 32
+        # Healed: the raw cell read works again.
+        assert bytes(small_oi_array._read_cell(cycle, cell)) == b"\x77" * 32
+
+    def test_raid5_healthy_also_recovers(self):
+        array = LayoutArray(Raid5Layout(5), unit_bytes=16)
+        array.write_unit(0, b"\x55" * 16)
+        cycle, cell = array._locate(0)
+        _inject_on_cell(array, cycle, cell)
+        assert bytes(array.read_unit(0)) == b"\x55" * 16
+
+    def test_write_through_lse_on_old_value(self, small_oi_array):
+        small_oi_array.write_unit(5, b"\x10" * 32)
+        cycle, cell = small_oi_array._locate(5)
+        _inject_on_cell(small_oi_array, cycle, cell)
+        small_oi_array.write_unit(5, b"\x20" * 32)
+        assert bytes(small_oi_array.read_unit(5)) == b"\x20" * 32
+        assert small_oi_array.verify()
+
+
+class TestLseDuringRebuild:
+    def test_raid5_rebuild_dies_on_survivor_lse(self):
+        array = LayoutArray(Raid5Layout(5), unit_bytes=16)
+        array.write_unit(0, b"\x42" * 16)
+        array.fail_disk(0)
+        # The lone repair equation needs every survivor; break one.
+        cycle, cell = 0, (1, 0)
+        _inject_on_cell(array, cycle, cell)
+        with pytest.raises(LatentSectorError):
+            array.reconstruct()
+
+    def test_oi_rebuild_survives_survivor_lse(self, fano_layout):
+        array = OIRAIDArray(fano_layout, unit_bytes=16)
+        array.write_unit(0, b"\x42" * 16)
+        array.fail_disk(0)
+        # Damage a sector on a survivor that the plan reads.
+        from repro.layouts.recovery import plan_recovery
+
+        plan = plan_recovery(fano_layout, [0])
+        victim = plan.steps[0].reads[0]
+        _inject_on_cell(array, 0, victim)
+        array.reconstruct()
+        assert array.verify()
+        assert bytes(array.read_unit(0)) == b"\x42" * 16
+
+    def test_degraded_read_survives_lse(self, fano_layout):
+        array = OIRAIDArray(fano_layout, unit_bytes=16)
+        array.write_unit(7, b"\x99" * 16)
+        cycle, cell = array._locate(7)
+        array.fail_disk(cell[0])
+        plan_key = (frozenset(array.failed_disks), None)
+        array._plan_for(cycle)
+        step = array._plan_cache[plan_key].steps[
+            array._step_for_cell[plan_key][cell]
+        ]
+        _inject_on_cell(array, cycle, step.reads[0])
+        assert bytes(array.read_unit(7)) == b"\x99" * 16

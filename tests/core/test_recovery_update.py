@@ -1,0 +1,84 @@
+"""Recovery summaries and update-cost measurement."""
+
+import pytest
+
+from repro.core.recovery import recovery_summary, summarize_plan
+from repro.core.update import measure_update_cost
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.layouts import Raid5Layout, Raid6Layout, Raid50Layout
+from repro.layouts.recovery import plan_recovery
+
+
+class TestRecoverySummary:
+    def test_raid5_speedup_is_one(self):
+        summary = recovery_summary(Raid5Layout(5), [0])
+        assert summary.speedup_vs_raid5 == pytest.approx(1.0)
+        assert summary.participating_disks == 4
+
+    def test_raid50_idles_other_groups(self):
+        summary = recovery_summary(Raid50Layout(4, 3), [0])
+        assert summary.participating_disks == 2
+        assert summary.speedup_vs_raid5 == pytest.approx(1.0)
+        assert summary.load_cv() > 1.0  # badly unbalanced by design
+
+    def test_oi_engages_every_survivor(self, fano_layout):
+        summary = recovery_summary(fano_layout, [0])
+        assert summary.participating_disks == 20
+        assert summary.speedup_vs_raid5 > 4.0
+        assert summary.load_cv() < 0.5
+
+    def test_oi_beats_raid50_on_multi_failure(self, fano_layout):
+        oi = recovery_summary(fano_layout, [0, 5])
+        r50 = recovery_summary(Raid50Layout(7, 3), [0, 5])
+        assert oi.speedup_vs_raid5 > r50.speedup_vs_raid5
+
+    def test_read_amplification_bounds(self, fano_layout):
+        summary = recovery_summary(fano_layout, [0])
+        # Each lost unit needs at least k-1 = 2 reads; surrogates add more.
+        assert 2.0 <= summary.read_amplification <= 4.0
+
+    def test_balance_false_matches_naive_plan(self, fano_layout):
+        naive = recovery_summary(fano_layout, [0], balance=False)
+        tuned = recovery_summary(fano_layout, [0], balance=True)
+        assert tuned.max_read_fraction <= naive.max_read_fraction
+
+    def test_summarize_plan_consistency(self, fano_layout):
+        plan = plan_recovery(fano_layout, [1, 2])
+        summary = summarize_plan(fano_layout, plan)
+        assert summary.recovered_units == plan.total_write_units
+        assert summary.total_read_units == plan.total_read_units
+        assert sum(summary.read_units.values()) == plan.total_read_units
+
+
+class TestUpdateCost:
+    def test_oi_three_parity_updates(self, fano_layout):
+        array = OIRAIDArray(fano_layout, unit_bytes=16)
+        report = measure_update_cost(array, samples=40, seed=1)
+        assert report.parity_writes_per_write == pytest.approx(3.0)
+        assert report.analytic_parity_updates == 3
+        assert report.matches_analytic
+
+    def test_raid5_one_parity_update(self):
+        array = LayoutArray(Raid5Layout(5), unit_bytes=16)
+        report = measure_update_cost(array, samples=30, seed=2)
+        assert report.parity_writes_per_write == pytest.approx(1.0)
+        assert report.analytic_parity_updates == 1
+
+    def test_raid6_two_parity_updates(self):
+        array = LayoutArray(Raid6Layout(6), unit_bytes=16)
+        report = measure_update_cost(array, samples=30, seed=3)
+        assert report.parity_writes_per_write == pytest.approx(2.0)
+        assert report.analytic_parity_updates == 2
+
+    def test_reads_track_writes(self, fano_layout):
+        array = OIRAIDArray(fano_layout, unit_bytes=16)
+        report = measure_update_cost(array, samples=20, seed=4)
+        # Read-modify-write: every touched unit is read before written.
+        assert report.reads_per_write == pytest.approx(
+            report.writes_per_write
+        )
+
+    def test_requires_healthy_array(self, small_oi_array):
+        small_oi_array.fail_disk(0)
+        with pytest.raises(ValueError):
+            measure_update_cost(small_oi_array, samples=5)

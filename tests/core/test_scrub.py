@@ -1,0 +1,103 @@
+"""Scrub: silent-corruption detection, localization, repair."""
+
+import pytest
+
+from repro.core.array import LayoutArray, OIRAIDArray
+from repro.core.scrub import scrub
+from repro.errors import ArrayError
+from repro.layouts import Raid5Layout
+
+
+def _written(array, n=10):
+    import random
+
+    rng = random.Random(3)
+    for unit in rng.sample(range(array.user_units), n):
+        array.write_unit(
+            unit, bytes(rng.randrange(256) for _ in range(array.unit_bytes))
+        )
+    return array
+
+
+class TestCleanScrub:
+    def test_fresh_array_is_clean(self, small_oi_array):
+        report = scrub(small_oi_array)
+        assert report.clean
+        assert report.repaired == []
+
+    def test_written_array_is_clean(self, small_oi_array):
+        report = scrub(_written(small_oi_array))
+        assert report.clean
+
+    def test_requires_healthy_array(self, small_oi_array):
+        small_oi_array.fail_disk(0)
+        with pytest.raises(ArrayError):
+            scrub(small_oi_array)
+
+
+class TestLocalization:
+    def test_corrupt_data_unit_localized_and_repaired(self, small_oi_array):
+        array = _written(small_oi_array)
+        victim = array.layout.data_cells[5]
+        original = bytes(array._read_cell(0, victim))
+        array.corrupt_cell(0, victim)
+        report = scrub(array)
+        assert (0, victim) in report.localized
+        assert (0, victim) in report.repaired
+        assert bytes(array._read_cell(0, victim)) == original
+        assert array.verify()
+
+    def test_corrupt_outer_parity_localized(self, small_oi_array):
+        array = _written(small_oi_array)
+        stripe = array.layout.stripes[0]  # an outer stripe
+        victim = stripe.parity_cells()[0]
+        array.corrupt_cell(0, victim)
+        report = scrub(array)
+        assert (0, victim) in report.repaired
+        assert array.verify()
+
+    def test_corrupt_inner_parity_localized(self, fano_layout):
+        array = _written(OIRAIDArray(fano_layout, unit_bytes=16))
+        inner = fano_layout.inner_stripes()[0]
+        victim = inner.parity_cells()[0]
+        array.corrupt_cell(0, victim)
+        report = scrub(array)
+        assert (0, victim) in report.repaired
+        assert array.verify()
+
+    def test_two_corruptions_in_disjoint_stripes(self, small_oi_array):
+        array = _written(small_oi_array)
+        a = array.layout.data_cells[0]
+        # Pick a second victim sharing no stripe with the first.
+        stripes_a = set(array.layout.stripes_containing(a))
+        b = next(
+            c
+            for c in array.layout.data_cells[1:]
+            if not stripes_a & set(array.layout.stripes_containing(c))
+            and c[0] != a[0]
+        )
+        array.corrupt_cell(0, a)
+        array.corrupt_cell(0, b)
+        report = scrub(array)
+        assert {(0, a), (0, b)} <= set(report.repaired)
+        assert array.verify()
+
+    def test_detect_without_repair(self, small_oi_array):
+        array = _written(small_oi_array)
+        victim = array.layout.data_cells[3]
+        array.corrupt_cell(0, victim)
+        report = scrub(array, repair=False)
+        assert (0, victim) in report.localized
+        assert report.repaired == []
+        assert not array.verify()
+
+
+class TestFlatLayoutsDetectOnly:
+    def test_raid5_detects_but_cannot_localize(self):
+        array = _written(LayoutArray(Raid5Layout(5), unit_bytes=16))
+        victim = array.layout.data_cells[0]
+        array.corrupt_cell(0, victim)
+        report = scrub(array)
+        assert not report.clean
+        assert report.localized == []
+        assert report.unlocated == [0]

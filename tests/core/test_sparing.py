@@ -1,0 +1,168 @@
+"""Distributed sparing: relocation, service continuity, copy-back."""
+
+import random
+
+import pytest
+
+from repro.core.oi_layout import oi_raid
+from repro.core.sparing import DistributedSpareArray
+from repro.errors import ArrayError, DataLossError
+
+
+@pytest.fixture
+def spare_array(fano_layout):
+    # 27 lost units / 20 survivors -> 2 slots each suffice for one disk;
+    # give 5 to cover multi-failure tests.
+    return DistributedSpareArray(
+        fano_layout, unit_bytes=16, spare_units_per_disk=5
+    )
+
+
+def _fill(array, n=20, seed=0):
+    rng = random.Random(seed)
+    payloads = {}
+    for unit in rng.sample(range(array.user_units), n):
+        payload = bytes(rng.randrange(256) for _ in range(array.unit_bytes))
+        array.write_unit(unit, payload)
+        payloads[unit] = payload
+    return payloads
+
+
+class TestRebuildDistributed:
+    def test_relocates_all_lost_units(self, spare_array):
+        _fill(spare_array)
+        spare_array.fail_disk(0)
+        relocated = spare_array.rebuild_distributed()
+        assert relocated == spare_array.layout.units_per_disk
+        assert spare_array.relocated_units == relocated
+
+    def test_contents_survive_relocation(self, spare_array):
+        payloads = _fill(spare_array, seed=1)
+        spare_array.fail_disk(3)
+        spare_array.rebuild_distributed()
+        for unit, payload in payloads.items():
+            assert bytes(spare_array.read_unit(unit)) == payload
+
+    def test_verify_passes_after_relocation(self, spare_array):
+        _fill(spare_array, seed=2)
+        spare_array.fail_disk(7)
+        spare_array.rebuild_distributed()
+        assert spare_array.verify()
+
+    def test_relocation_preserves_stripe_disjointness(self, spare_array):
+        _fill(spare_array, seed=3)
+        spare_array.fail_disk(0)
+        spare_array.rebuild_distributed()
+        layout = spare_array.layout
+        for stripe in layout.stripes:
+            disks = [
+                spare_array._location(0, u.cell)[0] for u in stripe.units
+            ]
+            assert len(set(disks)) == len(disks)
+
+    def test_full_redundancy_restored_post_relocation(self, spare_array):
+        """After relocation the array tolerates further failures."""
+        payloads = _fill(spare_array, seed=4)
+        spare_array.fail_disk(0)
+        spare_array.rebuild_distributed()
+        spare_array.fail_disk(10)  # second failure, after re-protection
+        for unit, payload in payloads.items():
+            assert bytes(spare_array.read_unit(unit)) == payload
+
+    def test_writes_continue_after_relocation(self, spare_array):
+        _fill(spare_array, seed=5)
+        spare_array.fail_disk(2)
+        spare_array.rebuild_distributed()
+        spare_array.write_unit(0, b"\xab" * 16)
+        assert bytes(spare_array.read_unit(0)) == b"\xab" * 16
+        assert spare_array.verify()
+
+    def test_spare_exhaustion_raises(self, fano_layout):
+        array = DistributedSpareArray(
+            fano_layout, unit_bytes=16, spare_units_per_disk=1
+        )
+        array.fail_disk(0)
+        array.fail_disk(1)
+        # 54 lost units vs 19 free slots.
+        with pytest.raises(ArrayError, match="spare"):
+            array.rebuild_distributed()
+
+    def test_unrecoverable_pattern_raises(self, spare_array):
+        from repro.core.tolerance import first_unrecoverable
+
+        witness = first_unrecoverable(spare_array.layout, 4)
+        for disk in witness:
+            spare_array.fail_disk(disk)
+        with pytest.raises(DataLossError):
+            spare_array.rebuild_distributed()
+
+
+class TestCopyBack:
+    def test_copy_back_after_replacement(self, spare_array):
+        payloads = _fill(spare_array, seed=6)
+        spare_array.fail_disk(4)
+        spare_array.rebuild_distributed()
+        free_before = spare_array.spare_slots_free()
+        spare_array.replace_failed()
+        migrated = spare_array.copy_back()
+        assert migrated == spare_array.layout.units_per_disk
+        assert spare_array.relocated_units == 0
+        assert spare_array.spare_slots_free() == free_before + migrated
+        assert spare_array.verify()
+        for unit, payload in payloads.items():
+            assert bytes(spare_array.read_unit(unit)) == payload
+
+    def test_copy_back_skips_still_failed_homes(self, spare_array):
+        _fill(spare_array, seed=7)
+        spare_array.fail_disk(0)
+        spare_array.fail_disk(5)
+        spare_array.rebuild_distributed()
+        # Replace only disk 0.
+        spare_array.disks.replace_disk(0)
+        spare_array.disks.disk(0).complete_rebuild()
+        migrated = spare_array.copy_back()
+        assert migrated == spare_array.layout.units_per_disk
+        assert spare_array.relocated_units == spare_array.layout.units_per_disk
+
+    def test_reconstruct_blocked_while_relocated(self, spare_array):
+        _fill(spare_array, seed=8)
+        spare_array.fail_disk(1)
+        spare_array.rebuild_distributed()
+        spare_array.fail_disk(2)
+        with pytest.raises(ArrayError, match="copy_back"):
+            spare_array.reconstruct()
+
+    def test_replace_failed_guards_unrecovered_disks(self, spare_array):
+        _fill(spare_array, seed=10)
+        spare_array.fail_disk(0)
+        spare_array.rebuild_distributed()
+        spare_array.fail_disk(5)  # not yet relocated
+        with pytest.raises(ArrayError, match="rebuild_distributed"):
+            spare_array.replace_failed()
+        # After relocating the new failure too, replacement is allowed.
+        spare_array.rebuild_distributed()
+        spare_array.replace_failed()
+        spare_array.copy_back()
+        assert spare_array.verify()
+
+    def test_plain_reconstruct_still_works_unrelocated(self, spare_array):
+        _fill(spare_array, seed=9)
+        spare_array.fail_disk(6)
+        spare_array.reconstruct()
+        assert spare_array.verify()
+
+
+class TestSpareAccounting:
+    def test_capacity_extended(self, fano_layout):
+        array = DistributedSpareArray(
+            fano_layout, unit_bytes=16, spare_units_per_disk=3
+        )
+        expected = (fano_layout.units_per_disk + 3) * 16
+        assert all(d.capacity == expected for d in array.disks)
+
+    def test_slot_count(self, spare_array):
+        assert spare_array.spare_slots_free() == 21 * 5
+
+    def test_spare_param_validation(self, fano_layout):
+        with pytest.raises(ValueError):
+            DistributedSpareArray(fano_layout, spare_units_per_disk=0)

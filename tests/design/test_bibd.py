@@ -1,0 +1,174 @@
+"""BIBD object: validation, derived parameters, incidence queries."""
+
+import itertools
+
+import pytest
+
+from repro.design.bibd import BIBD, derive_parameters, from_blocks
+from repro.errors import DesignError
+
+FANO_BLOCKS = (
+    (0, 1, 3),
+    (1, 2, 4),
+    (2, 3, 5),
+    (3, 4, 6),
+    (0, 4, 5),
+    (1, 5, 6),
+    (0, 2, 6),
+)
+
+
+class TestDeriveParameters:
+    def test_fano(self):
+        assert derive_parameters(7, 3, 1) == (7, 3)
+
+    def test_sts13(self):
+        assert derive_parameters(13, 3, 1) == (26, 6)
+
+    def test_projective_13_4(self):
+        assert derive_parameters(13, 4, 1) == (13, 4)
+
+    def test_affine_9_3(self):
+        assert derive_parameters(9, 3, 1) == (12, 4)
+
+    def test_lambda_2(self):
+        # (7, 3, 2): r = 2*6/2 = 6, b = 7*6/3 = 14.
+        assert derive_parameters(7, 3, 2) == (14, 6)
+
+    def test_r_divisibility_failure(self):
+        with pytest.raises(DesignError, match="not divisible"):
+            derive_parameters(8, 3, 1)
+
+    def test_b_divisibility_failure(self):
+        with pytest.raises(DesignError):
+            derive_parameters(10, 4, 1)
+
+    def test_fisher_inequality(self):
+        # (16, 6, 1) passes divisibility (b=8, r=3) but violates b >= v.
+        with pytest.raises(DesignError, match="Fisher"):
+            derive_parameters(16, 6, 1)
+
+    def test_k_larger_than_v(self):
+        with pytest.raises(DesignError, match="exceeds"):
+            derive_parameters(3, 4, 1)
+
+    def test_bad_types(self):
+        with pytest.raises(TypeError):
+            derive_parameters(7.0, 3, 1)
+        with pytest.raises(TypeError):
+            derive_parameters(True, 3, 1)
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            derive_parameters(1, 3, 1)
+        with pytest.raises(ValueError):
+            derive_parameters(7, 3, 0)
+
+
+class TestBIBDValidation:
+    def test_fano_is_valid(self):
+        design = BIBD(7, FANO_BLOCKS)
+        assert design.parameters == (7, 7, 3, 3, 1)
+
+    def test_blocks_are_sorted_on_construction(self):
+        design = BIBD(7, tuple(tuple(reversed(b)) for b in FANO_BLOCKS))
+        assert all(block == tuple(sorted(block)) for block in design.blocks)
+
+    def test_missing_block_rejected(self):
+        with pytest.raises(DesignError):
+            BIBD(7, FANO_BLOCKS[:-1])
+
+    def test_duplicate_point_in_block_rejected(self):
+        blocks = FANO_BLOCKS[:-1] + ((0, 0, 6),)
+        with pytest.raises(DesignError, match="repeated"):
+            BIBD(7, blocks)
+
+    def test_point_out_of_range_rejected(self):
+        blocks = FANO_BLOCKS[:-1] + ((0, 2, 7),)
+        with pytest.raises(DesignError):
+            BIBD(7, blocks)
+
+    def test_nonuniform_block_size_rejected(self):
+        blocks = FANO_BLOCKS[:-1] + ((0, 2, 5, 6),)
+        with pytest.raises(DesignError, match="non-uniform"):
+            BIBD(7, blocks)
+
+    def test_wrong_pair_coverage_rejected(self):
+        # Swap one block so some pair appears twice and another never.
+        blocks = FANO_BLOCKS[:-1] + ((0, 1, 6),)
+        with pytest.raises(DesignError):
+            BIBD(7, blocks)
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(DesignError, match="at least one block"):
+            BIBD(7, ())
+
+    def test_pairs_blocks_rejected_when_size_one(self):
+        with pytest.raises(DesignError, match="at least two"):
+            BIBD(2, ((0,), (1,)))
+
+    def test_complete_design_single_block(self):
+        design = BIBD(3, ((0, 1, 2),))
+        assert design.parameters == (3, 1, 1, 3, 1)
+
+
+class TestBIBDQueries:
+    @pytest.fixture(scope="class")
+    def fano(self):
+        return BIBD(7, FANO_BLOCKS)
+
+    def test_blocks_through_every_point(self, fano):
+        for p in range(7):
+            through = fano.blocks_through(p)
+            assert len(through) == 3
+            assert all(p in fano.blocks[t] for t in through)
+
+    def test_block_containing_pair_unique(self, fano):
+        for p, q in itertools.combinations(range(7), 2):
+            ts = fano.block_containing_pair(p, q)
+            assert len(ts) == 1
+            assert {p, q} <= set(fano.blocks[ts[0]])
+
+    def test_pair_requires_distinct_points(self, fano):
+        with pytest.raises(ValueError):
+            fano.block_containing_pair(2, 2)
+
+    def test_position_in_block(self, fano):
+        for t, block in enumerate(fano.blocks):
+            for i, p in enumerate(block):
+                assert fano.position_in_block(t, p) == i
+
+    def test_position_in_block_rejects_non_member(self, fano):
+        block = fano.blocks[0]
+        outside = next(p for p in range(7) if p not in block)
+        with pytest.raises(DesignError):
+            fano.position_in_block(0, outside)
+
+    def test_incidence_matrix_row_and_column_sums(self, fano):
+        matrix = fano.incidence_matrix()
+        assert all(sum(row) == fano.r for row in matrix)
+        for t in range(fano.b):
+            assert sum(matrix[p][t] for p in range(7)) == fano.k
+
+    def test_is_steiner(self, fano):
+        assert fano.is_steiner()
+
+    def test_complement_parameters(self, fano):
+        comp = fano.complement()
+        # Complement of (7,7,3,3,1) is (7,7,4,4,2).
+        assert comp.parameters == (7, 7, 4, 4, 2)
+
+    def test_complement_of_tight_design_rejected(self):
+        design = BIBD(4, ((0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)), 2)
+        with pytest.raises(DesignError):
+            design.complement()
+
+    def test_from_blocks_accepts_lists(self):
+        design = from_blocks(7, [list(b) for b in FANO_BLOCKS])
+        assert design.b == 7
+
+    def test_index_bounds(self, fano):
+        with pytest.raises(IndexError):
+            fano.blocks_through(7)
+        with pytest.raises(IndexError):
+            fano.position_in_block(7, 0)

@@ -1,0 +1,78 @@
+"""Bruck-Ryser-Chowla: proof-backed nonexistence of symmetric designs."""
+
+import pytest
+
+from repro.design.bruck_ryser import (
+    symmetric_design_excluded,
+    ternary_form_solvable,
+)
+
+
+class TestTernaryForm:
+    def test_pythagorean_like_solvable(self):
+        # x² + y² - 2z² = 0 has (1, 1, 1).
+        assert ternary_form_solvable(1, 1, -2)
+
+    def test_all_positive_unsolvable(self):
+        assert not ternary_form_solvable(1, 1, 1)
+
+    def test_all_negative_unsolvable(self):
+        assert not ternary_form_solvable(-1, -2, -3)
+
+    def test_classic_unsolvable_form(self):
+        # x² + y² - 3z² = 0 has no nontrivial solution (3 ≡ 3 mod 4).
+        assert not ternary_form_solvable(1, 1, -3)
+
+    def test_zero_coefficient_trivially_solvable(self):
+        assert ternary_form_solvable(0, 5, -7)
+
+    def test_square_factors_do_not_matter(self):
+        assert ternary_form_solvable(4, 4, -8) == ternary_form_solvable(
+            1, 1, -2
+        )
+
+    def test_shared_factor_reduction(self):
+        # 3x² + 3y² - z² = 0 ~ x² + y² - 3z'² = 0: unsolvable.
+        assert not ternary_form_solvable(3, 3, -1)
+
+
+class TestBRCExclusion:
+    def test_projective_plane_order_6_excluded(self):
+        # (43, 7, 1): the classic BRC victim (Euler's 36 officers, order 6).
+        assert symmetric_design_excluded(43, 7, 1)
+
+    def test_biplane_22_7_2_excluded_even_case(self):
+        # v even, k - λ = 5 is not a perfect square.
+        assert symmetric_design_excluded(22, 7, 2)
+
+    def test_biplane_29_8_2_excluded_odd_case(self):
+        assert symmetric_design_excluded(29, 8, 2)
+
+    @pytest.mark.parametrize(
+        "v,k,lam",
+        [
+            (7, 3, 1),  # Fano plane
+            (13, 4, 1),  # PG(2, 3)
+            (21, 5, 1),  # PG(2, 4)
+            (11, 5, 2),  # biplane of order 3
+            (111, 11, 1),  # order-10 plane: BRC famously silent
+        ],
+    )
+    def test_existing_or_undecided_not_excluded(self, v, k, lam):
+        assert not symmetric_design_excluded(v, k, lam)
+
+    def test_planes_of_prime_power_order_never_excluded(self):
+        for q in (2, 3, 4, 5, 7, 8, 9, 11, 13):
+            v = q * q + q + 1
+            assert not symmetric_design_excluded(v, q + 1, 1)
+
+    def test_non_symmetric_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            symmetric_design_excluded(9, 3, 1)
+
+    def test_catalog_uses_brc(self):
+        from repro.design.catalog import find_bibd
+        from repro.errors import NoSuchDesignError
+
+        with pytest.raises(NoSuchDesignError, match="Bruck-Ryser"):
+            find_bibd(43, 7)

@@ -1,0 +1,105 @@
+"""Difference families and Heffter's difference problem."""
+
+import pytest
+
+from repro.design.difference import (
+    develop_difference_family,
+    difference_multiset,
+    heffter_triples,
+    is_difference_family,
+    steiner_base_blocks,
+)
+from repro.errors import DesignError, NoSuchDesignError
+
+
+class TestDifferenceMultiset:
+    def test_fano_base_block(self):
+        counts = difference_multiset(7, (0, 1, 3))
+        assert counts == {1: 1, 6: 1, 2: 1, 5: 1, 3: 1, 4: 1}
+
+    def test_symmetric_differences(self):
+        counts = difference_multiset(13, (0, 1, 3, 9))
+        for d, c in counts.items():
+            assert counts[(13 - d) % 13] == c
+
+
+class TestIsDifferenceFamily:
+    def test_fano_family(self):
+        assert is_difference_family(7, [(0, 1, 3)], lam=1)
+
+    def test_13_4_family(self):
+        assert is_difference_family(13, [(0, 1, 3, 9)], lam=1)
+
+    def test_wrong_family_rejected(self):
+        assert not is_difference_family(7, [(0, 1, 2)], lam=1)
+
+    def test_two_block_family(self):
+        assert is_difference_family(13, [(0, 1, 4), (0, 2, 7)], lam=1)
+
+    def test_duplicate_residues_rejected(self):
+        assert not is_difference_family(7, [(0, 7, 3)], lam=1)
+
+
+class TestDevelop:
+    def test_develop_fano(self):
+        design = develop_difference_family(7, [(0, 1, 3)])
+        assert design.parameters == (7, 7, 3, 3, 1)
+
+    def test_develop_13_26(self):
+        design = develop_difference_family(13, [(0, 1, 4), (0, 2, 7)])
+        assert design.parameters == (13, 26, 6, 3, 1)
+
+    def test_develop_rejects_non_family(self):
+        with pytest.raises(DesignError):
+            develop_difference_family(7, [(0, 1, 2)])
+
+
+class TestNetto:
+    @pytest.mark.parametrize("q", [7, 13, 25, 31, 37, 49])
+    def test_family_develops_to_sts(self, q):
+        from repro.design.difference import (
+            develop_field_family,
+            netto_triple_family,
+        )
+
+        design = develop_field_family(q, netto_triple_family(q))
+        assert design.parameters == (q, q * (q - 1) // 6, (q - 1) // 2, 3, 1)
+
+    def test_prime_case_matches_zv_development(self):
+        from repro.design.difference import netto_triple_family
+
+        base = netto_triple_family(13)
+        assert is_difference_family(13, base, lam=1)
+
+    def test_wrong_congruence_rejected(self):
+        from repro.design.difference import netto_triple_family
+
+        with pytest.raises(NoSuchDesignError):
+            netto_triple_family(9)  # 9 ≡ 3 (mod 6)
+
+    def test_field_develop_rejects_bad_family(self):
+        from repro.design.difference import develop_field_family
+
+        with pytest.raises(DesignError):
+            develop_field_family(13, [(0, 1, 2)])
+
+
+class TestHeffter:
+    @pytest.mark.parametrize("t", [1, 2, 3, 4, 5, 6, 7, 8, 10, 12])
+    def test_solutions_partition_range(self, t):
+        triples = heffter_triples(t)
+        assert triples is not None
+        used = sorted(x for triple in triples for x in triple)
+        assert used == list(range(1, 3 * t + 1))
+        v = 6 * t + 1
+        for x, y, z in triples:
+            assert x + y == z or x + y + z == v
+
+    def test_base_blocks_develop_to_sts(self):
+        base = steiner_base_blocks(19)
+        design = develop_difference_family(19, base)
+        assert design.parameters == (19, 57, 9, 3, 1)
+
+    def test_base_blocks_reject_wrong_congruence(self):
+        with pytest.raises(NoSuchDesignError):
+            steiner_base_blocks(9)

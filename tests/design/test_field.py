@@ -1,0 +1,96 @@
+"""Finite fields GF(q): axioms, inverses, primitive elements."""
+
+import itertools
+
+import pytest
+
+from repro.design.field import GF, get_field
+from repro.errors import DesignError
+
+
+@pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9, 11, 16, 25, 27])
+class TestFieldAxioms:
+    def test_additive_group(self, q):
+        f = GF(q)
+        for a in f.elements():
+            assert f.add(a, 0) == a
+            assert f.add(a, f.neg(a)) == 0
+
+    def test_multiplicative_identity_and_inverse(self, q):
+        f = GF(q)
+        for a in f.elements():
+            assert f.mul(a, 1) == a
+            if a != 0:
+                assert f.mul(a, f.inv(a)) == 1
+
+    def test_commutativity(self, q):
+        f = GF(q)
+        sample = list(f.elements())[: min(q, 8)]
+        for a, b in itertools.product(sample, repeat=2):
+            assert f.add(a, b) == f.add(b, a)
+            assert f.mul(a, b) == f.mul(b, a)
+
+    def test_distributivity(self, q):
+        f = GF(q)
+        sample = list(f.elements())[: min(q, 6)]
+        for a, b, c in itertools.product(sample, repeat=3):
+            left = f.mul(a, f.add(b, c))
+            right = f.add(f.mul(a, b), f.mul(a, c))
+            assert left == right
+
+    def test_no_zero_divisors(self, q):
+        f = GF(q)
+        for a in range(1, q):
+            for b in range(1, q):
+                assert f.mul(a, b) != 0
+
+    def test_primitive_element_generates(self, q):
+        f = GF(q)
+        g = f.primitive_element()
+        powers = {f.pow(g, i) for i in range(q - 1)}
+        assert powers == set(range(1, q))
+
+
+class TestFieldEdges:
+    def test_non_prime_power_rejected(self):
+        for q in (1, 6, 10, 12, 15):
+            with pytest.raises(DesignError):
+                GF(q)
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF(5).inv(0)
+        with pytest.raises(ZeroDivisionError):
+            GF(4).inv(0)
+
+    def test_out_of_range_elements_rejected(self):
+        f = GF(7)
+        with pytest.raises(ValueError):
+            f.add(7, 0)
+        with pytest.raises(ValueError):
+            f.mul(-1, 2)
+
+    def test_division(self):
+        f = GF(9)
+        for a in range(9):
+            for b in range(1, 9):
+                assert f.mul(f.div(a, b), b) == a
+
+    def test_negative_power(self):
+        f = GF(8)
+        for a in range(1, 8):
+            assert f.mul(f.pow(a, -1), a) == 1
+
+    def test_sub_is_add_of_neg(self):
+        f = GF(4)
+        for a in range(4):
+            for b in range(4):
+                assert f.add(f.sub(a, b), b) == a
+
+    def test_get_field_is_cached(self):
+        assert get_field(9) is get_field(9)
+
+    def test_characteristic_two_self_inverse_addition(self):
+        f = GF(16)
+        for a in f.elements():
+            assert f.add(a, a) == 0

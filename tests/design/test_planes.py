@@ -1,0 +1,65 @@
+"""Projective and affine planes over small prime powers."""
+
+import pytest
+
+from repro.design.affine import affine_plane
+from repro.design.projective import fano_plane, projective_plane
+from repro.design.resolvable import is_resolvable, parallel_classes, validate_resolution
+from repro.errors import DesignError
+
+
+@pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9])
+def test_projective_plane_parameters(q):
+    design = projective_plane(q)
+    v = q * q + q + 1
+    assert design.parameters == (v, v, q + 1, q + 1, 1)
+
+
+@pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9])
+def test_affine_plane_parameters(q):
+    design = affine_plane(q)
+    assert design.parameters == (q * q, q * q + q, q + 1, q, 1)
+
+
+def test_fano_is_pg22():
+    assert fano_plane().parameters == (7, 7, 3, 3, 1)
+
+
+@pytest.mark.parametrize("q", [6, 10, 12])
+def test_non_prime_power_orders_rejected(q):
+    with pytest.raises(DesignError):
+        projective_plane(q)
+    with pytest.raises(DesignError):
+        affine_plane(q)
+
+
+def test_projective_plane_dual_property():
+    # In PG(2, q) any two blocks (lines) intersect in exactly one point.
+    design = projective_plane(3)
+    for i in range(design.b):
+        for j in range(i + 1, design.b):
+            common = set(design.blocks[i]) & set(design.blocks[j])
+            assert len(common) == 1
+
+
+class TestResolvability:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5])
+    def test_affine_planes_are_resolvable(self, q):
+        design = affine_plane(q)
+        classes = parallel_classes(design)
+        assert classes is not None
+        assert len(classes) == q + 1
+        validate_resolution(design, classes)
+
+    def test_fano_is_not_resolvable(self):
+        # 3 does not divide 7, so no parallel class can tile the points.
+        assert not is_resolvable(fano_plane())
+
+    def test_validate_resolution_rejects_overlap(self):
+        design = affine_plane(2)
+        classes = parallel_classes(design)
+        broken = [list(classes[0]), list(classes[0])] + [
+            list(c) for c in classes[2:]
+        ]
+        with pytest.raises(DesignError):
+            validate_resolution(design, broken)

@@ -1,0 +1,90 @@
+"""Backtracking search and the construction catalog."""
+
+import pytest
+
+from repro.design.catalog import available_designs, find_bibd
+from repro.design.search import search_bibd
+from repro.errors import DesignError, NoSuchDesignError
+
+
+class TestSearch:
+    def test_finds_fano(self):
+        design = search_bibd(7, 3, 1)
+        assert design is not None
+        assert design.parameters == (7, 7, 3, 3, 1)
+
+    def test_finds_affine_9_3(self):
+        design = search_bibd(9, 3, 1)
+        assert design is not None
+        assert design.parameters == (9, 12, 4, 3, 1)
+
+    def test_finds_13_4(self):
+        design = search_bibd(13, 4, 1)
+        assert design is not None
+        assert design.parameters == (13, 13, 4, 4, 1)
+
+    def test_finds_lambda2(self):
+        design = search_bibd(7, 3, 2)
+        assert design is not None
+        assert design.parameters == (7, 14, 6, 3, 2)
+
+    def test_impossible_divisibility_raises(self):
+        with pytest.raises(DesignError):
+            search_bibd(8, 3, 1)
+
+    def test_node_budget_respected(self):
+        with pytest.raises(NoSuchDesignError, match="exceeded"):
+            search_bibd(19, 3, 1, max_nodes=5)
+
+
+class TestCatalog:
+    @pytest.mark.parametrize(
+        "v,k,expected_b",
+        [
+            (7, 3, 7),
+            (9, 3, 12),
+            (13, 3, 26),
+            (15, 3, 35),
+            (13, 4, 13),
+            (16, 4, 20),
+            (21, 5, 21),
+            (25, 5, 30),
+            (41, 5, 82),
+            (37, 4, 111),
+        ],
+    )
+    def test_find_bibd(self, v, k, expected_b):
+        design = find_bibd(v, k)
+        assert design.v == v
+        assert design.k == k
+        assert design.b == expected_b
+        assert design.lam == 1
+
+    def test_trivial_complete_design(self):
+        design = find_bibd(4, 4)
+        assert design.b == 1
+
+    def test_unconstructible_raises(self):
+        # (96, 6, 1) passes all counting conditions but no construction
+        # in the catalog covers it and it is too large for search.
+        with pytest.raises(NoSuchDesignError):
+            find_bibd(96, 6)
+
+    def test_impossible_parameters_raise(self):
+        with pytest.raises(DesignError):
+            find_bibd(200, 6)
+
+    def test_available_designs_k3(self):
+        entries = available_designs(3, max_v=30)
+        vs = [v for v, _b, _r in entries]
+        assert vs == [7, 9, 13, 15, 19, 21, 25, 27]
+
+    def test_available_designs_k4(self):
+        entries = available_designs(4, max_v=40)
+        vs = [v for v, _b, _r in entries]
+        assert 13 in vs and 16 in vs and 37 in vs
+
+    def test_available_entries_constructible(self):
+        for v, b, r in available_designs(5, max_v=50):
+            design = find_bibd(v, 5)
+            assert (design.b, design.r) == (b, r)

@@ -1,0 +1,37 @@
+"""Steiner triple systems across both congruence classes."""
+
+import pytest
+
+from repro.design.steiner import steiner_triple_system
+from repro.errors import NoSuchDesignError
+
+
+@pytest.mark.parametrize("v", [3, 7, 9, 13, 15, 19, 21, 25, 27, 31, 33, 37, 39])
+def test_sts_exists_and_validates(v):
+    design = steiner_triple_system(v)
+    b = v * (v - 1) // 6
+    r = (v - 1) // 2
+    assert design.parameters == (v, b, r, 3, 1)
+
+
+@pytest.mark.parametrize("v", [2, 4, 5, 6, 8, 10, 11, 12, 14, 16, 17])
+def test_sts_nonexistent_orders_rejected(v):
+    with pytest.raises(NoSuchDesignError):
+        steiner_triple_system(v)
+
+
+def test_sts_43_larger_skolem_class():
+    # v = 43 exercises the Heffter backtracking at t = 7.
+    design = steiner_triple_system(43)
+    assert design.parameters == (43, 301, 21, 3, 1)
+
+
+def test_sts_45_larger_bose_class():
+    design = steiner_triple_system(45)
+    assert design.parameters == (45, 330, 22, 3, 1)
+
+
+def test_sts_blocks_are_triples_of_distinct_points():
+    design = steiner_triple_system(15)
+    for block in design.blocks:
+        assert len(set(block)) == 3

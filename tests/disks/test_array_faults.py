@@ -1,0 +1,132 @@
+"""DiskArray bookkeeping and fault injection."""
+
+import pytest
+
+from repro.disks.array import DiskArray
+from repro.disks.faults import FailureInjector, FailureTrace
+from repro.errors import ArrayError, SimulationError
+
+
+class TestDiskArray:
+    @pytest.fixture
+    def array(self):
+        return DiskArray(n_disks=5, capacity=1024)
+
+    def test_iteration_and_len(self, array):
+        assert len(array) == 5
+        assert [d.disk_id for d in array] == [0, 1, 2, 3, 4]
+
+    def test_fail_and_online_sets(self, array):
+        array.fail_disks([1, 3])
+        assert array.failed_disks == [1, 3]
+        assert array.online_disks == [0, 2, 4]
+
+    def test_replace_requires_failed(self, array):
+        with pytest.raises(ArrayError):
+            array.replace_disk(0)
+        array.fail_disk(0)
+        array.replace_disk(0)
+        array.disk(0).complete_rebuild()
+        assert 0 in array.online_disks
+
+    def test_read_write_routing(self, array):
+        array.write(2, 10, b"abc")
+        assert bytes(array.read(2, 10, 3)) == b"abc"
+        assert array.read_load()[2] == 3
+        assert array.write_load()[2] == 3
+
+    def test_reset_stats(self, array):
+        array.write(0, 0, b"zz")
+        array.reset_stats()
+        assert array.write_load()[0] == 0
+
+    def test_disk_index_bounds(self, array):
+        with pytest.raises(IndexError):
+            array.disk(5)
+
+
+class TestFailureInjection:
+    def test_trace_is_time_ordered(self):
+        injector = FailureInjector(mttf_hours=100, seed=42)
+        trace = injector.trace_for(n_disks=50, horizon_seconds=1e9)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+    def test_trace_reproducible(self):
+        a = FailureInjector(100, seed=7).trace_for(20, 1e9)
+        b = FailureInjector(100, seed=7).trace_for(20, 1e9)
+        assert [(e.time, e.disk_id) for e in a.events] == [
+            (e.time, e.disk_id) for e in b.events
+        ]
+
+    def test_replay_applies_failures(self):
+        array = DiskArray(4, 1024)
+        trace = FailureTrace()
+        trace.add(10.0, 1)
+        trace.add(20.0, 3)
+        applied = trace.replay(array, until=15.0)
+        assert applied == 1
+        assert array.failed_disks == [1]
+
+    def test_trace_rejects_time_regression(self):
+        trace = FailureTrace()
+        trace.add(10.0, 0)
+        with pytest.raises(SimulationError):
+            trace.add(5.0, 1)
+
+    def test_burst_sampling(self):
+        injector = FailureInjector(100, seed=0)
+        burst = injector.sample_burst(20, 3)
+        assert len(set(burst)) == 3
+        assert all(0 <= d < 20 for d in burst)
+        with pytest.raises(ValueError):
+            injector.sample_burst(2, 3)
+
+    def test_exponential_mean_roughly_mttf(self):
+        injector = FailureInjector(mttf_hours=1.0, seed=1)
+        draws = [injector.draw_lifetime() for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 3600 * 0.9 < mean < 3600 * 1.1
+
+    def test_invalid_mttf(self):
+        with pytest.raises(ValueError):
+            FailureInjector(0)
+
+    def test_latent_error_injection(self):
+        from repro.errors import LatentSectorError
+
+        array = DiskArray(6, 1 << 20)
+        injector = FailureInjector(100, seed=5)
+        injected = injector.inject_latent_errors(array, errors_per_disk=3.0)
+        assert injected > 0
+        # At least one injected range must actually fire on a full scan.
+        fired = 0
+        for disk in array:
+            try:
+                disk.read(0, disk.capacity)
+            except LatentSectorError:
+                fired += 1
+        assert fired > 0
+
+    def test_latent_error_injection_skips_failed(self):
+        array = DiskArray(3, 1 << 16)
+        array.fail_disk(0)
+        injector = FailureInjector(100, seed=6)
+        injector.inject_latent_errors(array, errors_per_disk=2.0)
+        # No crash; failed disk untouched (reads raise DiskFailedError,
+        # not LatentSectorError).
+        from repro.errors import DiskFailedError
+
+        with pytest.raises(DiskFailedError):
+            array.read(0, 0, 16)
+
+    def test_latent_error_rate_zero(self):
+        array = DiskArray(3, 1 << 16)
+        injector = FailureInjector(100, seed=7)
+        assert injector.inject_latent_errors(array, 0.0) == 0
+
+    def test_latent_error_validation(self):
+        array = DiskArray(2, 1 << 16)
+        injector = FailureInjector(100)
+        with pytest.raises(ValueError):
+            injector.inject_latent_errors(array, -1.0)

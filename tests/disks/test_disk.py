@@ -1,0 +1,108 @@
+"""SimulatedDisk: sparse storage, failure lifecycle, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.disks.disk import DiskState, SimulatedDisk
+from repro.errors import AddressError, DiskFailedError
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(disk_id=0, capacity=1 << 20)
+
+
+class TestDataPath:
+    def test_unwritten_space_reads_zero(self, disk):
+        assert not disk.read(0, 4096).any()
+
+    def test_write_read_roundtrip(self, disk):
+        payload = bytes(range(256))
+        disk.write(1000, payload)
+        assert bytes(disk.read(1000, 256)) == payload
+
+    def test_write_spanning_chunks(self, disk):
+        chunk = disk._chunk
+        payload = np.arange(2 * chunk, dtype=np.uint8) % 251
+        disk.write(chunk // 2, payload)
+        assert np.array_equal(disk.read(chunk // 2, payload.size), payload)
+
+    def test_adjacent_writes_do_not_clobber(self, disk):
+        disk.write(0, b"\xaa" * 16)
+        disk.write(16, b"\xbb" * 16)
+        assert bytes(disk.read(0, 16)) == b"\xaa" * 16
+        assert bytes(disk.read(16, 16)) == b"\xbb" * 16
+
+    def test_overwrite(self, disk):
+        disk.write(8, b"\x01" * 8)
+        disk.write(8, b"\x02" * 8)
+        assert bytes(disk.read(8, 8)) == b"\x02" * 8
+
+    def test_read_past_capacity_rejected(self, disk):
+        with pytest.raises(AddressError):
+            disk.read(disk.capacity - 10, 11)
+
+    def test_negative_offset_rejected(self, disk):
+        with pytest.raises(AddressError):
+            disk.read(-1, 4)
+        with pytest.raises(AddressError):
+            disk.write(-1, b"xx")
+
+    def test_sparse_backing(self, disk):
+        disk.write(0, b"x")
+        disk.write(disk.capacity - 1, b"y")
+        assert disk.stored_bytes <= 2 * disk._chunk
+
+
+class TestFailureLifecycle:
+    def test_fail_blocks_io_and_drops_data(self, disk):
+        disk.write(0, b"data")
+        disk.fail()
+        assert disk.state is DiskState.FAILED
+        with pytest.raises(DiskFailedError):
+            disk.read(0, 4)
+        with pytest.raises(DiskFailedError):
+            disk.write(0, b"data")
+
+    def test_replace_gives_blank_rebuilding_disk(self, disk):
+        disk.write(0, b"data")
+        disk.fail()
+        disk.replace()
+        assert disk.state is DiskState.REBUILDING
+        assert not disk.read(0, 4).any()
+
+    def test_complete_rebuild(self, disk):
+        disk.fail()
+        disk.replace()
+        disk.complete_rebuild()
+        assert disk.online
+
+    def test_complete_rebuild_requires_rebuilding_state(self, disk):
+        with pytest.raises(DiskFailedError):
+            disk.complete_rebuild()
+
+
+class TestStatsAndModel:
+    def test_io_accounting(self, disk):
+        disk.write(0, b"12345678")
+        disk.read(0, 4)
+        disk.read(4, 4)
+        assert disk.stats.bytes_written == 8
+        assert disk.stats.bytes_read == 8
+        assert disk.stats.write_ops == 1
+        assert disk.stats.read_ops == 2
+
+    def test_stats_reset(self, disk):
+        disk.write(0, b"x")
+        disk.stats.reset()
+        assert disk.stats.bytes_written == 0
+
+    def test_transfer_time(self):
+        disk = SimulatedDisk(0, capacity=100, bandwidth=50.0)
+        assert disk.seconds_to_transfer(100) == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(0, capacity=0)
+        with pytest.raises(ValueError):
+            SimulatedDisk(0, capacity=10, bandwidth=0)

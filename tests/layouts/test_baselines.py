@@ -1,0 +1,195 @@
+"""Baseline layouts: geometry, efficiency, tolerance, recovery shape."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layouts import (
+    MirrorLayout,
+    ParityDeclusteringLayout,
+    Raid5Layout,
+    Raid6Layout,
+    Raid50Layout,
+)
+from repro.layouts.recovery import is_recoverable, plan_recovery
+
+
+class TestRaid5:
+    def test_geometry(self):
+        layout = Raid5Layout(5)
+        assert layout.n_disks == 5
+        assert layout.units_per_disk == 5
+        assert len(layout.stripes) == 5
+
+    def test_parity_rotates_across_all_disks(self):
+        layout = Raid5Layout(4)
+        parity_disks = {s.parity_cells()[0][0] for s in layout.stripes}
+        assert parity_disks == {0, 1, 2, 3}
+
+    def test_efficiency(self):
+        assert Raid5Layout(5).storage_efficiency == pytest.approx(4 / 5)
+
+    def test_update_penalty(self):
+        assert Raid5Layout(6).update_penalty() == 1
+
+    def test_tolerates_exactly_one(self):
+        layout = Raid5Layout(4)
+        assert is_recoverable(layout, [2])
+        assert not is_recoverable(layout, [1, 3])
+
+    def test_rebuild_reads_everything(self):
+        layout = Raid5Layout(5)
+        plan = plan_recovery(layout, [0], offload=False)
+        loads = plan.read_units_per_disk()
+        assert all(loads[d] == layout.units_per_disk for d in (1, 2, 3, 4))
+
+    def test_minimum_size(self):
+        with pytest.raises(LayoutError):
+            Raid5Layout(1)
+
+
+class TestRaid6:
+    def test_geometry_and_efficiency(self):
+        layout = Raid6Layout(6)
+        assert layout.storage_efficiency == pytest.approx(4 / 6)
+        assert layout.update_penalty() == 2
+
+    def test_tolerates_exactly_two(self):
+        layout = Raid6Layout(5)
+        assert is_recoverable(layout, [0, 3])
+        assert not is_recoverable(layout, [0, 2, 4])
+
+    def test_p_and_q_on_distinct_disks(self):
+        layout = Raid6Layout(5)
+        for stripe in layout.stripes:
+            p, q = stripe.parity_cells()
+            assert p[0] != q[0]
+
+
+class TestRaid50:
+    def test_geometry(self):
+        layout = Raid50Layout(4, 5)
+        assert layout.n_disks == 20
+        assert len(layout.stripes) == 4 * 5
+
+    def test_group_of(self):
+        layout = Raid50Layout(3, 4)
+        assert layout.group_of(0) == 0
+        assert layout.group_of(11) == 2
+        with pytest.raises(LayoutError):
+            layout.group_of(12)
+
+    def test_one_failure_per_group_tolerated(self):
+        layout = Raid50Layout(3, 4)
+        assert is_recoverable(layout, [0, 5, 10])  # one in each group
+        assert not is_recoverable(layout, [0, 1])  # two in group 0
+
+    def test_rebuild_confined_to_group(self):
+        layout = Raid50Layout(4, 3)
+        plan = plan_recovery(layout, [0], offload=False)
+        loads = plan.read_units_per_disk()
+        assert set(loads) == {1, 2}  # only group 0's survivors
+
+    def test_efficiency(self):
+        assert Raid50Layout(4, 5).storage_efficiency == pytest.approx(4 / 5)
+
+
+class TestParityDeclustering:
+    def test_from_parameters(self):
+        layout = ParityDeclusteringLayout(n_disks=7, stripe_width=3)
+        assert layout.n_disks == 7
+        assert layout.stripe_width == 3
+        assert layout.units_per_disk == 3 * 3  # r * k
+
+    def test_requires_lambda_one(self):
+        from repro.design.bibd import BIBD
+
+        design = BIBD(4, ((0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)), 2)
+        with pytest.raises(LayoutError, match="λ=1"):
+            ParityDeclusteringLayout(design)
+
+    def test_requires_some_parameters(self):
+        with pytest.raises(LayoutError):
+            ParityDeclusteringLayout()
+
+    def test_rebuild_load_perfectly_even(self):
+        layout = ParityDeclusteringLayout(n_disks=7, stripe_width=3)
+        plan = plan_recovery(layout, [0], offload=False)
+        loads = plan.read_units_per_disk()
+        values = {loads[d] for d in range(1, 7)}
+        assert len(values) == 1  # classic declustering balance
+
+    def test_declustering_speedup_ratio(self):
+        layout = ParityDeclusteringLayout(n_disks=13, stripe_width=4)
+        plan = plan_recovery(layout, [0], offload=False)
+        speedup = layout.units_per_disk / plan.max_read_units
+        assert speedup == pytest.approx((13 - 1) / (4 - 1))
+
+    def test_tolerates_only_one(self):
+        layout = ParityDeclusteringLayout(n_disks=7, stripe_width=3)
+        assert is_recoverable(layout, [4])
+        assert not is_recoverable(layout, [0, 1])
+
+    def test_describe_includes_design(self):
+        layout = ParityDeclusteringLayout(n_disks=7, stripe_width=3)
+        assert layout.describe()["bibd"] == (7, 7, 3, 3, 1)
+
+
+class TestFlatMDS:
+    def test_geometry_and_efficiency(self):
+        from repro.layouts import FlatMDSLayout
+
+        layout = FlatMDSLayout(10, parities=3)
+        assert layout.storage_efficiency == pytest.approx(7 / 10)
+        assert layout.update_penalty() == 3
+
+    def test_tolerates_exactly_m(self):
+        from repro.layouts import FlatMDSLayout
+
+        layout = FlatMDSLayout(8, parities=3)
+        assert is_recoverable(layout, [0, 3, 6])
+        assert not is_recoverable(layout, [0, 2, 4, 6])
+
+    def test_rebuild_reads_width_minus_m_per_stripe(self):
+        from repro.layouts import FlatMDSLayout
+
+        layout = FlatMDSLayout(8, parities=3)
+        plan = plan_recovery(layout, [0], offload=False)
+        for step in plan.steps:
+            assert len(step.reads) == 8 - 3
+
+    def test_rebuild_speedup_near_unity(self):
+        from repro.layouts import FlatMDSLayout
+
+        layout = FlatMDSLayout(12, parities=3)
+        plan = plan_recovery(layout, [0])
+        speedup = layout.units_per_disk / plan.max_read_units
+        assert speedup < 1.5  # the flat same-tolerance scheme stays slow
+
+    def test_parameter_bounds(self):
+        from repro.layouts import FlatMDSLayout
+
+        with pytest.raises(LayoutError):
+            FlatMDSLayout(3, parities=3)
+        with pytest.raises(LayoutError):
+            FlatMDSLayout(5, parities=0)
+
+
+class TestMirror:
+    def test_efficiency(self):
+        assert MirrorLayout(6, copies=3).storage_efficiency == pytest.approx(1 / 3)
+
+    def test_tolerance_copies_minus_one(self):
+        layout = MirrorLayout(6, copies=3)
+        assert is_recoverable(layout, [0, 1])
+        # Three consecutive disks share a mirror stripe -> data loss.
+        assert not is_recoverable(layout, [0, 1, 2])
+
+    def test_nonadjacent_triple_survives(self):
+        layout = MirrorLayout(9, copies=3)
+        assert is_recoverable(layout, [0, 3, 6])
+
+    def test_parameter_bounds(self):
+        with pytest.raises(LayoutError):
+            MirrorLayout(2, copies=1)
+        with pytest.raises(LayoutError):
+            MirrorLayout(2, copies=3)

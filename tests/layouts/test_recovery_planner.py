@@ -1,0 +1,160 @@
+"""The generic recovery planner: peeling, plan validity, offloading."""
+
+import pytest
+
+from repro.errors import DataLossError
+from repro.layouts import Raid5Layout, Raid50Layout
+from repro.layouts.recovery import (
+    is_recoverable,
+    lost_cells,
+    plan_recovery,
+    survivable_fraction,
+)
+
+
+def validate_plan(layout, plan):
+    """A plan must recover every lost cell, in dependency order, reading
+    only cells that are available at each step."""
+    lost = lost_cells(layout, plan.failed_disks)
+    recovered = set()
+    for step in plan.steps:
+        stripe = layout.stripes[step.stripe_id]
+        stripe_cells = set(stripe.cells())
+        for target in step.targets:
+            assert target in lost and target not in recovered
+            assert target in stripe_cells
+        assert len(step.targets) <= stripe.tolerance
+        for source in step.sources:
+            assert source.cell not in lost or source.cell in recovered
+            # Direct sources read the cell itself; surrogates read only
+            # online cells.
+            for read in source.reads:
+                assert read[0] not in plan.failed_disks
+        for reuse in step.reuses:
+            assert reuse in recovered
+        # Sources + reuses supply exactly the width - tolerance values an
+        # MDS decode needs, all drawn from non-target stripe cells.
+        provided = {s.cell for s in step.sources} | set(step.reuses)
+        assert provided <= stripe_cells - set(step.targets)
+        assert len(provided) == stripe.width - stripe.tolerance
+        recovered.update(step.targets)
+    assert recovered == lost
+
+
+class TestPeeling:
+    def test_no_failures_is_recoverable(self):
+        assert is_recoverable(Raid5Layout(4), [])
+
+    def test_unknown_disk_rejected(self):
+        with pytest.raises(ValueError):
+            is_recoverable(Raid5Layout(4), [9])
+
+    def test_empty_plan_for_no_failures(self):
+        plan = plan_recovery(Raid5Layout(4), [])
+        assert plan.steps == []
+        assert plan.total_read_units == 0
+
+    def test_unrecoverable_raises_data_loss(self):
+        with pytest.raises(DataLossError):
+            plan_recovery(Raid5Layout(4), [0, 1])
+
+
+class TestPlanValidity:
+    @pytest.mark.parametrize("failed", [[0], [3], [0, 4], [2, 5, 8]])
+    def test_raid50_plans_are_valid(self, failed):
+        layout = Raid50Layout(3, 3)
+        if not is_recoverable(layout, failed):
+            pytest.skip("pattern not recoverable for this baseline")
+        plan = plan_recovery(layout, failed)
+        validate_plan(layout, plan)
+
+    def test_oi_plans_are_valid(self, fano_layout):
+        for failed in ([0], [0, 1], [0, 1, 2], [0, 3, 10], [4, 9, 20]):
+            plan = plan_recovery(fano_layout, failed)
+            validate_plan(fano_layout, plan)
+
+    def test_plan_is_deterministic(self, fano_layout):
+        a = plan_recovery(fano_layout, [2, 7])
+        b = plan_recovery(fano_layout, [2, 7])
+        assert [(s.stripe_id, s.targets) for s in a.steps] == [
+            (s.stripe_id, s.targets) for s in b.steps
+        ]
+
+    def test_duplicate_failed_disks_coalesced(self, fano_layout):
+        a = plan_recovery(fano_layout, [3, 3, 3])
+        assert a.failed_disks == (3,)
+
+
+class TestOffloading:
+    def test_offload_reduces_peak_load(self, fano_layout):
+        base = plan_recovery(fano_layout, [0], offload=False)
+        tuned = plan_recovery(fano_layout, [0], offload=True)
+        assert tuned.max_read_units < base.max_read_units
+
+    def test_offload_never_loses_correctness(self, fano_layout):
+        plan = plan_recovery(fano_layout, [0], offload=True)
+        validate_plan(fano_layout, plan)
+
+    def test_offload_is_noop_for_single_stripe_layouts(self):
+        layout = Raid5Layout(5)
+        a = plan_recovery(layout, [0], offload=False)
+        b = plan_recovery(layout, [0], offload=True)
+        assert a.max_read_units == b.max_read_units
+
+    def test_surrogate_reads_increase_total_but_cut_peak(self, fano_layout):
+        base = plan_recovery(fano_layout, [0], offload=False)
+        tuned = plan_recovery(fano_layout, [0], offload=True)
+        assert tuned.total_read_units >= base.total_read_units
+        assert tuned.max_read_units < base.max_read_units
+
+    def test_balance_flag_changes_repair_choice(self, fano_layout):
+        greedy = plan_recovery(fano_layout, [0], balance=True, offload=False)
+        naive = plan_recovery(fano_layout, [0], balance=False, offload=False)
+        assert greedy.max_read_units <= naive.max_read_units
+
+
+class TestSourceSelection:
+    def test_mds_repair_reads_only_what_it_needs(self):
+        from repro.layouts import FlatMDSLayout
+
+        layout = FlatMDSLayout(9, parities=3)
+        plan = plan_recovery(layout, [0])
+        for step in plan.steps:
+            stripe = layout.stripes[step.stripe_id]
+            assert len(step.sources) + len(step.reuses) == (
+                stripe.width - stripe.tolerance
+            )
+
+    def test_sources_prefer_least_loaded_disks(self):
+        from repro.layouts import FlatMDSLayout
+
+        layout = FlatMDSLayout(9, parities=3)
+        plan = plan_recovery(layout, [0])
+        loads = plan.read_units_per_disk()
+        # With 9 stripes each skipping 2 of 8 survivors, balanced choice
+        # keeps the spread within one unit.
+        assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_lost_override_plans_partial_disk(self, fano_layout):
+        lost = {(0, 0), (0, 1), (5, 3)}
+        plan = plan_recovery(fano_layout, [0, 5], lost_override=lost)
+        assert set(plan.recovered_cells) == lost
+        # Reads may come from the "failed" disks' still-healthy cells:
+        # lost_override semantics say only the listed cells are gone.
+        assert plan.total_write_units == 3
+
+
+class TestSurvivableFraction:
+    def test_raid5_fractions(self):
+        layout = Raid5Layout(5)
+        assert survivable_fraction(layout, 1) == 1.0
+        assert survivable_fraction(layout, 2) == 0.0
+
+    def test_explicit_sample(self):
+        layout = Raid50Layout(2, 3)
+        fraction = survivable_fraction(layout, 2, sample=[(0, 3), (0, 1)])
+        assert fraction == 0.5
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            survivable_fraction(Raid5Layout(4), 1, sample=[])

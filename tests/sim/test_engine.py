@@ -1,0 +1,104 @@
+"""Discrete-event engine: ordering, cancellation, FCFS servers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import FcfsServer, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(1.0, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.schedule(10.0, lambda: log.append("late"))
+        processed = sim.run(until=5.0)
+        assert processed == 1
+        assert log == ["early"]
+        assert sim.pending == 1
+
+    def test_cancellation(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("x"))
+        sim.cancel(handle)
+        sim.run()
+        assert log == []
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if len(log) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_idle_run_advances_to_horizon(self):
+        sim = Simulator()
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+
+class TestFcfsServer:
+    def test_sequential_service(self):
+        sim = Simulator()
+        server = FcfsServer(sim)
+        done = []
+        server.submit(2.0, lambda: done.append(sim.now))
+        server.submit(3.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 5.0]
+
+    def test_busy_accounting_and_utilization(self):
+        sim = Simulator()
+        server = FcfsServer(sim)
+        server.submit(2.0, lambda: None)
+        sim.run()
+        assert server.total_busy == 2.0
+        assert server.requests == 1
+        assert server.utilization(4.0) == pytest.approx(0.5)
+
+    def test_submission_mid_simulation(self):
+        sim = Simulator()
+        server = FcfsServer(sim)
+        done = []
+        sim.schedule(5.0, lambda: server.submit(1.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [6.0]
+
+    def test_negative_service_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            FcfsServer(sim).submit(-1.0, lambda: None)
+
+    def test_utilization_needs_positive_horizon(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            FcfsServer(sim).utilization(0.0)

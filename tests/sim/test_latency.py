@@ -1,0 +1,102 @@
+"""Read-latency simulation under degradation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.layouts import FlatMDSLayout, Raid50Layout
+from repro.sim.latency import LatencyModel, simulate_read_latency
+
+
+class TestHealthy:
+    def test_light_load_latency_near_service_time(self, fano_layout):
+        model = LatencyModel(seek_ms=5.0)
+        result = simulate_read_latency(
+            fano_layout, arrival_rate=5.0, n_requests=500, model=model
+        )
+        service_ms = model.service_seconds() * 1000
+        assert result.p50_ms == pytest.approx(service_ms, rel=0.25)
+        assert result.degraded_fraction == 0.0
+
+    def test_heavier_load_queues(self, fano_layout):
+        light = simulate_read_latency(
+            fano_layout, arrival_rate=5.0, n_requests=500, seed=1
+        )
+        heavy = simulate_read_latency(
+            fano_layout, arrival_rate=2000.0, n_requests=500, seed=1
+        )
+        assert heavy.p95_ms > light.p95_ms
+
+    def test_background_utilization_inflates_latency(self, fano_layout):
+        quiet = simulate_read_latency(
+            fano_layout, arrival_rate=50.0, n_requests=400, seed=2
+        )
+        busy = simulate_read_latency(
+            fano_layout,
+            arrival_rate=50.0,
+            n_requests=400,
+            background_utilization=0.6,
+            seed=2,
+        )
+        assert busy.mean_ms > quiet.mean_ms
+
+
+class TestDegraded:
+    def test_degraded_fraction_roughly_one_over_n(self, fano_layout):
+        result = simulate_read_latency(
+            fano_layout,
+            failed_disks=[0],
+            arrival_rate=20.0,
+            n_requests=3000,
+            seed=3,
+        )
+        assert 0.01 < result.degraded_fraction < 0.12
+
+    def test_narrow_stripes_degrade_gently(self):
+        # Flat 3-parity MDS fans a degraded read over n-m-1 disks; OI-RAID
+        # over k-1 = 2. Compare p99 with one failed disk at equal load.
+        from repro.core.oi_layout import oi_raid
+
+        oi = simulate_read_latency(
+            oi_raid(7, 3),
+            failed_disks=[0],
+            arrival_rate=100.0,
+            n_requests=2000,
+            seed=4,
+        )
+        flat = simulate_read_latency(
+            FlatMDSLayout(21, parities=3),
+            failed_disks=[0],
+            arrival_rate=100.0,
+            n_requests=2000,
+            seed=4,
+        )
+        assert oi.p99_ms < flat.p99_ms
+
+    def test_raid50_degraded_reads_hit_two_disks(self):
+        result = simulate_read_latency(
+            Raid50Layout(7, 3),
+            failed_disks=[0],
+            arrival_rate=20.0,
+            n_requests=1000,
+            seed=5,
+        )
+        assert result.degraded_fraction > 0
+
+    def test_validation(self, fano_layout):
+        with pytest.raises(SimulationError):
+            simulate_read_latency(fano_layout, arrival_rate=0)
+        with pytest.raises(SimulationError):
+            simulate_read_latency(fano_layout, failed_disks=[99])
+        with pytest.raises(SimulationError):
+            simulate_read_latency(
+                fano_layout, background_utilization=1.0
+            )
+
+    def test_reproducible(self, fano_layout):
+        a = simulate_read_latency(
+            fano_layout, failed_disks=[2], n_requests=300, seed=6
+        )
+        b = simulate_read_latency(
+            fano_layout, failed_disks=[2], n_requests=300, seed=6
+        )
+        assert a.mean_ms == b.mean_ms

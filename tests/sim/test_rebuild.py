@@ -1,0 +1,108 @@
+"""Rebuild timing: analytic bounds, event-driven sim, sparing modes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.layouts import Raid5Layout, Raid50Layout
+from repro.sim.rebuild import DiskModel, analytic_rebuild_time, simulate_rebuild
+from repro.util.units import GIB
+
+
+@pytest.fixture(scope="module")
+def disk():
+    return DiskModel(capacity_bytes=512 * GIB)
+
+
+class TestDiskModel:
+    def test_raid5_baseline_time(self):
+        model = DiskModel(
+            capacity_bytes=100.0, bandwidth_bytes_per_s=10.0
+        )
+        assert model.raid5_rebuild_seconds == pytest.approx(10.0)
+
+    def test_foreground_reserves_bandwidth(self):
+        model = DiskModel(
+            capacity_bytes=100.0,
+            bandwidth_bytes_per_s=10.0,
+            foreground_fraction=0.5,
+        )
+        assert model.effective_bandwidth == pytest.approx(5.0)
+        assert model.raid5_rebuild_seconds == pytest.approx(20.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            DiskModel(capacity_bytes=0)
+        with pytest.raises(SimulationError):
+            DiskModel(foreground_fraction=1.0)
+
+
+class TestAnalytic:
+    def test_raid5_speedup_close_to_one(self, disk):
+        result = analytic_rebuild_time(Raid5Layout(5), [0], disk)
+        # Distributed-spare writes add a little work on top of full reads.
+        assert 0.7 < result.speedup_vs_raid5 <= 1.0
+
+    def test_oi_speedup_beats_raid50(self, fano_layout, disk):
+        oi = analytic_rebuild_time(fano_layout, [0], disk)
+        r50 = analytic_rebuild_time(Raid50Layout(7, 3), [0], disk)
+        assert oi.speedup_vs_raid5 > 3 * r50.speedup_vs_raid5
+
+    def test_dedicated_spare_write_bound(self, fano_layout, disk):
+        result = analytic_rebuild_time(
+            fano_layout, [0], disk, sparing="dedicated"
+        )
+        # The replacement disk absorbs a full image: no better than 1x.
+        assert result.speedup_vs_raid5 <= 1.0 + 1e-9
+
+    def test_unknown_sparing_rejected(self, fano_layout, disk):
+        with pytest.raises(SimulationError):
+            analytic_rebuild_time(fano_layout, [0], disk, sparing="nvme")
+
+    def test_bytes_accounting(self, fano_layout, disk):
+        result = analytic_rebuild_time(fano_layout, [0], disk)
+        unit = disk.capacity_bytes / fano_layout.units_per_disk
+        assert result.bytes_written == pytest.approx(
+            fano_layout.units_per_disk * unit
+        )
+        assert result.bytes_read > result.bytes_written
+
+
+class TestEventDriven:
+    def test_sim_close_to_analytic_when_balanced(self, fano_layout, disk):
+        analytic = analytic_rebuild_time(fano_layout, [0], disk)
+        simulated = simulate_rebuild(fano_layout, [0], disk, batches=4)
+        assert simulated.seconds >= analytic.seconds * 0.99
+        assert simulated.seconds <= analytic.seconds * 1.6
+
+    def test_sim_matches_analytic_for_raid5(self, disk):
+        layout = Raid5Layout(5)
+        analytic = analytic_rebuild_time(layout, [0], disk)
+        simulated = simulate_rebuild(layout, [0], disk, batches=2)
+        assert simulated.seconds == pytest.approx(
+            analytic.seconds, rel=0.35
+        )
+
+    def test_multi_failure_rebuild(self, fano_layout, disk):
+        one = simulate_rebuild(fano_layout, [0], disk)
+        three = simulate_rebuild(fano_layout, [0, 1, 2], disk)
+        assert three.seconds > one.seconds
+
+    def test_dedicated_slower_than_distributed(self, fano_layout, disk):
+        dedicated = simulate_rebuild(
+            fano_layout, [0], disk, sparing="dedicated"
+        )
+        distributed = simulate_rebuild(
+            fano_layout, [0], disk, sparing="distributed"
+        )
+        assert dedicated.seconds > distributed.seconds
+
+    def test_batches_validation(self, fano_layout, disk):
+        with pytest.raises(SimulationError):
+            simulate_rebuild(fano_layout, [0], disk, batches=0)
+
+    def test_foreground_slows_rebuild(self, fano_layout):
+        quiet = simulate_rebuild(fano_layout, [0], DiskModel())
+        busy = simulate_rebuild(
+            fano_layout, [0], DiskModel(foreground_fraction=0.5)
+        )
+        assert busy.seconds == pytest.approx(2 * quiet.seconds, rel=0.01)

@@ -1,0 +1,76 @@
+"""The bench harness: table rendering and the experiment runner."""
+
+import pytest
+
+from repro.bench.runner import (
+    Experiment,
+    ExperimentResult,
+    register,
+    registered,
+    run_experiment,
+)
+from repro.bench.tables import format_series, format_table
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "x"], [["a", 1], ["bbbb", 2.5]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "x" in lines[1]
+        assert lines[3].startswith("a ")
+
+    def test_float_precision_and_scientific(self):
+        out = format_table(["v"], [[0.123456], [1.2e-7], [3.4e8]])
+        assert "0.123" in out
+        assert "1.20e-07" in out
+        assert "3.40e+08" in out
+
+    def test_infinity_rendering(self):
+        assert "inf" in format_table(["v"], [[float("inf")]])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_series_merges_x_values(self):
+        out = format_series(
+            "n",
+            {"oi": {21: 6.0, 39: 12.0}, "pd": {21: 10.0}},
+        )
+        lines = out.splitlines()
+        assert lines[0].split() == ["n", "oi", "pd"]
+        assert "-" in lines[3]  # missing pd point at 39
+
+
+class TestRunner:
+    def _exp(self, exp_id="EX"):
+        def body():
+            return ExperimentResult(exp_id, "report", {"m": 1.5})
+
+        return Experiment(exp_id, "table", "claim", body)
+
+    def test_run_returns_metrics_and_timing(self, capsys):
+        result = run_experiment(self._exp(), quiet=True)
+        assert result.metric("m") == 1.5
+        assert result.seconds >= 0
+        assert capsys.readouterr().out == ""
+
+    def test_run_prints_report(self, capsys):
+        run_experiment(self._exp("EY"))
+        out = capsys.readouterr().out
+        assert "=== EY" in out and "claim" in out and "report" in out
+
+    def test_missing_metric_raises(self):
+        result = run_experiment(self._exp("EZ"), quiet=True)
+        with pytest.raises(KeyError):
+            result.metric("absent")
+
+    def test_registry_rejects_duplicates(self):
+        exp = self._exp("DUP-1")
+        register(exp)
+        assert exp in registered()
+        with pytest.raises(ValueError):
+            register(self._exp("DUP-1"))

@@ -1,0 +1,173 @@
+"""End-to-end scenarios crossing all subsystems.
+
+These are the adoption-path tests: the stories a storage operator would
+actually run the library through, exercised against live simulated arrays.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    DiskModel,
+    OIRAIDArray,
+    analytic_rebuild_time,
+    oi_raid,
+    plan_recovery,
+    recovery_summary,
+    simulate_rebuild,
+)
+from repro.core.tolerance import guaranteed_tolerance
+from repro.disks.faults import FailureInjector
+from repro.layouts import Raid50Layout
+from repro.sim.markov import model_for_layout
+from repro.workloads.generators import uniform_workload, zipf_workload
+from repro.workloads.trace import replay_trace
+
+
+def recovery_summary_no_offload(layout):
+    """Summary of the raw layout balance, without surrogate reads."""
+    from repro.core.recovery import summarize_plan
+
+    return summarize_plan(
+        layout, plan_recovery(layout, [0], offload=False)
+    )
+
+
+class TestOperatorStory:
+    """Deploy, load, fail, serve degraded, rebuild, verify."""
+
+    def test_full_lifecycle_with_workload(self):
+        array = OIRAIDArray.build(7, 3, unit_bytes=32, cycles=2)
+        load = uniform_workload(
+            array.user_units, 150, write_fraction=0.6, seed=11
+        )
+        replay_trace(array, load)
+        assert array.verify()
+
+        # An enclosure (whole group) dies.
+        array.fail_group(4)
+        degraded_reads = uniform_workload(
+            array.user_units, 50, write_fraction=0.0, seed=12
+        )
+        replay_trace(array, degraded_reads)  # must not raise
+
+        array.reconstruct()
+        assert array.verify()
+
+    def test_rolling_failures_with_writes_between(self):
+        array = OIRAIDArray.build(7, 3, unit_bytes=16)
+        rng = random.Random(0)
+        reference = {}
+        for round_ in range(4):
+            for _ in range(10):
+                unit = rng.randrange(array.user_units)
+                payload = bytes(
+                    rng.randrange(256) for _ in range(array.unit_bytes)
+                )
+                array.write_unit(unit, payload)
+                reference[unit] = payload
+            array.fail_disk(rng.randrange(array.layout.n_disks))
+            if round_ % 2 == 1:
+                array.reconstruct()
+        array.reconstruct()
+        assert array.verify()
+        for unit, payload in reference.items():
+            assert bytes(array.read_unit(unit)) == payload
+
+
+class TestFailureInjectionPipeline:
+    def test_injected_trace_drives_recovery_decisions(self):
+        layout = oi_raid(7, 3)
+        injector = FailureInjector(mttf_hours=2000, seed=21)
+        trace = injector.trace_for(layout.n_disks, horizon_seconds=3e7)
+        failed = []
+        for event in trace.events[:3]:
+            failed.append(event.disk_id)
+        plan = plan_recovery(layout, failed)
+        assert plan.total_write_units == len(set(failed)) * layout.units_per_disk
+
+
+class TestCrossSchemeComparison:
+    """OI-RAID vs RAID50 at equal disk count — the paper's core contrast."""
+
+    def test_recovery_and_tolerance_dominate_raid50(self):
+        oi = oi_raid(7, 3)
+        r50 = Raid50Layout(7, 3)
+        assert oi.n_disks == r50.n_disks == 21
+
+        oi_summary = recovery_summary(oi, [0])
+        r50_summary = recovery_summary(r50, [0])
+        assert oi_summary.speedup_vs_raid5 > 4 * r50_summary.speedup_vs_raid5
+
+        assert guaranteed_tolerance(oi, limit=3) == 3
+        assert guaranteed_tolerance(r50, limit=3) == 1
+
+    def test_storage_price_of_the_tolerance(self):
+        oi = oi_raid(7, 3)
+        r50 = Raid50Layout(7, 3)
+        # OI-RAID pays capacity for its extra tolerance...
+        assert oi.storage_efficiency < r50.storage_efficiency
+        # ...but stays above 3-replication for this configuration.
+        assert oi.storage_efficiency > 1 / 3
+
+    def test_reliability_pipeline_couples_speedup_and_tolerance(self):
+        oi = oi_raid(7, 3)
+        speedup = recovery_summary(oi, [0]).speedup_vs_raid5
+        oi_model = model_for_layout(
+            21, 50_000.0, 24.0 / speedup, [1.0, 1.0, 1.0]
+        )
+        r50_model = model_for_layout(21, 50_000.0, 24.0, [1.0])
+        assert oi_model.mttdl_hours() > 1e4 * r50_model.mttdl_hours()
+
+
+class TestRebuildTimeline:
+    def test_capacity_scaling_is_linear(self):
+        layout = oi_raid(7, 3)
+        t1 = analytic_rebuild_time(
+            layout, [0], DiskModel(capacity_bytes=1e12)
+        ).seconds
+        t2 = analytic_rebuild_time(
+            layout, [0], DiskModel(capacity_bytes=2e12)
+        ).seconds
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_simulated_rebuild_beats_raid50_end_to_end(self):
+        disk = DiskModel(capacity_bytes=1e11)
+        oi = simulate_rebuild(oi_raid(7, 3), [0], disk)
+        r50 = simulate_rebuild(Raid50Layout(7, 3), [0], disk)
+        assert oi.seconds < r50.seconds / 3
+
+
+class TestSkewAblationEndToEnd:
+    def test_skew_improves_balance_not_tolerance(self):
+        skewed = oi_raid(7, 3, skewed=True)
+        aligned = oi_raid(7, 3, skewed=False)
+        # Intrinsic layout balance (no surrogate-read compensation): the
+        # skew spreads recovery partners over the whole array.
+        s_raw = recovery_summary_no_offload(skewed)
+        a_raw = recovery_summary_no_offload(aligned)
+        assert s_raw.load_cv() < a_raw.load_cv()
+        assert s_raw.participating_disks > 2 * a_raw.participating_disks
+        # End to end (planner fully enabled) the skew still wins on speed.
+        s_sum = recovery_summary(skewed, [0])
+        a_sum = recovery_summary(aligned, [0])
+        assert s_sum.speedup_vs_raid5 > a_sum.speedup_vs_raid5
+        # Tolerance is a property of the two-layer structure, not the skew.
+        assert guaranteed_tolerance(aligned, limit=3) == 3
+
+
+class TestHotSpotWorkload:
+    def test_zipf_load_served_while_degraded(self):
+        array = OIRAIDArray.build(7, 3, unit_bytes=16)
+        warmup = zipf_workload(
+            array.user_units, 100, write_fraction=1.0, seed=31
+        )
+        replay_trace(array, warmup)
+        array.fail_disk(3)
+        array.fail_disk(17)
+        hot = zipf_workload(array.user_units, 80, write_fraction=0.2, seed=32)
+        result = replay_trace(array, hot)
+        assert result.requests == 80
+        array.reconstruct()
+        assert array.verify()

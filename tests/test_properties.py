@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on the library's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.raid5 import Raid5Codec
+from repro.codes.reedsolomon import ReedSolomonCodec
+from repro.core.oi_layout import oi_raid
+from repro.design.catalog import find_bibd
+from repro.design.difference import heffter_triples
+from repro.layouts.recovery import is_recoverable, plan_recovery
+from repro.util.primes import is_prime, next_prime
+from repro.util.stats import coefficient_of_variation, percentile
+
+# One small layout reused across examples (construction is the slow part).
+_FANO_OI = oi_raid(7, 3)
+
+sts_orders = st.integers(min_value=1, max_value=14).map(lambda t: 6 * t + 1)
+
+
+@given(st.integers(min_value=1, max_value=12))
+@settings(max_examples=12, deadline=None)
+def test_heffter_always_solvable(t):
+    triples = heffter_triples(t)
+    assert triples is not None
+    flat = sorted(x for tr in triples for x in tr)
+    assert flat == list(range(1, 3 * t + 1))
+
+
+@given(sts_orders)
+@settings(max_examples=10, deadline=None)
+def test_cyclic_sts_validates_for_any_order(v):
+    from repro.design.steiner import steiner_triple_system
+
+    design = steiner_triple_system(v)
+    assert design.parameters == (v, v * (v - 1) // 6, (v - 1) // 2, 3, 1)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=100)
+def test_next_prime_is_prime_and_minimal(n):
+    p = next_prime(n)
+    assert is_prime(p)
+    assert all(not is_prime(q) for q in range(max(2, n), p))
+
+
+@given(
+    st.lists(
+        st.binary(min_size=16, max_size=16), min_size=2, max_size=9
+    )
+)
+@settings(max_examples=60)
+def test_raid5_codec_recovers_any_position(buffers):
+    codec = Raid5Codec(len(buffers) + 1)
+    data = [np.frombuffer(b, dtype=np.uint8) for b in buffers]
+    stripe = data + [codec.encode(data)]
+    for lost in range(len(stripe)):
+        erased = [u if i != lost else None for i, u in enumerate(stripe)]
+        decoded = codec.decode(erased)
+        assert np.array_equal(decoded[lost], stripe[lost])
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_rs_is_mds_for_random_erasures(k, m, data):
+    codec = ReedSolomonCodec(k, m)
+    rng = np.random.default_rng(k * 31 + m)
+    units = [rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(k)]
+    stripe = units + codec.encode(units)
+    lost = data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=k + m - 1),
+            min_size=1,
+            max_size=m,
+        )
+    )
+    erased = [u if i not in lost else None for i, u in enumerate(stripe)]
+    decoded = codec.decode(erased)
+    for a, b in zip(stripe, decoded):
+        assert np.array_equal(a, b)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=3)
+)
+@settings(max_examples=60, deadline=None)
+def test_oi_any_three_failures_recoverable(failed):
+    assert is_recoverable(_FANO_OI, sorted(failed))
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=3)
+)
+@settings(max_examples=25, deadline=None)
+def test_oi_plans_cover_exactly_the_lost_cells(failed):
+    plan = plan_recovery(_FANO_OI, sorted(failed))
+    expected = len(failed) * _FANO_OI.units_per_disk
+    assert plan.total_write_units == expected
+    assert len(set(plan.recovered_cells)) == expected
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=2)
+)
+@settings(max_examples=15, deadline=None)
+def test_oi_offload_never_increases_peak(failed):
+    base = plan_recovery(_FANO_OI, sorted(failed), offload=False)
+    tuned = plan_recovery(_FANO_OI, sorted(failed), offload=True)
+    assert tuned.max_read_units <= base.max_read_units
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=30,
+    )
+)
+@settings(max_examples=60)
+def test_cv_is_scale_invariant(values):
+    a = coefficient_of_variation(values)
+    b = coefficient_of_variation([v * 7.5 for v in values])
+    assert a == pytest.approx(b, rel=1e-9)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    st.floats(min_value=0, max_value=100),
+)
+@settings(max_examples=60)
+def test_percentile_within_range(values, q):
+    p = percentile(values, q)
+    assert min(values) <= p <= max(values)
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=83),
+        st.binary(min_size=16, max_size=16),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_batch_write_equals_individual_writes(updates):
+    from repro.core.array import OIRAIDArray
+
+    a = OIRAIDArray(_FANO_OI, unit_bytes=16)
+    b = OIRAIDArray(_FANO_OI, unit_bytes=16)
+    for unit, payload in updates.items():
+        a.write_unit(unit, payload)
+    b.write_batch(dict(updates))
+    assert a.verify() and b.verify()
+    for unit in updates:
+        assert bytes(a.read_unit(unit)) == bytes(b.read_unit(unit))
+
+
+@given(
+    st.integers(min_value=0, max_value=20),
+    st.dictionaries(
+        st.integers(min_value=0, max_value=83),
+        st.binary(min_size=16, max_size=16),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_distributed_sparing_roundtrip_property(failed_disk, updates):
+    from repro.core.sparing import DistributedSpareArray
+
+    array = DistributedSpareArray(
+        _FANO_OI, unit_bytes=16, spare_units_per_disk=3
+    )
+    for unit, payload in updates.items():
+        array.write_unit(unit, payload)
+    array.fail_disk(failed_disk)
+    array.rebuild_distributed()
+    for unit, payload in updates.items():
+        assert bytes(array.read_unit(unit)) == payload
+    array.replace_failed()
+    array.copy_back()
+    assert array.verify()
+    for unit, payload in updates.items():
+        assert bytes(array.read_unit(unit)) == payload
+
+
+@given(
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=0, max_value=26),
+)
+@settings(max_examples=25, deadline=None)
+def test_lse_resilient_read_property(disk, addr):
+    """Any single unreadable sector on a healthy OI-RAID array is
+    decodable and heals."""
+    from repro.core.array import OIRAIDArray
+
+    array = OIRAIDArray(_FANO_OI, unit_bytes=16)
+    array.write_unit(0, b"\x5a" * 16)
+    offset = addr * 16
+    array.disks.disk(disk).inject_latent_error(offset, 16)
+    value = array._read_cell_resilient(0, (disk, addr))
+    assert value.size == 16
+    # Healed: raw read works and matches.
+    assert bytes(array._read_cell(0, (disk, addr))) == bytes(value)
+
+
+@given(st.sampled_from([(7, 3), (9, 3), (13, 3), (13, 4)]))
+@settings(max_examples=4, deadline=None)
+def test_bibd_lambda_one_pair_coverage(params):
+    v, k = params
+    design = find_bibd(v, k)
+    import itertools
+
+    for p, q in itertools.combinations(range(v), 2):
+        assert len(design.block_containing_pair(p, q)) == 1

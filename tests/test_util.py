@@ -1,0 +1,105 @@
+"""Utility helpers: checks, primes, units, stats."""
+
+import pytest
+
+from repro.util.checks import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.util.primes import is_prime, next_prime, prime_power_base
+from repro.util.stats import coefficient_of_variation, mean, percentile
+from repro.util.units import GIB, KIB, MIB, TIB, format_bytes, format_duration
+
+
+class TestChecks:
+    def test_check_type_rejects_bool_as_int(self):
+        with pytest.raises(TypeError):
+            check_type("x", True, int)
+
+    def test_check_positive(self):
+        check_positive("x", 3)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(TypeError):
+            check_positive("x", 1.5)
+
+    def test_check_index(self):
+        check_index("i", 0, 3)
+        with pytest.raises(IndexError):
+            check_index("i", 3, 3)
+        with pytest.raises(IndexError):
+            check_index("i", -1, 3)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+        with pytest.raises(TypeError):
+            check_probability("p", "0.5")
+        with pytest.raises(TypeError):
+            check_probability("p", True)
+
+
+class TestPrimes:
+    def test_is_prime_small(self):
+        primes = [n for n in range(30) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_next_prime(self):
+        assert next_prime(0) == 2
+        assert next_prime(8) == 11
+        assert next_prime(13) == 13
+
+    def test_prime_power_base(self):
+        assert prime_power_base(8) == (2, 3)
+        assert prime_power_base(9) == (3, 2)
+        assert prime_power_base(7) == (7, 1)
+        assert prime_power_base(12) is None
+        assert prime_power_base(1) is None
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert KIB == 1024 and MIB == KIB**2 and GIB == KIB**3 and TIB == KIB**4
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2 * MIB) == "2.0 MiB"
+        assert format_bytes(1.5 * TIB) == "1.5 TiB"
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_format_duration(self):
+        assert format_duration(30) == "30.0 s"
+        assert format_duration(90) == "1.5 min"
+        assert format_duration(7200) == "2.00 h"
+        assert format_duration(2 * 86400) == "2.00 d"
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_cv_zero_for_constant(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_cv_undefined_for_zero_mean(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([0, 0])
+
+    def test_percentile_interpolation(self):
+        assert percentile([0, 10], 50) == 5
+        assert percentile([1, 2, 3, 4], 0) == 1
+        assert percentile([1, 2, 3, 4], 100) == 4
+        assert percentile([7], 30) == 7
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)

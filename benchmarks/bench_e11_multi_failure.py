@@ -9,6 +9,7 @@ one group — the enclosure-loss case where the inner layer is useless).
 from repro.bench.runner import Experiment, ExperimentResult
 from repro.bench.tables import format_table
 from repro.core.oi_layout import oi_raid
+from repro.sim.parallel import default_jobs, parallel_map
 from repro.sim.rebuild import DiskModel, analytic_rebuild_time
 
 DISK = DiskModel(capacity_bytes=4e12)
@@ -22,13 +23,22 @@ PATTERNS = [
 ]
 
 
+def _rebuild_pattern(failed):
+    """Module-level (picklable) per-pattern body for the parallel map."""
+    return analytic_rebuild_time(oi_raid(7, 3), failed, DISK)
+
+
 def _body() -> ExperimentResult:
-    layout = oi_raid(7, 3)
     rows = []
     metrics = {}
     raid5_hours = DISK.raid5_rebuild_seconds / 3600.0
-    for name, failed in PATTERNS:
-        result = analytic_rebuild_time(layout, failed, DISK)
+    # Each pattern's plan is independent; REPRO_JOBS=N fans them out.
+    results = parallel_map(
+        _rebuild_pattern,
+        [failed for _name, failed in PATTERNS],
+        jobs=default_jobs(),
+    )
+    for (name, failed), result in zip(PATTERNS, results):
         hours = result.seconds / 3600.0
         rows.append(
             [

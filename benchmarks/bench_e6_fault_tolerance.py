@@ -16,6 +16,7 @@ from repro.layouts import (
     Raid6Layout,
     Raid50Layout,
 )
+from repro.sim.parallel import default_jobs
 
 MAX_F = 6
 SAMPLED = 1500  # patterns per size beyond the exhaustive range
@@ -33,10 +34,13 @@ def _body() -> ExperimentResult:
     }
     series = {name: {} for name in layouts}
     metrics = {}
+    jobs = default_jobs()  # REPRO_JOBS=N parallelizes the pattern sweeps
     for name, layout in layouts.items():
         for f in range(1, MAX_F + 1):
             cap = None if f <= 3 else SAMPLED
-            fraction = survivable_fraction(layout, f, max_patterns=cap)
+            fraction = survivable_fraction(
+                layout, f, max_patterns=cap, jobs=jobs
+            )
             series[name][f] = fraction
             metrics[f"{name.split(' ')[0]}_f{f}"] = fraction
     report = format_series(

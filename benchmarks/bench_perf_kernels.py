@@ -13,8 +13,11 @@ import pytest
 from repro.codes.gf256 import GF256
 from repro.codes.raid5 import Raid5Codec
 from repro.codes.reedsolomon import ReedSolomonCodec
-from repro.core.oi_layout import oi_raid
+from repro.core.oi_layout import _oi_raid_cached, oi_raid
+from repro.core.tolerance import survivable_fraction
 from repro.layouts.recovery import is_recoverable, plan_recovery
+from repro.sim.montecarlo import recoverability_oracle
+from repro.sim.parallel import simulate_lifetimes_parallel
 
 UNIT = 64 * 1024  # 64 KiB stripe units for throughput numbers
 
@@ -49,6 +52,14 @@ class TestGFKernels:
         benchmark(run)
 
 
+    def test_gf_solve_8x8(self, benchmark, buffers):
+        codec = ReedSolomonCodec(8, 3)
+        matrix = [codec._generator_row(i) for i in range(3, 11)]
+        rhs = np.stack(buffers[:8])
+        result = benchmark(GF256.solve, matrix, rhs)
+        assert result.shape == rhs.shape
+
+
 class TestCodecThroughput:
     def test_raid5_encode_8_plus_1(self, benchmark, buffers):
         codec = Raid5Codec(9)
@@ -78,11 +89,32 @@ class TestCodecThroughput:
 
 class TestLayoutAlgorithms:
     def test_layout_construction_21_disks(self, benchmark):
+        # Bypass the oi_raid() LRU cache: time the real construction.
+        def build():
+            _oi_raid_cached.cache_clear()
+            return oi_raid(7, 3)
+
+        layout = benchmark(build)
+        assert layout.n_disks == 21
+
+    def test_layout_construction_cached(self, benchmark):
+        oi_raid(7, 3)  # warm the cache
         layout = benchmark(oi_raid, 7, 3)
         assert layout.n_disks == 21
 
     def test_peeling_oracle_triple_failure(self, benchmark, fano_oi):
         assert benchmark(is_recoverable, fano_oi, [0, 1, 9])
+
+    def test_peeling_oracle_triple_failure_57_disks(self, benchmark, big_oi):
+        assert benchmark(is_recoverable, big_oi, [0, 1, 9])
+
+    def test_peeling_oracle_unrecoverable(self, benchmark, fano_oi):
+        # Worst case for the old rescan loop: peeling stalls with cells left.
+        assert not benchmark(is_recoverable, fano_oi, [0, 1, 2, 3, 4, 5])
+
+    def test_survivable_fraction_f2_exhaustive(self, benchmark, fano_oi):
+        fraction = benchmark(survivable_fraction, fano_oi, 2)
+        assert fraction == 1.0
 
     def test_plan_single_failure_21_disks(self, benchmark, fano_oi):
         plan = benchmark(plan_recovery, fano_oi, [0])
@@ -95,3 +127,16 @@ class TestLayoutAlgorithms:
     def test_plan_group_failure_21_disks(self, benchmark, fano_oi):
         plan = benchmark(plan_recovery, fano_oi, [0, 1, 2])
         assert plan.total_write_units == 3 * fano_oi.units_per_disk
+
+
+class TestSimulationEngine:
+    def test_mc_lifetimes_serial_kernel(self, benchmark, fano_oi):
+        oracle = recoverability_oracle(fano_oi, guaranteed_tolerance=3)
+
+        def run():
+            return simulate_lifetimes_parallel(
+                21, 2000.0, 40.0, oracle, 4000.0, trials=200, seed=0, jobs=1
+            )
+
+        result = benchmark(run)
+        assert result.trials == 200

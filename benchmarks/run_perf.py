@@ -1,0 +1,159 @@
+"""Write a machine-readable performance snapshot to ``BENCH_perf.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--jobs N] [--output PATH]
+
+Measures the library's hot kernels — GF(256) buffer math, the peeling
+oracle, the recovery planner, the exhaustive tolerance sweep, and the
+Monte-Carlo lifetime engine (serial and, with ``--jobs``, parallel) — and
+writes ``{baseline_seed, current, speedup_vs_seed}`` so future PRs have a
+regression baseline to diff against.
+
+``SEED_BASELINE`` holds the numbers measured on the pre-optimization seed
+tree (serial rescan peeler, double-gather GF kernels, no parallel runner)
+on the same class of machine the snapshot is regenerated on. Timings are
+best-of-N wall clock; treat small deltas (<20%) as noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.codes.gf256 import GF256
+from repro.core.oi_layout import _oi_raid_cached, oi_raid
+from repro.core.tolerance import survivable_fraction
+from repro.layouts.recovery import is_recoverable, plan_recovery
+from repro.sim.montecarlo import recoverability_oracle
+from repro.sim.parallel import simulate_lifetimes_parallel
+
+UNIT = 64 * 1024
+MC_TRIALS = 2000
+
+# Measured on the seed tree (commit 7b67841) with the same harness.
+SEED_BASELINE = {
+    "gf_mul_bytes_64k_s": 5.149e-04,
+    "gf_addmul_64k_s": 5.454e-04,
+    "peel_oracle_triple_21_s": 7.758e-04,
+    "peel_oracle_triple_57_s": 6.894e-03,
+    "plan_single_21_s": 5.077e-03,
+    "survivable_f3_exhaustive_21_s": 7.526e-01,
+    "mc_lifetimes_2000_trials_s": 5.243e-01,
+    "mc_trials_per_s": 3.815e03,
+}
+
+
+def best_of(fn, repeat=5, number=1):
+    """Best wall-clock time of *fn* over *repeat* batches of *number* calls."""
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        times.append((time.perf_counter() - start) / number)
+    return min(times)
+
+
+def measure(jobs: int) -> dict:
+    rng = np.random.default_rng(0)
+    buf = rng.integers(0, 256, UNIT, dtype=np.uint8)
+    acc = np.zeros(UNIT, dtype=np.uint8)
+    oi = oi_raid(7, 3)
+    big = oi_raid(19, 3)
+    oracle = recoverability_oracle(oi, guaranteed_tolerance=3)
+
+    current = {
+        "gf_mul_bytes_64k_s": best_of(
+            lambda: GF256.mul_bytes(0x57, buf), repeat=20, number=20
+        ),
+        "gf_addmul_64k_s": best_of(
+            lambda: GF256.addmul(acc, 0x1D, buf), repeat=20, number=20
+        ),
+        "peel_oracle_triple_21_s": best_of(
+            lambda: is_recoverable(oi, [0, 1, 9]), repeat=10, number=10
+        ),
+        "peel_oracle_triple_57_s": best_of(
+            lambda: is_recoverable(big, [0, 1, 9]), repeat=5, number=3
+        ),
+        "plan_single_21_s": best_of(
+            lambda: plan_recovery(oi, [0]), repeat=5, number=1
+        ),
+        "survivable_f3_exhaustive_21_s": best_of(
+            lambda: survivable_fraction(oi, 3), repeat=3, number=1
+        ),
+        "layout_construction_21_s": best_of(
+            lambda: (_oi_raid_cached.cache_clear(), oi_raid(7, 3)),
+            repeat=5,
+            number=1,
+        ),
+    }
+    oi = oi_raid(7, 3)  # repopulate the cache after the construction timing
+
+    start = time.perf_counter()
+    simulate_lifetimes_parallel(
+        21, 2000.0, 40.0, oracle, 4000.0, trials=MC_TRIALS, seed=0, jobs=1
+    )
+    serial_s = time.perf_counter() - start
+    current["mc_lifetimes_2000_trials_s"] = serial_s
+    current["mc_trials_per_s"] = MC_TRIALS / serial_s
+
+    if jobs > 1:
+        start = time.perf_counter()
+        simulate_lifetimes_parallel(
+            21,
+            2000.0,
+            40.0,
+            oracle,
+            4000.0,
+            trials=MC_TRIALS,
+            seed=0,
+            jobs=jobs,
+        )
+        par_s = time.perf_counter() - start
+        current[f"mc_lifetimes_2000_trials_jobs{jobs}_s"] = par_s
+        current[f"mc_trials_per_s_jobs{jobs}"] = MC_TRIALS / par_s
+        current[f"mc_parallel_speedup_jobs{jobs}"] = serial_s / par_s
+    return current
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="also measure the parallel MC runner at N jobs")
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_perf.json",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure(args.jobs)
+    speedup = {
+        key: SEED_BASELINE[key] / current[key]
+        for key in SEED_BASELINE
+        if key in current and key != "mc_trials_per_s"
+    }
+    speedup["mc_trials_per_s"] = (
+        current["mc_trials_per_s"] / SEED_BASELINE["mc_trials_per_s"]
+    )
+    snapshot = {
+        "unit_bytes": UNIT,
+        "mc_trials": MC_TRIALS,
+        "baseline_seed": SEED_BASELINE,
+        "current": current,
+        "speedup_vs_seed": {k: round(v, 2) for k, v in speedup.items()},
+    }
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ from repro.layouts import (
 from repro.sim import (
     DiskModel,
     analytic_rebuild_time,
+    simulate_lifetimes_parallel,
     simulate_rebuild,
 )
 
@@ -89,6 +90,7 @@ __all__ = [
     "DiskModel",
     "analytic_rebuild_time",
     "simulate_rebuild",
+    "simulate_lifetimes_parallel",
     # errors
     "ReproError",
     "DesignError",

@@ -2,11 +2,16 @@
 
 Gives operators the planning surface without writing Python:
 
-* ``info``       — properties of one OI-RAID configuration
-* ``designs``    — the constructible configuration space for a stripe width
-* ``plan``       — recovery plan summary for a failure pattern
-* ``tolerance``  — survivable-fraction profile (enumerated/sampled)
-* ``rebuild``    — rebuild wall-clock under a disk model
+* ``info``        — properties of one OI-RAID configuration
+* ``designs``     — the constructible configuration space for a stripe width
+* ``plan``        — recovery plan summary for a failure pattern
+* ``tolerance``   — survivable-fraction profile (enumerated/sampled)
+* ``rebuild``     — rebuild wall-clock under a disk model
+* ``reliability`` — Monte-Carlo lifetime simulation with the exact oracle
+
+The compute-heavy subcommands (``tolerance``, ``reliability``) accept
+``--jobs N`` to fan the work across N worker processes; results are
+bit-identical for every N (deterministic per-chunk seeding).
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from repro.core.recovery import recovery_summary
 from repro.core.tolerance import tolerance_profile
 from repro.design.catalog import available_designs
 from repro.errors import ReproError
+from repro.sim.montecarlo import recoverability_oracle
+from repro.sim.parallel import simulate_lifetimes_parallel
 from repro.sim.rebuild import DiskModel, analytic_rebuild_time
 from repro.util.units import format_duration
 
@@ -104,6 +111,7 @@ def _cmd_tolerance(args: argparse.Namespace) -> int:
         layout,
         max_failures=args.max_failures,
         max_patterns_per_size=args.samples,
+        jobs=args.jobs,
     )
     rows = [[f, fraction] for f, fraction in sorted(profile.items())]
     print(
@@ -136,6 +144,49 @@ def _cmd_rebuild(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    layout = _layout_from(args)
+    oracle = recoverability_oracle(layout, layout.design_tolerance)
+    result = simulate_lifetimes_parallel(
+        layout.n_disks,
+        args.mttf_hours,
+        args.mttr_hours,
+        oracle,
+        args.horizon_hours,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    lo, hi = result.prob_loss_interval()
+    mttdl = result.mttdl_estimate_hours
+    rows = [
+        ["disks", str(layout.n_disks)],
+        ["trials", str(result.trials)],
+        ["losses", str(result.losses)],
+        ["P(loss before horizon)", f"{result.prob_loss:.6f}"],
+        ["95% CI", f"[{lo:.6f}, {hi:.6f}]"],
+        [
+            "MTTDL estimate",
+            "inf (no losses observed)"
+            if mttdl == float("inf")
+            else format_duration(mttdl * 3600.0),
+        ],
+        ["workers", str(args.jobs)],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Monte-Carlo lifetimes: MTTF {args.mttf_hours:.0f} h, "
+                f"MTTR {args.mttr_hours:.0f} h, "
+                f"mission {args.horizon_hours:.0f} h"
+            ),
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -163,7 +214,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_tol.add_argument("--max-failures", type=int, default=4)
     p_tol.add_argument("--samples", type=int, default=500,
                        help="patterns sampled per size (0 = exhaustive)")
+    p_tol.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the pattern sweep "
+                            "(default: serial; result identical for any N)")
     p_tol.set_defaults(func=_cmd_tolerance)
+
+    p_rel = sub.add_parser(
+        "reliability",
+        help="Monte-Carlo lifetime simulation (exact pattern oracle)",
+    )
+    _add_layout_args(p_rel)
+    p_rel.add_argument("--mttf-hours", type=float, default=100_000.0,
+                       help="per-disk mean time to failure")
+    p_rel.add_argument("--mttr-hours", type=float, default=24.0,
+                       help="per-disk mean time to repair")
+    p_rel.add_argument("--horizon-hours", type=float, default=87_660.0,
+                       help="mission length (default: 10 years)")
+    p_rel.add_argument("--trials", type=int, default=1000)
+    p_rel.add_argument("--seed", type=int, default=0)
+    p_rel.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the Monte-Carlo fan-out "
+                            "(default: serial; result identical for any N)")
+    p_rel.set_defaults(func=_cmd_reliability)
 
     p_rb = sub.add_parser("rebuild", help="estimate rebuild wall-clock")
     _add_layout_args(p_rb)

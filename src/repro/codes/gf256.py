@@ -4,6 +4,11 @@ The field is built over the AES/Rijndael polynomial x^8+x^4+x^3+x+1 (0x11B).
 Scalar ops use log/antilog tables; bulk ops (`mul_bytes`, `addmul`) operate
 on numpy uint8 arrays, which is what the Reed-Solomon and RAID6 codecs use
 for stripe-sized buffers.
+
+Bulk multiplication uses the full 256x256 product table ``_MUL`` (64 KiB,
+built once at import): multiplying a buffer by a scalar is a single fancy-
+index gather ``_MUL[coeff][buf]`` — no log/antilog double gather, no
+zero-mask, no intermediate allocations beyond the result itself.
 """
 
 from __future__ import annotations
@@ -37,6 +42,15 @@ for _i in range(255):
     _LOG[_value] = _i
     _value = _gf_mul_slow(_value, _GENERATOR)
 _EXP[255:510] = _EXP[0:255]
+
+# Full product table: _MUL[a][b] == a*b over GF(256). Row 0 is all zeros,
+# row 1 is the identity permutation; log sums stay < 510, inside _EXP.
+_MUL = np.zeros((256, 256), dtype=np.uint8)
+_MUL[1:, 1:] = _EXP[_LOG[1:].reshape(-1, 1) + _LOG[1:].reshape(1, -1)]
+
+_EXP.setflags(write=False)
+_LOG.setflags(write=False)
+_MUL.setflags(write=False)
 
 
 class GF256:
@@ -94,18 +108,18 @@ class GF256:
             return np.zeros_like(buf)
         if coeff == 1:
             return buf.copy()
-        log_c = int(_LOG[coeff])
-        out = np.zeros_like(buf)
-        nonzero = buf != 0
-        out[nonzero] = _EXP[_LOG[buf[nonzero]] + log_c]
-        return out
+        return _MUL[coeff][buf]
 
     @staticmethod
     def addmul(acc: np.ndarray, coeff: int, data: np.ndarray) -> None:
         """In place: ``acc ^= coeff * data`` (the RS inner loop)."""
         if coeff == 0:
             return
-        np.bitwise_xor(acc, GF256.mul_bytes(coeff, data), out=acc)
+        buf = np.asarray(data, dtype=np.uint8)
+        if coeff == 1:
+            np.bitwise_xor(acc, buf, out=acc)
+            return
+        np.bitwise_xor(acc, _MUL[coeff][buf], out=acc)
 
     @staticmethod
     def solve(matrix: Sequence[Sequence[int]], rhs: np.ndarray) -> np.ndarray:
@@ -115,28 +129,29 @@ class GF256:
         by the Reed-Solomon decoder. Raises :class:`ZeroDivisionError` on a
         singular matrix (which, for Vandermonde-derived systems, indicates a
         caller bug rather than an undecodable erasure pattern).
+
+        Gauss-Jordan with both the coefficient matrix and the right-hand
+        side kept as uint8 arrays; each elimination round clears a whole
+        column with two broadcast gathers instead of per-row Python loops.
         """
-        a = [list(row) for row in matrix]
-        m = len(a)
+        a = np.array(matrix, dtype=np.uint8)
+        m = a.shape[0]
         b = np.array(rhs, dtype=np.uint8, copy=True)
         for col in range(m):
-            pivot = next(
-                (row for row in range(col, m) if a[row][col] != 0), None
-            )
-            if pivot is None:
+            nonzero = np.nonzero(a[col:, col])[0]
+            if nonzero.size == 0:
                 raise ZeroDivisionError("singular matrix over GF(256)")
+            pivot = col + int(nonzero[0])
             if pivot != col:
-                a[col], a[pivot] = a[pivot], a[col]
+                a[[col, pivot]] = a[[pivot, col]]
                 b[[col, pivot]] = b[[pivot, col]]
-            inv = GF256.inv(a[col][col])
-            a[col] = [GF256.mul(inv, x) for x in a[col]]
-            b[col] = GF256.mul_bytes(inv, b[col])
-            for row in range(m):
-                if row != col and a[row][col] != 0:
-                    factor = a[row][col]
-                    a[row] = [
-                        GF256.add(x, GF256.mul(factor, y))
-                        for x, y in zip(a[row], a[col])
-                    ]
-                    GF256.addmul(b[row], factor, b[col])
+            inv = GF256.inv(int(a[col, col]))
+            a[col] = _MUL[inv][a[col]]
+            b[col] = _MUL[inv][b[col]]
+            # Eliminate the column from every other row at once: row i gets
+            # factor a[i, col], the pivot row a factor of 0 (a no-op XOR).
+            factors = a[:, col].copy()
+            factors[col] = 0
+            a ^= _MUL[factors[:, None], a[col][None, :]]
+            b ^= _MUL[factors[:, None], b[col][None, :]]
         return b

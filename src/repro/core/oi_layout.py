@@ -36,6 +36,7 @@ enumeration in the test suite.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.grouping import DiskGrouping
@@ -309,6 +310,27 @@ class OIRAIDLayout(Layout):
         return (k - self.m_outer) / k * (self.g - self.m_inner) / self.g
 
 
+@lru_cache(maxsize=64)
+def _oi_raid_cached(
+    v: int,
+    k: int,
+    group_size: int,
+    depth: Optional[int],
+    skewed: bool,
+    outer_parities: int,
+    inner_parities: int,
+) -> OIRAIDLayout:
+    design = find_bibd(v, k, lam=1)
+    return OIRAIDLayout(
+        design,
+        group_size,
+        depth=depth,
+        skewed=skewed,
+        outer_parities=outer_parities,
+        inner_parities=inner_parities,
+    )
+
+
 def oi_raid(
     v: int,
     k: int,
@@ -324,15 +346,21 @@ def oi_raid(
     disks (21 disks) tolerating any 3 failures. Raising ``outer_parities``
     / ``inner_parities`` generalizes beyond RAID5-in-both-layers (the
     paper's "as an example" instantiation) at the cost of capacity.
+
+    Construction is memoized per parameter tuple (layouts are immutable
+    after ``_finalize``), so experiments that rebuild the same reference
+    configuration — and the CLI, which constructs one layout per
+    invocation — hit an LRU cache instead of re-deriving the BIBD and
+    re-validating the geometry.
     """
     if group_size is None:
         group_size = k if is_prime(k) else next_prime(k)
-    design = find_bibd(v, k, lam=1)
-    return OIRAIDLayout(
-        design,
+    return _oi_raid_cached(
+        v,
+        k,
         group_size,
-        depth=depth,
-        skewed=skewed,
-        outer_parities=outer_parities,
-        inner_parities=inner_parities,
+        depth,
+        skewed,
+        outer_parities,
+        inner_parities,
     )

@@ -46,10 +46,21 @@ def survivable_fraction(
     n_failures: int,
     max_patterns: Optional[int] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> float:
-    """Fraction of *n_failures*-disk patterns the layout can decode."""
+    """Fraction of *n_failures*-disk patterns the layout can decode.
+
+    ``jobs > 1`` fans the pattern checks across worker processes (same
+    result for any value — only the work distribution changes).
+    """
     patterns = failure_patterns(layout.n_disks, n_failures, max_patterns, seed)
-    survived = sum(1 for p in patterns if is_recoverable(layout, p))
+    if jobs != 1:
+        # Delegate (and let the engine validate jobs) even for jobs < 1.
+        from repro.sim.parallel import count_survivable_parallel
+
+        survived = count_survivable_parallel(layout, patterns, jobs=jobs)
+    else:
+        survived = sum(1 for p in patterns if is_recoverable(layout, p))
     return survived / len(patterns)
 
 
@@ -94,11 +105,12 @@ def tolerance_profile(
     max_failures: int = 6,
     max_patterns_per_size: Optional[int] = None,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Dict[int, float]:
     """{f: survivable fraction} for f = 1..max_failures (the E6 series)."""
     profile = {}
     for f in range(1, min(max_failures, layout.n_disks - 1) + 1):
         profile[f] = survivable_fraction(
-            layout, f, max_patterns_per_size, seed
+            layout, f, max_patterns_per_size, seed, jobs=jobs
         )
     return profile

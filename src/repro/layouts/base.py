@@ -33,6 +33,27 @@ Cell = Tuple[int, int]
 
 
 @dataclass(frozen=True)
+class PeelingIndex:
+    """Read-only geometry index consumed by the peeling decoder/planner.
+
+    Built once per layout (cached on the instance) so the recoverability
+    oracle and the recovery planner never rebuild per-stripe cell tuples or
+    rescan the whole stripe list: eligibility is tracked by per-stripe
+    lost-cell *counts*, and only stripes incident to a changed cell are
+    revisited.
+
+    Attributes:
+        stripe_cells: per stripe id, its cells in position order.
+        stripe_tolerance: per stripe id, its erasure tolerance.
+        cell_stripes: cell -> stripe ids containing it.
+    """
+
+    stripe_cells: Tuple[Tuple[Cell, ...], ...]
+    stripe_tolerance: Tuple[int, ...]
+    cell_stripes: Dict[Cell, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
 class Unit:
     """A physical placement: unit *addr* on disk *disk* (within one cycle)."""
 
@@ -105,6 +126,7 @@ class Layout(abc.ABC):
         self._cell_stripes: Dict[Cell, List[int]] = {}
         self._parity_of: Dict[Cell, int] = {}
         self._data_cells: Tuple[Cell, ...] = ()
+        self._peeling_index: Optional[PeelingIndex] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -212,6 +234,19 @@ class Layout(abc.ABC):
             return tuple(self._cell_stripes[cell])
         except KeyError:
             raise LayoutError(f"{self.name}: no such cell {cell}") from None
+
+    def peeling_index(self) -> PeelingIndex:
+        """The cached :class:`PeelingIndex` for this layout (built lazily)."""
+        if self._peeling_index is None:
+            self._peeling_index = PeelingIndex(
+                stripe_cells=tuple(s.cells() for s in self._stripes),
+                stripe_tolerance=tuple(s.tolerance for s in self._stripes),
+                cell_stripes={
+                    cell: tuple(ids)
+                    for cell, ids in self._cell_stripes.items()
+                },
+            )
+        return self._peeling_index
 
     def parity_producer(self, cell: Cell) -> int:
         """The stripe id whose parity lives at *cell*, or raise."""

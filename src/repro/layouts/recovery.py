@@ -22,14 +22,15 @@ geometry into its recovery speedup:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DataLossError
-from repro.layouts.base import Cell, Layout, Stripe
+from repro.layouts.base import Cell, Layout, PeelingIndex, Stripe
 
 
-def lost_cells(layout: Layout, failed_disks: Sequence[int]) -> Set[Cell]:
+def lost_cells(layout: Layout, failed_disks: Iterable[int]) -> Set[Cell]:
     """All cells of the layout cycle residing on the failed disks."""
     failed = set(failed_disks)
     for disk in failed:
@@ -50,29 +51,64 @@ def _eligible(stripe: Stripe, lost: Set[Cell]) -> Optional[Tuple[Cell, ...]]:
     return None
 
 
-def is_recoverable(layout: Layout, failed_disks: Sequence[int]) -> bool:
+def _lost_counts(index: PeelingIndex, lost: Set[Cell]) -> Dict[int, int]:
+    """Lost-cell count per stripe, restricted to stripes touching *lost*."""
+    counts: Dict[int, int] = {}
+    for cell in lost:
+        for sid in index.cell_stripes[cell]:
+            counts[sid] = counts.get(sid, 0) + 1
+    return counts
+
+
+def _peel(layout: Layout, lost: Set[Cell]) -> bool:
+    """Run indexed peeling to exhaustion; mutates *lost*, True if emptied.
+
+    Work-queue formulation of the classic rescan loop: per-stripe lost-cell
+    counts make eligibility an O(1) check, and repairing a cell enqueues
+    only the stripes containing that cell — so total work is linear in the
+    number of (lost cell, containing stripe) incidences instead of
+    O(passes x stripes).
+    """
+    index = layout.peeling_index()
+    counts = _lost_counts(index, lost)
+    tolerance = index.stripe_tolerance
+    queue = deque(sid for sid, c in counts.items() if c <= tolerance[sid])
+    queued = set(queue)
+    while queue:
+        sid = queue.popleft()
+        queued.discard(sid)
+        count = counts.get(sid, 0)
+        if count == 0 or count > tolerance[sid]:
+            continue  # stale entry: repaired or re-overloaded meanwhile
+        for cell in index.stripe_cells[sid]:
+            if cell not in lost:
+                continue
+            lost.discard(cell)
+            for other in index.cell_stripes[cell]:
+                counts[other] -= 1
+                if (
+                    other != sid
+                    and 0 < counts[other] <= tolerance[other]
+                    and other not in queued
+                ):
+                    queue.append(other)
+                    queued.add(other)
+    return not lost
+
+
+def is_recoverable(layout: Layout, failed_disks: Iterable[int]) -> bool:
     """True if the failure pattern is decodable by iterative peeling.
 
     Peeling is exact (not merely sufficient) for the layouts in this
     library: every stripe is MDS on its own cells, stripes share at most
     one cell pairwise, and no cell is parity in two stripes — so any
-    decodable pattern is decodable greedily.
+    decodable pattern is decodable greedily, in any order. *failed_disks*
+    may be any iterable of disk ids (set, tuple, generator).
     """
     lost = lost_cells(layout, failed_disks)
     if not lost:
         return True
-    pending = set(range(len(layout.stripes)))
-    progress = True
-    while lost and progress:
-        progress = False
-        for stripe_id in sorted(pending):
-            stripe = layout.stripes[stripe_id]
-            repairable = _eligible(stripe, lost)
-            if repairable:
-                lost.difference_update(repairable)
-                pending.discard(stripe_id)
-                progress = True
-    return not lost
+    return _peel(layout, lost)
 
 
 @dataclass(frozen=True)
@@ -163,6 +199,7 @@ def _surrogate_options(
 
 def _select_sources(
     stripe: Stripe,
+    cells: Tuple[Cell, ...],
     lost: Set[Cell],
     recovered: Set[Cell],
     loads: Dict[int, int],
@@ -174,7 +211,7 @@ def _select_sources(
     Free values first (cells already recovered by earlier steps), then the
     least-loaded disks; returns (fresh reads, reuses).
     """
-    survivors = [c for c in stripe.cells() if c not in lost]
+    survivors = [c for c in cells if c not in lost]
     needed = stripe.width - stripe.tolerance
     reuse_pool = [c for c in survivors if c in recovered]
     fresh_pool = sorted(
@@ -220,19 +257,24 @@ def plan_recovery(
     recovered: Set[Cell] = set()
     loads: Dict[int, int] = {}
 
-    candidate_ids: Set[int] = set()
-    for cell in lost:
-        candidate_ids.update(layout.stripes_containing(cell))
+    # Incremental eligibility: per-stripe lost-cell counts (maintained as
+    # cells are repaired) make "which stripes could repair right now" a set
+    # lookup instead of a rescan of every candidate stripe per round.
+    index = layout.peeling_index()
+    tolerance = index.stripe_tolerance
+    counts = _lost_counts(index, lost)
+    eligible = {sid for sid, c in counts.items() if c <= tolerance[sid]}
 
     raw_steps: List[Tuple[Stripe, Tuple[Cell, ...], Tuple[Cell, ...], Tuple[Cell, ...]]] = []
     while lost:
         best = None
-        for stripe_id in sorted(candidate_ids):
+        for stripe_id in sorted(eligible):
             stripe = layout.stripes[stripe_id]
-            repairable = _eligible(stripe, lost)
-            if not repairable:
-                continue
-            reads, _reuse = _select_sources(stripe, lost, recovered, loads)
+            cells = index.stripe_cells[stripe_id]
+            repairable = tuple(c for c in cells if c in lost)
+            reads, _reuse = _select_sources(
+                stripe, cells, lost, recovered, loads
+            )
             if balance:
                 new_loads = dict(loads)
                 for disk, _addr in reads:
@@ -249,13 +291,20 @@ def plan_recovery(
                 f"recoverable ({len(lost)} cells stranded)"
             )
         _key, stripe, repairable = best
-        fresh, reuse = _select_sources(stripe, lost, recovered, loads)
+        cells = index.stripe_cells[stripe.stripe_id]
+        fresh, reuse = _select_sources(stripe, cells, lost, recovered, loads)
         raw_steps.append((stripe, tuple(repairable), fresh, reuse))
         for disk, _addr in fresh:
             loads[disk] = loads.get(disk, 0) + 1
         lost.difference_update(repairable)
         recovered.update(repairable)
-        candidate_ids.discard(stripe.stripe_id)
+        for cell in repairable:
+            for other in index.cell_stripes[cell]:
+                counts[other] -= 1
+                if 0 < counts[other] <= tolerance[other]:
+                    eligible.add(other)
+                elif counts[other] == 0:
+                    eligible.discard(other)
 
     # Materialize sources (all direct initially).
     sources_per_step: List[List[ValueSource]] = [

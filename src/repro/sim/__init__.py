@@ -9,12 +9,21 @@
 * :mod:`repro.sim.markov` — continuous-time Markov MTTDL models.
 * :mod:`repro.sim.montecarlo` — system-lifetime Monte-Carlo, cross-checking
   the Markov results and capturing what the chains abstract away.
+* :mod:`repro.sim.parallel` — process fan-out for the Monte-Carlo and
+  fault-pattern sweeps, bit-identical for any worker count.
 """
 
 from repro.sim.engine import Event, FcfsServer, Simulator
 from repro.sim.latency import LatencyModel, LatencyResult, simulate_read_latency
 from repro.sim.markov import MarkovReliabilityModel, mttdl_raid5_array
 from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
+from repro.sim.parallel import (
+    default_jobs,
+    merge_lifetime_results,
+    parallel_map,
+    simulate_lifetimes_parallel,
+    survivable_fraction_parallel,
+)
 from repro.sim.rebuild import (
     DiskModel,
     RebuildResult,
@@ -36,5 +45,10 @@ __all__ = [
     "LatencyModel",
     "LatencyResult",
     "simulate_lifetimes",
+    "simulate_lifetimes_parallel",
+    "survivable_fraction_parallel",
+    "merge_lifetime_results",
+    "parallel_map",
+    "default_jobs",
     "LifetimeResult",
 ]

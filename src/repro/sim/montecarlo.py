@@ -62,26 +62,44 @@ class LifetimeResult:
         return exposure / self.losses
 
 
+@dataclass(frozen=True)
+class RecoverabilityOracle:
+    """Exact-pattern oracle with a fast path: few failures always survive.
+
+    A picklable callable (unlike a closure) so the parallel runner can ship
+    it to worker processes. The failed set is passed straight to the peeler
+    — no per-call sort — since :func:`is_recoverable` accepts any iterable.
+    """
+
+    layout: Layout
+    guaranteed_tolerance: int
+
+    def __call__(self, failed: Set[int]) -> bool:
+        if len(failed) <= self.guaranteed_tolerance:
+            return True
+        return is_recoverable(self.layout, failed)
+
+
+@dataclass(frozen=True)
+class ThresholdOracle:
+    """Count-threshold oracle for ideal-MDS baselines (picklable)."""
+
+    tolerance: int
+
+    def __call__(self, failed: Set[int]) -> bool:
+        return len(failed) <= self.tolerance
+
+
 def recoverability_oracle(
     layout: Layout, guaranteed_tolerance: int
 ) -> Callable[[Set[int]], bool]:
     """Oracle with a fast path: <= guaranteed failures always survive."""
-
-    def oracle(failed: Set[int]) -> bool:
-        if len(failed) <= guaranteed_tolerance:
-            return True
-        return is_recoverable(layout, sorted(failed))
-
-    return oracle
+    return RecoverabilityOracle(layout, guaranteed_tolerance)
 
 
 def threshold_oracle(tolerance: int) -> Callable[[Set[int]], bool]:
     """Count-threshold oracle for ideal-MDS baselines (e.g. RAID6 = 2)."""
-
-    def oracle(failed: Set[int]) -> bool:
-        return len(failed) <= tolerance
-
-    return oracle
+    return ThresholdOracle(tolerance)
 
 
 def simulate_lifetimes(

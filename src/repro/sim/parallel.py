@@ -1,0 +1,257 @@
+"""Parallel simulation engine: process fan-out with deterministic seeding.
+
+Two workloads dominate every reliability experiment in this reproduction
+and both are embarrassingly parallel:
+
+* **Monte-Carlo lifetimes** (E7, E18): thousands of independent missions.
+* **Fault-pattern sweeps** (E6, the tolerance CLI): thousands of
+  independent ``is_recoverable`` calls.
+
+This module fans both across worker processes via
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping results
+**bit-identical for every worker count**, including ``jobs=1``:
+
+1. Work is split into fixed-size chunks whose boundaries depend only on
+   the problem size (never on ``jobs``), so the same chunks exist whether
+   one process runs them or eight do.
+2. Each chunk gets its own RNG stream, derived from the caller's seed and
+   the chunk index by a splitmix-style stride
+   (``seed ^ (chunk_id * 0x9E3779B97F4A7C15)``); chunk 0's seed equals the
+   caller's seed, so a single-chunk run reproduces the serial kernel
+   exactly.
+3. Chunk results are merged in chunk order (``Executor.map`` preserves
+   order), so concatenated outputs like ``loss_times`` are stable.
+
+Callables shipped to workers must be picklable: module-level functions and
+the oracle dataclasses from :mod:`repro.sim.montecarlo` qualify; closures
+and lambdas do not.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar
+
+from repro.errors import SimulationError
+from repro.layouts.base import Layout
+from repro.layouts.recovery import is_recoverable
+from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Trials per Monte-Carlo chunk. Fixed (not derived from ``jobs``) so the
+#: chunk layout — and therefore the merged result — is identical for any
+#: worker count.
+DEFAULT_CHUNK_TRIALS = 256
+
+#: Failure patterns per sweep chunk.
+DEFAULT_CHUNK_PATTERNS = 512
+
+_SEED_STRIDE = 0x9E3779B97F4A7C15  # 64-bit golden-ratio increment
+_SEED_MASK = (1 << 63) - 1
+
+
+def default_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment variable (min 1).
+
+    The benchmarks read this so CI can opt whole experiment sweeps into
+    parallelism without touching their code; unset or invalid means serial.
+    """
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def derive_chunk_seed(seed: int, chunk_id: int) -> int:
+    """Deterministic per-chunk seed; chunk 0 reproduces *seed* itself."""
+    return (seed ^ (chunk_id * _SEED_STRIDE)) & _SEED_MASK
+
+
+def chunk_sizes(total: int, chunk: int) -> List[int]:
+    """Split *total* items into fixed-size chunks (last one may be short)."""
+    if total < 0:
+        raise SimulationError(f"total must be >= 0, got {total}")
+    if chunk < 1:
+        raise SimulationError(f"chunk size must be >= 1, got {chunk}")
+    sizes = [chunk] * (total // chunk)
+    if total % chunk:
+        sizes.append(total % chunk)
+    return sizes
+
+
+def merge_lifetime_results(
+    parts: Sequence[LifetimeResult],
+) -> LifetimeResult:
+    """Combine per-chunk Monte-Carlo outcomes into one result.
+
+    Loss times are concatenated in the given (chunk) order; all parts must
+    share a horizon.
+    """
+    if not parts:
+        raise SimulationError("no chunk results to merge")
+    horizon = parts[0].horizon_hours
+    for part in parts[1:]:
+        if part.horizon_hours != horizon:
+            raise SimulationError(
+                f"cannot merge results with different horizons "
+                f"({part.horizon_hours} vs {horizon})"
+            )
+    loss_times: Tuple[float, ...] = tuple(
+        t for part in parts for t in part.loss_times
+    )
+    return LifetimeResult(
+        trials=sum(p.trials for p in parts),
+        losses=sum(p.losses for p in parts),
+        loss_times=loss_times,
+        horizon_hours=horizon,
+    )
+
+
+@dataclass(frozen=True)
+class _LifetimeChunk:
+    """One picklable unit of Monte-Carlo work."""
+
+    n_disks: int
+    mttf_hours: float
+    mttr_hours: float
+    oracle: Callable[[Set[int]], bool]
+    horizon_hours: float
+    trials: int
+    seed: int
+
+
+def _run_lifetime_chunk(spec: _LifetimeChunk) -> LifetimeResult:
+    return simulate_lifetimes(
+        spec.n_disks,
+        spec.mttf_hours,
+        spec.mttr_hours,
+        spec.oracle,
+        spec.horizon_hours,
+        trials=spec.trials,
+        seed=spec.seed,
+    )
+
+
+def simulate_lifetimes_parallel(
+    n_disks: int,
+    mttf_hours: float,
+    mttr_hours: float,
+    oracle: Callable[[Set[int]], bool],
+    horizon_hours: float,
+    trials: int = 1000,
+    seed: Optional[int] = 0,
+    jobs: int = 1,
+    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+) -> LifetimeResult:
+    """Chunked (and optionally multi-process) :func:`simulate_lifetimes`.
+
+    The result depends only on ``(trials, seed, chunk_trials)`` — never on
+    ``jobs`` — so ``jobs=1`` and ``jobs=8`` are bit-identical, and a run
+    with ``trials <= chunk_trials`` is bit-identical to the serial kernel.
+    *oracle* must be picklable when ``jobs > 1`` (use the oracle classes
+    from :mod:`repro.sim.montecarlo`, not ad-hoc closures).
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    if trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+    if seed is None:
+        seed = random.SystemRandom().getrandbits(48)
+    specs = []
+    for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
+        specs.append(
+            _LifetimeChunk(
+                n_disks,
+                mttf_hours,
+                mttr_hours,
+                oracle,
+                horizon_hours,
+                size,
+                derive_chunk_seed(seed, chunk_id),
+            )
+        )
+    if jobs == 1 or len(specs) == 1:
+        parts = [_run_lifetime_chunk(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            parts = list(pool.map(_run_lifetime_chunk, specs))
+    return merge_lifetime_results(parts)
+
+
+@dataclass(frozen=True)
+class _PatternChunk:
+    """One picklable unit of fault-pattern enumeration."""
+
+    layout: Layout
+    patterns: Tuple[Tuple[int, ...], ...]
+
+
+def _count_recoverable(spec: _PatternChunk) -> int:
+    return sum(1 for p in spec.patterns if is_recoverable(spec.layout, p))
+
+
+def count_survivable_parallel(
+    layout: Layout,
+    patterns: Sequence[Sequence[int]],
+    jobs: int = 1,
+    chunk_patterns: int = DEFAULT_CHUNK_PATTERNS,
+) -> int:
+    """Count decodable failure patterns, fanning chunks across processes.
+
+    Exact — every pattern is checked; only the work distribution differs
+    between worker counts. Used by the E6 sweeps and the ``tolerance`` CLI.
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    normalized = tuple(tuple(p) for p in patterns)
+    if jobs == 1 or len(normalized) <= chunk_patterns:
+        return _count_recoverable(_PatternChunk(layout, normalized))
+    specs = []
+    for start in range(0, len(normalized), chunk_patterns):
+        specs.append(
+            _PatternChunk(layout, normalized[start : start + chunk_patterns])
+        )
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return sum(pool.map(_count_recoverable, specs))
+
+
+def survivable_fraction_parallel(
+    layout: Layout,
+    n_failures: int,
+    max_patterns: Optional[int] = None,
+    seed: int = 0,
+    jobs: int = 1,
+) -> float:
+    """Parallel twin of :func:`repro.core.tolerance.survivable_fraction`."""
+    from repro.core.tolerance import failure_patterns
+
+    patterns = failure_patterns(layout.n_disks, n_failures, max_patterns, seed)
+    survived = count_survivable_parallel(layout, patterns, jobs=jobs)
+    return survived / len(patterns)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Order-preserving map, serial for ``jobs=1`` else process-parallel.
+
+    *fn* must be picklable for ``jobs > 1`` (a module-level function or a
+    ``functools.partial`` over one). Results are returned in input order,
+    so callers get deterministic output for any worker count.
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    materialized = list(items)
+    if jobs == 1 or len(materialized) <= 1:
+        return [fn(item) for item in materialized]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(materialized))) as pool:
+        return list(pool.map(fn, materialized, chunksize=chunksize))

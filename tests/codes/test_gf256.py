@@ -99,6 +99,53 @@ class TestBufferOps:
         assert acc.tolist() == [7, 7]
 
 
+class TestSingleGatherKernels:
+    """The one-gather table kernels agree with scalar field arithmetic."""
+
+    @given(
+        elements,
+        st.lists(elements, min_size=1, max_size=64),
+    )
+    @settings(max_examples=150)
+    def test_mul_bytes_matches_scalar_mul(self, coeff, values):
+        buf = np.array(values, dtype=np.uint8)
+        out = GF256.mul_bytes(coeff, buf)
+        assert out.dtype == np.uint8
+        assert out.tolist() == [GF256.mul(coeff, v) for v in values]
+
+    @given(
+        elements,
+        st.lists(elements, min_size=1, max_size=64),
+        st.lists(elements, min_size=1, max_size=64),
+    )
+    @settings(max_examples=150)
+    def test_addmul_matches_scalar_addmul(self, coeff, acc_values, values):
+        n = min(len(acc_values), len(values))
+        acc = np.array(acc_values[:n], dtype=np.uint8)
+        buf = np.array(values[:n], dtype=np.uint8)
+        expected = [
+            GF256.add(a, GF256.mul(coeff, v))
+            for a, v in zip(acc_values[:n], values[:n])
+        ]
+        GF256.addmul(acc, coeff, buf)
+        assert acc.tolist() == expected
+
+    def test_full_product_table_consistency(self):
+        # Every entry of the 256x256 table equals the log/antilog product.
+        from repro.codes.gf256 import _MUL
+
+        for a in (0, 1, 2, 3, 0x1D, 0x57, 0x8E, 0xFF):
+            row = _MUL[a]
+            assert row.tolist() == [GF256.mul(a, b) for b in range(256)]
+
+    def test_tables_are_immutable(self):
+        from repro.codes.gf256 import _EXP, _LOG, _MUL
+
+        for table in (_EXP, _LOG, _MUL):
+            with pytest.raises(ValueError):
+                table[0] = 1
+
+
 class TestSolve:
     def test_identity_system(self):
         rhs = np.array([[1, 2], [3, 4]], dtype=np.uint8)

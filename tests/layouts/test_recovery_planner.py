@@ -58,6 +58,55 @@ class TestPeeling:
         with pytest.raises(DataLossError):
             plan_recovery(Raid5Layout(4), [0, 1])
 
+    def test_accepts_any_iterable(self, fano_layout):
+        as_list = is_recoverable(fano_layout, [0, 1, 9])
+        as_set = is_recoverable(fano_layout, {9, 0, 1})
+        as_gen = is_recoverable(fano_layout, (d for d in (1, 9, 0)))
+        assert as_list == as_set == as_gen is True
+
+    def test_indexed_peeler_matches_rescan_reference(self, fano_layout):
+        """The work-queue peeler agrees with the classic rescan loop."""
+        import itertools
+        import random
+
+        def reference(layout, failed):
+            lost = lost_cells(layout, failed)
+            if not lost:
+                return True
+            pending = set(range(len(layout.stripes)))
+            progress = True
+            while lost and progress:
+                progress = False
+                for sid in sorted(pending):
+                    stripe = layout.stripes[sid]
+                    in_stripe = [c for c in stripe.cells() if c in lost]
+                    if 0 < len(in_stripe) <= stripe.tolerance:
+                        lost.difference_update(in_stripe)
+                        pending.discard(sid)
+                        progress = True
+            return not lost
+
+        rng = random.Random(0)
+        patterns = list(itertools.combinations(range(21), 4))
+        for pattern in rng.sample(patterns, 120):
+            assert is_recoverable(fano_layout, pattern) == reference(
+                fano_layout, pattern
+            )
+        for size in (5, 6, 7):
+            for _ in range(40):
+                pattern = tuple(rng.sample(range(21), size))
+                assert is_recoverable(fano_layout, pattern) == reference(
+                    fano_layout, pattern
+                )
+
+    def test_peeling_index_is_cached(self, fano_layout):
+        assert fano_layout.peeling_index() is fano_layout.peeling_index()
+        index = fano_layout.peeling_index()
+        assert len(index.stripe_cells) == len(fano_layout.stripes)
+        for stripe in fano_layout.stripes:
+            assert index.stripe_cells[stripe.stripe_id] == stripe.cells()
+            assert index.stripe_tolerance[stripe.stripe_id] == stripe.tolerance
+
 
 class TestPlanValidity:
     @pytest.mark.parametrize("failed", [[0], [3], [0, 4], [2, 5, 8]])

@@ -1,0 +1,154 @@
+"""The parallel simulation engine: determinism, merging, fan-out."""
+
+import pytest
+
+from repro.core.tolerance import survivable_fraction
+from repro.errors import SimulationError
+from repro.sim.montecarlo import (
+    LifetimeResult,
+    recoverability_oracle,
+    simulate_lifetimes,
+    threshold_oracle,
+)
+from repro.sim.parallel import (
+    chunk_sizes,
+    count_survivable_parallel,
+    default_jobs,
+    derive_chunk_seed,
+    merge_lifetime_results,
+    parallel_map,
+    simulate_lifetimes_parallel,
+    survivable_fraction_parallel,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestChunking:
+    def test_chunk_sizes_exact_division(self):
+        assert chunk_sizes(1000, 250) == [250, 250, 250, 250]
+
+    def test_chunk_sizes_remainder(self):
+        assert chunk_sizes(600, 256) == [256, 256, 88]
+
+    def test_chunk_sizes_small_total(self):
+        assert chunk_sizes(10, 256) == [10]
+        assert chunk_sizes(0, 256) == []
+
+    def test_chunk_sizes_validation(self):
+        with pytest.raises(SimulationError):
+            chunk_sizes(10, 0)
+
+    def test_chunk_seed_zero_is_identity(self):
+        assert derive_chunk_seed(12345, 0) == 12345
+
+    def test_chunk_seeds_distinct(self):
+        seeds = {derive_chunk_seed(0, i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+
+class TestMerge:
+    def test_merge_sums_and_concatenates_in_order(self):
+        a = LifetimeResult(10, 2, (1.0, 2.0), 100.0)
+        b = LifetimeResult(5, 1, (3.0,), 100.0)
+        merged = merge_lifetime_results([a, b])
+        assert merged.trials == 15
+        assert merged.losses == 3
+        assert merged.loss_times == (1.0, 2.0, 3.0)
+
+    def test_merge_rejects_mixed_horizons(self):
+        a = LifetimeResult(10, 0, (), 100.0)
+        b = LifetimeResult(10, 0, (), 200.0)
+        with pytest.raises(SimulationError):
+            merge_lifetime_results([a, b])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            merge_lifetime_results([])
+
+
+class TestDeterminism:
+    def test_jobs1_equals_jobs4_bit_identical(self):
+        args = (8, 500.0, 50.0, threshold_oracle(1), 1000.0)
+        serial = simulate_lifetimes_parallel(
+            *args, trials=1000, seed=9, jobs=1, chunk_trials=128
+        )
+        parallel = simulate_lifetimes_parallel(
+            *args, trials=1000, seed=9, jobs=4, chunk_trials=128
+        )
+        assert serial == parallel  # trials, losses, loss_times, horizon
+
+    def test_single_chunk_matches_serial_kernel(self):
+        args = (6, 500.0, 50.0, threshold_oracle(1), 1000.0)
+        chunked = simulate_lifetimes_parallel(*args, trials=50, seed=3)
+        legacy = simulate_lifetimes(*args, trials=50, seed=3)
+        assert chunked == legacy
+
+    def test_chunking_independent_of_jobs_with_layout_oracle(self, fano_layout):
+        oracle = recoverability_oracle(fano_layout, guaranteed_tolerance=3)
+        args = (21, 2000.0, 40.0, oracle, 3000.0)
+        one = simulate_lifetimes_parallel(
+            *args, trials=300, seed=1, jobs=1, chunk_trials=100
+        )
+        two = simulate_lifetimes_parallel(
+            *args, trials=300, seed=1, jobs=2, chunk_trials=100
+        )
+        assert one == two
+
+    def test_random_seed_still_merges(self):
+        result = simulate_lifetimes_parallel(
+            4, 1e9, 1.0, threshold_oracle(3), 100.0, trials=10, seed=None
+        )
+        assert result.trials == 10
+
+    def test_jobs_validation(self):
+        with pytest.raises(SimulationError):
+            simulate_lifetimes_parallel(
+                4, 100.0, 1.0, threshold_oracle(1), 10.0, trials=5, jobs=0
+            )
+
+
+class TestPatternSweep:
+    def test_matches_serial_fraction(self, fano_layout):
+        serial = survivable_fraction(fano_layout, 4, max_patterns=300)
+        parallel = survivable_fraction_parallel(
+            fano_layout, 4, max_patterns=300, jobs=2
+        )
+        assert serial == parallel
+
+    def test_count_chunking_is_exact(self, fano_layout):
+        patterns = [(a, b) for a in range(10) for b in range(a + 1, 12)]
+        direct = count_survivable_parallel(fano_layout, patterns, jobs=1)
+        fanned = count_survivable_parallel(
+            fano_layout, patterns, jobs=2, chunk_patterns=7
+        )
+        assert direct == fanned == len(patterns)  # 2 failures always survive
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(_square, range(20), jobs=1) == [
+            x * x for x in range(20)
+        ]
+
+    def test_multiprocess_matches_serial(self):
+        items = list(range(30))
+        assert parallel_map(_square, items, jobs=3) == [x * x for x in items]
+
+
+class TestDefaultJobs:
+    def test_env_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_env_read(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+
+    def test_env_invalid_or_low_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        assert default_jobs() == 1

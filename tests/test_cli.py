@@ -74,6 +74,47 @@ class TestTolerance:
             ]
         ) == 0
 
+    def test_jobs_flag_same_output(self, capsys):
+        argv = [
+            "tolerance",
+            "-v", "7", "-k", "3",
+            "--max-failures", "3",
+            "--samples", "150",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+
+class TestReliability:
+    ARGS = [
+        "reliability",
+        "-v", "7", "-k", "3",
+        "--mttf-hours", "2000",
+        "--mttr-hours", "40",
+        "--horizon-hours", "3000",
+        "--trials", "150",
+    ]
+
+    def test_simulation_runs(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "P(loss before horizon)" in out
+        assert "MTTDL" in out
+
+    def test_jobs_bit_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        # Deterministic chunk seeding: only the workers row may differ.
+        strip = lambda text: [
+            line for line in text.splitlines() if "workers" not in line
+        ]
+        assert strip(serial) == strip(parallel)
+
 
 class TestRebuild:
     def test_estimate(self, capsys):

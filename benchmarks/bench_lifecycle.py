@@ -1,0 +1,138 @@
+"""E19 (figure/table): coupled lifecycle — recovery speed *buys* reliability.
+
+E7 asserts the coupling (each scheme's μ is an input speedup); this
+experiment computes it end-to-end. Every scheme is simulated over the same
+21-disk array and the same disk model, and each repair's duration is
+derived from the scheme's *own* recovery plan for the pattern actually
+failed (re-planned when failures arrive mid-rebuild). The derived-μ
+Markov chains consume the identical single-failure MTTR, so the chain and
+the lifecycle Monte-Carlo are directly comparable.
+
+Expected shape (the paper's E7 claim, now measured): OI-RAID's fast,
+declustered rebuild shrinks its vulnerability windows so much that its
+loss probability sits far below RAID50's and RAID6's even though all
+three face the same failure process on the same hardware.
+"""
+
+from repro.analysis.reliability import (
+    LayoutReliabilitySpec,
+    derived_reliability_comparison,
+)
+from repro.bench.runner import Experiment, ExperimentResult
+from repro.bench.tables import format_table
+from repro.core.oi_layout import oi_raid
+from repro.core.tolerance import tolerance_profile
+from repro.layouts import Raid6Layout, Raid50Layout
+from repro.sim.lifecycle import derived_mttr
+from repro.sim.parallel import default_jobs, simulate_lifecycle_parallel
+from repro.sim.rebuild import DiskModel
+
+# Accelerated-exposure disk model: 4 TB rebuilt at 20 MiB/s makes the
+# RAID5-equivalent window ~55 h, so loss events are observable in a few
+# hundred trials at MTTF 3000 h. The *relative* windows — what the
+# experiment measures — are layout properties independent of this scaling.
+DISK = DiskModel(capacity_bytes=4e12, bandwidth_bytes_per_s=20 * 1024 * 1024)
+MTTF, HORIZON, TRIALS = 3000.0, 8766.0, 300
+
+
+def _body() -> ExperimentResult:
+    oi = oi_raid(7, 3)
+    schemes = [
+        ("oi-raid", oi),
+        ("raid50", Raid50Layout(7, 3)),
+        ("raid6", Raid6Layout(21)),
+    ]
+    profile = tolerance_profile(oi, max_failures=4, max_patterns_per_size=None)
+    survivable = {"oi-raid": [profile[f] for f in sorted(profile)]}
+
+    jobs = default_jobs()
+    mc = {}
+    rows = []
+    metrics = {}
+    for name, layout in schemes:
+        result = simulate_lifecycle_parallel(
+            layout, MTTF, HORIZON, disk=DISK,
+            trials=TRIALS, seed=0, jobs=jobs,
+        )
+        mc[name] = result
+        mttr = derived_mttr(layout, DISK)
+        rows.append(
+            [
+                name,
+                f"{mttr:.1f}",
+                f"{result.prob_loss:.3f}",
+                f"{result.mean_degraded_hours:.0f}",
+                result.max_peak_failures,
+                f"{result.mean_repairs:.1f}",
+            ]
+        )
+        metrics[f"{name}_mttr_h"] = mttr
+        metrics[f"{name}_p_loss"] = result.prob_loss
+        metrics[f"{name}_degraded_h"] = result.mean_degraded_hours
+
+    markov_rows = derived_reliability_comparison(
+        [
+            LayoutReliabilitySpec(name, layout, survivable.get(name))
+            for name, layout in schemes
+        ],
+        disk=DISK,
+        mttf_hours=MTTF,
+        mission_hours=HORIZON,
+    )
+    for row in markov_rows:
+        metrics[f"{row.name}_markov_mttdl"] = row.mttdl_hours
+        metrics[f"{row.name}_markov_p"] = row.prob_loss_10y
+
+    report = format_table(
+        [
+            "scheme",
+            "derived MTTR (h)",
+            "P(loss)",
+            "mean degraded (h)",
+            "peak fails",
+            "repairs/mission",
+        ],
+        rows,
+        title=(
+            f"E19: coupled lifecycle MC, n=21, MTTF {MTTF:.0f} h, mission "
+            f"{HORIZON:.0f} h, {TRIALS} trials, mu from each layout's plan"
+        ),
+    )
+    report += "\n\n" + format_table(
+        ["scheme", "MTTR (h)", "Markov MTTDL (h)", "Markov P(loss)"],
+        [
+            [r.name, f"{r.mttr_hours:.1f}", f"{r.mttdl_hours:.3g}",
+             f"{r.prob_loss_10y:.4f}"]
+            for r in markov_rows
+        ],
+        title="derived-mu Markov chains (same MTTR as the MC consumes)",
+    )
+    return ExperimentResult("E19", report, metrics)
+
+
+EXPERIMENT = Experiment(
+    "E19",
+    "figure",
+    "with mu derived from each layout's own rebuild, OI-RAID's loss "
+    "probability falls far below RAID50's and RAID6's",
+    _body,
+)
+
+
+def test_e19_lifecycle(experiment_report):
+    result = experiment_report(EXPERIMENT)
+    # The acceptance shape: each scheme judged at its own measured rebuild
+    # rate, OI-RAID comes out more reliable than RAID50 (E7's claim,
+    # computed instead of asserted) — in the exact-pattern MC and in the
+    # derived-mu Markov chain.
+    assert result.metric("oi-raid_p_loss") < result.metric("raid50_p_loss")
+    assert result.metric("raid50_p_loss") > 0.2  # losses actually observed
+    assert result.metric("oi-raid_markov_p") < result.metric("raid50_markov_p")
+    assert (
+        result.metric("oi-raid_markov_mttdl")
+        > result.metric("raid6_markov_mttdl")
+        > result.metric("raid50_markov_mttdl")
+    )
+    # Fast recovery is the mechanism: OI-RAID's derived MTTR is several
+    # times shorter than RAID50's on identical hardware.
+    assert result.metric("oi-raid_mttr_h") * 3 < result.metric("raid50_mttr_h")

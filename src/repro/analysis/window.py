@@ -41,7 +41,10 @@ class WindowRisk:
     scheme: str
     window_hours: float
     p_one_more: float  # >= 1 further failure during the window
-    p_exceeds_tolerance: float  # enough further failures to lose data
+    #: P(>= tolerance further failures concurrent with the first), i.e.
+    #: the first failure plus at least ``tolerance`` more before its
+    #: rebuild finishes — one past what the scheme guarantees to survive.
+    p_exceeds_tolerance: float
 
     @property
     def window_ratio_vs(self) -> float:
@@ -57,9 +60,14 @@ def window_risk(
 ) -> WindowRisk:
     """Risk of the single-failure rebuild window for one scheme.
 
-    ``p_exceeds_tolerance`` is the probability that, during one rebuild,
-    enough additional disks fail to exceed the scheme's remaining
-    tolerance (i.e. ``tolerance`` further failures after the first).
+    ``p_exceeds_tolerance`` is precisely P(at least ``tolerance`` *further*
+    failures arrive among the ``n_disks - 1`` survivors while the first
+    failure's rebuild is still running) — that is, ``tolerance`` or more
+    further failures *concurrent with the first*, for ``1 + tolerance``
+    concurrent failures in total, one past the guaranteed tolerance. It
+    does not condition on which disks fail, so for layouts whose
+    survivability beyond the guarantee is pattern-dependent (OI-RAID at
+    4+ failures) it is an upper bound on the window's loss probability.
     """
     check_positive("n_disks", n_disks, 2)
     check_positive("tolerance", tolerance, 1)

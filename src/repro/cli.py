@@ -8,10 +8,15 @@ Gives operators the planning surface without writing Python:
 * ``tolerance``   — survivable-fraction profile (enumerated/sampled)
 * ``rebuild``     — rebuild wall-clock under a disk model
 * ``reliability`` — Monte-Carlo lifetime simulation with the exact oracle
+* ``lifecycle``   — coupled lifecycle simulation: repair times derived
+  from the layout's own recovery plans (no exogenous MTTR), with a
+  derived-μ Markov cross-check; ``--scheme`` also runs the RAID50/RAID5/
+  RAID6 baselines on the same disk model
 
-The compute-heavy subcommands (``tolerance``, ``reliability``) accept
-``--jobs N`` to fan the work across N worker processes; results are
-bit-identical for every N (deterministic per-chunk seeding).
+The compute-heavy subcommands (``tolerance``, ``reliability``,
+``lifecycle``) accept ``--jobs N`` to fan the work across N worker
+processes; results are bit-identical for every N (deterministic
+per-chunk seeding).
 """
 
 from __future__ import annotations
@@ -27,8 +32,13 @@ from repro.core.recovery import recovery_summary
 from repro.core.tolerance import tolerance_profile
 from repro.design.catalog import available_designs
 from repro.errors import ReproError
+from repro.layouts import Raid5Layout, Raid6Layout, Raid50Layout
+from repro.sim.lifecycle import derived_markov_model, derived_mttr
 from repro.sim.montecarlo import recoverability_oracle
-from repro.sim.parallel import simulate_lifetimes_parallel
+from repro.sim.parallel import (
+    simulate_lifecycle_parallel,
+    simulate_lifetimes_parallel,
+)
 from repro.sim.rebuild import DiskModel, analytic_rebuild_time
 from repro.util.units import format_duration
 
@@ -187,6 +197,92 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lifecycle_layout(args: argparse.Namespace):
+    """The layout the lifecycle subcommand simulates.
+
+    ``oi`` uses the usual OI-RAID construction; the baselines reuse the
+    same ``-v``/``-k``/``-g`` geometry so every scheme covers the same
+    physical array (``v`` groups of ``g`` disks, ``g`` defaulting to the
+    stripe width for the flat schemes).
+    """
+    if args.scheme == "oi":
+        return _layout_from(args)
+    width = args.group_size or args.stripe_width
+    if args.scheme == "raid50":
+        return Raid50Layout(args.groups, width)
+    if args.scheme == "raid5":
+        return Raid5Layout(args.groups * width)
+    return Raid6Layout(args.groups * width)
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    layout = _lifecycle_layout(args)
+    disk = DiskModel(
+        capacity_bytes=args.capacity_tb * 1e12,
+        bandwidth_bytes_per_s=args.bandwidth_mib * 1024 * 1024,
+        foreground_fraction=args.foreground,
+    )
+    result = simulate_lifecycle_parallel(
+        layout,
+        args.mttf_hours,
+        args.horizon_hours,
+        disk=disk,
+        sparing=args.sparing,
+        method=args.rebuild_model,
+        lse_rate_per_byte=args.lse_rate,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    mttr = derived_mttr(layout, disk, args.sparing, args.rebuild_model)
+    markov = derived_markov_model(
+        layout, args.mttf_hours, disk=disk, sparing=args.sparing,
+        method=args.rebuild_model,
+    )
+    lo, hi = result.prob_loss_interval()
+    mttdl = result.mttdl_estimate_hours
+    rows = [
+        ["disks", str(layout.n_disks)],
+        ["trials", str(result.trials)],
+        ["derived MTTR (single failure)", format_duration(mttr * 3600.0)],
+        ["losses", str(result.losses)],
+        ["  of which latent-error losses", str(result.lse_losses)],
+        ["P(loss before horizon)", f"{result.prob_loss:.6f}"],
+        ["95% CI", f"[{lo:.6f}, {hi:.6f}]"],
+        [
+            "MTTDL estimate",
+            "inf (no losses observed)"
+            if mttdl == float("inf")
+            else format_duration(mttdl * 3600.0),
+        ],
+        [
+            "Markov P(loss), derived mu",
+            f"{markov.prob_loss_within(args.horizon_hours):.6f}",
+        ],
+        ["mean failures per mission", f"{result.mean_failures:.2f}"],
+        ["mean repairs per mission", f"{result.mean_repairs:.2f}"],
+        [
+            "mean time degraded",
+            format_duration(result.mean_degraded_hours * 3600.0),
+        ],
+        ["degraded fraction", f"{result.degraded_fraction:.4f}"],
+        ["peak concurrent failures", str(result.max_peak_failures)],
+        ["workers", str(args.jobs)],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"coupled lifecycle ({args.scheme}, {args.sparing} sparing, "
+                f"{args.rebuild_model} rebuild): MTTF {args.mttf_hours:.0f} h, "
+                f"mission {args.horizon_hours:.0f} h"
+            ),
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -236,6 +332,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the Monte-Carlo fan-out "
                             "(default: serial; result identical for any N)")
     p_rel.set_defaults(func=_cmd_reliability)
+
+    p_lc = sub.add_parser(
+        "lifecycle",
+        help="coupled lifecycle simulation (layout-derived repair times)",
+    )
+    _add_layout_args(p_lc)
+    p_lc.add_argument("--scheme", choices=["oi", "raid50", "raid5", "raid6"],
+                      default="oi",
+                      help="layout to simulate on the -v/-k/-g geometry")
+    p_lc.add_argument("--mttf-hours", type=float, default=100_000.0,
+                      help="per-disk mean time to failure")
+    p_lc.add_argument("--horizon-hours", type=float, default=87_660.0,
+                      help="mission length (default: 10 years)")
+    p_lc.add_argument("--trials", type=int, default=200)
+    p_lc.add_argument("--seed", type=int, default=0)
+    p_lc.add_argument("--sparing", choices=["distributed", "dedicated"],
+                      default="distributed")
+    p_lc.add_argument("--rebuild-model", choices=["analytic", "event"],
+                      default="analytic",
+                      help="rebuild clock: bandwidth bound or event-driven")
+    p_lc.add_argument("--capacity-tb", type=float, default=4.0)
+    p_lc.add_argument("--bandwidth-mib", type=float, default=100.0)
+    p_lc.add_argument("--foreground", type=float, default=0.0,
+                      help="fraction of bandwidth reserved for user I/O")
+    p_lc.add_argument("--lse-rate", type=float, default=0.0,
+                      help="latent sector errors per byte read during "
+                           "rebuild (e.g. 1e-15)")
+    p_lc.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the Monte-Carlo fan-out "
+                           "(default: serial; result identical for any N)")
+    p_lc.set_defaults(func=_cmd_lifecycle)
 
     p_rb = sub.add_parser("rebuild", help="estimate rebuild wall-clock")
     _add_layout_args(p_rb)

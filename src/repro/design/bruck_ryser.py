@@ -23,7 +23,7 @@ requests fail fast with a proof-backed error.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List
 
 from repro.util.checks import check_positive
 

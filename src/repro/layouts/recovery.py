@@ -96,6 +96,28 @@ def _peel(layout: Layout, lost: Set[Cell]) -> bool:
     return not lost
 
 
+def cells_recoverable(layout: Layout, cells: Iterable[Cell]) -> bool:
+    """True if an explicit lost-*cell* set is decodable by peeling.
+
+    The cell-granular twin of :func:`is_recoverable`, for callers whose
+    losses are finer than whole disks — latent sector errors discovered
+    during a rebuild strand single units, and the lifecycle simulator asks
+    whether the stranded unit plus the currently-failed disks' cells are
+    jointly decodable.
+    """
+    lost = set(cells)
+    for disk, addr in lost:
+        if not (
+            0 <= disk < layout.n_disks and 0 <= addr < layout.units_per_disk
+        ):
+            raise ValueError(
+                f"no such cell ({disk}, {addr}) in {layout.name}"
+            )
+    if not lost:
+        return True
+    return _peel(layout, lost)
+
+
 def is_recoverable(layout: Layout, failed_disks: Iterable[int]) -> bool:
     """True if the failure pattern is decodable by iterative peeling.
 

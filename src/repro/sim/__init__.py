@@ -9,18 +9,32 @@
 * :mod:`repro.sim.markov` — continuous-time Markov MTTDL models.
 * :mod:`repro.sim.montecarlo` — system-lifetime Monte-Carlo, cross-checking
   the Markov results and capturing what the chains abstract away.
+* :mod:`repro.sim.lifecycle` — full-lifecycle Monte-Carlo whose repair
+  durations are *derived from the layout* (every failure arrival re-plans
+  the pattern and reads its rebuild clock from the rebuild simulator),
+  coupling recovery speed to reliability instead of assuming an MTTR.
 * :mod:`repro.sim.parallel` — process fan-out for the Monte-Carlo and
   fault-pattern sweeps, bit-identical for any worker count.
 """
 
 from repro.sim.engine import Event, FcfsServer, Simulator
 from repro.sim.latency import LatencyModel, LatencyResult, simulate_read_latency
+from repro.sim.lifecycle import (
+    LifecycleResult,
+    RebuildTimer,
+    derived_markov_model,
+    derived_mttr,
+    guaranteed_tolerance,
+    simulate_lifecycle,
+)
 from repro.sim.markov import MarkovReliabilityModel, mttdl_raid5_array
 from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
 from repro.sim.parallel import (
     default_jobs,
+    merge_lifecycle_results,
     merge_lifetime_results,
     parallel_map,
+    simulate_lifecycle_parallel,
     simulate_lifetimes_parallel,
     survivable_fraction_parallel,
 )
@@ -51,4 +65,12 @@ __all__ = [
     "parallel_map",
     "default_jobs",
     "LifetimeResult",
+    "LifecycleResult",
+    "RebuildTimer",
+    "derived_markov_model",
+    "derived_mttr",
+    "guaranteed_tolerance",
+    "simulate_lifecycle",
+    "simulate_lifecycle_parallel",
+    "merge_lifecycle_results",
 ]

@@ -14,6 +14,7 @@ the coupling experiment E7 reports.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence
 
 import numpy as np
@@ -74,7 +75,10 @@ class MarkovReliabilityModel:
             raise SimulationError(
                 "loss_given_excess needs entries for at least 1 failure"
             )
-        if loss_given_excess[-1] != 1.0:
+        # Series assembled from conditional_loss_probabilities float
+        # arithmetic can land at e.g. 0.9999999999999998; accept anything
+        # within float tolerance of 1.0 and normalize the stored cap.
+        if not math.isclose(loss_given_excess[-1], 1.0, rel_tol=1e-9):
             raise SimulationError(
                 "the last loss_given_excess entry must be 1.0 (chain cap)"
             )
@@ -82,6 +86,7 @@ class MarkovReliabilityModel:
         self.lam = 1.0 / mttf_hours
         self.mu = 1.0 / mttr_hours
         self.loss_given_excess = list(loss_given_excess)
+        self.loss_given_excess[-1] = 1.0
         self.max_state = len(loss_given_excess) - 1
         if self.max_state >= n_disks:
             raise SimulationError(

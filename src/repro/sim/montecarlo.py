@@ -26,6 +26,18 @@ from repro.layouts.recovery import is_recoverable
 from repro.util.checks import check_positive
 
 
+def normal_interval(
+    p: float, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval on a proportion *p*.
+
+    Shared by the lifetime and lifecycle Monte-Carlo result types so both
+    report identically-constructed intervals.
+    """
+    half = z * math.sqrt(max(p * (1 - p), 1e-12) / trials)
+    return (max(0.0, p - half), min(1.0, p + half))
+
+
 @dataclass(frozen=True)
 class LifetimeResult:
     """Aggregated Monte-Carlo outcome.
@@ -48,9 +60,7 @@ class LifetimeResult:
 
     def prob_loss_interval(self, z: float = 1.96) -> Tuple[float, float]:
         """Normal-approximation confidence interval on the loss probability."""
-        p = self.prob_loss
-        half = z * math.sqrt(max(p * (1 - p), 1e-12) / self.trials)
-        return (max(0.0, p - half), min(1.0, p + half))
+        return normal_interval(self.prob_loss, self.trials, z)
 
     @property
     def mttdl_estimate_hours(self) -> float:

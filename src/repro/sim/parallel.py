@@ -38,7 +38,9 @@ from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Typ
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
+from repro.sim.lifecycle import LifecycleResult, simulate_lifecycle
 from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
+from repro.sim.rebuild import DiskModel
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -182,6 +184,128 @@ def simulate_lifetimes_parallel(
         with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
             parts = list(pool.map(_run_lifetime_chunk, specs))
     return merge_lifetime_results(parts)
+
+
+def merge_lifecycle_results(
+    parts: Sequence[LifecycleResult],
+) -> LifecycleResult:
+    """Combine per-chunk lifecycle outcomes into one result.
+
+    Loss times and the per-trial instrumentation tuples are concatenated
+    in the given (chunk) order; all parts must share a horizon.
+    """
+    if not parts:
+        raise SimulationError("no chunk results to merge")
+    horizon = parts[0].horizon_hours
+    for part in parts[1:]:
+        if part.horizon_hours != horizon:
+            raise SimulationError(
+                f"cannot merge results with different horizons "
+                f"({part.horizon_hours} vs {horizon})"
+            )
+    return LifecycleResult(
+        trials=sum(p.trials for p in parts),
+        losses=sum(p.losses for p in parts),
+        loss_times=tuple(t for p in parts for t in p.loss_times),
+        lse_losses=sum(p.lse_losses for p in parts),
+        horizon_hours=horizon,
+        failures_per_trial=tuple(
+            n for p in parts for n in p.failures_per_trial
+        ),
+        repairs_per_trial=tuple(
+            n for p in parts for n in p.repairs_per_trial
+        ),
+        degraded_hours_per_trial=tuple(
+            h for p in parts for h in p.degraded_hours_per_trial
+        ),
+        peak_failures_per_trial=tuple(
+            n for p in parts for n in p.peak_failures_per_trial
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class _LifecycleChunk:
+    """One picklable unit of lifecycle Monte-Carlo work."""
+
+    layout: Layout
+    mttf_hours: float
+    horizon_hours: float
+    disk: Optional[DiskModel]
+    sparing: str
+    method: str
+    batches: int
+    lse_rate_per_byte: float
+    trials: int
+    seed: int
+
+
+def _run_lifecycle_chunk(spec: _LifecycleChunk) -> LifecycleResult:
+    return simulate_lifecycle(
+        spec.layout,
+        spec.mttf_hours,
+        spec.horizon_hours,
+        disk=spec.disk,
+        sparing=spec.sparing,
+        method=spec.method,
+        batches=spec.batches,
+        lse_rate_per_byte=spec.lse_rate_per_byte,
+        trials=spec.trials,
+        seed=spec.seed,
+    )
+
+
+def simulate_lifecycle_parallel(
+    layout: Layout,
+    mttf_hours: float,
+    horizon_hours: float,
+    disk: Optional[DiskModel] = None,
+    sparing: str = "distributed",
+    method: str = "analytic",
+    batches: int = 8,
+    lse_rate_per_byte: float = 0.0,
+    trials: int = 100,
+    seed: Optional[int] = 0,
+    jobs: int = 1,
+    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+) -> LifecycleResult:
+    """Chunked (and optionally multi-process) :func:`simulate_lifecycle`.
+
+    Same determinism contract as :func:`simulate_lifetimes_parallel`: the
+    result depends only on ``(trials, seed, chunk_trials)``, never on
+    ``jobs``, and a run with ``trials <= chunk_trials`` is bit-identical
+    to the serial kernel. Rebuild times are memoized per pattern within
+    each worker (they are pure functions of the pattern, so the memo never
+    affects results).
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    if trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+    if seed is None:
+        seed = random.SystemRandom().getrandbits(48)
+    specs = []
+    for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
+        specs.append(
+            _LifecycleChunk(
+                layout,
+                mttf_hours,
+                horizon_hours,
+                disk,
+                sparing,
+                method,
+                batches,
+                lse_rate_per_byte,
+                size,
+                derive_chunk_seed(seed, chunk_id),
+            )
+        )
+    if jobs == 1 or len(specs) == 1:
+        parts = [_run_lifecycle_chunk(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            parts = list(pool.map(_run_lifecycle_chunk, specs))
+    return merge_lifecycle_results(parts)
 
 
 @dataclass(frozen=True)

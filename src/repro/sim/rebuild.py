@@ -26,7 +26,7 @@ for user I/O (E9's rebuild-under-load sweep).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
@@ -79,6 +79,10 @@ class RebuildResult:
     bytes_written: float
     busiest_disk_seconds: float
     raid5_seconds: float
+    #: Spare-write counts per disk id, populated by the event-driven
+    #: simulation (None for the analytic bound, which spreads writes as a
+    #: continuous even share instead of discrete round-robin units).
+    writes_per_disk: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def speedup_vs_raid5(self) -> float:
@@ -192,16 +196,23 @@ def simulate_rebuild(
     sim = Simulator()
     servers = {d: FcfsServer(sim, f"disk{d}") for d in range(layout.n_disks)}
     state = {"write_rr": 0, "last_done": 0.0}
+    write_counts: Dict[int, int] = {}
 
     def write_target(step_index: int, target_index: int) -> int:
         if sparing == "dedicated":
             # Write to the replacement of the disk the cell lived on.
             step = plan.steps[step_index]
-            return step.targets[target_index][0]
-        if sparing == "distributed":
+            target = step.targets[target_index][0]
+        elif sparing == "distributed":
+            # Round-robin starting at survivors[0]: consume the current
+            # index, then advance (advancing first skipped survivors[0]
+            # on the first write of every run and biased the write load).
+            target = survivors[state["write_rr"]]
             state["write_rr"] = (state["write_rr"] + 1) % len(survivors)
-            return survivors[state["write_rr"]]
-        raise SimulationError(f"unknown sparing mode {sparing!r}")
+        else:
+            raise SimulationError(f"unknown sparing mode {sparing!r}")
+        write_counts[target] = write_counts.get(target, 0) + 1
+        return target
 
     for _batch in range(batches):
         waiting = [len(step_deps) for step_deps in deps]
@@ -264,4 +275,5 @@ def simulate_rebuild(
         bytes_written=plan.total_write_units * unit_bytes,
         busiest_disk_seconds=busiest,
         raid5_seconds=disk.raid5_rebuild_seconds,
+        writes_per_disk=tuple(sorted(write_counts.items())),
     )

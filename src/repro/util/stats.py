@@ -7,8 +7,12 @@ from typing import Sequence
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean; raises on an empty sequence."""
-    if not values:
+    """Arithmetic mean; raises on an empty sequence.
+
+    Accepts any sized sequence, including numpy arrays (whose truth value
+    is ambiguous, so emptiness is checked via ``len``).
+    """
+    if len(values) == 0:
         raise ValueError("mean of empty sequence")
     return sum(values) / len(values)
 
@@ -26,8 +30,11 @@ def coefficient_of_variation(values: Sequence[float]) -> float:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile, q in [0, 100]."""
-    if not values:
+    """Linear-interpolated percentile, q in [0, 100].
+
+    Accepts any sized sequence, including numpy arrays.
+    """
+    if len(values) == 0:
         raise ValueError("percentile of empty sequence")
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q}")

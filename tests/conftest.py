@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.array import LayoutArray, OIRAIDArray
-from repro.core.oi_layout import OIRAIDLayout, oi_raid
+from repro.core.oi_layout import OIRAIDLayout
 from repro.design.projective import fano_plane
 from repro.layouts import (
     MirrorLayout,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.oi_layout import OIRAIDLayout, oi_raid
 from repro.design.catalog import find_bibd
-from repro.design.projective import fano_plane
 from repro.errors import LayoutError
 
 

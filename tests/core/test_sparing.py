@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core.oi_layout import oi_raid
 from repro.core.sparing import DistributedSpareArray
 from repro.errors import ArrayError, DataLossError
 

@@ -82,6 +82,20 @@ class TestMarkov:
         with pytest.raises(SimulationError):
             MarkovReliabilityModel(3, 10, 10, [0.0, 0.0, 0.0, 1.0])
 
+    def test_cap_accepts_float_arithmetic_dust(self):
+        # Series assembled from conditional_loss_probabilities can land at
+        # 1 - 2 ulp; the cap check must not reject them, and the stored
+        # value must be normalized to exactly 1.0.
+        dusty = 0.9999999999999998
+        model = MarkovReliabilityModel(8, 1000.0, 10.0, [0.0, 0.0, dusty])
+        assert model.loss_given_excess[-1] == 1.0
+        exact = MarkovReliabilityModel(8, 1000.0, 10.0, [0.0, 0.0, 1.0])
+        assert model.mttdl_hours() == pytest.approx(exact.mttdl_hours())
+
+    def test_cap_still_rejects_genuine_mismatch(self):
+        with pytest.raises(SimulationError):
+            MarkovReliabilityModel(8, 1000.0, 10.0, [0.0, 0.0, 0.999])
+
     def test_model_for_layout_builds_capped_chain(self):
         model = model_for_layout(21, 1000.0, 10.0, [1.0, 1.0, 1.0, 0.8])
         assert model.max_state == 5

@@ -1,8 +1,11 @@
 """The command-line interface."""
 
-import pytest
-
 from repro.cli import main
+
+
+def _strip_workers(text):
+    """Drop the workers row, the only line allowed to vary with --jobs."""
+    return [line for line in text.splitlines() if "workers" not in line]
 
 
 class TestInfo:
@@ -110,10 +113,49 @@ class TestReliability:
         assert main(self.ARGS + ["--jobs", "3"]) == 0
         parallel = capsys.readouterr().out
         # Deterministic chunk seeding: only the workers row may differ.
-        strip = lambda text: [
-            line for line in text.splitlines() if "workers" not in line
-        ]
-        assert strip(serial) == strip(parallel)
+        assert _strip_workers(serial) == _strip_workers(parallel)
+
+
+class TestLifecycle:
+    # Accelerated rates + small slow disks keep the coupled simulation
+    # fast while still exercising multi-failure re-planning.
+    ARGS = [
+        "lifecycle",
+        "-v", "7", "-k", "3",
+        "--mttf-hours", "800",
+        "--horizon-hours", "2000",
+        "--trials", "25",
+        "--capacity-tb", "0.05",
+        "--bandwidth-mib", "2",
+    ]
+
+    def test_oi_runs_end_to_end(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "derived MTTR" in out
+        assert "P(loss before horizon)" in out
+        assert "Markov P(loss), derived mu" in out
+        assert "peak concurrent failures" in out
+
+    def test_raid50_scheme(self, capsys):
+        assert main(self.ARGS + ["--scheme", "raid50"]) == 0
+        out = capsys.readouterr().out
+        assert "raid50" in out
+        assert "derived MTTR" in out
+
+    def test_jobs_bit_identical(self, capsys):
+        argv = self.ARGS + ["--scheme", "raid50", "--trials", "40"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert _strip_workers(serial) == _strip_workers(parallel)
+
+    def test_lse_rate_accepted(self, capsys):
+        assert main(
+            self.ARGS + ["--scheme", "raid5", "--lse-rate", "1e-10"]
+        ) == 0
+        assert "latent-error losses" in capsys.readouterr().out
 
 
 class TestRebuild:

@@ -103,3 +103,20 @@ class TestStats:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1], 101)
+
+    def test_numpy_arrays_accepted(self):
+        # The vectorized paths hand per-disk loads over as numpy arrays,
+        # whose truth value is ambiguous — emptiness must go via len().
+        import numpy as np
+
+        assert mean(np.array([1.0, 2.0, 3.0])) == pytest.approx(2.0)
+        assert percentile(np.array([0.0, 10.0]), 50) == pytest.approx(5.0)
+        assert coefficient_of_variation(np.array([5.0, 5.0])) == 0.0
+
+    def test_numpy_empty_arrays_raise_value_error(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            mean(np.array([]))
+        with pytest.raises(ValueError):
+            percentile(np.array([]), 50)

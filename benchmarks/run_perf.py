@@ -10,6 +10,10 @@ Monte-Carlo lifetime engine (serial and, with ``--jobs``, parallel) — and
 writes ``{baseline_seed, current, speedup_vs_seed}`` so future PRs have a
 regression baseline to diff against.
 
+Output contract: stdout carries exactly one machine-readable JSON line
+(the snapshot, via :class:`repro.obs.StructuredEmitter`); progress and
+diagnostics go to stderr. ``... | python -m json.tool`` always works.
+
 ``SEED_BASELINE`` holds the numbers measured on the pre-optimization seed
 tree (serial rescan peeler, double-gather GF kernels, no parallel runner)
 on the same class of machine the snapshot is regenerated on. Timings are
@@ -30,8 +34,14 @@ from repro.codes.gf256 import GF256
 from repro.core.oi_layout import _oi_raid_cached, oi_raid
 from repro.core.tolerance import survivable_fraction
 from repro.layouts.recovery import is_recoverable, plan_recovery
+from repro.obs import StructuredEmitter
 from repro.sim.montecarlo import recoverability_oracle
 from repro.sim.parallel import simulate_lifetimes_parallel
+
+
+def note(message: str) -> None:
+    """Progress diagnostic — stderr, so stdout stays machine-parseable."""
+    print(f"[run_perf] {message}", file=sys.stderr, flush=True)
 
 UNIT = 64 * 1024
 MC_TRIALS = 2000
@@ -68,6 +78,7 @@ def measure(jobs: int) -> dict:
     big = oi_raid(19, 3)
     oracle = recoverability_oracle(oi, guaranteed_tolerance=3)
 
+    note("measuring GF(256) kernels, peeler, planner, tolerance sweep ...")
     current = {
         "gf_mul_bytes_64k_s": best_of(
             lambda: GF256.mul_bytes(0x57, buf), repeat=20, number=20
@@ -95,6 +106,7 @@ def measure(jobs: int) -> dict:
     }
     oi = oi_raid(7, 3)  # repopulate the cache after the construction timing
 
+    note(f"measuring serial MC lifetime engine ({MC_TRIALS} trials) ...")
     start = time.perf_counter()
     simulate_lifetimes_parallel(
         21, 2000.0, 40.0, oracle, 4000.0, trials=MC_TRIALS, seed=0, jobs=1
@@ -104,6 +116,7 @@ def measure(jobs: int) -> dict:
     current["mc_trials_per_s"] = MC_TRIALS / serial_s
 
     if jobs > 1:
+        note(f"measuring parallel MC runner at jobs={jobs} ...")
         start = time.perf_counter()
         simulate_lifetimes_parallel(
             21,
@@ -151,7 +164,8 @@ def main(argv=None) -> int:
         "speedup_vs_seed": {k: round(v, 2) for k, v in speedup.items()},
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
-    print(json.dumps(snapshot, indent=2))
+    note(f"snapshot written to {args.output}")
+    StructuredEmitter(stream=sys.stdout).emit(snapshot)
     return 0
 
 

@@ -3,13 +3,21 @@
 Each ``benchmarks/bench_e*.py`` declares an :class:`Experiment` and calls
 :func:`run_experiment`, which times the body, prints the rendered report,
 and returns a structured result the pytest-benchmark wrapper asserts on.
+
+When ``REPRO_BENCH_JSONL`` names a file (or an emitter is passed
+explicitly), every run also appends one machine-readable ``experiment``
+record — id, kind, wall seconds, and the full metrics dict — so
+experiment trajectories can be collected without scraping the rendered
+tables.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.emit import StructuredEmitter
 
 
 @dataclass(frozen=True)
@@ -58,12 +66,32 @@ def registered() -> List[Experiment]:
 
 
 def run_experiment(
-    experiment: Experiment, quiet: bool = False
+    experiment: Experiment,
+    quiet: bool = False,
+    emitter: Optional[StructuredEmitter] = None,
 ) -> ExperimentResult:
-    """Execute, time, and (unless quiet) print one experiment."""
+    """Execute, time, and (unless quiet) print one experiment.
+
+    *emitter* (default: one appending to ``$REPRO_BENCH_JSONL`` when that
+    variable is set, else none) receives a single structured
+    ``experiment`` record per run.
+    """
+    if emitter is None:
+        emitter = StructuredEmitter.from_env()
     start = time.perf_counter()
     result = experiment.body()
     result.seconds = time.perf_counter() - start
+    if emitter is not None:
+        emitter.emit(
+            {
+                "record": "experiment",
+                "exp_id": experiment.exp_id,
+                "kind": experiment.kind,
+                "claim": experiment.claim,
+                "seconds": result.seconds,
+                "metrics": result.metrics,
+            }
+        )
     if not quiet:
         print()
         print(f"=== {experiment.exp_id} ({experiment.kind}) ===")

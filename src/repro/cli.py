@@ -12,16 +12,31 @@ Gives operators the planning surface without writing Python:
   from the layout's own recovery plans (no exogenous MTTR), with a
   derived-μ Markov cross-check; ``--scheme`` also runs the RAID50/RAID5/
   RAID6 baselines on the same disk model
+* ``report``      — pretty-print (and validate) telemetry files saved
+  by ``--metrics-out`` / ``--trace-out``
 
 The compute-heavy subcommands (``tolerance``, ``reliability``,
 ``lifecycle``) accept ``--jobs N`` to fan the work across N worker
 processes; results are bit-identical for every N (deterministic
 per-chunk seeding).
+
+Global flags (before the subcommand): ``--metrics-out FILE`` /
+``--trace-out FILE`` collect telemetry for the run (worker-merged, also
+deterministic per N); ``-v`` turns on INFO logging plus stderr progress
+heartbeats for the Monte-Carlo runs (``-vv`` for DEBUG), ``-q`` silences
+everything below ERROR. Stdout carries only the command's output.
+
+Exit codes are uniform: 0 success, 1 domain error (anything raising
+:class:`~repro.errors.ReproError`, reported on stderr), 2 usage error
+(argparse rejection).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -33,6 +48,13 @@ from repro.core.tolerance import tolerance_profile
 from repro.design.catalog import available_designs
 from repro.errors import ReproError
 from repro.layouts import Raid5Layout, Raid6Layout, Raid50Layout
+from repro.obs import (
+    Heartbeat,
+    MetricsRegistry,
+    Telemetry,
+    load_telemetry_file,
+    use_telemetry,
+)
 from repro.sim.lifecycle import derived_markov_model, derived_mttr
 from repro.sim.montecarlo import recoverability_oracle
 from repro.sim.parallel import (
@@ -41,6 +63,8 @@ from repro.sim.parallel import (
 )
 from repro.sim.rebuild import DiskModel, analytic_rebuild_time
 from repro.util.units import format_duration
+
+logger = logging.getLogger("repro.cli")
 
 
 def _add_layout_args(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +89,13 @@ def _layout_from(args: argparse.Namespace):
         outer_parities=args.outer_parities,
         inner_parities=args.inner_parities,
     )
+
+
+def _progress_for(args: argparse.Namespace) -> Optional[Heartbeat]:
+    """A stderr heartbeat for long Monte-Carlo runs, when ``-v`` is on."""
+    if getattr(args, "verbose", 0):
+        return Heartbeat(label="trials")
+    return None
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -157,6 +188,10 @@ def _cmd_rebuild(args: argparse.Namespace) -> int:
 def _cmd_reliability(args: argparse.Namespace) -> int:
     layout = _layout_from(args)
     oracle = recoverability_oracle(layout, layout.design_tolerance)
+    logger.info(
+        "reliability MC: %d disks, %d trials, %d job(s)",
+        layout.n_disks, args.trials, args.jobs,
+    )
     result = simulate_lifetimes_parallel(
         layout.n_disks,
         args.mttf_hours,
@@ -166,6 +201,8 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         trials=args.trials,
         seed=args.seed,
         jobs=args.jobs,
+        telemetry=args.telemetry,
+        progress=_progress_for(args),
     )
     lo, hi = result.prob_loss_interval()
     mttdl = result.mttdl_estimate_hours
@@ -222,6 +259,10 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
         bandwidth_bytes_per_s=args.bandwidth_mib * 1024 * 1024,
         foreground_fraction=args.foreground,
     )
+    logger.info(
+        "lifecycle MC: scheme=%s, %d disks, %d trials, %d job(s)",
+        args.scheme, layout.n_disks, args.trials, args.jobs,
+    )
     result = simulate_lifecycle_parallel(
         layout,
         args.mttf_hours,
@@ -233,6 +274,8 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
         trials=args.trials,
         seed=args.seed,
         jobs=args.jobs,
+        telemetry=args.telemetry,
+        progress=_progress_for(args),
     )
     mttr = derived_mttr(layout, disk, args.sparing, args.rebuild_model)
     markov = derived_markov_model(
@@ -283,11 +326,119 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics_report(path: str, doc: dict) -> None:
+    registry = MetricsRegistry.from_dict(doc)
+    counters = registry.counters()
+    if counters:
+        print(format_table(
+            ["counter", "value"], [[n, v] for n, v in counters],
+            title=f"{path}: counters",
+        ))
+        print()
+    gauges = registry.gauges()
+    if gauges:
+        print(format_table(
+            ["gauge", "value"], [[n, v] for n, v in gauges],
+            title=f"{path}: gauges",
+        ))
+        print()
+    hist_rows = []
+    for name, hist in registry.histograms():
+        s = hist.summary()
+        hist_rows.append([
+            name, s.get("count", 0), s.get("mean", 0.0), s.get("p50", 0.0),
+            s.get("p95", 0.0), s.get("p99", 0.0), s.get("max", 0.0),
+        ])
+    if hist_rows:
+        print(format_table(
+            ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+            hist_rows, title=f"{path}: histograms",
+        ))
+    if not (counters or gauges or hist_rows):
+        print(f"{path}: empty metrics registry")
+
+
+def _span_summary_rows(spans) -> List[list]:
+    """Aggregate (name, dur_s) pairs into per-name count/total/mean/max."""
+    agg = {}
+    for name, dur_s in spans:
+        entry = agg.setdefault(name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += dur_s
+        entry[2] = max(entry[2], dur_s)
+    return [
+        [name, n, total, total / n, peak]
+        for name, (n, total, peak) in sorted(agg.items())
+    ]
+
+
+def _print_trace_report(path: str, spans, events) -> None:
+    span_rows = _span_summary_rows(spans)
+    if span_rows:
+        print(format_table(
+            ["span", "count", "total (s)", "mean (s)", "max (s)"],
+            span_rows, title=f"{path}: spans",
+        ))
+        print()
+    if events:
+        counts = {}
+        for kind in events:
+            counts[kind] = counts.get(kind, 0) + 1
+        print(format_table(
+            ["event", "count"], sorted(counts.items()),
+            title=f"{path}: sim-time events",
+        ))
+    if not (span_rows or events):
+        print(f"{path}: empty trace")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    for path in args.files:
+        kind, doc = load_telemetry_file(path)
+        if args.check:
+            print(f"{path}: valid {kind} document")
+            continue
+        if kind == "metrics":
+            _print_metrics_report(path, doc)
+        elif kind == "trace":
+            entries = doc["traceEvents"]
+            spans = [
+                (e["name"], e["dur"] / 1e6) for e in entries if e["ph"] == "X"
+            ]
+            events = [e["name"] for e in entries if e["ph"] == "i"]
+            _print_trace_report(path, spans, events)
+        else:  # trace-jsonl
+            spans = [
+                (r["name"], r["dur_s"]) for r in doc if r["record"] == "span"
+            ]
+            events = [r["kind"] for r in doc if r["record"] == "event"]
+            _print_trace_report(path, spans, events)
+        print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="OI-RAID reproduction: configuration & recovery planning",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="INFO logging + stderr progress heartbeats (-vv for DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only ERROR-level diagnostics on stderr",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the run's merged metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write spans + sim events (Chrome trace JSON, or JSONL if "
+             "FILE ends in .jsonl)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -372,17 +523,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_rb.add_argument("--foreground", type=float, default=0.0)
     p_rb.set_defaults(func=_cmd_rebuild)
 
+    p_rep = sub.add_parser(
+        "report",
+        help="pretty-print saved --metrics-out / --trace-out files",
+    )
+    p_rep.add_argument("files", nargs="+", metavar="FILE")
+    p_rep.add_argument(
+        "--check", action="store_true",
+        help="validate against the telemetry schema and exit",
+    )
+    p_rep.set_defaults(func=_cmd_report)
+
     return parser
 
 
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Wire stdlib logging to stderr: -q ERROR, default WARNING, -v INFO,
+    -vv DEBUG. Stdout is reserved for command output."""
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=level,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
+
+
+def _write_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
+    if args.metrics_out:
+        path = pathlib.Path(args.metrics_out)
+        path.write_text(telemetry.metrics.to_json() + "\n", encoding="utf-8")
+        logger.info("wrote metrics to %s", path)
+    if args.trace_out:
+        path = pathlib.Path(args.trace_out)
+        if path.suffix == ".jsonl":
+            path.write_text(
+                telemetry.trace.to_jsonl(telemetry.events), encoding="utf-8"
+            )
+        else:
+            doc = telemetry.trace.to_chrome(telemetry.events)
+            path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        logger.info("wrote trace to %s", path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code (0/1/2).
+
+    0 = success, 1 = domain error (:class:`ReproError`, message on
+    stderr), 2 = usage error (argparse). ``--help`` returns 0.
+    """
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; normalize to
+        # a returned int so embedding callers (and tests) never see the
+        # SystemExit.
+        if exc.code in (None, 0):
+            return 0
+        return exc.code if isinstance(exc.code, int) else 2
+    _configure_logging(args)
     if getattr(args, "samples", None) == 0:
         args.samples = None
+    telemetry = (
+        Telemetry.collecting()
+        if (args.metrics_out or args.trace_out)
+        else None
+    )
+    args.telemetry = telemetry
     try:
-        return args.func(args)
+        with use_telemetry(telemetry):
+            rc = args.func(args)
+        if telemetry is not None:
+            _write_telemetry(args, telemetry)
+        return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -57,3 +57,7 @@ class DataLossError(ArrayError):
 
 class SimulationError(ReproError):
     """A simulation was configured inconsistently or reached a bad state."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry artifact (metrics/trace document) is malformed."""

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DataLossError
 from repro.layouts.base import Cell, Layout, PeelingIndex, Stripe
+from repro.obs.telemetry import ambient
 
 
 def lost_cells(layout: Layout, failed_disks: Iterable[int]) -> Set[Cell]:
@@ -127,6 +128,9 @@ def is_recoverable(layout: Layout, failed_disks: Iterable[int]) -> bool:
     decodable pattern is decodable greedily, in any order. *failed_disks*
     may be any iterable of disk ids (set, tuple, generator).
     """
+    tel = ambient()
+    if tel.enabled:
+        tel.count("recovery.oracle_calls")
     lost = lost_cells(layout, failed_disks)
     if not lost:
         return True
@@ -265,6 +269,27 @@ def plan_recovery(
     Load accounting then attributes reads to the layout's *home* disks,
     so callers with relocations should treat per-disk loads as approximate.
     """
+    tel = ambient()
+    with tel.span("plan_recovery", failed=len(set(failed_disks))):
+        plan = _plan_recovery_impl(
+            layout, failed_disks, balance, offload, max_offload_rounds,
+            lost_override,
+        )
+    if tel.enabled:
+        tel.count("recovery.plans")
+        tel.observe("recovery.plan_steps", len(plan.steps))
+        tel.observe("recovery.plan_read_units", plan.total_read_units)
+    return plan
+
+
+def _plan_recovery_impl(
+    layout: Layout,
+    failed_disks: Sequence[int],
+    balance: bool,
+    offload: bool,
+    max_offload_rounds: int,
+    lost_override: Optional[Set[Cell]],
+) -> RecoveryPlan:
     failed = tuple(sorted(set(failed_disks)))
     all_lost = (
         set(lost_override)

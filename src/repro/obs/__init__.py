@@ -1,0 +1,71 @@
+"""``repro.obs`` — the dependency-free telemetry layer.
+
+Three cooperating pieces (full design in DESIGN.md, "Telemetry layer"):
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges, and streaming histograms; picklable and mergeable, so each
+  parallel worker collects locally and the parent merges chunk
+  registries in chunk order (bit-identical for any worker count).
+* :mod:`repro.obs.trace` — bounded span tracing with Chrome-trace-viewer
+  and JSONL export (wall clock lives here, never in the registry).
+* :mod:`repro.obs.events` — a structured, sim-time-stamped event log of
+  lifecycle happenings (failure, repair start/abandon/complete,
+  latent-error check, data loss).
+
+:class:`Telemetry` bundles the three behind no-op emitters
+(:data:`NULL_TELEMETRY` is the default everywhere), and
+:func:`use_telemetry`/:func:`ambient` provide scoped ambient wiring for
+helpers too deep to thread a parameter through. :class:`Heartbeat`
+implements the parallel runners' ``progress`` callback for stderr
+liveness; :class:`StructuredEmitter` is the benchmarks' JSONL channel;
+:func:`load_telemetry_file` validates saved artifacts for ``repro
+report`` and CI.
+"""
+
+from repro.obs.emit import BENCH_JSONL_ENV, StructuredEmitter
+from repro.obs.events import EVENT_KINDS, EventLog
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.progress import Heartbeat
+from repro.obs.schema import (
+    load_telemetry_file,
+    validate_chrome_doc,
+    validate_metrics_doc,
+    validate_trace_jsonl,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    ambient,
+    use_telemetry,
+)
+from repro.obs.trace import TRACE_SCHEMA, Span, Tracer
+
+__all__ = [
+    "BENCH_JSONL_ENV",
+    "EVENT_KINDS",
+    "METRICS_SCHEMA",
+    "NULL_TELEMETRY",
+    "TRACE_SCHEMA",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Heartbeat",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StructuredEmitter",
+    "Telemetry",
+    "Tracer",
+    "ambient",
+    "load_telemetry_file",
+    "use_telemetry",
+    "validate_chrome_doc",
+    "validate_metrics_doc",
+    "validate_trace_jsonl",
+]

@@ -1,0 +1,48 @@
+"""Structured (JSONL) emission for benchmarks and the experiment runner.
+
+One record per line, keys sorted, flushed eagerly — the contract that
+keeps machine-read output parseable while human diagnostics go to
+stderr. The bench runner emits one ``experiment`` record per run when
+the ``REPRO_BENCH_JSONL`` environment variable names a destination file,
+so BENCH_*.json-style trajectories come from the same pipeline as the
+interactive reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Optional
+
+#: Environment variable naming the bench runner's JSONL destination.
+BENCH_JSONL_ENV = "REPRO_BENCH_JSONL"
+
+
+class StructuredEmitter:
+    """Append JSON records, one per line, to a stream or a file path."""
+
+    def __init__(
+        self, stream: Optional[IO[str]] = None, path: Optional[str] = None
+    ) -> None:
+        if (stream is None) == (path is None):
+            raise ValueError("provide exactly one of stream or path")
+        self._stream = stream
+        self._path = path
+        self.emitted = 0
+
+    @classmethod
+    def from_env(cls, var: str = BENCH_JSONL_ENV) -> Optional["StructuredEmitter"]:
+        """An emitter appending to ``$REPRO_BENCH_JSONL``, if set."""
+        path = os.environ.get(var, "").strip()
+        return cls(path=path) if path else None
+
+    def emit(self, record: dict) -> None:
+        """Append one record as a sorted-key JSON line, flushed eagerly."""
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        if self._stream is not None:
+            self._stream.write(line)
+            self._stream.flush()
+        else:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        self.emitted += 1

@@ -1,0 +1,88 @@
+"""A structured event log for lifecycle-simulation events.
+
+Every record is a flat dict with a ``kind`` (one of :data:`EVENT_KINDS`),
+a monotonic simulated-time stamp ``t`` (hours), usually a ``trial``
+index, and kind-specific fields (disk ids, rebuild hours, strike counts).
+The log is bounded (drops past ``max_events``, counting what it dropped)
+and mergeable: the parallel runner concatenates per-chunk logs in chunk
+order, rebasing each chunk's trial indices by the number of trials
+already merged, so the merged log is bit-identical for any worker count.
+
+The log deliberately stores *simulated* time only — wall clock would
+break the determinism contract — which also makes it a replayable record
+of *why* a mission lost data without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TelemetryError
+
+#: The lifecycle vocabulary. ``failure`` = disk failure arrival;
+#: ``repair_start`` = a (re)planned rebuild was scheduled;
+#: ``repair_abandon`` = an in-flight rebuild was invalidated by a newer
+#: failure; ``repair_complete`` = all failed disks returned to service;
+#: ``lse_check`` = a completed rebuild was audited for latent sector
+#: errors; ``data_loss`` = the mission ended in loss.
+EVENT_KINDS = frozenset(
+    {
+        "failure",
+        "repair_start",
+        "repair_abandon",
+        "repair_complete",
+        "lse_check",
+        "data_loss",
+    }
+)
+
+
+class EventLog:
+    """Bounded, mergeable log of simulation events."""
+
+    def __init__(self, max_events: int = 50_000) -> None:
+        if max_events < 1:
+            raise TelemetryError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.records: List[dict] = []
+        self.dropped = 0
+
+    def emit(
+        self, kind: str, t: float, trial: Optional[int] = None, **fields
+    ) -> None:
+        """Record one event at simulated time *t* (hours)."""
+        if kind not in EVENT_KINDS:
+            raise TelemetryError(
+                f"unknown event kind {kind!r} (expected one of "
+                f"{sorted(EVENT_KINDS)})"
+            )
+        if len(self.records) >= self.max_events:
+            self.dropped += 1
+            return
+        record = {"kind": kind, "t": t}
+        if trial is not None:
+            record["trial"] = trial
+        record.update(fields)
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def kinds(self) -> dict:
+        """Event count per kind (for reports)."""
+        counts: dict = {}
+        for record in self.records:
+            counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        return counts
+
+    def merge(self, other: "EventLog", trial_offset: int = 0) -> None:
+        """Append *other*'s records, rebasing trial indices by *trial_offset*."""
+        for record in other.records:
+            if len(self.records) >= self.max_events:
+                self.dropped += 1
+                continue
+            if trial_offset and "trial" in record:
+                record = dict(record)
+                record["trial"] += trial_offset
+            self.records.append(record)
+        self.dropped += other.dropped

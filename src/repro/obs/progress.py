@@ -1,0 +1,63 @@
+"""Stderr progress heartbeats for long Monte-Carlo runs.
+
+The parallel runners accept a ``progress`` callback invoked after every
+completed chunk with ``(done, total, losses)``. :class:`Heartbeat` is
+the CLI's implementation: rate-limited lines on stderr with trials/sec,
+an ETA extrapolated from the rate so far, and the loss count observed so
+far — enough to tell a healthy long run from a hung one without
+perturbing stdout (which stays parseable output only).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 0 or seconds != seconds:  # negative or NaN
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+class Heartbeat:
+    """Rate-limited ``done/total`` progress lines on a stream."""
+
+    def __init__(
+        self,
+        label: str = "trials",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._start: Optional[float] = None
+        self._last_emit: float = -float("inf")
+        self.emitted = 0
+
+    def __call__(self, done: int, total: int, losses: int) -> None:
+        """The ``progress`` callback contract of the parallel runners."""
+        now = self._clock()
+        if self._start is None:
+            self._start = now
+        finished = done >= total
+        if not finished and now - self._last_emit < self.min_interval_s:
+            return
+        self._last_emit = now
+        elapsed = max(now - self._start, 1e-9)
+        rate = done / elapsed
+        remaining = (total - done) / rate if rate > 0 else float("nan")
+        self.stream.write(
+            f"[repro] {done}/{total} {self.label} "
+            f"({rate:.0f}/s, ETA {_fmt_eta(remaining)}, losses {losses})\n"
+        )
+        self.stream.flush()
+        self.emitted += 1

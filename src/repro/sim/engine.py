@@ -4,6 +4,12 @@ Deterministic, heap-ordered, with stable tie-breaking (events scheduled
 earlier fire first at equal timestamps) so simulations are exactly
 reproducible. :class:`FcfsServer` models a disk: a single server draining a
 FIFO queue of fixed-service-time requests.
+
+Telemetry: a :class:`Simulator` counts scheduled / processed / cancelled
+events into the telemetry passed to it (default: the ambient telemetry,
+a no-op unless a caller installed a collecting one), so the engine's
+work is visible in ``repro report`` without any per-event cost when
+telemetry is disabled beyond a single flag check.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.telemetry import Telemetry, ambient
 
 
 @dataclass(order=True)
@@ -29,11 +36,12 @@ class Event:
 class Simulator:
     """Run events in time order until the queue drains or a horizon hits."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.now = 0.0
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._tel = telemetry if telemetry is not None else ambient()
 
     def schedule(self, delay: float, action: Callable[[], None]) -> Event:
         """Schedule *action* at ``now + delay``; returns a cancellable handle."""
@@ -41,11 +49,15 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past ({delay})")
         event = Event(self.now + delay, next(self._seq), action)
         heapq.heappush(self._queue, event)
+        if self._tel.enabled:
+            self._tel.count("engine.events_scheduled")
         return event
 
     def cancel(self, event: Event) -> None:
         """Prevent a scheduled event from firing."""
         event.cancelled = True
+        if self._tel.enabled:
+            self._tel.count("engine.events_cancelled")
 
     def run(self, until: Optional[float] = None) -> int:
         """Process events (up to time *until*); returns events processed."""
@@ -64,6 +76,8 @@ class Simulator:
         if until is not None and self.now < until and not self._queue:
             self.now = until
         self._processed += processed
+        if self._tel.enabled:
+            self._tel.count("engine.events_processed", processed)
         return processed
 
     @property

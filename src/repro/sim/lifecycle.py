@@ -50,6 +50,7 @@ from typing import Callable, FrozenSet, List, Optional, Set, Tuple
 from repro.errors import SimulationError
 from repro.layouts.base import Cell, Layout
 from repro.layouts.recovery import cells_recoverable, is_recoverable, lost_cells
+from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.sim.markov import MarkovReliabilityModel, model_for_layout
 from repro.sim.montecarlo import normal_interval
 from repro.sim.rebuild import (
@@ -156,6 +157,13 @@ class RebuildTimer:
             )
 
     def _evaluate(self, failed: Tuple[int, ...]) -> Tuple[float, float]:
+        tel = ambient()
+        if tel.enabled:
+            tel.count("rebuild.memo_misses")
+        with tel.span("rebuild_evaluate", failed=len(failed), method=self.method):
+            return self._evaluate_plan(failed)
+
+    def _evaluate_plan(self, failed: Tuple[int, ...]) -> Tuple[float, float]:
         if self.method == "event":
             result = simulate_rebuild(
                 self.layout,
@@ -176,6 +184,10 @@ class RebuildTimer:
         if cached is None:
             cached = self._evaluate(tuple(sorted(failed)))
             memo[failed] = cached
+        else:
+            tel = ambient()
+            if tel.enabled:
+                tel.count("rebuild.memo_hits")
         return cached
 
 
@@ -266,6 +278,7 @@ def simulate_lifecycle(
     trials: int = 100,
     seed: Optional[int] = 0,
     oracle: Optional[Callable[[Set[int]], bool]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> LifecycleResult:
     """Simulate *trials* missions with layout-derived repair durations.
 
@@ -281,6 +294,17 @@ def simulate_lifecycle(
 
     *oracle* overrides the pattern-recoverability check (defaults to the
     layout's peeling decoder with a guaranteed-tolerance fast path).
+
+    *telemetry* (default: the ambient telemetry, a no-op unless a caller
+    installed a collecting one) receives counters and histograms of
+    sim-domain quantities plus the structured event log — failure
+    arrivals, repair start/abandon/complete, latent-error checks, data
+    loss — all stamped with simulated hours, so the recorded registry is
+    a deterministic function of ``(trials, seed)`` and the parallel
+    runner's chunk-merge reproduces the serial registry exactly. It is
+    also installed as ambient for the duration of the run, so the
+    recovery planner, rebuild clocks, and event engine underneath record
+    into the same registry.
     """
     check_positive("trials", trials, 1)
     if mttf_hours <= 0 or horizon_hours <= 0:
@@ -298,6 +322,7 @@ def simulate_lifecycle(
             return True
         return is_recoverable(layout, failed)
 
+    tel = telemetry if telemetry is not None else ambient()
     rng = random.Random(seed)
     loss_times: List[float] = []
     lse_losses = 0
@@ -306,84 +331,138 @@ def simulate_lifecycle(
     degraded_per_trial: List[float] = []
     peak_per_trial: List[int] = []
 
-    for _ in range(trials):
-        # Event heap: (time, seq, kind, payload). kind 0 = disk failure
-        # (payload: disk id), kind 1 = rebuild completion (payload: epoch;
-        # stale epochs are rebuilds invalidated by a later failure).
-        heap: List[Tuple[float, int, int, int]] = []
-        seq = 0
-        for disk_id in range(layout.n_disks):
-            t = rng.expovariate(1.0 / mttf_hours)
-            heapq.heappush(heap, (t, seq, 0, disk_id))
-            seq += 1
-        failed: Set[int] = set()
-        epoch = 0
-        rebuild_bytes = 0.0
-        n_failures = 0
-        n_repairs = 0
-        degraded_hours = 0.0
-        degraded_since: Optional[float] = None
-        peak = 0
-        lost_at: Optional[float] = None
-        lost_to_lse = False
-
-        while heap:
-            time, _s, kind, payload = heapq.heappop(heap)
-            if time > horizon_hours:
-                break
-            if kind == 0:
-                n_failures += 1
-                if not failed:
-                    degraded_since = time
-                failed.add(payload)
-                peak = max(peak, len(failed))
-                if not pattern_ok(failed):
-                    lost_at = time
-                    break
-                # Re-plan the enlarged pattern; the previous rebuild (if
-                # any) is abandoned and its epoch goes stale.
-                epoch += 1
-                hours, rebuild_bytes = timer(frozenset(failed))
-                heapq.heappush(heap, (time + hours, seq, 1, epoch))
+    with use_telemetry(tel):
+        for trial in range(trials):
+            # Event heap: (time, seq, kind, payload). kind 0 = disk failure
+            # (payload: disk id), kind 1 = rebuild completion (payload: epoch;
+            # stale epochs are rebuilds invalidated by a later failure).
+            heap: List[Tuple[float, int, int, int]] = []
+            seq = 0
+            for disk_id in range(layout.n_disks):
+                t = rng.expovariate(1.0 / mttf_hours)
+                heapq.heappush(heap, (t, seq, 0, disk_id))
                 seq += 1
-            else:
-                if payload != epoch or not failed:
-                    continue  # invalidated by a later failure
-                if lse_rate_per_byte > 0:
-                    strikes = _poisson(
-                        rng, rebuild_bytes * lse_rate_per_byte
-                    )
-                    if strikes:
-                        stranded = {
-                            _random_surviving_cell(rng, layout, failed)
-                            for _ in range(strikes)
-                        }
-                        jointly = stranded | lost_cells(layout, failed)
-                        if not cells_recoverable(layout, jointly):
-                            lost_at = time
-                            lost_to_lse = True
-                            break
-                n_repairs += 1
-                for disk_id in sorted(failed):
-                    t = time + rng.expovariate(1.0 / mttf_hours)
-                    heapq.heappush(heap, (t, seq, 0, disk_id))
-                    seq += 1
-                failed.clear()
-                if degraded_since is not None:
-                    degraded_hours += time - degraded_since
-                    degraded_since = None
+            failed: Set[int] = set()
+            epoch = 0
+            rebuild_bytes = 0.0
+            n_failures = 0
+            n_repairs = 0
+            degraded_hours = 0.0
+            degraded_since: Optional[float] = None
+            peak = 0
+            lost_at: Optional[float] = None
+            lost_to_lse = False
 
-        end = lost_at if lost_at is not None else horizon_hours
-        if degraded_since is not None and end > degraded_since:
-            degraded_hours += end - degraded_since
-        if lost_at is not None:
-            loss_times.append(lost_at)
-            if lost_to_lse:
-                lse_losses += 1
-        failures_per_trial.append(n_failures)
-        repairs_per_trial.append(n_repairs)
-        degraded_per_trial.append(degraded_hours)
-        peak_per_trial.append(peak)
+            while heap:
+                time, _s, kind, payload = heapq.heappop(heap)
+                if time > horizon_hours:
+                    break
+                if kind == 0:
+                    n_failures += 1
+                    rebuild_in_flight = bool(failed)
+                    if not failed:
+                        degraded_since = time
+                    failed.add(payload)
+                    peak = max(peak, len(failed))
+                    if tel.enabled:
+                        tel.count("lifecycle.failures")
+                        tel.event(
+                            "failure", time, trial=trial,
+                            disk=payload, failed=len(failed),
+                        )
+                        if rebuild_in_flight:
+                            tel.count("lifecycle.repairs_abandoned")
+                            tel.event(
+                                "repair_abandon", time, trial=trial,
+                                epoch=epoch,
+                            )
+                    if not pattern_ok(failed):
+                        lost_at = time
+                        if tel.enabled:
+                            tel.count("lifecycle.losses")
+                            tel.event(
+                                "data_loss", time, trial=trial,
+                                cause="pattern", failed=len(failed),
+                            )
+                        break
+                    # Re-plan the enlarged pattern; the previous rebuild (if
+                    # any) is abandoned and its epoch goes stale.
+                    epoch += 1
+                    hours, rebuild_bytes = timer(frozenset(failed))
+                    heapq.heappush(heap, (time + hours, seq, 1, epoch))
+                    seq += 1
+                    if tel.enabled:
+                        tel.count("lifecycle.repairs_planned")
+                        tel.observe("lifecycle.rebuild_hours", hours)
+                        tel.event(
+                            "repair_start", time, trial=trial,
+                            failed=len(failed), hours=hours,
+                        )
+                else:
+                    if payload != epoch or not failed:
+                        continue  # invalidated by a later failure
+                    if lse_rate_per_byte > 0:
+                        strikes = _poisson(
+                            rng, rebuild_bytes * lse_rate_per_byte
+                        )
+                        if tel.enabled:
+                            tel.count("lifecycle.lse_checks")
+                            if strikes:
+                                tel.count("lifecycle.lse_strikes", strikes)
+                            tel.event(
+                                "lse_check", time, trial=trial,
+                                strikes=strikes,
+                            )
+                        if strikes:
+                            stranded = {
+                                _random_surviving_cell(rng, layout, failed)
+                                for _ in range(strikes)
+                            }
+                            jointly = stranded | lost_cells(layout, failed)
+                            if not cells_recoverable(layout, jointly):
+                                lost_at = time
+                                lost_to_lse = True
+                                if tel.enabled:
+                                    tel.count("lifecycle.losses")
+                                    tel.count("lifecycle.lse_losses")
+                                    tel.event(
+                                        "data_loss", time, trial=trial,
+                                        cause="lse", failed=len(failed),
+                                    )
+                                break
+                    n_repairs += 1
+                    if tel.enabled:
+                        tel.count("lifecycle.repairs_completed")
+                        tel.event(
+                            "repair_complete", time, trial=trial,
+                            disks=len(failed),
+                        )
+                    for disk_id in sorted(failed):
+                        t = time + rng.expovariate(1.0 / mttf_hours)
+                        heapq.heappush(heap, (t, seq, 0, disk_id))
+                        seq += 1
+                    failed.clear()
+                    if degraded_since is not None:
+                        degraded_hours += time - degraded_since
+                        degraded_since = None
+
+            end = lost_at if lost_at is not None else horizon_hours
+            if degraded_since is not None and end > degraded_since:
+                degraded_hours += end - degraded_since
+            if lost_at is not None:
+                loss_times.append(lost_at)
+                if lost_to_lse:
+                    lse_losses += 1
+            failures_per_trial.append(n_failures)
+            repairs_per_trial.append(n_repairs)
+            degraded_per_trial.append(degraded_hours)
+            peak_per_trial.append(peak)
+            if tel.enabled:
+                tel.count("lifecycle.trials")
+                tel.observe("lifecycle.degraded_hours", degraded_hours)
+                tel.observe("lifecycle.peak_failures", peak)
+                if lost_at is not None:
+                    tel.observe("lifecycle.loss_time_hours", lost_at)
 
     return LifecycleResult(
         trials=trials,

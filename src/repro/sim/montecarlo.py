@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Set, Tuple
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
+from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.util.checks import check_positive
 
 
@@ -120,55 +121,84 @@ def simulate_lifetimes(
     horizon_hours: float,
     trials: int = 1000,
     seed: Optional[int] = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> LifetimeResult:
     """Simulate *trials* missions; each ends at data loss or the horizon.
 
     Failures are exponential per online disk; repairs are exponential per
     failed disk (parallel repair — matching the Markov chain's ``j * μ``
     repair rate). The oracle is consulted on every failure arrival.
+
+    *telemetry* (default: ambient, a no-op unless a collecting instance
+    is installed) receives sim-domain counters and failure / repair /
+    data-loss events with simulated-hour stamps; the recorded registry
+    is a deterministic function of ``(trials, seed)``.
     """
     check_positive("n_disks", n_disks, 2)
     check_positive("trials", trials, 1)
     if mttf_hours <= 0 or mttr_hours <= 0 or horizon_hours <= 0:
         raise SimulationError("rates and horizon must be positive")
+    tel = telemetry if telemetry is not None else ambient()
     rng = random.Random(seed)
     loss_times: List[float] = []
 
-    for _ in range(trials):
-        # Event heap: (time, seq, kind, disk). kind: 0 = fail, 1 = repair.
-        heap: List[Tuple[float, int, int, int]] = []
-        seq = 0
-        for disk in range(n_disks):
-            t = rng.expovariate(1.0 / mttf_hours)
-            heapq.heappush(heap, (t, seq, 0, disk))
-            seq += 1
-        failed: Set[int] = set()
-        lost_at: Optional[float] = None
-        while heap:
-            time, _s, kind, disk = heapq.heappop(heap)
-            if time > horizon_hours:
-                break
-            if kind == 0:
-                if disk in failed:
-                    continue
-                failed.add(disk)
-                if not oracle(failed):
-                    lost_at = time
+    with use_telemetry(tel):
+        for trial in range(trials):
+            # Event heap: (time, seq, kind, disk). kind: 0 = fail, 1 = repair.
+            heap: List[Tuple[float, int, int, int]] = []
+            seq = 0
+            for disk in range(n_disks):
+                t = rng.expovariate(1.0 / mttf_hours)
+                heapq.heappush(heap, (t, seq, 0, disk))
+                seq += 1
+            failed: Set[int] = set()
+            lost_at: Optional[float] = None
+            while heap:
+                time, _s, kind, disk = heapq.heappop(heap)
+                if time > horizon_hours:
                     break
-                heapq.heappush(
-                    heap,
-                    (time + rng.expovariate(1.0 / mttr_hours), seq, 1, disk),
-                )
-                seq += 1
-            else:
-                failed.discard(disk)
-                heapq.heappush(
-                    heap,
-                    (time + rng.expovariate(1.0 / mttf_hours), seq, 0, disk),
-                )
-                seq += 1
-        if lost_at is not None:
-            loss_times.append(lost_at)
+                if kind == 0:
+                    if disk in failed:
+                        continue
+                    failed.add(disk)
+                    if tel.enabled:
+                        tel.count("mc.failures")
+                        tel.event(
+                            "failure", time, trial=trial,
+                            disk=disk, failed=len(failed),
+                        )
+                    if not oracle(failed):
+                        lost_at = time
+                        if tel.enabled:
+                            tel.count("mc.losses")
+                            tel.event(
+                                "data_loss", time, trial=trial,
+                                cause="pattern", failed=len(failed),
+                            )
+                        break
+                    heapq.heappush(
+                        heap,
+                        (time + rng.expovariate(1.0 / mttr_hours), seq, 1, disk),
+                    )
+                    seq += 1
+                else:
+                    failed.discard(disk)
+                    if tel.enabled:
+                        tel.count("mc.repairs")
+                        tel.event(
+                            "repair_complete", time, trial=trial, disks=1,
+                        )
+                    heapq.heappush(
+                        heap,
+                        (time + rng.expovariate(1.0 / mttf_hours), seq, 0, disk),
+                    )
+                    seq += 1
+            if lost_at is not None:
+                loss_times.append(lost_at)
+            if tel.enabled:
+                tel.count("mc.trials")
+                if lost_at is not None:
+                    tel.observe("mc.loss_time_hours", lost_at)
 
     return LifetimeResult(
         trials=trials,

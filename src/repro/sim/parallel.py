@@ -38,12 +38,18 @@ from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Typ
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.lifecycle import LifecycleResult, simulate_lifecycle
 from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
 from repro.sim.rebuild import DiskModel
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: The ``progress`` callback contract of the Monte-Carlo runners: called
+#: after every completed chunk with ``(trials_done, trials_total,
+#: losses_so_far)`` — :class:`repro.obs.Heartbeat` is one implementation.
+ProgressCallback = Callable[[int, int, int], None]
 
 #: Trials per Monte-Carlo chunk. Fixed (not derived from ``jobs``) so the
 #: chunk layout — and therefore the merged result — is identical for any
@@ -126,10 +132,14 @@ class _LifetimeChunk:
     horizon_hours: float
     trials: int
     seed: int
+    collect: bool = False
 
 
-def _run_lifetime_chunk(spec: _LifetimeChunk) -> LifetimeResult:
-    return simulate_lifetimes(
+def _run_lifetime_chunk(
+    spec: _LifetimeChunk,
+) -> Tuple[LifetimeResult, Optional[Telemetry]]:
+    chunk_tel = Telemetry.collecting() if spec.collect else None
+    result = simulate_lifetimes(
         spec.n_disks,
         spec.mttf_hours,
         spec.mttr_hours,
@@ -137,7 +147,44 @@ def _run_lifetime_chunk(spec: _LifetimeChunk) -> LifetimeResult:
         spec.horizon_hours,
         trials=spec.trials,
         seed=spec.seed,
+        telemetry=chunk_tel,
     )
+    return result, chunk_tel
+
+
+def _drain_chunks(run_chunk, specs, jobs, telemetry, progress, total):
+    """Run chunk specs (serially or fanned out), merging in chunk order.
+
+    The shared collection loop of both Monte-Carlo runners: results are
+    consumed in chunk order (``Executor.map`` preserves it), each chunk's
+    telemetry is folded into *telemetry* with its trial offset the moment
+    it arrives, and *progress* is invoked after every chunk — which is
+    what makes stderr heartbeats possible mid-run instead of only at the
+    end.
+    """
+    parts = []
+    done = 0
+    losses = 0
+
+    def consume(pair):
+        nonlocal done, losses
+        result, chunk_tel = pair
+        if telemetry is not None and chunk_tel is not None:
+            telemetry.merge_chunk(chunk_tel, trial_offset=done)
+        parts.append(result)
+        done += result.trials
+        losses += result.losses
+        if progress is not None:
+            progress(done, total, losses)
+
+    if jobs == 1 or len(specs) == 1:
+        for spec in specs:
+            consume(run_chunk(spec))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            for pair in pool.map(run_chunk, specs):
+                consume(pair)
+    return parts
 
 
 def simulate_lifetimes_parallel(
@@ -150,6 +197,8 @@ def simulate_lifetimes_parallel(
     seed: Optional[int] = 0,
     jobs: int = 1,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> LifetimeResult:
     """Chunked (and optionally multi-process) :func:`simulate_lifetimes`.
 
@@ -158,6 +207,13 @@ def simulate_lifetimes_parallel(
     with ``trials <= chunk_trials`` is bit-identical to the serial kernel.
     *oracle* must be picklable when ``jobs > 1`` (use the oracle classes
     from :mod:`repro.sim.montecarlo`, not ad-hoc closures).
+
+    When *telemetry* is a collecting instance, each worker fills a
+    private registry/event-log and the parent folds the chunks back in
+    chunk order — so the merged metrics obey the same determinism
+    contract as the result (wall-clock trace spans excepted). *progress*
+    is called after every completed chunk with
+    ``(trials_done, trials_total, losses_so_far)``.
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -165,6 +221,7 @@ def simulate_lifetimes_parallel(
         raise SimulationError(f"trials must be >= 1, got {trials}")
     if seed is None:
         seed = random.SystemRandom().getrandbits(48)
+    collect = telemetry is not None and telemetry.enabled
     specs = []
     for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
         specs.append(
@@ -176,13 +233,14 @@ def simulate_lifetimes_parallel(
                 horizon_hours,
                 size,
                 derive_chunk_seed(seed, chunk_id),
+                collect,
             )
         )
-    if jobs == 1 or len(specs) == 1:
-        parts = [_run_lifetime_chunk(spec) for spec in specs]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            parts = list(pool.map(_run_lifetime_chunk, specs))
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("simulate_lifetimes_parallel", trials=trials, jobs=jobs):
+        parts = _drain_chunks(
+            _run_lifetime_chunk, specs, jobs, telemetry, progress, trials
+        )
     return merge_lifetime_results(parts)
 
 
@@ -238,10 +296,14 @@ class _LifecycleChunk:
     lse_rate_per_byte: float
     trials: int
     seed: int
+    collect: bool = False
 
 
-def _run_lifecycle_chunk(spec: _LifecycleChunk) -> LifecycleResult:
-    return simulate_lifecycle(
+def _run_lifecycle_chunk(
+    spec: _LifecycleChunk,
+) -> Tuple[LifecycleResult, Optional[Telemetry]]:
+    chunk_tel = Telemetry.collecting() if spec.collect else None
+    result = simulate_lifecycle(
         spec.layout,
         spec.mttf_hours,
         spec.horizon_hours,
@@ -252,7 +314,9 @@ def _run_lifecycle_chunk(spec: _LifecycleChunk) -> LifecycleResult:
         lse_rate_per_byte=spec.lse_rate_per_byte,
         trials=spec.trials,
         seed=spec.seed,
+        telemetry=chunk_tel,
     )
+    return result, chunk_tel
 
 
 def simulate_lifecycle_parallel(
@@ -268,6 +332,8 @@ def simulate_lifecycle_parallel(
     seed: Optional[int] = 0,
     jobs: int = 1,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> LifecycleResult:
     """Chunked (and optionally multi-process) :func:`simulate_lifecycle`.
 
@@ -277,6 +343,14 @@ def simulate_lifecycle_parallel(
     to the serial kernel. Rebuild times are memoized per pattern within
     each worker (they are pure functions of the pattern, so the memo never
     affects results).
+
+    The determinism contract extends to telemetry: when *telemetry* is a
+    collecting instance, every worker records into a private registry and
+    event log (trial indices chunk-local), and the parent merges chunks
+    in chunk order, rebasing trial indices — so the merged registry and
+    event log are bit-identical for any ``jobs``. Only trace spans (wall
+    clock) vary run to run. *progress* is called after every completed
+    chunk with ``(trials_done, trials_total, losses_so_far)``.
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
@@ -284,6 +358,7 @@ def simulate_lifecycle_parallel(
         raise SimulationError(f"trials must be >= 1, got {trials}")
     if seed is None:
         seed = random.SystemRandom().getrandbits(48)
+    collect = telemetry is not None and telemetry.enabled
     specs = []
     for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
         specs.append(
@@ -298,13 +373,14 @@ def simulate_lifecycle_parallel(
                 lse_rate_per_byte,
                 size,
                 derive_chunk_seed(seed, chunk_id),
+                collect,
             )
         )
-    if jobs == 1 or len(specs) == 1:
-        parts = [_run_lifecycle_chunk(spec) for spec in specs]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            parts = list(pool.map(_run_lifecycle_chunk, specs))
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("simulate_lifecycle_parallel", trials=trials, jobs=jobs):
+        parts = _drain_chunks(
+            _run_lifecycle_chunk, specs, jobs, telemetry, progress, trials
+        )
     return merge_lifecycle_results(parts)
 
 

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import RecoveryPlan, plan_recovery
+from repro.obs.telemetry import ambient
 from repro.sim.engine import FcfsServer, Simulator
 from repro.util.units import GIB
 
@@ -136,6 +137,10 @@ def analytic_rebuild_time(
     unit_bytes = disk.capacity_bytes / layout.units_per_disk
     busiest = max(volumes.values()) if volumes else 0.0
     seconds = busiest / disk.effective_bandwidth
+    tel = ambient()
+    if tel.enabled:
+        tel.count("rebuild.analytic_evaluations")
+        tel.observe("rebuild.analytic_seconds", seconds)
     return RebuildResult(
         layout_name=layout.name,
         failed_disks=plan.failed_disks,
@@ -266,6 +271,10 @@ def simulate_rebuild(
         sim.run()
 
     busiest = max(s.busy_until for s in servers.values())
+    tel = ambient()
+    if tel.enabled:
+        tel.count("rebuild.event_evaluations")
+        tel.observe("rebuild.event_seconds", max(state["last_done"], busiest))
     return RebuildResult(
         layout_name=layout.name,
         failed_disks=plan.failed_disks,

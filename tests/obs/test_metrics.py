@@ -1,0 +1,156 @@
+"""Metrics primitives: counters, gauges, streaming histograms, registry."""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_and_merges(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        other = Counter()
+        other.inc(3)
+        c.merge(other)
+        assert c.value == 6.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(TelemetryError):
+            Counter().inc(-1)
+
+    def test_whole_counts_render_as_int(self):
+        c = Counter()
+        c.inc(3)
+        assert c.to_number() == 3
+        assert isinstance(c.to_number(), int)
+
+
+class TestGauge:
+    def test_last_writer_wins_across_merge(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        b.set(2.0)
+        a.merge(b)
+        assert a.value == 2.0
+        assert a.updates == 2
+
+    def test_unset_chunk_cannot_clobber(self):
+        a = Gauge()
+        a.set(7.0)
+        a.merge(Gauge())  # never set: no update
+        assert a.value == 7.0
+
+
+class TestHistogram:
+    def test_quantiles_within_bucket_resolution(self):
+        h = Histogram()
+        values = [random.Random(0).uniform(1, 1000) for _ in range(5000)]
+        for v in values:
+            h.observe(v)
+        values.sort()
+        for q in (0.5, 0.95, 0.99):
+            exact = values[int(q * (len(values) - 1))]
+            # Geometric buckets bound relative error to one growth factor.
+            assert h.quantile(q) == pytest.approx(exact, rel=0.1)
+
+    def test_extremes_clamp_quantiles(self):
+        h = Histogram()
+        h.observe(5.0)
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_zeros_tracked_separately(self):
+        h = Histogram()
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(100.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.count == 10
+        assert h.min == 0.0
+
+    def test_merge_equals_concatenated_stream(self):
+        rng = random.Random(1)
+        values = [rng.expovariate(0.1) for _ in range(2000)]
+        whole, a, b = Histogram(), Histogram(), Histogram()
+        for v in values:
+            whole.observe(v)
+        for v in values[:700]:
+            a.observe(v)
+        for v in values[700:]:
+            b.observe(v)
+        a.merge(b)
+        assert a.buckets == whole.buckets
+        assert (a.count, a.min, a.max) == (whole.count, whole.min, whole.max)
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == whole.quantile(q)
+        # Totals differ only by float-summation order.
+        assert a.total == pytest.approx(whole.total)
+
+    def test_rejects_negative_nan_inf(self):
+        h = Histogram()
+        for bad in (-1.0, math.nan, math.inf):
+            with pytest.raises(TelemetryError):
+                h.observe(bad)
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_round_trips_through_dict(self):
+        h = Histogram()
+        for v in (0.0, 0.5, 12.0, 12.0, 400.0):
+            h.observe(v)
+        back = Histogram.from_dict(h.to_dict())
+        assert back.buckets == h.buckets
+        assert back.summary() == h.summary()
+
+
+class TestMetricsRegistry:
+    def test_instruments_created_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2.0)
+        reg.histogram("c").observe(3.0)
+        assert len(reg) == 3
+        assert reg.counters() == [("a", 1)]
+        assert reg.gauges() == [("b", 2.0)]
+
+    def test_merge_order_independence_for_counters(self):
+        parts = []
+        for value in (1, 2, 3):
+            reg = MetricsRegistry()
+            reg.counter("x").inc(value)
+            parts.append(reg)
+        merged = MetricsRegistry.merged(parts)
+        assert merged.counters() == [("x", 6)]
+
+    def test_json_round_trip_bit_identical(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(5)
+        reg.gauge("load").set(0.75)
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("hours").observe(v)
+        back = MetricsRegistry.from_json(reg.to_json())
+        assert back.to_json() == reg.to_json()
+
+    def test_picklable(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.histogram("h").observe(1.5)
+        back = pickle.loads(pickle.dumps(reg))
+        assert back.to_dict() == reg.to_dict()
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry.from_dict({"schema": "nope/9"})
+        with pytest.raises(TelemetryError):
+            MetricsRegistry.from_dict("not even a dict")
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry.from_json("{broken")

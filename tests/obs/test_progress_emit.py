@@ -1,0 +1,79 @@
+"""The Heartbeat progress callback and the structured JSONL emitter."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Heartbeat, StructuredEmitter
+
+
+def fake_clock(times):
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestHeartbeat:
+    def test_rate_limited_but_final_always_emits(self):
+        out = io.StringIO()
+        beat = Heartbeat(
+            stream=out, min_interval_s=1.0,
+            clock=fake_clock([0.0, 0.1, 0.2, 0.3]),
+        )
+        beat(10, 100, 0)   # first call: emits (sets the baseline)
+        beat(20, 100, 1)   # 0.1s later: suppressed
+        beat(30, 100, 1)   # still inside the interval: suppressed
+        beat(100, 100, 2)  # final: always emits
+        lines = out.getvalue().splitlines()
+        assert beat.emitted == 2
+        assert "10/100 trials" in lines[0]
+        assert "100/100 trials" in lines[1]
+        assert "losses 2" in lines[1]
+
+    def test_reports_rate_and_eta(self):
+        out = io.StringIO()
+        beat = Heartbeat(
+            stream=out, min_interval_s=0.0, clock=fake_clock([0.0, 2.0]),
+        )
+        beat(0, 100, 0)
+        beat(50, 100, 0)
+        line = out.getvalue().splitlines()[-1]
+        assert "(25/s" in line  # 50 trials in 2s
+        assert "ETA 2s" in line
+
+
+class TestStructuredEmitter:
+    def test_stream_emission_sorted_and_line_delimited(self):
+        out = io.StringIO()
+        emitter = StructuredEmitter(stream=out)
+        emitter.emit({"b": 2, "a": 1})
+        emitter.emit({"x": "y"})
+        lines = out.getvalue().splitlines()
+        assert lines[0] == '{"a": 1, "b": 2}'
+        assert json.loads(lines[1]) == {"x": "y"}
+        assert emitter.emitted == 2
+
+    def test_path_emission_appends(self, tmp_path):
+        target = tmp_path / "out.jsonl"
+        emitter = StructuredEmitter(path=str(target))
+        emitter.emit({"n": 1})
+        emitter.emit({"n": 2})
+        records = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert records == [{"n": 1}, {"n": 2}]
+
+    def test_exactly_one_destination_required(self):
+        with pytest.raises(ValueError):
+            StructuredEmitter()
+        with pytest.raises(ValueError):
+            StructuredEmitter(stream=io.StringIO(), path="x")
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JSONL", raising=False)
+        assert StructuredEmitter.from_env() is None
+        target = tmp_path / "bench.jsonl"
+        monkeypatch.setenv("REPRO_BENCH_JSONL", str(target))
+        emitter = StructuredEmitter.from_env()
+        emitter.emit({"ok": True})
+        assert json.loads(target.read_text()) == {"ok": True}

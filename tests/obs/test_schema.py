@@ -1,0 +1,114 @@
+"""Artifact validation: the schema repro report --check and CI enforce."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    load_telemetry_file,
+)
+from repro.obs.schema import (
+    validate_chrome_doc,
+    validate_metrics_doc,
+    validate_trace_jsonl,
+)
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLoadTelemetryFile:
+    def test_sniffs_metrics_document(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        path = write(tmp_path, "m.json", reg.to_json())
+        kind, doc = load_telemetry_file(path)
+        assert kind == "metrics"
+        assert doc["counters"] == {"x": 1}
+
+    def test_sniffs_chrome_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = write(
+            tmp_path, "t.json", json.dumps(tracer.to_chrome(EventLog()))
+        )
+        kind, doc = load_telemetry_file(path)
+        assert kind == "trace"
+        assert doc["traceEvents"][0]["name"] == "s"
+
+    def test_sniffs_jsonl_trace(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        events = EventLog()
+        events.emit("failure", 1.0, trial=0)
+        path = write(tmp_path, "t.jsonl", tracer.to_jsonl(events))
+        kind, records = load_telemetry_file(path)
+        assert kind == "trace-jsonl"
+        assert len(records) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = write(tmp_path, "empty.json", "")
+        with pytest.raises(TelemetryError):
+            load_telemetry_file(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            load_telemetry_file(tmp_path / "nope.json")
+
+    def test_garbage_rejected(self, tmp_path):
+        path = write(tmp_path, "bad.json", "not json at all")
+        with pytest.raises(TelemetryError):
+            load_telemetry_file(path)
+
+
+class TestValidators:
+    def test_metrics_doc_schema_enforced(self):
+        with pytest.raises(TelemetryError):
+            validate_metrics_doc({"schema": "other/1"})
+
+    def test_chrome_doc_requires_trace_events(self):
+        with pytest.raises(TelemetryError):
+            validate_chrome_doc({"otherData": {"schema": "repro.trace/1"}})
+
+    def test_chrome_doc_requires_schema_stamp(self):
+        with pytest.raises(TelemetryError):
+            validate_chrome_doc({"traceEvents": [], "otherData": {}})
+
+    def test_chrome_doc_rejects_bad_phase(self):
+        doc = {
+            "traceEvents": [{"name": "s", "ph": "B", "ts": 0}],
+            "otherData": {"schema": "repro.trace/1"},
+        }
+        with pytest.raises(TelemetryError):
+            validate_chrome_doc(doc)
+
+    def test_jsonl_rejects_unknown_record_type(self):
+        with pytest.raises(TelemetryError):
+            validate_trace_jsonl('{"record": "mystery"}\n')
+
+    def test_jsonl_rejects_negative_duration(self):
+        bad = json.dumps(
+            {"record": "span", "name": "s", "start_s": 0.0, "dur_s": -1.0}
+        )
+        with pytest.raises(TelemetryError):
+            validate_trace_jsonl(bad + "\n")
+
+    def test_jsonl_rejects_unknown_event_kind(self):
+        bad = json.dumps({"record": "event", "kind": "reboot", "t": 1.0})
+        with pytest.raises(TelemetryError):
+            validate_trace_jsonl(bad + "\n")
+
+    def test_jsonl_skips_blank_lines(self):
+        good = json.dumps(
+            {"record": "span", "name": "s", "start_s": 0.0, "dur_s": 1.0}
+        )
+        assert validate_trace_jsonl(f"\n{good}\n\n") == 1

@@ -1,0 +1,100 @@
+"""Span tracing: bounded buffer, nesting depth, Chrome/JSONL export."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs import EventLog, Tracer
+from repro.obs.schema import validate_chrome_doc, validate_trace_jsonl
+
+
+def fake_clock(times):
+    """A deterministic clock yielding the given readings in order."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestTracer:
+    def test_span_records_duration_and_args(self):
+        tracer = Tracer(clock=fake_clock([10.0, 13.5]))
+        with tracer.span("rebuild", disks=2):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "rebuild"
+        assert span.start_s == 10.0
+        assert span.dur_s == pytest.approx(3.5)
+        assert span.args == {"disks": 2}
+
+    def test_nested_spans_track_depth(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 2.0, 3.0]))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # Inner exits first, at depth 1; outer records at depth 0.
+        assert [(s.name, s.depth) for s in tracer.spans] == [
+            ("inner", 1), ("outer", 0),
+        ]
+
+    def test_buffer_bounded_drops_counted(self):
+        tracer = Tracer(max_spans=2, clock=fake_clock(range(100)))
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_merge_respects_bound(self):
+        a = Tracer(max_spans=3, clock=fake_clock(range(100)))
+        b = Tracer(clock=fake_clock(range(100)))
+        for _ in range(2):
+            with a.span("a"):
+                pass
+        for _ in range(4):
+            with b.span("b"):
+                pass
+        a.merge(b)
+        assert len(a.spans) == 3
+        assert a.dropped == 3
+
+    def test_bad_max_spans_rejected(self):
+        with pytest.raises(TelemetryError):
+            Tracer(max_spans=0)
+
+
+class TestExport:
+    def make_tracer(self):
+        tracer = Tracer(clock=fake_clock([0.0, 0.25]))
+        with tracer.span("plan", failed=1):
+            pass
+        events = EventLog()
+        events.emit("failure", 12.0, trial=0, disk=3)
+        return tracer, events
+
+    def test_chrome_document_validates(self):
+        tracer, events = self.make_tracer()
+        doc = tracer.to_chrome(events)
+        validate_chrome_doc(doc)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "i"}
+
+    def test_chrome_sim_time_scaling(self):
+        tracer, events = self.make_tracer()
+        doc = tracer.to_chrome(events)
+        instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        assert instant["ts"] == 12.0 * 1000.0  # 1 sim-hour = 1000 us
+        assert instant["tid"] == "sim-time"
+
+    def test_jsonl_validates_and_round_trips(self):
+        tracer, events = self.make_tracer()
+        text = tracer.to_jsonl(events)
+        assert validate_trace_jsonl(text) == 2
+        records = [json.loads(line) for line in text.splitlines()]
+        assert records[0]["record"] == "span"
+        assert records[1]["record"] == "event"
+        assert records[1]["kind"] == "failure"
+
+    def test_empty_tracer_exports_cleanly(self):
+        tracer = Tracer()
+        assert tracer.to_jsonl() == ""
+        validate_chrome_doc(tracer.to_chrome())

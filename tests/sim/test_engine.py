@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
+from repro.obs import Telemetry
 from repro.sim.engine import FcfsServer, Simulator
 
 
@@ -64,6 +65,65 @@ class TestSimulator:
         sim = Simulator()
         sim.run(until=4.0)
         assert sim.now == 4.0
+
+    def test_cancellation_mid_run(self):
+        """A callback can cancel a later event while the run is draining."""
+        sim = Simulator()
+        log = []
+        victim = sim.schedule(5.0, lambda: log.append("victim"))
+        sim.schedule(1.0, lambda: sim.cancel(victim))
+        sim.schedule(6.0, lambda: log.append("after"))
+        processed = sim.run()
+        assert log == ["after"]
+        assert processed == 2  # cancelled events don't count as processed
+
+    def test_cancelled_event_not_pending(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        assert sim.pending == 1
+
+    def test_equal_timestamp_ties_with_mid_run_scheduling(self):
+        """Ties break by schedule order even when one arrives mid-run."""
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("first-scheduled"))
+
+        def insert_tied():
+            # Scheduled later, same timestamp: must fire after the one above.
+            sim.schedule(1.0, lambda: log.append("late-scheduled"))
+
+        sim.schedule(1.0, insert_tied)
+        sim.run()
+        assert log == ["first-scheduled", "late-scheduled"]
+
+    def test_horizon_cutoff_is_exclusive_and_resumable(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("at"))
+        sim.schedule(5.5, lambda: log.append("past"))
+        # An event exactly at the horizon fires; later ones stay queued.
+        assert sim.run(until=5.0) == 1
+        assert log == ["at"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        # The same queue resumes where it stopped.
+        assert sim.run() == 1
+        assert log == ["at", "past"]
+        assert sim.now == 5.5
+
+    def test_telemetry_counts_engine_activity(self):
+        tel = Telemetry.collecting()
+        sim = Simulator(telemetry=tel)
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        sim.run()
+        counters = dict(tel.metrics.counters())
+        assert counters["engine.events_scheduled"] == 2
+        assert counters["engine.events_cancelled"] == 1
+        assert counters["engine.events_processed"] == 1
 
 
 class TestFcfsServer:

@@ -1,0 +1,107 @@
+"""The telemetry half of the parallel determinism contract.
+
+The parallel runners already guarantee bit-identical *results* for any
+jobs count; these tests assert the same for the merged metrics registry
+and event log — the property that makes ``--metrics-out`` trustworthy
+regardless of how a run was parallelized. Trace spans carry wall clock
+and are explicitly outside the contract.
+"""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.sim.montecarlo import threshold_oracle
+from repro.sim.parallel import (
+    simulate_lifecycle_parallel,
+    simulate_lifetimes_parallel,
+)
+from repro.sim.rebuild import DiskModel
+
+#: Tiny accelerated disk so rebuilds and losses happen within few trials.
+DISK = DiskModel(capacity_bytes=5e10, bandwidth_bytes_per_s=2 * 1024 * 1024)
+
+
+def lifecycle_run(layout, jobs, telemetry):
+    return simulate_lifecycle_parallel(
+        layout, 800.0, 2000.0, disk=DISK, trials=60, seed=7,
+        jobs=jobs, chunk_trials=16, telemetry=telemetry,
+    )
+
+
+class TestLifecycleTelemetryDeterminism:
+    @pytest.mark.parametrize("jobs", [2, 3, 5])
+    def test_merged_registry_identical_to_serial(self, fano_layout, jobs):
+        serial_tel = Telemetry.collecting()
+        serial = lifecycle_run(fano_layout, 1, serial_tel)
+
+        par_tel = Telemetry.collecting()
+        parallel = lifecycle_run(fano_layout, jobs, par_tel)
+
+        assert serial == parallel
+        assert par_tel.metrics.to_dict() == serial_tel.metrics.to_dict()
+        assert par_tel.events.records == serial_tel.events.records
+
+    def test_registry_content_is_plausible(self, fano_layout):
+        tel = Telemetry.collecting()
+        result = lifecycle_run(fano_layout, 2, tel)
+        counters = dict(tel.metrics.counters())
+        assert counters["lifecycle.trials"] == result.trials
+        assert counters["lifecycle.failures"] > 0
+        # A planned repair completes, is abandoned, or is cut off by the
+        # horizon / a data loss while still in flight.
+        resolved = counters.get(
+            "lifecycle.repairs_completed", 0
+        ) + counters.get("lifecycle.repairs_abandoned", 0)
+        assert resolved <= counters["lifecycle.repairs_planned"]
+        assert resolved >= counters["lifecycle.repairs_planned"] - result.trials
+        hist = dict(tel.metrics.histograms())
+        assert hist["lifecycle.peak_failures"].count == result.trials
+
+    def test_event_trials_rebased_monotonically(self, fano_layout):
+        tel = Telemetry.collecting()
+        lifecycle_run(fano_layout, 3, tel)
+        trials = [r["trial"] for r in tel.events.records if "trial" in r]
+        assert trials, "lifecycle run emitted no events"
+        assert trials == sorted(trials)
+        assert max(trials) < 60
+
+
+class TestLifetimeTelemetryDeterminism:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_merged_registry_identical_to_serial(self, jobs):
+        args = (8, 500.0, 50.0, threshold_oracle(1), 1000.0)
+
+        serial_tel = Telemetry.collecting()
+        serial = simulate_lifetimes_parallel(
+            *args, trials=400, seed=9, jobs=1, chunk_trials=64,
+            telemetry=serial_tel,
+        )
+        par_tel = Telemetry.collecting()
+        parallel = simulate_lifetimes_parallel(
+            *args, trials=400, seed=9, jobs=jobs, chunk_trials=64,
+            telemetry=par_tel,
+        )
+        assert serial == parallel
+        assert par_tel.metrics.to_dict() == serial_tel.metrics.to_dict()
+        assert par_tel.events.records == serial_tel.events.records
+
+    def test_disabled_telemetry_collects_nothing(self):
+        result = simulate_lifetimes_parallel(
+            6, 500.0, 50.0, threshold_oracle(1), 1000.0,
+            trials=50, seed=0, jobs=2, chunk_trials=16,
+        )
+        assert result.trials == 50  # no telemetry kwarg: pure no-op path
+
+    def test_progress_callback_sees_monotonic_done(self):
+        calls = []
+        simulate_lifetimes_parallel(
+            6, 500.0, 50.0, threshold_oracle(1), 1000.0,
+            trials=100, seed=0, jobs=2, chunk_trials=32,
+            progress=lambda done, total, losses: calls.append(
+                (done, total, losses)
+            ),
+        )
+        dones = [c[0] for c in calls]
+        assert dones == sorted(dones)
+        assert dones[-1] == 100
+        assert all(total == 100 for _, total, _ in calls)

@@ -74,3 +74,33 @@ class TestRunner:
         assert exp in registered()
         with pytest.raises(ValueError):
             register(self._exp("DUP-1"))
+
+    def test_structured_emission_via_explicit_emitter(self):
+        import io
+        import json
+
+        from repro.obs import StructuredEmitter
+
+        out = io.StringIO()
+        run_experiment(
+            self._exp("EM"), quiet=True, emitter=StructuredEmitter(stream=out)
+        )
+        record = json.loads(out.getvalue())
+        assert record["record"] == "experiment"
+        assert record["exp_id"] == "EM"
+        assert record["metrics"] == {"m": 1.5}
+        assert record["seconds"] >= 0
+
+    def test_structured_emission_via_env(self, tmp_path, monkeypatch):
+        import json
+
+        target = tmp_path / "bench.jsonl"
+        monkeypatch.setenv("REPRO_BENCH_JSONL", str(target))
+        run_experiment(self._exp("EN"), quiet=True)
+        record = json.loads(target.read_text())
+        assert record["exp_id"] == "EN"
+
+    def test_no_emission_by_default(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_BENCH_JSONL", raising=False)
+        run_experiment(self._exp("EO"), quiet=True)
+        assert capsys.readouterr().out == ""

@@ -179,3 +179,119 @@ class TestRebuild:
     def test_no_skew_flag(self, capsys):
         assert main(["info", "-v", "7", "-k", "3", "--no-skew"]) == 0
         assert "False" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The contract: 0 success, 1 domain error, 2 usage error."""
+
+    def test_success_is_zero(self):
+        assert main(["info", "-v", "7", "-k", "3"]) == 0
+
+    def test_domain_error_is_one(self, capsys):
+        # v=8 is not a valid symmetric design: a ReproError, not a crash.
+        assert main(["info", "-v", "8", "-k", "3"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_usage_error_is_two(self, capsys):
+        assert main(["info", "-v", "not-a-number", "-k", "3"]) == 2
+        assert main(["no-such-command"]) == 2
+
+    def test_missing_required_is_two(self):
+        assert main(["info"]) == 2
+
+    def test_help_is_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "report" in capsys.readouterr().out
+
+
+LIFECYCLE_ARGS = TestLifecycle.ARGS
+
+
+class TestTelemetryFlags:
+    def test_metrics_out_writes_valid_document(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        target = tmp_path / "m.json"
+        assert main(["--metrics-out", str(target)] + LIFECYCLE_ARGS) == 0
+        reg = MetricsRegistry.from_json(target.read_text())
+        counters = dict(reg.counters())
+        assert counters["lifecycle.trials"] == 25
+        assert counters["lifecycle.failures"] > 0
+
+    def test_trace_out_chrome_json(self, tmp_path, capsys):
+        from repro.obs import load_telemetry_file
+
+        target = tmp_path / "t.json"
+        assert main(["--trace-out", str(target)] + LIFECYCLE_ARGS) == 0
+        kind, doc = load_telemetry_file(target)
+        assert kind == "trace"
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "plan_recovery" in names
+        assert "failure" in names  # sim-time instants ride along
+
+    def test_trace_out_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_telemetry_file
+
+        target = tmp_path / "t.jsonl"
+        assert main(["--trace-out", str(target)] + LIFECYCLE_ARGS) == 0
+        kind, records = load_telemetry_file(target)
+        assert kind == "trace-jsonl"
+        assert any(r["record"] == "span" for r in records)
+        assert any(r["record"] == "event" for r in records)
+
+    def test_metrics_deterministic_across_jobs(self, tmp_path, capsys):
+        serial, parallel = tmp_path / "s.json", tmp_path / "p.json"
+        assert main(["--metrics-out", str(serial)] + LIFECYCLE_ARGS) == 0
+        assert main(
+            ["--metrics-out", str(parallel)]
+            + LIFECYCLE_ARGS + ["--jobs", "3"]
+        ) == 0
+        assert serial.read_text() == parallel.read_text()
+
+    def test_verbose_heartbeat_on_stderr(self, capsys):
+        assert main(["-v"] + LIFECYCLE_ARGS) == 0
+        err = capsys.readouterr().err
+        assert "[repro] 25/25 trials" in err
+
+
+class TestReport:
+    def make_artifacts(self, tmp_path):
+        m, t = tmp_path / "m.json", tmp_path / "t.json"
+        argv = [
+            "--metrics-out", str(m), "--trace-out", str(t),
+        ] + LIFECYCLE_ARGS
+        assert main(argv) == 0
+        return m, t
+
+    def test_check_mode(self, tmp_path, capsys):
+        m, t = self.make_artifacts(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--check", str(m), str(t)]) == 0
+        out = capsys.readouterr().out
+        assert "valid metrics document" in out
+        assert "valid trace document" in out
+
+    def test_renders_metrics_tables(self, tmp_path, capsys):
+        m, _t = self.make_artifacts(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(m)]) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle.trials" in out
+        assert "p95" in out
+
+    def test_renders_trace_summary(self, tmp_path, capsys):
+        _m, t = self.make_artifacts(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(t)]) == 0
+        out = capsys.readouterr().out
+        assert "plan_recovery" in out
+
+    def test_malformed_file_is_domain_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{} nonsense")
+        assert main(["report", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_domain_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.json")]) == 1
+        assert "error:" in capsys.readouterr().err

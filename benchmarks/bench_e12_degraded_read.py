@@ -1,60 +1,60 @@
 """E12 (table): degraded-read cost — device reads per user read.
 
 Availability in practice is the cost of serving reads while failed disks
-are still being rebuilt. Replaying the same uniform read-only workload
-against live arrays with 0-3 failed disks gives each scheme's device-read
-amplification; a dash marks failure counts the scheme cannot survive.
+are still being rebuilt. The serving simulator runs the same uniform
+read-only workload against each scheme with 0-3 failed disks; its
+device-read accounting (degraded reads fan out to the recovery plan's
+sources) gives each scheme's amplification. A dash marks failure counts
+the scheme cannot survive (:func:`~repro.layouts.recovery.is_recoverable`
+says there is nothing to serve).
 """
 
 from repro.bench.runner import Experiment, ExperimentResult
 from repro.bench.tables import format_table
-from repro.core.array import LayoutArray, OIRAIDArray
 from repro.core.oi_layout import oi_raid
 from repro.layouts import MirrorLayout, ParityDeclusteringLayout, Raid50Layout
 from repro.layouts.recovery import is_recoverable
-from repro.workloads.generators import uniform_workload
-from repro.workloads.trace import replay_trace
+from repro.scenario import Scenario, run
+from repro.serve import OpenLoop
+from repro.workloads import WorkloadSpec
 
-REQUESTS = 120
+REQUESTS = 400
 # Failure sets chosen survivable-where-possible for each scheme.
 FAILURE_SETS = {0: [], 1: [0], 2: [0, 10], 3: [0, 7, 14]}
+WORKLOAD = WorkloadSpec(kind="uniform", n_requests=REQUESTS)
 
 
-def _amplification(make_array, failures):
-    array = make_array()
-    if failures and not is_recoverable(array.layout, failures):
+def _amplification(layout, failures):
+    if failures and not is_recoverable(layout, failures):
         return None
-    writes = uniform_workload(
-        array.user_units, REQUESTS, write_fraction=1.0, seed=1
+    result = run(
+        Scenario(
+            kind="serve",
+            layout=layout,
+            workload=WORKLOAD,
+            arrival=OpenLoop(100.0),
+            faults=tuple(failures),
+            seed=12,
+        )
     )
-    replay_trace(array, writes)
-    for disk in failures:
-        array.fail_disk(disk)
-    reads = uniform_workload(
-        array.user_units, REQUESTS, write_fraction=0.0, seed=2
-    )
-    result = replay_trace(array, reads)
     return result.read_amplification
 
 
 def _body() -> ExperimentResult:
-    factories = {
-        "oi-raid": lambda: OIRAIDArray(oi_raid(7, 3), unit_bytes=32),
-        "raid50": lambda: LayoutArray(Raid50Layout(7, 3), unit_bytes=32),
-        "parity-declustering": lambda: LayoutArray(
-            ParityDeclusteringLayout(n_disks=21, stripe_width=3),
-            unit_bytes=32,
+    layouts = {
+        "oi-raid": oi_raid(7, 3),
+        "raid50": Raid50Layout(7, 3),
+        "parity-declustering": ParityDeclusteringLayout(
+            n_disks=21, stripe_width=3
         ),
-        "3-replication": lambda: LayoutArray(
-            MirrorLayout(21, copies=3), unit_bytes=32
-        ),
+        "3-replication": MirrorLayout(21, copies=3),
     }
     rows = []
     metrics = {}
-    for name, factory in factories.items():
+    for name, layout in layouts.items():
         row = [name]
         for f, failures in FAILURE_SETS.items():
-            amp = _amplification(factory, failures)
+            amp = _amplification(layout, failures)
             row.append("-" if amp is None else amp)
             if amp is not None:
                 metrics[f"{name}_f{f}"] = amp
@@ -64,7 +64,7 @@ def _body() -> ExperimentResult:
         rows,
         title=(
             f"E12: device reads per user read, uniform read workload "
-            f"({REQUESTS} requests), '-' = data loss"
+            f"({REQUESTS} requests, served), '-' = data loss"
         ),
     )
     return ExperimentResult("E12", report, metrics)

@@ -20,9 +20,20 @@ Package map — see DESIGN.md for the full inventory:
 * :mod:`repro.layouts` — the layout interface + all baseline layouts
 * :mod:`repro.core` — OI-RAID itself (layout, recovery, data path)
 * :mod:`repro.sim` — rebuild timing and reliability simulation
+* :mod:`repro.serve` — online serving under rebuild contention
+* :mod:`repro.scenario` — the unified ``Scenario``/``run()`` front door
+* :mod:`repro.results` — the common result protocol (``to_dict`` /
+  ``from_dict`` / ``summary``)
 * :mod:`repro.analysis` — closed-form models
 * :mod:`repro.workloads` — request generators and traces
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``
+
+Every simulation is also reachable declaratively::
+
+    from repro import Scenario, run, oi_raid
+
+    result = run(Scenario(kind="serve", layout=oi_raid(7, 3), faults=(0,)))
+    print(result.summary())
 """
 
 from repro.core import (
@@ -53,12 +64,23 @@ from repro.layouts import (
     is_recoverable,
     plan_recovery,
 )
+from repro.results import result_from_dict
+from repro.scenario import SCENARIO_KINDS, Scenario, run
+from repro.serve import (
+    AdaptiveThrottle,
+    FixedRateThrottle,
+    IdleSlotThrottle,
+    ServeResult,
+    simulate_serve,
+    simulate_serve_parallel,
+)
 from repro.sim import (
     DiskModel,
     analytic_rebuild_time,
     simulate_lifetimes_parallel,
     simulate_rebuild,
 )
+from repro.workloads import ClosedLoop, OpenLoop, WorkloadSpec
 
 __version__ = "1.0.0"
 
@@ -91,6 +113,21 @@ __all__ = [
     "analytic_rebuild_time",
     "simulate_rebuild",
     "simulate_lifetimes_parallel",
+    # scenarios + results
+    "Scenario",
+    "run",
+    "SCENARIO_KINDS",
+    "result_from_dict",
+    # serving
+    "ServeResult",
+    "simulate_serve",
+    "simulate_serve_parallel",
+    "FixedRateThrottle",
+    "IdleSlotThrottle",
+    "AdaptiveThrottle",
+    "WorkloadSpec",
+    "OpenLoop",
+    "ClosedLoop",
     # errors
     "ReproError",
     "DesignError",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.obs.emit import StructuredEmitter
+from repro.results import ResultBase, register_result
 
 
 @dataclass(frozen=True)
@@ -30,14 +31,17 @@ class Experiment:
     body: Callable[[], "ExperimentResult"]
 
 
+@register_result
 @dataclass
-class ExperimentResult:
-    """Output of one experiment run."""
+class ExperimentResult(ResultBase):
+    """Output of one experiment run (speaks the common result protocol)."""
 
     exp_id: str
     report: str
     metrics: Dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
+
+    SUMMARY_KEYS = ("exp_id", "seconds", "metrics")
 
     def metric(self, name: str) -> float:
         """Look up one named metric, with a helpful error if absent."""
@@ -82,14 +86,17 @@ def run_experiment(
     result = experiment.body()
     result.seconds = time.perf_counter() - start
     if emitter is not None:
+        # The result's own to_dict() supplies the JSON-safe payload; the
+        # record keeps its historical key set on top of it.
+        doc = result.to_dict()
         emitter.emit(
             {
                 "record": "experiment",
-                "exp_id": experiment.exp_id,
+                "exp_id": doc["exp_id"],
                 "kind": experiment.kind,
                 "claim": experiment.claim,
-                "seconds": result.seconds,
-                "metrics": result.metrics,
+                "seconds": doc["seconds"],
+                "metrics": doc["metrics"],
             }
         )
     if not quiet:

@@ -12,12 +12,17 @@ Gives operators the planning surface without writing Python:
   from the layout's own recovery plans (no exogenous MTTR), with a
   derived-μ Markov cross-check; ``--scheme`` also runs the RAID50/RAID5/
   RAID6 baselines on the same disk model
+* ``serve``       — online serving simulation: a foreground workload
+  contending with throttled rebuild traffic on per-disk queues
 * ``report``      — pretty-print (and validate) telemetry files saved
   by ``--metrics-out`` / ``--trace-out``
 
-The compute-heavy subcommands (``tolerance``, ``reliability``,
-``lifecycle``) accept ``--jobs N`` to fan the work across N worker
-processes; results are bit-identical for every N (deterministic
+The simulation subcommands (``rebuild``, ``reliability``, ``lifecycle``,
+``serve``) are thin wrappers over :class:`repro.scenario.Scenario` +
+:func:`repro.scenario.run` — each parses its flags into a ``Scenario``
+and dispatches, so shell runs and scripted runs share one code path.
+The compute-heavy ones accept ``--jobs N`` to fan the work across N
+worker processes; results are bit-identical for every N (deterministic
 per-chunk seeding).
 
 Global flags (before the subcommand): ``--metrics-out FILE`` /
@@ -55,14 +60,17 @@ from repro.obs import (
     load_telemetry_file,
     use_telemetry,
 )
+from repro.scenario import Scenario, run as run_scenario
+from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import derived_markov_model, derived_mttr
-from repro.sim.montecarlo import recoverability_oracle
-from repro.sim.parallel import (
-    simulate_lifecycle_parallel,
-    simulate_lifetimes_parallel,
+from repro.sim.rebuild import DiskModel
+from repro.sim.serve import (
+    AdaptiveThrottle,
+    FixedRateThrottle,
+    IdleSlotThrottle,
 )
-from repro.sim.rebuild import DiskModel, analytic_rebuild_time
 from repro.util.units import format_duration
+from repro.workloads import ClosedLoop, OpenLoop, WorkloadSpec
 
 logger = logging.getLogger("repro.cli")
 
@@ -96,6 +104,15 @@ def _progress_for(args: argparse.Namespace) -> Optional[Heartbeat]:
     if getattr(args, "verbose", 0):
         return Heartbeat(label="trials")
     return None
+
+
+def _disk_from(args: argparse.Namespace) -> DiskModel:
+    """The capacity/bandwidth disk model shared by rebuild and lifecycle."""
+    return DiskModel(
+        capacity_bytes=args.capacity_tb * 1e12,
+        bandwidth_bytes_per_s=args.bandwidth_mib * 1024 * 1024,
+        foreground_fraction=args.foreground,
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -166,13 +183,14 @@ def _cmd_tolerance(args: argparse.Namespace) -> int:
 
 
 def _cmd_rebuild(args: argparse.Namespace) -> int:
-    layout = _layout_from(args)
-    disk = DiskModel(
-        capacity_bytes=args.capacity_tb * 1e12,
-        bandwidth_bytes_per_s=args.bandwidth_mib * 1024 * 1024,
-        foreground_fraction=args.foreground,
+    result = run_scenario(
+        Scenario(
+            kind="rebuild",
+            layout=_layout_from(args),
+            disk=_disk_from(args),
+            faults=tuple(args.failed),
+        )
     )
-    result = analytic_rebuild_time(layout, args.failed, disk)
     rows = [
         ["failed disks", str(list(result.failed_disks))],
         ["rebuild time", format_duration(result.seconds)],
@@ -187,21 +205,22 @@ def _cmd_rebuild(args: argparse.Namespace) -> int:
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
     layout = _layout_from(args)
-    oracle = recoverability_oracle(layout, layout.design_tolerance)
     logger.info(
         "reliability MC: %d disks, %d trials, %d job(s)",
         layout.n_disks, args.trials, args.jobs,
     )
-    result = simulate_lifetimes_parallel(
-        layout.n_disks,
-        args.mttf_hours,
-        args.mttr_hours,
-        oracle,
-        args.horizon_hours,
-        trials=args.trials,
-        seed=args.seed,
-        jobs=args.jobs,
-        telemetry=args.telemetry,
+    result = run_scenario(
+        Scenario(
+            kind="reliability",
+            layout=layout,
+            mttf_hours=args.mttf_hours,
+            mttr_hours=args.mttr_hours,
+            horizon_hours=args.horizon_hours,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            telemetry=args.telemetry,
+        ),
         progress=_progress_for(args),
     )
     lo, hi = result.prob_loss_interval()
@@ -254,27 +273,26 @@ def _lifecycle_layout(args: argparse.Namespace):
 
 def _cmd_lifecycle(args: argparse.Namespace) -> int:
     layout = _lifecycle_layout(args)
-    disk = DiskModel(
-        capacity_bytes=args.capacity_tb * 1e12,
-        bandwidth_bytes_per_s=args.bandwidth_mib * 1024 * 1024,
-        foreground_fraction=args.foreground,
-    )
+    disk = _disk_from(args)
     logger.info(
         "lifecycle MC: scheme=%s, %d disks, %d trials, %d job(s)",
         args.scheme, layout.n_disks, args.trials, args.jobs,
     )
-    result = simulate_lifecycle_parallel(
-        layout,
-        args.mttf_hours,
-        args.horizon_hours,
-        disk=disk,
-        sparing=args.sparing,
-        method=args.rebuild_model,
-        lse_rate_per_byte=args.lse_rate,
-        trials=args.trials,
-        seed=args.seed,
-        jobs=args.jobs,
-        telemetry=args.telemetry,
+    result = run_scenario(
+        Scenario(
+            kind="lifecycle",
+            layout=layout,
+            disk=disk,
+            sparing=args.sparing,
+            rebuild_method=args.rebuild_model,
+            lse_rate_per_byte=args.lse_rate,
+            mttf_hours=args.mttf_hours,
+            horizon_hours=args.horizon_hours,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            telemetry=args.telemetry,
+        ),
         progress=_progress_for(args),
     )
     mttr = derived_mttr(layout, disk, args.sparing, args.rebuild_model)
@@ -320,6 +338,89 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
                 f"coupled lifecycle ({args.scheme}, {args.sparing} sparing, "
                 f"{args.rebuild_model} rebuild): MTTF {args.mttf_hours:.0f} h, "
                 f"mission {args.horizon_hours:.0f} h"
+            ),
+        )
+    )
+    return 0
+
+
+def _throttle_from(args: argparse.Namespace):
+    """The rebuild-injection policy the ``serve`` flags describe."""
+    if args.throttle == "none":
+        return None
+    if args.throttle == "fixed":
+        return FixedRateThrottle(args.rebuild_rate)
+    if args.throttle == "idle":
+        return IdleSlotThrottle()
+    return AdaptiveThrottle(target_p99_ms=args.target_p99_ms)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    layout = _lifecycle_layout(args)
+    if args.clients:
+        arrival = ClosedLoop(args.clients, think_s=args.think_ms / 1000.0)
+    else:
+        arrival = OpenLoop(args.rate)
+    scenario = Scenario(
+        kind="serve",
+        layout=layout,
+        latency=LatencyModel(
+            seek_ms=args.seek_ms,
+            unit_bytes=int(args.unit_kib * 1024),
+            bandwidth_bytes_per_s=args.bandwidth_mib * 1024 * 1024,
+        ),
+        workload=WorkloadSpec(
+            kind=args.workload,
+            n_requests=args.requests,
+            write_fraction=args.write_fraction,
+            skew=args.skew,
+        ),
+        arrival=arrival,
+        faults=tuple(args.failed),
+        throttle=_throttle_from(args),
+        sparing=args.sparing,
+        rebuild_batches=args.rebuild_batches,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        telemetry=args.telemetry,
+    )
+    logger.info(
+        "serve: scheme=%s, %d disks, %d failed, throttle=%s, %d trial(s), "
+        "%d job(s)",
+        args.scheme, layout.n_disks, len(args.failed), args.throttle,
+        args.trials, args.jobs,
+    )
+    result = run_scenario(scenario, progress=_progress_for(args))
+    rebuild = (
+        format_duration(result.rebuild_seconds)
+        if result.rebuild_ops
+        else "- (no rebuild traffic)"
+    )
+    rows = [
+        ["trials", str(result.trials)],
+        ["requests served", str(result.requests)],
+        ["mean latency", f"{result.mean_ms:.2f} ms"],
+        ["p50 latency", f"{result.p50_ms:.2f} ms"],
+        ["p95 latency", f"{result.p95_ms:.2f} ms"],
+        ["p99 latency", f"{result.p99_ms:.2f} ms"],
+        ["max latency", f"{result.max_ms:.2f} ms"],
+        ["degraded fraction", f"{result.degraded_fraction:.4f}"],
+        ["read amplification", f"{result.read_amplification:.3f}x"],
+        [
+            "rebuild ops completed",
+            f"{result.rebuild_ops_done}/{result.rebuild_ops}",
+        ],
+        ["rebuild time (mean/trial)", rebuild],
+        ["workers", str(args.jobs)],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"online serving ({args.scheme}, "
+                f"{len(args.failed)} failed, throttle={args.throttle})"
             ),
         )
     )
@@ -514,6 +615,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the Monte-Carlo fan-out "
                            "(default: serial; result identical for any N)")
     p_lc.set_defaults(func=_cmd_lifecycle)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="online serving simulation (foreground vs rebuild contention)",
+    )
+    _add_layout_args(p_srv)
+    p_srv.add_argument("--scheme", choices=["oi", "raid50", "raid5", "raid6"],
+                       default="oi",
+                       help="layout to serve on the -v/-k/-g geometry")
+    p_srv.add_argument("-f", "--failed", type=int, nargs="*", default=[],
+                       help="failed disks (empty = healthy array)")
+    p_srv.add_argument("--requests", type=int, default=2000,
+                       help="foreground requests per trial")
+    p_srv.add_argument("--workload", choices=["uniform", "zipf", "sequential"],
+                       default="uniform")
+    p_srv.add_argument("--write-fraction", type=float, default=0.0)
+    p_srv.add_argument("--skew", type=float, default=1.1,
+                       help="zipf exponent (zipf workload only)")
+    p_srv.add_argument("--rate", type=float, default=100.0,
+                       help="open-loop arrival rate (requests/s)")
+    p_srv.add_argument("--clients", type=int, default=0,
+                       help="closed-loop client count (overrides --rate)")
+    p_srv.add_argument("--think-ms", type=float, default=0.0,
+                       help="closed-loop think time between requests")
+    p_srv.add_argument("--throttle",
+                       choices=["none", "fixed", "idle", "adaptive"],
+                       default="none",
+                       help="rebuild injection policy (none = no rebuild "
+                            "traffic)")
+    p_srv.add_argument("--rebuild-rate", type=float, default=100.0,
+                       help="fixed-throttle dispatch rate (ops/s)")
+    p_srv.add_argument("--target-p99-ms", type=float, default=20.0,
+                       help="adaptive-throttle foreground p99 SLO")
+    p_srv.add_argument("--rebuild-batches", type=int, default=1,
+                       help="times the recovery plan is tiled per trial")
+    p_srv.add_argument("--sparing", choices=["distributed", "dedicated"],
+                       default="distributed")
+    p_srv.add_argument("--seek-ms", type=float, default=5.0)
+    p_srv.add_argument("--unit-kib", type=float, default=64.0)
+    p_srv.add_argument("--bandwidth-mib", type=float, default=100.0)
+    p_srv.add_argument("--trials", type=int, default=1)
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the trial fan-out "
+                            "(default: serial; result identical for any N)")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_rb = sub.add_parser("rebuild", help="estimate rebuild wall-clock")
     _add_layout_args(p_rb)

@@ -24,7 +24,10 @@ from repro.errors import TelemetryError
 #: ``repair_abandon`` = an in-flight rebuild was invalidated by a newer
 #: failure; ``repair_complete`` = all failed disks returned to service;
 #: ``lse_check`` = a completed rebuild was audited for latent sector
-#: errors; ``data_loss`` = the mission ended in loss.
+#: errors; ``data_loss`` = the mission ended in loss. The serving
+#: simulator adds ``rebuild_drained`` (the last injected rebuild op
+#: completed) and ``queue_report`` (one per disk queue at trial end,
+#: with its request count).
 EVENT_KINDS = frozenset(
     {
         "failure",
@@ -33,6 +36,8 @@ EVENT_KINDS = frozenset(
         "repair_complete",
         "lse_check",
         "data_loss",
+        "rebuild_drained",
+        "queue_report",
     }
 )
 

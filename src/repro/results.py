@@ -1,0 +1,153 @@
+"""The common result protocol: ``to_dict`` / ``from_dict`` / ``summary``.
+
+Every simulate-style entry point in this reproduction returns a frozen
+dataclass (``RebuildResult``, ``LifetimeResult``, ``LifecycleResult``,
+``LatencyResult``, ``ServeResult``, …). Before this module each of them
+serialized ad hoc — the bench JSONL emitter flattened whatever dict a
+bench hand-built, and nothing could round-trip a result from disk. The
+protocol normalizes all of them behind three methods:
+
+* ``to_dict()`` — a JSON-safe dict tagged with the result type name
+  (tuples become lists; ``inf`` becomes the string ``"inf"`` so the
+  output survives strict JSON parsers).
+* ``from_dict(doc)`` — the exact inverse, dispatching on the tag, so
+  saved results reload as the original dataclass.
+* ``summary()`` — a flat ``{metric: number}`` dict of the headline
+  quantities, suitable for the bench JSONL records and quick printing.
+
+:class:`ResultBase` supplies the machinery; result classes inherit it and
+declare ``SUMMARY_KEYS`` (field/property names to surface). The registry
+maps type tags back to classes for :func:`result_from_dict`.
+
+Renamed attributes keep working through :func:`deprecated_alias`, which
+builds a property that forwards to the new name and emits a
+``DeprecationWarning`` — the shim that lets the normalization land
+without breaking existing callers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import warnings
+from typing import Any, Dict, Type
+
+from repro.errors import ReproError
+
+#: Result-type tag -> dataclass, filled in by :func:`register_result`.
+RESULT_TYPES: Dict[str, Type["ResultBase"]] = {}
+
+
+def register_result(cls: type) -> type:
+    """Class decorator registering *cls* for :func:`result_from_dict`."""
+    RESULT_TYPES[cls.__name__] = cls
+    return cls
+
+
+def deprecated_alias(old: str, new: str) -> property:
+    """A property forwarding *old* attribute access to *new*, with a warning.
+
+    Attach to a class as ``old_name = deprecated_alias("old_name",
+    "new_name")`` when a field is renamed; reads keep working and emit a
+    ``DeprecationWarning`` naming the replacement.
+    """
+
+    def getter(self):
+        warnings.warn(
+            f"{type(self).__name__}.{old} is deprecated; use .{new}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, new)
+
+    getter.__doc__ = f"Deprecated alias of :attr:`{new}`."
+    return property(getter)
+
+
+def _jsonify(value: Any) -> Any:
+    """Make one field value JSON-safe (tuples -> lists, inf -> 'inf')."""
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {key: _jsonify(v) for key, v in value.items()}
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+    return value
+
+
+def _unjsonify(value: Any) -> Any:
+    """Inverse of :func:`_jsonify` (lists -> tuples, 'inf' -> inf)."""
+    if isinstance(value, list):
+        return tuple(_unjsonify(v) for v in value)
+    if isinstance(value, dict):
+        return {key: _unjsonify(v) for key, v in value.items()}
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if value == "nan":
+        return math.nan
+    return value
+
+
+class ResultBase:
+    """Mixin giving result dataclasses the common serialization protocol.
+
+    Subclasses are dataclasses; ``SUMMARY_KEYS`` names the fields and
+    properties :meth:`summary` surfaces.
+    """
+
+    #: Field/property names surfaced by :meth:`summary`.
+    SUMMARY_KEYS: tuple = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every field, tagged with the result type."""
+        doc: Dict[str, Any] = {"result": type(self).__name__}
+        for field in dataclasses.fields(self):
+            doc[field.name] = _jsonify(getattr(self, field.name))
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ResultBase":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Called on :class:`ResultBase` (or via :func:`result_from_dict`)
+        it dispatches on the ``result`` tag; called on a concrete class
+        it additionally checks the tag matches.
+        """
+        tag = doc.get("result")
+        if tag not in RESULT_TYPES:
+            raise ReproError(f"unknown result type {tag!r}")
+        target = RESULT_TYPES[tag]
+        if cls is not ResultBase and target is not cls:
+            raise ReproError(
+                f"document is a {tag}, not a {cls.__name__}"
+            )
+        names = {f.name for f in dataclasses.fields(target)}
+        kwargs = {
+            key: _unjsonify(value)
+            for key, value in doc.items()
+            if key in names
+        }
+        missing = names - set(kwargs)
+        if missing:
+            raise ReproError(
+                f"{tag} document missing fields {sorted(missing)}"
+            )
+        return target(**kwargs)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat headline metrics (the bench JSONL / report surface)."""
+        out: Dict[str, Any] = {}
+        for key in self.SUMMARY_KEYS:
+            value = getattr(self, key)
+            out[key] = _jsonify(value)
+        return out
+
+
+def result_from_dict(doc: Dict[str, Any]) -> ResultBase:
+    """Reload any registered result from its :meth:`~ResultBase.to_dict`."""
+    return ResultBase.from_dict(doc)

@@ -1,0 +1,209 @@
+"""One front door for every simulation: ``Scenario`` in, result out.
+
+Four simulate-style entry points grew up in this reproduction — rebuild
+timing (:mod:`repro.sim.rebuild`), Monte-Carlo lifetimes
+(:mod:`repro.sim.montecarlo` via :mod:`repro.sim.parallel`), the coupled
+lifecycle model (:mod:`repro.sim.lifecycle`), and the online serving
+simulator (:mod:`repro.sim.serve`) — each with its own signature. A
+:class:`Scenario` captures the shared vocabulary once (layout, disk
+model, workload, fault schedule, seed, jobs, telemetry) plus the few
+kind-specific knobs, and :func:`run` dispatches to the right simulator:
+
+    >>> from repro import Scenario, run, oi_raid
+    >>> result = run(Scenario(kind="serve", layout=oi_raid(7, 3),
+    ...                       faults=(0,), trials=2))
+    >>> result.p99_ms  # doctest: +SKIP
+
+The CLI subcommands (``rebuild``, ``reliability``, ``lifecycle``,
+``serve``) are thin wrappers that parse flags into a ``Scenario`` and
+call :func:`run` — so scripting an experiment and typing it at the shell
+exercise the identical code path, and every result comes back speaking
+the common protocol of :mod:`repro.results`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.layouts.base import Layout
+from repro.obs.telemetry import Telemetry
+from repro.sim.latency import LatencyModel
+from repro.sim.lifecycle import guaranteed_tolerance
+from repro.sim.montecarlo import recoverability_oracle
+from repro.sim.parallel import (
+    simulate_lifecycle_parallel,
+    simulate_lifetimes_parallel,
+    simulate_serve_parallel,
+)
+from repro.sim.rebuild import (
+    DiskModel,
+    analytic_rebuild_time,
+    simulate_rebuild,
+)
+from repro.sim.serve import ThrottlePolicy
+from repro.workloads.arrivals import ArrivalProcess, OpenLoop
+from repro.workloads.generators import WorkloadSpec
+
+#: The simulation kinds :func:`run` dispatches on.
+SCENARIO_KINDS = ("rebuild", "reliability", "lifecycle", "serve")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, declarative description of one simulation run.
+
+    Shared fields apply to every kind; the rest are read only by the
+    kinds that need them (documented per field). Unused fields are
+    simply ignored, so one scenario can be :func:`dataclasses.replace`-d
+    across kinds to keep an experiment's geometry identical.
+
+    Attributes:
+        kind: one of :data:`SCENARIO_KINDS`.
+        layout: the array geometry under test.
+        disk: capacity/bandwidth model (rebuild, lifecycle).
+        latency: per-request service model (serve).
+        workload: foreground request recipe (serve).
+        arrival: foreground arrival process (serve).
+        faults: failed-disk pattern (rebuild, serve).
+        throttle: rebuild-injection policy (serve; ``None`` = no
+            rebuild traffic).
+        sparing: ``distributed`` or ``dedicated`` (rebuild, lifecycle,
+            serve).
+        rebuild_method: ``analytic`` or ``event`` rebuild clock
+            (rebuild, lifecycle).
+        rebuild_batches: plan tilings injected per trial (serve) or
+            event-sim batches (rebuild, lifecycle).
+        mttf_hours: per-disk mean time to failure (reliability,
+            lifecycle).
+        mttr_hours: exogenous repair time (reliability only — the
+            lifecycle kind derives repair times from the layout).
+        horizon_hours: mission length (reliability, lifecycle).
+        lse_rate_per_byte: latent-sector-error rate (lifecycle).
+        trials: replications (reliability, lifecycle, serve).
+        seed: base RNG seed (``None`` = nondeterministic).
+        jobs: worker processes; results are bit-identical for any value.
+        telemetry: collecting telemetry, or ``None`` for the ambient
+            default.
+    """
+
+    kind: str
+    layout: Layout
+    disk: DiskModel = field(default_factory=DiskModel)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    arrival: ArrivalProcess = field(default_factory=OpenLoop)
+    faults: Tuple[int, ...] = ()
+    throttle: Optional[ThrottlePolicy] = None
+    sparing: str = "distributed"
+    rebuild_method: str = "analytic"
+    rebuild_batches: int = 1
+    mttf_hours: float = 100_000.0
+    mttr_hours: float = 24.0
+    horizon_hours: float = 87_660.0
+    lse_rate_per_byte: float = 0.0
+    trials: int = 100
+    seed: Optional[int] = 0
+    jobs: int = 1
+    telemetry: Optional[Telemetry] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise SimulationError(
+                f"unknown scenario kind {self.kind!r} "
+                f"(expected one of {SCENARIO_KINDS})"
+            )
+
+    def with_kind(self, kind: str) -> "Scenario":
+        """The same scenario re-aimed at a different simulator."""
+        return replace(self, kind=kind)
+
+
+def _run_rebuild(scenario: Scenario, progress):
+    faults = scenario.faults or (0,)
+    if scenario.rebuild_method == "event":
+        return simulate_rebuild(
+            scenario.layout,
+            faults,
+            scenario.disk,
+            sparing=scenario.sparing,
+            batches=scenario.rebuild_batches,
+        )
+    return analytic_rebuild_time(
+        scenario.layout, faults, scenario.disk, sparing=scenario.sparing
+    )
+
+
+def _run_reliability(scenario: Scenario, progress):
+    layout = scenario.layout
+    oracle = recoverability_oracle(layout, guaranteed_tolerance(layout))
+    return simulate_lifetimes_parallel(
+        layout.n_disks,
+        scenario.mttf_hours,
+        scenario.mttr_hours,
+        oracle,
+        scenario.horizon_hours,
+        trials=scenario.trials,
+        seed=scenario.seed,
+        jobs=scenario.jobs,
+        telemetry=scenario.telemetry,
+        progress=progress,
+    )
+
+
+def _run_lifecycle(scenario: Scenario, progress):
+    return simulate_lifecycle_parallel(
+        scenario.layout,
+        scenario.mttf_hours,
+        scenario.horizon_hours,
+        disk=scenario.disk,
+        sparing=scenario.sparing,
+        method=scenario.rebuild_method,
+        batches=max(scenario.rebuild_batches, 8),
+        lse_rate_per_byte=scenario.lse_rate_per_byte,
+        trials=scenario.trials,
+        seed=scenario.seed,
+        jobs=scenario.jobs,
+        telemetry=scenario.telemetry,
+        progress=progress,
+    )
+
+
+def _run_serve(scenario: Scenario, progress):
+    return simulate_serve_parallel(
+        scenario.layout,
+        scenario.workload,
+        failed_disks=scenario.faults,
+        arrival=scenario.arrival,
+        model=scenario.latency,
+        throttle=scenario.throttle,
+        sparing=scenario.sparing,
+        rebuild_batches=scenario.rebuild_batches,
+        trials=scenario.trials,
+        seed=scenario.seed,
+        jobs=scenario.jobs,
+        telemetry=scenario.telemetry,
+        progress=progress,
+    )
+
+
+_RUNNERS: Dict[str, Callable] = {
+    "rebuild": _run_rebuild,
+    "reliability": _run_reliability,
+    "lifecycle": _run_lifecycle,
+    "serve": _run_serve,
+}
+
+
+def run(scenario: Scenario, progress: Optional[Callable] = None):
+    """Execute *scenario* with the simulator its ``kind`` names.
+
+    Returns the kind's native result — ``RebuildResult``,
+    ``LifetimeResult``, ``LifecycleResult``, or ``ServeResult`` — every
+    one of which speaks the :mod:`repro.results` protocol
+    (``to_dict``/``from_dict``/``summary``). *progress*, when given, is
+    forwarded to the parallel runners' per-chunk callback
+    (:data:`~repro.sim.parallel.ProgressCallback`).
+    """
+    return _RUNNERS[scenario.kind](scenario, progress)

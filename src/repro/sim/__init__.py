@@ -13,8 +13,11 @@
   durations are *derived from the layout* (every failure arrival re-plans
   the pattern and reads its rebuild clock from the rebuild simulator),
   coupling recovery speed to reliability instead of assuming an MTTR.
-* :mod:`repro.sim.parallel` — process fan-out for the Monte-Carlo and
-  fault-pattern sweeps, bit-identical for any worker count.
+* :mod:`repro.sim.serve` — online serving: foreground request streams
+  contending with throttled rebuild traffic on per-disk queues (also
+  exposed as :mod:`repro.serve`).
+* :mod:`repro.sim.parallel` — process fan-out for the Monte-Carlo,
+  fault-pattern, and serving sweeps, bit-identical for any worker count.
 """
 
 from repro.sim.engine import Event, FcfsServer, Simulator
@@ -36,6 +39,7 @@ from repro.sim.parallel import (
     parallel_map,
     simulate_lifecycle_parallel,
     simulate_lifetimes_parallel,
+    simulate_serve_parallel,
     survivable_fraction_parallel,
 )
 from repro.sim.rebuild import (
@@ -43,6 +47,15 @@ from repro.sim.rebuild import (
     RebuildResult,
     analytic_rebuild_time,
     simulate_rebuild,
+)
+from repro.sim.serve import (
+    AdaptiveThrottle,
+    FixedRateThrottle,
+    IdleSlotThrottle,
+    ServeResult,
+    ThrottlePolicy,
+    merge_serve_results,
+    simulate_serve,
 )
 
 __all__ = [
@@ -73,4 +86,12 @@ __all__ = [
     "simulate_lifecycle",
     "simulate_lifecycle_parallel",
     "merge_lifecycle_results",
+    "ThrottlePolicy",
+    "FixedRateThrottle",
+    "IdleSlotThrottle",
+    "AdaptiveThrottle",
+    "ServeResult",
+    "simulate_serve",
+    "simulate_serve_parallel",
+    "merge_serve_results",
 ]

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import SimulationError
 from repro.layouts.base import Cell, Layout
 from repro.layouts.recovery import plan_recovery
+from repro.results import ResultBase, register_result
 from repro.sim.engine import FcfsServer, Simulator
 from repro.util.stats import mean, percentile
 
@@ -38,8 +39,9 @@ class LatencyModel:
         return self.seek_ms / 1000.0 + self.unit_bytes / self.bandwidth_bytes_per_s
 
 
+@register_result
 @dataclass(frozen=True)
-class LatencyResult:
+class LatencyResult(ResultBase):
     """Latency distribution of the completed user reads."""
 
     requests: int
@@ -48,6 +50,11 @@ class LatencyResult:
     p95_ms: float
     p99_ms: float
     degraded_fraction: float
+
+    SUMMARY_KEYS = (
+        "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+        "degraded_fraction",
+    )
 
 
 def simulate_read_latency(

@@ -51,6 +51,7 @@ from repro.errors import SimulationError
 from repro.layouts.base import Cell, Layout
 from repro.layouts.recovery import cells_recoverable, is_recoverable, lost_cells
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
+from repro.results import ResultBase, register_result
 from repro.sim.markov import MarkovReliabilityModel, model_for_layout
 from repro.sim.montecarlo import normal_interval
 from repro.sim.rebuild import (
@@ -65,8 +66,9 @@ from repro.util.stats import mean
 REBUILD_METHODS = ("analytic", "event")
 
 
+@register_result
 @dataclass(frozen=True)
-class LifecycleResult:
+class LifecycleResult(ResultBase):
     """Aggregated lifecycle outcome with per-trial instrumentation.
 
     Attributes:
@@ -94,8 +96,15 @@ class LifecycleResult:
     degraded_hours_per_trial: Tuple[float, ...]
     peak_failures_per_trial: Tuple[int, ...]
 
+    SUMMARY_KEYS = (
+        "trials", "losses", "lse_losses", "prob_loss",
+        "mttdl_estimate_hours", "mean_failures", "mean_repairs",
+        "degraded_fraction", "max_peak_failures",
+    )
+
     @property
     def prob_loss(self) -> float:
+        """Fraction of missions that lost data before the horizon."""
         return self.losses / self.trials
 
     def prob_loss_interval(self, z: float = 1.96) -> Tuple[float, float]:

@@ -24,6 +24,7 @@ from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
+from repro.results import ResultBase, register_result
 from repro.util.checks import check_positive
 
 
@@ -39,8 +40,9 @@ def normal_interval(
     return (max(0.0, p - half), min(1.0, p + half))
 
 
+@register_result
 @dataclass(frozen=True)
-class LifetimeResult:
+class LifetimeResult(ResultBase):
     """Aggregated Monte-Carlo outcome.
 
     Attributes:
@@ -55,8 +57,14 @@ class LifetimeResult:
     loss_times: Tuple[float, ...]
     horizon_hours: float
 
+    SUMMARY_KEYS = (
+        "trials", "losses", "prob_loss", "mttdl_estimate_hours",
+        "horizon_hours",
+    )
+
     @property
     def prob_loss(self) -> float:
+        """Fraction of missions that lost data before the horizon."""
         return self.losses / self.trials
 
     def prob_loss_interval(self, z: float = 1.96) -> Tuple[float, float]:

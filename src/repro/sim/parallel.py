@@ -39,9 +39,18 @@ from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import LifecycleResult, simulate_lifecycle
 from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
 from repro.sim.rebuild import DiskModel
+from repro.sim.serve import (
+    ServeResult,
+    ThrottlePolicy,
+    merge_serve_results,
+    simulate_serve,
+)
+from repro.workloads.arrivals import ArrivalProcess, OpenLoop
+from repro.workloads.generators import WorkloadSpec
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -173,7 +182,7 @@ def _drain_chunks(run_chunk, specs, jobs, telemetry, progress, total):
             telemetry.merge_chunk(chunk_tel, trial_offset=done)
         parts.append(result)
         done += result.trials
-        losses += result.losses
+        losses += getattr(result, "losses", 0)
         if progress is not None:
             progress(done, total, losses)
 
@@ -382,6 +391,122 @@ def simulate_lifecycle_parallel(
             _run_lifecycle_chunk, specs, jobs, telemetry, progress, trials
         )
     return merge_lifecycle_results(parts)
+
+
+#: Serving trials per chunk. One trial per chunk by default — serving
+#: replications are far heavier than Monte-Carlo missions, and a chunk
+#: size of 1 makes trial *i*'s seed depend only on ``(seed, i)``.
+DEFAULT_CHUNK_SERVE_TRIALS = 1
+
+
+@dataclass(frozen=True)
+class _ServeChunk:
+    """One picklable unit of serving-simulation work.
+
+    Per-trial seeds are derived from ``(seed, start_trial + i)`` — a
+    global trial index, never the chunk geometry — so the merged result
+    is bit-identical for any worker count.
+    """
+
+    layout: Layout
+    workload: "WorkloadSpec"
+    failed_disks: Tuple[int, ...]
+    arrival: "ArrivalProcess"
+    model: Optional["LatencyModel"]
+    throttle: Optional["ThrottlePolicy"]
+    sparing: str
+    rebuild_batches: int
+    start_trial: int
+    trials: int
+    seed: int
+    collect: bool = False
+
+
+def _run_serve_chunk(
+    spec: _ServeChunk,
+) -> Tuple["ServeResult", Optional[Telemetry]]:
+    chunk_tel = Telemetry.collecting() if spec.collect else None
+    parts = []
+    for i in range(spec.trials):
+        parts.append(
+            simulate_serve(
+                spec.layout,
+                workload=spec.workload,
+                failed_disks=spec.failed_disks,
+                arrival=spec.arrival,
+                model=spec.model,
+                throttle=spec.throttle,
+                sparing=spec.sparing,
+                rebuild_batches=spec.rebuild_batches,
+                seed=derive_chunk_seed(spec.seed, spec.start_trial + i),
+                telemetry=chunk_tel,
+            )
+        )
+    return merge_serve_results(parts), chunk_tel
+
+
+def simulate_serve_parallel(
+    layout: Layout,
+    workload: "WorkloadSpec",
+    failed_disks: Sequence[int] = (),
+    arrival: Optional["ArrivalProcess"] = None,
+    model: Optional["LatencyModel"] = None,
+    throttle: Optional["ThrottlePolicy"] = None,
+    sparing: str = "distributed",
+    rebuild_batches: int = 1,
+    trials: int = 1,
+    seed: Optional[int] = 0,
+    jobs: int = 1,
+    chunk_trials: int = DEFAULT_CHUNK_SERVE_TRIALS,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> "ServeResult":
+    """Chunked (and optionally multi-process) :func:`~repro.sim.serve.simulate_serve`.
+
+    Runs *trials* independent serving replications — trial *i*'s
+    workload and arrival stream are seeded by
+    ``derive_chunk_seed(seed, i)``, with trial 0 reproducing a direct
+    ``simulate_serve(..., seed=seed)`` call exactly — and merges the
+    :class:`~repro.sim.serve.ServeResult` parts in trial order, so the
+    pooled latencies, counters, and merged telemetry are bit-identical
+    for any ``jobs``. *workload* must be a picklable
+    :class:`~repro.workloads.generators.WorkloadSpec` (not a request
+    list) because workers regenerate it from the trial seed.
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    if trials < 1:
+        raise SimulationError(f"trials must be >= 1, got {trials}")
+    if seed is None:
+        seed = random.SystemRandom().getrandbits(48)
+    arrival = arrival if arrival is not None else OpenLoop(100.0)
+    collect = telemetry is not None and telemetry.enabled
+    specs = []
+    start = 0
+    for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
+        specs.append(
+            _ServeChunk(
+                layout,
+                workload,
+                tuple(sorted(set(failed_disks))),
+                arrival,
+                model,
+                throttle,
+                sparing,
+                rebuild_batches,
+                start,
+                size,
+                seed,
+                collect,
+            )
+        )
+        start += size
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("simulate_serve_parallel", trials=trials, jobs=jobs):
+        parts = _drain_chunks(
+            _run_serve_chunk, specs, jobs, telemetry, progress, trials
+        )
+    return merge_serve_results(parts)
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import RecoveryPlan, plan_recovery
 from repro.obs.telemetry import ambient
+from repro.results import ResultBase, deprecated_alias, register_result
 from repro.sim.engine import FcfsServer, Simulator
 from repro.util.units import GIB
 
@@ -68,8 +69,9 @@ class DiskModel:
         return self.capacity_bytes / self.effective_bandwidth
 
 
+@register_result
 @dataclass(frozen=True)
-class RebuildResult:
+class RebuildResult(ResultBase):
     """Outcome of one rebuild evaluation."""
 
     layout_name: str
@@ -78,15 +80,27 @@ class RebuildResult:
     seconds: float
     bytes_read: float
     bytes_written: float
-    busiest_disk_seconds: float
+    #: Busy time of the most-loaded disk — the spindle bounding the
+    #: rebuild (formerly ``busiest_disk_seconds``).
+    bottleneck_seconds: float
     raid5_seconds: float
     #: Spare-write counts per disk id, populated by the event-driven
     #: simulation (None for the analytic bound, which spreads writes as a
     #: continuous even share instead of discrete round-robin units).
     writes_per_disk: Optional[Tuple[Tuple[int, int], ...]] = None
 
+    SUMMARY_KEYS = (
+        "layout_name", "sparing", "seconds", "speedup_vs_raid5",
+        "bytes_read", "bytes_written", "bottleneck_seconds",
+    )
+
+    busiest_disk_seconds = deprecated_alias(
+        "busiest_disk_seconds", "bottleneck_seconds"
+    )
+
     @property
     def speedup_vs_raid5(self) -> float:
+        """Rebuild-time ratio vs the single-spindle RAID5 baseline."""
         if self.seconds == 0:
             return float("inf")
         return self.raid5_seconds / self.seconds
@@ -148,7 +162,7 @@ def analytic_rebuild_time(
         seconds=seconds,
         bytes_read=plan.total_read_units * unit_bytes,
         bytes_written=plan.total_write_units * unit_bytes,
-        busiest_disk_seconds=seconds,
+        bottleneck_seconds=seconds,
         raid5_seconds=disk.raid5_rebuild_seconds,
     )
 
@@ -282,7 +296,7 @@ def simulate_rebuild(
         seconds=max(state["last_done"], busiest),
         bytes_read=plan.total_read_units * unit_bytes,
         bytes_written=plan.total_write_units * unit_bytes,
-        busiest_disk_seconds=busiest,
+        bottleneck_seconds=busiest,
         raid5_seconds=disk.raid5_rebuild_seconds,
         writes_per_disk=tuple(sorted(write_counts.items())),
     )

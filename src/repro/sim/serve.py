@@ -1,0 +1,603 @@
+"""Online serving: foreground requests contending with an in-flight rebuild.
+
+The paper's headline claim is operational, not combinatorial: OI-RAID's
+declustered rebuild keeps *user* latency low while recovery runs. Before
+this module that contention loop was modeled three separate ways (E9's
+foreground-fraction rebuild sweep, E12's live-array replay, E17's
+degraded-read latency sim). ``repro.sim.serve`` is the one production-
+shaped service model behind all of them:
+
+* Every disk is a FIFO server (:class:`~repro.sim.engine.FcfsServer`)
+  with the seek+transfer service model of
+  :class:`~repro.sim.latency.LatencyModel`.
+* Foreground :class:`~repro.workloads.generators.Request` streams arrive
+  via an open-loop Poisson process or a closed-loop client population
+  (:mod:`repro.workloads.arrivals`). Healthy reads hit the unit's home
+  disk; a read whose cell is lost fans out to the repair sources of the
+  failure's recovery plan and completes when the slowest source
+  responds; writes read-modify-write the home disk plus every containing
+  stripe's parity disks.
+* Rebuild traffic is the recovery plan's steps (tiled ``rebuild_batches``
+  times), injected by a pluggable :class:`ThrottlePolicy`:
+  :class:`FixedRateThrottle` dispatches repair ops at a constant rate,
+  :class:`IdleSlotThrottle` only when the op's source disks are idle,
+  and :class:`AdaptiveThrottle` runs an AIMD loop guarded by a
+  foreground-p99 SLO — back off when users hurt, speed up when they
+  don't. Sweeping policies traces the rebuild-time-vs-user-latency
+  frontier the paper argues OI-RAID wins.
+
+Results are :class:`ServeResult` (pooled latencies + I/O accounting +
+rebuild completion), mergeable in chunk order so
+:func:`~repro.sim.parallel.simulate_serve_parallel` is bit-identical for
+any worker count — the same contract as every other simulator here.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.layouts.base import Cell, Layout
+from repro.layouts.recovery import plan_recovery
+from repro.obs.telemetry import Telemetry, ambient, use_telemetry
+from repro.results import ResultBase, register_result
+from repro.sim.engine import FcfsServer, Simulator
+from repro.sim.latency import LatencyModel
+from repro.util.stats import mean, percentile
+from repro.workloads.arrivals import ArrivalProcess, ClosedLoop, OpenLoop
+from repro.workloads.generators import Request, WorkloadSpec
+
+
+class ThrottlePolicy:
+    """When may the next rebuild op be dispatched?
+
+    The serving simulator drives one policy instance per run: it calls
+    :meth:`reset` at trial start, :meth:`observe` with every completed
+    foreground request's latency, and :meth:`next_delay` whenever it
+    wants to dispatch the next rebuild op. Policies are plain mutable
+    dataclasses (picklable; state rebuilt by ``reset``) so one instance
+    can parameterize a whole parallel sweep.
+    """
+
+    def reset(self) -> None:
+        """Clear per-trial state (called at the start of every trial)."""
+
+    def observe(self, latency_ms: float) -> None:
+        """Feed one completed foreground request's latency (ms)."""
+
+    def next_delay(self, now_s: float, idle: bool) -> Optional[float]:
+        """``None`` to dispatch now, else seconds to wait and re-ask.
+
+        *idle* reports whether every source disk of the pending op is
+        currently idle (its queue drained).
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class FixedRateThrottle(ThrottlePolicy):
+    """Dispatch rebuild ops at a constant ``ops_per_s``, come what may."""
+
+    ops_per_s: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.ops_per_s <= 0:
+            raise SimulationError(
+                f"ops_per_s must be positive, got {self.ops_per_s}"
+            )
+        self._next = 0.0
+
+    def reset(self) -> None:
+        """Restart the dispatch clock."""
+        self._next = 0.0
+
+    def next_delay(self, now_s: float, idle: bool) -> Optional[float]:
+        """Dispatch on the fixed-rate grid, ignoring foreground state."""
+        if now_s + 1e-12 >= self._next:
+            self._next = max(now_s, self._next) + 1.0 / self.ops_per_s
+            return None
+        return self._next - now_s
+
+
+@dataclass
+class IdleSlotThrottle(ThrottlePolicy):
+    """Dispatch only when the op's source disks are idle; poll otherwise.
+
+    The politest policy: rebuild consumes only slack, so foreground
+    latency stays near healthy — at the price of rebuild progress
+    stalling under sustained load.
+    """
+
+    poll_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.poll_s <= 0:
+            raise SimulationError(
+                f"poll_s must be positive, got {self.poll_s}"
+            )
+
+    def next_delay(self, now_s: float, idle: bool) -> Optional[float]:
+        """Dispatch iff the sources are idle, else re-check after poll_s."""
+        return None if idle else self.poll_s
+
+
+@dataclass
+class AdaptiveThrottle(ThrottlePolicy):
+    """SLO-guarded AIMD: back off when foreground p99 exceeds the target.
+
+    Every ``window`` completed foreground requests, the windowed p99 is
+    compared to ``target_p99_ms``: over target multiplies the dispatch
+    rate by ``backoff``, under target by ``increase`` (clamped to
+    ``[min_ops_per_s, max_ops_per_s]``). Starts at the maximum rate, so
+    an unloaded array rebuilds flat out and a loaded one converges to
+    the fastest rate its users tolerate.
+    """
+
+    target_p99_ms: float = 20.0
+    max_ops_per_s: float = 2000.0
+    min_ops_per_s: float = 5.0
+    window: int = 64
+    backoff: float = 0.5
+    increase: float = 1.25
+    #: ``(seconds, ops_per_s)`` at every rate change, for inspection.
+    rate_trace: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.target_p99_ms <= 0:
+            raise SimulationError("target_p99_ms must be positive")
+        if not 0 < self.min_ops_per_s <= self.max_ops_per_s:
+            raise SimulationError(
+                "need 0 < min_ops_per_s <= max_ops_per_s"
+            )
+        if self.window < 1:
+            raise SimulationError(f"window must be >= 1, got {self.window}")
+        if not 0 < self.backoff < 1 or self.increase <= 1:
+            raise SimulationError(
+                "need 0 < backoff < 1 and increase > 1"
+            )
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart at the maximum rate with an empty window."""
+        self._rate = self.max_ops_per_s
+        self._next = 0.0
+        self._window: List[float] = []
+        self._now = 0.0
+        self.rate_trace = [(0.0, self._rate)]
+
+    @property
+    def ops_per_s(self) -> float:
+        """The current dispatch rate."""
+        return self._rate
+
+    def observe(self, latency_ms: float) -> None:
+        """Accumulate a foreground latency; adapt at window boundaries."""
+        self._window.append(latency_ms)
+        if len(self._window) < self.window:
+            return
+        p99 = percentile(self._window, 99)
+        self._window.clear()
+        if p99 > self.target_p99_ms:
+            new_rate = max(self.min_ops_per_s, self._rate * self.backoff)
+        else:
+            new_rate = min(self.max_ops_per_s, self._rate * self.increase)
+        if new_rate != self._rate:
+            self._rate = new_rate
+            self.rate_trace.append((self._now, new_rate))
+
+    def next_delay(self, now_s: float, idle: bool) -> Optional[float]:
+        """Dispatch on the current (adapting) rate grid."""
+        self._now = now_s
+        if now_s + 1e-12 >= self._next:
+            self._next = max(now_s, self._next) + 1.0 / self._rate
+            return None
+        return self._next - now_s
+
+
+@register_result
+@dataclass(frozen=True)
+class ServeResult(ResultBase):
+    """Outcome of a serving simulation (possibly pooled over trials).
+
+    Latencies are pooled in trial (chunk) order, so merged results are
+    bit-identical for any worker count. Per-trial tuples keep the
+    tradeoff curve per replication available after merging.
+    """
+
+    trials: int
+    requests: int
+    reads: int
+    writes: int
+    degraded_reads: int
+    degraded_writes: int
+    device_reads: int
+    device_writes: int
+    latencies_ms: Tuple[float, ...]
+    rebuild_ops: int
+    rebuild_ops_done: int
+    rebuild_seconds_per_trial: Tuple[float, ...]
+    foreground_seconds_per_trial: Tuple[float, ...]
+
+    SUMMARY_KEYS = (
+        "trials", "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+        "degraded_fraction", "read_amplification", "rebuild_seconds",
+        "rebuild_complete",
+    )
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean foreground latency (ms)."""
+        return mean(self.latencies_ms)
+
+    @property
+    def p50_ms(self) -> float:
+        """Median foreground latency (ms)."""
+        return percentile(self.latencies_ms, 50)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile foreground latency (ms)."""
+        return percentile(self.latencies_ms, 95)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile foreground latency (ms)."""
+        return percentile(self.latencies_ms, 99)
+
+    @property
+    def max_ms(self) -> float:
+        """Worst foreground latency (ms)."""
+        return max(self.latencies_ms)
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of requests that touched a lost cell."""
+        return (self.degraded_reads + self.degraded_writes) / self.requests
+
+    @property
+    def read_amplification(self) -> float:
+        """Device reads per user read (1.0 when healthy)."""
+        if self.reads == 0:
+            return 0.0
+        return self.device_reads / self.reads
+
+    @property
+    def rebuild_seconds(self) -> float:
+        """Mean per-trial rebuild completion time (``nan`` if no rebuild)."""
+        if not self.rebuild_seconds_per_trial:
+            return math.nan
+        return mean(self.rebuild_seconds_per_trial)
+
+    @property
+    def rebuild_complete(self) -> bool:
+        """Did every injected rebuild op finish in every trial?"""
+        return self.rebuild_ops_done == self.rebuild_ops
+
+
+def merge_serve_results(parts: Sequence[ServeResult]) -> ServeResult:
+    """Combine per-chunk serving outcomes in the given (chunk) order."""
+    if not parts:
+        raise SimulationError("no chunk results to merge")
+    return ServeResult(
+        trials=sum(p.trials for p in parts),
+        requests=sum(p.requests for p in parts),
+        reads=sum(p.reads for p in parts),
+        writes=sum(p.writes for p in parts),
+        degraded_reads=sum(p.degraded_reads for p in parts),
+        degraded_writes=sum(p.degraded_writes for p in parts),
+        device_reads=sum(p.device_reads for p in parts),
+        device_writes=sum(p.device_writes for p in parts),
+        latencies_ms=tuple(x for p in parts for x in p.latencies_ms),
+        rebuild_ops=sum(p.rebuild_ops for p in parts),
+        rebuild_ops_done=sum(p.rebuild_ops_done for p in parts),
+        rebuild_seconds_per_trial=tuple(
+            x for p in parts for x in p.rebuild_seconds_per_trial
+        ),
+        foreground_seconds_per_trial=tuple(
+            x for p in parts for x in p.foreground_seconds_per_trial
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class _RebuildOp:
+    """One injectable unit of rebuild work: parallel reads, then writes."""
+
+    reads: Tuple[int, ...]
+    writes: Tuple[int, ...]
+
+
+def _degraded_sources(plan) -> Dict[Cell, Tuple[int, ...]]:
+    """Lost cell -> the disks its repair reads (plan-driven routing)."""
+    sources: Dict[Cell, Tuple[int, ...]] = {}
+    for step in plan.steps:
+        reads = tuple(sorted({c[0] for c in step.reads}))
+        for target in step.targets:
+            sources[target] = reads
+    return sources
+
+
+def _parity_disks(layout: Layout) -> Dict[Cell, Tuple[int, ...]]:
+    """Data cell -> disks holding parity of its containing stripes."""
+    table: Dict[Cell, set] = {}
+    for stripe in layout.stripes:
+        pdisks = {c[0] for c in stripe.parity_cells()}
+        for cell in stripe.cells():
+            table.setdefault(cell, set()).update(pdisks - {cell[0]})
+    return {cell: tuple(sorted(disks)) for cell, disks in table.items()}
+
+
+def _rebuild_ops(
+    plan, survivors: List[int], sparing: str, batches: int
+) -> List[_RebuildOp]:
+    """Flatten the plan's steps x batches into dispatchable ops.
+
+    Distributed sparing round-robins spare writes over the survivors
+    (consuming the current index first, matching
+    :func:`~repro.sim.rebuild.simulate_rebuild`); dedicated sparing
+    writes each regenerated unit to its home (replacement) disk.
+    """
+    if sparing not in ("distributed", "dedicated"):
+        raise SimulationError(f"unknown sparing mode {sparing!r}")
+    ops: List[_RebuildOp] = []
+    rr = 0
+    for _batch in range(batches):
+        for step in plan.steps:
+            writes = []
+            for target in step.targets:
+                if sparing == "dedicated":
+                    writes.append(target[0])
+                else:
+                    writes.append(survivors[rr])
+                    rr = (rr + 1) % len(survivors)
+            ops.append(
+                _RebuildOp(
+                    reads=tuple(c[0] for c in step.reads),
+                    writes=tuple(writes),
+                )
+            )
+    return ops
+
+
+def simulate_serve(
+    layout: Layout,
+    workload: Union[WorkloadSpec, Sequence[Request]] = WorkloadSpec(),
+    failed_disks: Sequence[int] = (),
+    arrival: ArrivalProcess = OpenLoop(100.0),
+    model: Optional[LatencyModel] = None,
+    throttle: Optional[ThrottlePolicy] = None,
+    sparing: str = "distributed",
+    rebuild_batches: int = 1,
+    seed: Optional[int] = 0,
+    telemetry: Optional[Telemetry] = None,
+) -> ServeResult:
+    """Serve one foreground workload against a (possibly degraded) array.
+
+    *workload* is either a picklable :class:`WorkloadSpec` recipe
+    (materialized against the layout's user address space with *seed*)
+    or an explicit request sequence. *throttle* of ``None`` injects no
+    rebuild traffic; otherwise the recovery plan of *failed_disks* is
+    tiled *rebuild_batches* times and dispatched per the policy.
+
+    Raises :class:`~repro.errors.DataLossError` when *failed_disks* is
+    not a survivable pattern (there is nothing to serve). The result is
+    a deterministic function of the arguments (the engine breaks ties by
+    schedule order), which is what the parallel runner's per-chunk
+    seeding builds on.
+    """
+    model = model or LatencyModel()
+    if rebuild_batches < 1:
+        raise SimulationError(
+            f"rebuild_batches must be >= 1, got {rebuild_batches}"
+        )
+    failed = sorted(set(failed_disks))
+    for disk in failed:
+        if not 0 <= disk < layout.n_disks:
+            raise SimulationError(f"no such disk {disk}")
+    if isinstance(workload, WorkloadSpec):
+        requests = workload.build(len(layout.data_cells), seed)
+    else:
+        requests = list(workload)
+    if not requests:
+        raise SimulationError("workload has no requests")
+
+    plan = plan_recovery(layout, failed) if failed else None
+    degraded = _degraded_sources(plan) if plan is not None else {}
+    parity = _parity_disks(layout)
+    survivors = [d for d in range(layout.n_disks) if d not in failed]
+    ops = (
+        _rebuild_ops(plan, survivors, sparing, rebuild_batches)
+        if plan is not None and throttle is not None
+        else []
+    )
+
+    rng = random.Random(None if seed is None else f"serve:{seed}")
+    tel = telemetry if telemetry is not None else ambient()
+    sim = Simulator(telemetry=tel)
+    servers = {d: FcfsServer(sim, f"disk{d}") for d in survivors}
+    service = model.service_seconds()
+    data_cells = layout.data_cells
+
+    latencies: List[float] = []
+    stats = {
+        "reads": 0, "writes": 0, "degraded_reads": 0,
+        "degraded_writes": 0, "device_reads": 0, "device_writes": 0,
+        "fg_done": 0.0, "rebuild_done": 0, "rebuild_finish": 0.0,
+    }
+
+    def finish_request(arrival_s: float) -> None:
+        latency_ms = (sim.now - arrival_s) * 1000.0
+        latencies.append(latency_ms)
+        stats["fg_done"] = max(stats["fg_done"], sim.now)
+        if throttle is not None:
+            throttle.observe(latency_ms)
+        if tel.enabled:
+            tel.count("serve.requests")
+            tel.observe("serve.latency_ms", latency_ms)
+
+    def fan_out(disks: Sequence[int], per_disk_service: float, done) -> None:
+        """Submit one access per disk; *done* fires when the slowest ends."""
+        pending = {"n": len(disks)}
+
+        def one_done() -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                done()
+
+        for disk in disks:
+            servers[disk].submit(per_disk_service, one_done)
+
+    def issue(request: Request, arrival_s: float, done) -> None:
+        cell = data_cells[request.unit]
+        if not request.is_write:
+            stats["reads"] += 1
+            if cell in degraded:
+                stats["degraded_reads"] += 1
+                disks = degraded[cell] or (survivors[0],)
+                stats["device_reads"] += len(disks)
+                if tel.enabled:
+                    tel.count("serve.degraded_reads")
+                fan_out(disks, service, done)
+            else:
+                stats["device_reads"] += 1
+                fan_out((cell[0],), service, done)
+            return
+        # Write: read-modify-write the home disk (if online) plus every
+        # containing stripe's parity disks; a lost home cell degrades to
+        # parity-only (the array absorbs the write into redundancy).
+        stats["writes"] += 1
+        targets = [d for d in parity.get(cell, ()) if d not in failed]
+        if cell[0] not in failed:
+            targets.insert(0, cell[0])
+        else:
+            stats["degraded_writes"] += 1
+            if tel.enabled:
+                tel.count("serve.degraded_writes")
+        if not targets:
+            targets = [survivors[0]]
+        stats["device_reads"] += len(targets)
+        stats["device_writes"] += len(targets)
+        fan_out(targets, 2 * service, done)
+
+    # -- foreground arrivals ------------------------------------------------
+    if isinstance(arrival, OpenLoop):
+        t = 0.0
+        for request in requests:
+            t += rng.expovariate(arrival.rate_per_s)
+
+            def fire(request=request, t=t) -> None:
+                issue(request, t, lambda t=t: finish_request(t))
+
+            sim.schedule(t, fire)
+    elif isinstance(arrival, ClosedLoop):
+        queue = {"next": 0}
+
+        def client_issue() -> None:
+            index = queue["next"]
+            if index >= len(requests):
+                return
+            queue["next"] = index + 1
+            arrival_s = sim.now
+
+            def done() -> None:
+                finish_request(arrival_s)
+                if arrival.think_s > 0:
+                    sim.schedule(arrival.think_s, client_issue)
+                else:
+                    client_issue()
+
+            issue(requests[index], arrival_s, done)
+
+        for _client in range(min(arrival.clients, len(requests))):
+            sim.schedule(0.0, client_issue)
+    else:
+        raise SimulationError(
+            f"unknown arrival process {type(arrival).__name__}"
+        )
+
+    # -- rebuild injection --------------------------------------------------
+    if ops:
+        throttle.reset()
+        cursor = {"op": 0}
+
+        def dispatch(op: _RebuildOp) -> None:
+            if tel.enabled:
+                tel.count("serve.rebuild_ops_dispatched")
+
+            def writes_done() -> None:
+                stats["rebuild_done"] += 1
+                stats["rebuild_finish"] = max(
+                    stats["rebuild_finish"], sim.now
+                )
+                if tel.enabled:
+                    tel.count("serve.rebuild_ops_completed")
+                    if stats["rebuild_done"] == len(ops):
+                        tel.event(
+                            "rebuild_drained", sim.now, ops=len(ops)
+                        )
+
+            def reads_done() -> None:
+                if not op.writes:
+                    writes_done()
+                    return
+                fan_out(op.writes, service, writes_done)
+
+            if not op.reads:
+                reads_done()
+            else:
+                fan_out(op.reads, service, reads_done)
+
+        def pump() -> None:
+            while cursor["op"] < len(ops):
+                op = ops[cursor["op"]]
+                idle = all(
+                    servers[d].busy_until <= sim.now for d in op.reads
+                )
+                delay = throttle.next_delay(sim.now, idle)
+                if delay is None:
+                    cursor["op"] += 1
+                    dispatch(op)
+                else:
+                    sim.schedule(delay, pump)
+                    return
+
+        sim.schedule(0.0, pump)
+
+    with use_telemetry(tel):
+        sim.run()
+
+    if not latencies:
+        raise SimulationError("no requests completed (bug)")
+    if tel.enabled:
+        for disk, server in sorted(servers.items()):
+            if sim.now > 0:
+                tel.observe(
+                    "serve.disk_utilization", server.utilization(sim.now)
+                )
+            tel.event(
+                "queue_report", sim.now, disk=disk,
+                requests=server.requests,
+            )
+        if ops:
+            tel.observe("serve.rebuild_seconds", stats["rebuild_finish"])
+
+    return ServeResult(
+        trials=1,
+        requests=len(latencies),
+        reads=stats["reads"],
+        writes=stats["writes"],
+        degraded_reads=stats["degraded_reads"],
+        degraded_writes=stats["degraded_writes"],
+        device_reads=stats["device_reads"],
+        device_writes=stats["device_writes"],
+        latencies_ms=tuple(latencies),
+        rebuild_ops=len(ops),
+        rebuild_ops_done=stats["rebuild_done"],
+        rebuild_seconds_per_trial=(
+            (stats["rebuild_finish"],) if ops else ()
+        ),
+        foreground_seconds_per_trial=(stats["fg_done"],),
+    )

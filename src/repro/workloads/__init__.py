@@ -1,7 +1,19 @@
-"""Synthetic workloads and traces for the data-path and E9 experiments."""
+"""Synthetic workloads, arrival processes, and traces.
 
+Generators say *what* is accessed (:func:`uniform_workload`,
+:func:`zipf_workload`, :func:`sequential_workload`, or a picklable
+:class:`WorkloadSpec` recipe); arrival processes say *when*
+(:class:`OpenLoop` Poisson streams or :class:`ClosedLoop` client
+populations); traces record/replay request sequences against live
+arrays. The serving simulator (:mod:`repro.sim.serve`) composes all
+three.
+"""
+
+from repro.workloads.arrivals import ArrivalProcess, ClosedLoop, OpenLoop
 from repro.workloads.generators import (
+    WORKLOAD_KINDS,
     Request,
+    WorkloadSpec,
     sequential_workload,
     uniform_workload,
     zipf_workload,
@@ -9,7 +21,12 @@ from repro.workloads.generators import (
 from repro.workloads.trace import Trace, replay_trace
 
 __all__ = [
+    "ArrivalProcess",
+    "ClosedLoop",
+    "OpenLoop",
     "Request",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
     "uniform_workload",
     "zipf_workload",
     "sequential_workload",

@@ -25,8 +25,7 @@ class Request:
 
     def payload(self, unit_bytes: int) -> bytearray:
         """Deterministic pseudo-random payload for write requests."""
-        rng = random.Random(self.payload_seed)
-        return bytearray(rng.randrange(256) for _ in range(unit_bytes))
+        return bytearray(random.Random(self.payload_seed).randbytes(unit_bytes))
 
 
 def uniform_workload(
@@ -93,6 +92,59 @@ def zipf_workload(
         )
         for _ in range(n_requests)
     ]
+
+
+#: Generator names accepted by :class:`WorkloadSpec`.
+WORKLOAD_KINDS = ("uniform", "zipf", "sequential")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A picklable recipe for one request stream.
+
+    The serving simulator and the parallel runner need to *re-generate*
+    workloads inside worker processes from nothing but a seed, so the
+    recipe — not the materialized request list — is what travels.
+    :meth:`build` instantiates it against a concrete address space.
+    """
+
+    kind: str = "uniform"
+    n_requests: int = 2000
+    write_fraction: float = 0.0
+    skew: float = 1.1
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r} "
+                f"(expected one of {WORKLOAD_KINDS})"
+            )
+
+    def build(self, n_units: int, seed: Optional[int] = 0) -> List[Request]:
+        """Materialize the request list for an *n_units* address space."""
+        if self.kind == "zipf":
+            return zipf_workload(
+                n_units,
+                self.n_requests,
+                skew=self.skew,
+                write_fraction=self.write_fraction,
+                seed=seed,
+            )
+        if self.kind == "sequential":
+            return sequential_workload(
+                n_units,
+                self.n_requests,
+                start=self.start,
+                is_write=self.write_fraction >= 0.5,
+                seed=seed,
+            )
+        return uniform_workload(
+            n_units,
+            self.n_requests,
+            write_fraction=self.write_fraction,
+            seed=seed,
+        )
 
 
 def sequential_workload(

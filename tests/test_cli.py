@@ -181,6 +181,52 @@ class TestRebuild:
         assert "False" in capsys.readouterr().out
 
 
+class TestServe:
+    ARGS = [
+        "serve",
+        "-v", "7", "-k", "3",
+        "--requests", "300",
+        "--rate", "150",
+        "--seed", "4",
+    ]
+
+    def test_healthy_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "requests served" in out
+        assert "p99 latency" in out
+        assert "no rebuild traffic" in out
+
+    def test_degraded_with_throttle(self, capsys):
+        assert main(
+            self.ARGS + ["-f", "0", "--throttle", "fixed",
+                         "--rebuild-rate", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rebuild ops completed" in out
+        assert "degraded fraction" in out
+
+    def test_adaptive_throttle(self, capsys):
+        assert main(
+            self.ARGS + ["-f", "0", "--throttle", "adaptive",
+                         "--target-p99-ms", "20"]
+        ) == 0
+        assert "throttle=adaptive" in capsys.readouterr().out
+
+    def test_unrecoverable_pattern_is_domain_error(self, capsys):
+        assert main(self.ARGS + ["-f", "0", "1", "2", "3", "4", "5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_jobs_bit_identical(self, capsys):
+        argv = self.ARGS + ["-f", "0", "--throttle", "fixed",
+                            "--trials", "3"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert _strip_workers(serial) == _strip_workers(parallel)
+
+
 class TestExitCodes:
     """The contract: 0 success, 1 domain error, 2 usage error."""
 

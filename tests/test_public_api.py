@@ -35,6 +35,38 @@ def test_quickstart_from_module_docstring():
     assert recovery_summary(array.layout, [4]).speedup_vs_raid5 > 1.0
 
 
+def test_scenario_front_door_exported():
+    """The unified entry point and serving API are one import away."""
+    assert set(repro.SCENARIO_KINDS) == {
+        "rebuild", "reliability", "lifecycle", "serve",
+    }
+    result = repro.run(
+        repro.Scenario(
+            kind="serve",
+            layout=repro.oi_raid(7, 3),
+            workload=repro.WorkloadSpec(n_requests=50),
+        )
+    )
+    assert isinstance(result, repro.ServeResult)
+    assert repro.result_from_dict(result.to_dict()) == result
+
+
+def test_registered_results_speak_the_protocol():
+    """Every registered result type inherits the to/from/summary trio."""
+    import repro.bench.runner  # noqa: F401  (registers ExperimentResult)
+    from repro.results import RESULT_TYPES, ResultBase
+
+    expected = {
+        "RebuildResult", "LifetimeResult", "LifecycleResult",
+        "LatencyResult", "ServeResult", "ExperimentResult",
+    }
+    assert expected <= set(RESULT_TYPES)
+    for name, cls in RESULT_TYPES.items():
+        assert issubclass(cls, ResultBase), name
+        for method in ("to_dict", "from_dict", "summary"):
+            assert callable(getattr(cls, method)), f"{name}.{method}"
+
+
 def test_exception_hierarchy():
     assert issubclass(repro.DesignError, repro.ReproError)
     assert issubclass(repro.DataLossError, repro.ReproError)

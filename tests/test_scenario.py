@@ -1,0 +1,171 @@
+"""The unified Scenario/run() front door and the common result protocol."""
+
+import json
+
+import pytest
+
+from repro import Scenario, run
+from repro.core.oi_layout import oi_raid
+from repro.errors import ReproError, SimulationError
+from repro.results import (
+    ResultBase,
+    deprecated_alias,
+    register_result,
+    result_from_dict,
+)
+from repro.serve import FixedRateThrottle
+from repro.sim.latency import LatencyResult
+from repro.sim.lifecycle import LifecycleResult
+from repro.sim.montecarlo import LifetimeResult
+from repro.sim.rebuild import RebuildResult
+from repro.sim.serve import ServeResult
+from repro.workloads import WorkloadSpec
+
+LAYOUT = oi_raid(7, 3)
+
+
+class TestScenario:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown scenario kind"):
+            Scenario(kind="nope", layout=LAYOUT)
+
+    def test_with_kind_preserves_geometry(self):
+        s = Scenario(kind="rebuild", layout=LAYOUT, trials=7)
+        t = s.with_kind("serve")
+        assert t.kind == "serve"
+        assert t.layout is LAYOUT
+        assert t.trials == 7
+
+    def test_rebuild_dispatch(self):
+        result = run(Scenario(kind="rebuild", layout=LAYOUT, faults=(0,)))
+        assert isinstance(result, RebuildResult)
+        assert result.seconds > 0
+
+    def test_rebuild_event_method(self):
+        analytic = run(Scenario(kind="rebuild", layout=LAYOUT))
+        event = run(
+            Scenario(kind="rebuild", layout=LAYOUT, rebuild_method="event")
+        )
+        assert isinstance(event, RebuildResult)
+        # The event simulation queues; it can only be >= the bound.
+        assert event.seconds >= 0.99 * analytic.seconds
+
+    def test_reliability_dispatch(self):
+        result = run(
+            Scenario(kind="reliability", layout=LAYOUT, trials=10, seed=0)
+        )
+        assert isinstance(result, LifetimeResult)
+        assert result.trials == 10
+
+    def test_lifecycle_dispatch(self):
+        result = run(
+            Scenario(kind="lifecycle", layout=LAYOUT, trials=5, seed=0)
+        )
+        assert isinstance(result, LifecycleResult)
+        assert result.trials == 5
+
+    def test_serve_dispatch(self):
+        result = run(
+            Scenario(
+                kind="serve",
+                layout=LAYOUT,
+                workload=WorkloadSpec(kind="uniform", n_requests=100),
+                faults=(0,),
+                throttle=FixedRateThrottle(300.0),
+                trials=2,
+            )
+        )
+        assert isinstance(result, ServeResult)
+        assert result.trials == 2
+        assert result.rebuild_complete
+
+    def test_serve_jobs_invariant(self):
+        def result_for(jobs):
+            return run(
+                Scenario(
+                    kind="serve",
+                    layout=LAYOUT,
+                    workload=WorkloadSpec(kind="zipf", n_requests=80),
+                    faults=(0,),
+                    trials=4,
+                    seed=3,
+                    jobs=jobs,
+                )
+            )
+
+        assert result_for(1) == result_for(2)
+
+    def test_progress_forwarded(self):
+        seen = []
+        run(
+            Scenario(kind="serve", layout=LAYOUT, trials=2,
+                     workload=WorkloadSpec(n_requests=50)),
+            progress=lambda done, total, losses: seen.append(done),
+        )
+        assert seen == [1, 2]
+
+
+class TestResultProtocol:
+    def scenario_results(self):
+        yield run(Scenario(kind="rebuild", layout=LAYOUT, faults=(0,)))
+        yield run(Scenario(kind="reliability", layout=LAYOUT, trials=5))
+        yield run(Scenario(kind="lifecycle", layout=LAYOUT, trials=3))
+        yield run(
+            Scenario(kind="serve", layout=LAYOUT,
+                     workload=WorkloadSpec(n_requests=60))
+        )
+
+    def test_every_kind_round_trips_through_json(self):
+        for result in self.scenario_results():
+            doc = json.loads(json.dumps(result.to_dict()))
+            assert doc["result"] == type(result).__name__
+            assert result_from_dict(doc) == result
+
+    def test_every_kind_has_a_summary(self):
+        for result in self.scenario_results():
+            summary = result.summary()
+            assert summary  # non-empty
+            assert all(isinstance(k, str) for k in summary)
+
+    def test_latency_result_registered_too(self):
+        from repro.sim.latency import simulate_read_latency
+
+        result = simulate_read_latency(LAYOUT, n_requests=100, seed=0)
+        assert isinstance(result, LatencyResult)
+        assert result_from_dict(result.to_dict()) == result
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ReproError, match="unknown result type"):
+            result_from_dict({"result": "NoSuchResult"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ReproError, match="missing fields"):
+            result_from_dict({"result": "LifetimeResult", "trials": 3})
+
+    def test_wrong_concrete_class_rejected(self):
+        doc = run(
+            Scenario(kind="reliability", layout=LAYOUT, trials=3)
+        ).to_dict()
+        with pytest.raises(ReproError, match="not a"):
+            ServeResult.from_dict(doc)
+
+    def test_inf_survives_strict_json(self):
+        result = run(Scenario(kind="reliability", layout=LAYOUT, trials=3))
+        text = json.dumps(result.summary(), allow_nan=False)
+        assert "inf" in text  # no losses -> mttdl is the string "inf"
+
+    def test_deprecated_alias_warns_and_forwards(self):
+        result = run(Scenario(kind="rebuild", layout=LAYOUT))
+        with pytest.warns(DeprecationWarning, match="bottleneck_seconds"):
+            assert result.busiest_disk_seconds == result.bottleneck_seconds
+
+    def test_alias_factory(self):
+        @register_result
+        class Dummy(ResultBase):
+            """Protocol host for the alias test."""
+
+            new_name = 41 + 1
+            old_name = deprecated_alias("old_name", "new_name")
+
+        with pytest.warns(DeprecationWarning):
+            assert Dummy().old_name == 42

@@ -1,10 +1,16 @@
-"""Workload generators and trace replay."""
+"""Workload generators, arrival processes, specs, and trace replay."""
+
+import pickle
 
 import pytest
 
 from repro.core.array import OIRAIDArray
+from repro.errors import SimulationError
+from repro.workloads.arrivals import ClosedLoop, OpenLoop
 from repro.workloads.generators import (
+    WORKLOAD_KINDS,
     Request,
+    WorkloadSpec,
     sequential_workload,
     uniform_workload,
     zipf_workload,
@@ -52,6 +58,81 @@ class TestGenerators:
             uniform_workload(10, 10, write_fraction=1.5)
         with pytest.raises(ValueError):
             zipf_workload(10, 10, skew=0)
+
+
+class TestSeededRegressions:
+    """Pinned outputs: a seed must keep producing these exact streams."""
+
+    def test_uniform_pinned(self):
+        reqs = uniform_workload(10, 5, seed=3)
+        assert [r.unit for r in reqs] == [3, 5, 9, 7, 3]
+        assert [r.is_write for r in reqs] == [
+            False, False, True, True, False,
+        ]
+
+    def test_zipf_pinned(self):
+        reqs = zipf_workload(50, 5, skew=1.3, write_fraction=0.0, seed=7)
+        assert [r.unit for r in reqs] == [35, 14, 48, 35, 24]
+
+    def test_payload_uses_seeded_randbytes(self):
+        # Request.payload is random.Random(seed).randbytes(n) exactly.
+        assert Request(0, True, payload_seed=9).payload(8) == bytearray(
+            bytes.fromhex("6ea687766eacfb9c")
+        )
+
+    def test_payload_length_and_variation(self):
+        a = Request(0, True, payload_seed=1).payload(32)
+        b = Request(0, True, payload_seed=2).payload(32)
+        assert len(a) == len(b) == 32
+        assert a != b
+
+
+class TestWorkloadSpec:
+    def test_build_matches_generators(self):
+        spec = WorkloadSpec(kind="uniform", n_requests=40,
+                            write_fraction=0.3)
+        assert spec.build(20, 5) == uniform_workload(
+            20, 40, write_fraction=0.3, seed=5
+        )
+        spec = WorkloadSpec(kind="zipf", n_requests=40, skew=1.4)
+        assert spec.build(20, 5) == zipf_workload(
+            20, 40, skew=1.4, write_fraction=0.0, seed=5
+        )
+        spec = WorkloadSpec(kind="sequential", n_requests=7, start=3)
+        assert spec.build(5, 0) == sequential_workload(5, 7, start=3)
+
+    def test_sequential_write_mode_from_fraction(self):
+        spec = WorkloadSpec(kind="sequential", n_requests=4,
+                            write_fraction=1.0)
+        assert all(r.is_write for r in spec.build(8, 0))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            WorkloadSpec(kind="wombat")
+        assert set(WORKLOAD_KINDS) == {"uniform", "zipf", "sequential"}
+
+    def test_picklable(self):
+        spec = WorkloadSpec(kind="zipf", n_requests=10)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestArrivals:
+    def test_open_loop_validation(self):
+        with pytest.raises(SimulationError):
+            OpenLoop(0.0)
+        assert OpenLoop(50.0).rate_per_s == 50.0
+
+    def test_closed_loop_validation(self):
+        with pytest.raises(SimulationError):
+            ClosedLoop(clients=0)
+        with pytest.raises(SimulationError):
+            ClosedLoop(clients=1, think_s=-0.1)
+
+    def test_value_semantics(self):
+        assert OpenLoop(10.0) == OpenLoop(10.0)
+        assert pickle.loads(pickle.dumps(ClosedLoop(3, 0.5))) == ClosedLoop(
+            3, 0.5
+        )
 
 
 class TestTraceReplay:

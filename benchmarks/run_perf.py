@@ -2,13 +2,26 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_perf.py [--jobs N] [--output PATH]
+    PYTHONPATH=src python benchmarks/run_perf.py [--trials N] [--strict]
+        [--jobs-sweep 1,2,4,8] [--output PATH]
 
 Measures the library's hot kernels — GF(256) buffer math, the peeling
 oracle, the recovery planner, the exhaustive tolerance sweep, and the
-Monte-Carlo lifetime engine (serial and, with ``--jobs``, parallel) — and
-writes ``{baseline_seed, current, speedup_vs_seed}`` so future PRs have a
-regression baseline to diff against.
+Monte-Carlo lifetime engine (vectorized and event kernels, serial and a
+``--jobs`` sweep over the persistent worker pool) — and writes
+``{baseline_seed, current, parallel_efficiency, speedup_vs_seed}`` so
+future PRs have a regression baseline to diff against.
+
+The jobs sweep runs the *event* kernel (the workload heavy enough to
+amortize fan-out; the vectorized kernel finishes 2000 trials in tens of
+milliseconds, which no pool can speed up). Each jobs level is measured
+against a warm pool — the persistent pool's whole point is that spin-up
+is paid once per process, not per sweep point. ``parallel_efficiency``
+maps jobs -> speedup/jobs; a sweep point whose *speedup* drops below 1
+at jobs >= 2 (parallelism actively losing) emits a loud warning, and
+``--strict`` turns that into a nonzero exit. On a single-core machine
+(``cpu_count == 1``) real speedup is physically impossible, so the
+warning notes that and ``--strict`` does not fail.
 
 Output contract: stdout carries exactly one machine-readable JSON line
 (the snapshot, via :class:`repro.obs.StructuredEmitter`); progress and
@@ -24,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -37,14 +51,17 @@ from repro.layouts.recovery import is_recoverable, plan_recovery
 from repro.obs import StructuredEmitter
 from repro.sim.montecarlo import recoverability_oracle
 from repro.sim.parallel import simulate_lifetimes_parallel
+from repro.sim.pool import shutdown_pool
 
 
 def note(message: str) -> None:
     """Progress diagnostic — stderr, so stdout stays machine-parseable."""
     print(f"[run_perf] {message}", file=sys.stderr, flush=True)
 
+
 UNIT = 64 * 1024
-MC_TRIALS = 2000
+DEFAULT_MC_TRIALS = 2000
+DEFAULT_JOBS_SWEEP = (1, 2, 4, 8)
 
 # Measured on the seed tree (commit 7b67841) with the same harness.
 SEED_BASELINE = {
@@ -58,6 +75,9 @@ SEED_BASELINE = {
     "mc_trials_per_s": 3.815e03,
 }
 
+#: ``(n_disks, mttf_hours, mttr_hours, horizon_hours)`` of the MC workload.
+MC_ARGS = (21, 2000.0, 40.0, 4000.0)
+
 
 def best_of(fn, repeat=5, number=1):
     """Best wall-clock time of *fn* over *repeat* batches of *number* calls."""
@@ -70,13 +90,13 @@ def best_of(fn, repeat=5, number=1):
     return min(times)
 
 
-def measure(jobs: int) -> dict:
+def measure_kernels() -> dict:
+    """GF(256), peeler, planner, tolerance sweep, layout construction."""
     rng = np.random.default_rng(0)
     buf = rng.integers(0, 256, UNIT, dtype=np.uint8)
     acc = np.zeros(UNIT, dtype=np.uint8)
     oi = oi_raid(7, 3)
     big = oi_raid(19, 3)
-    oracle = recoverability_oracle(oi, guaranteed_tolerance=3)
 
     note("measuring GF(256) kernels, peeler, planner, tolerance sweep ...")
     current = {
@@ -104,41 +124,57 @@ def measure(jobs: int) -> dict:
             number=1,
         ),
     }
-    oi = oi_raid(7, 3)  # repopulate the cache after the construction timing
+    oi_raid(7, 3)  # repopulate the cache after the construction timing
+    return current
 
-    note(f"measuring serial MC lifetime engine ({MC_TRIALS} trials) ...")
+
+def _mc_seconds(oracle, trials: int, jobs: int, kernel: str) -> float:
+    n_disks, mttf, mttr, horizon = MC_ARGS
     start = time.perf_counter()
     simulate_lifetimes_parallel(
-        21, 2000.0, 40.0, oracle, 4000.0, trials=MC_TRIALS, seed=0, jobs=1
+        n_disks, mttf, mttr, oracle, horizon,
+        trials=trials, seed=0, jobs=jobs, kernel=kernel,
     )
-    serial_s = time.perf_counter() - start
-    current["mc_lifetimes_2000_trials_s"] = serial_s
-    current["mc_trials_per_s"] = MC_TRIALS / serial_s
+    return time.perf_counter() - start
 
-    if jobs > 1:
-        note(f"measuring parallel MC runner at jobs={jobs} ...")
-        start = time.perf_counter()
-        simulate_lifetimes_parallel(
-            21,
-            2000.0,
-            40.0,
-            oracle,
-            4000.0,
-            trials=MC_TRIALS,
-            seed=0,
-            jobs=jobs,
-        )
-        par_s = time.perf_counter() - start
-        current[f"mc_lifetimes_2000_trials_jobs{jobs}_s"] = par_s
-        current[f"mc_trials_per_s_jobs{jobs}"] = MC_TRIALS / par_s
-        current[f"mc_parallel_speedup_jobs{jobs}"] = serial_s / par_s
+
+def measure_mc(trials: int, jobs_sweep) -> dict:
+    """Serial kernels plus the event-kernel jobs sweep (warm pool)."""
+    oracle = recoverability_oracle(oi_raid(7, 3), guaranteed_tolerance=3)
+    current = {}
+
+    note(f"measuring serial MC lifetime engine ({trials} trials, auto kernel) ...")
+    serial_s = min(_mc_seconds(oracle, trials, 1, "auto") for _ in range(3))
+    current["mc_lifetimes_2000_trials_s"] = serial_s
+    current["mc_trials_per_s"] = trials / serial_s
+
+    note(f"measuring serial MC lifetime engine ({trials} trials, event kernel) ...")
+    event_s = min(_mc_seconds(oracle, trials, 1, "event") for _ in range(2))
+    current["mc_trials_per_s_event"] = trials / event_s
+
+    for jobs in jobs_sweep:
+        note(f"measuring event-kernel MC fan-out at jobs={jobs} ...")
+        # Warm the pool first: persistent-pool spin-up is a once-per-process
+        # cost, not a per-sweep-point cost, so it is excluded from the row.
+        _mc_seconds(oracle, max(trials // 10, 1), jobs, "event")
+        par_s = min(_mc_seconds(oracle, trials, jobs, "event") for _ in range(2))
+        current[f"mc_event_trials_per_s_jobs{jobs}"] = trials / par_s
+        current[f"mc_parallel_speedup_jobs{jobs}"] = event_s / par_s
+    shutdown_pool()
     return current
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="also measure the parallel MC runner at N jobs")
+    parser.add_argument("--trials", type=int, default=DEFAULT_MC_TRIALS,
+                        help="Monte-Carlo trials per measurement "
+                             f"(default {DEFAULT_MC_TRIALS})")
+    parser.add_argument("--jobs-sweep", default=None,
+                        help="comma-separated worker counts to sweep "
+                             "(default 1,2,4,8)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when a multi-core machine shows "
+                             "parallel speedup < 1 at jobs >= 2")
     parser.add_argument(
         "--output",
         type=pathlib.Path,
@@ -146,8 +182,23 @@ def main(argv=None) -> int:
         / "BENCH_perf.json",
     )
     args = parser.parse_args(argv)
+    if args.jobs_sweep:
+        jobs_sweep = tuple(int(j) for j in args.jobs_sweep.split(","))
+    else:
+        jobs_sweep = DEFAULT_JOBS_SWEEP
+    cpu_count = os.cpu_count() or 1
 
-    current = measure(args.jobs)
+    current = measure_kernels()
+    current.update(measure_mc(args.trials, jobs_sweep))
+
+    efficiency = {
+        str(jobs): current[f"mc_parallel_speedup_jobs{jobs}"] / jobs
+        for jobs in jobs_sweep
+    }
+    losing = [
+        jobs for jobs in jobs_sweep
+        if jobs >= 2 and current[f"mc_parallel_speedup_jobs{jobs}"] < 1.0
+    ]
     speedup = {
         key: SEED_BASELINE[key] / current[key]
         for key in SEED_BASELINE
@@ -158,14 +209,35 @@ def main(argv=None) -> int:
     )
     snapshot = {
         "unit_bytes": UNIT,
-        "mc_trials": MC_TRIALS,
+        "mc_trials": args.trials,
+        "cpu_count": cpu_count,
+        "jobs_sweep": list(jobs_sweep),
         "baseline_seed": SEED_BASELINE,
         "current": current,
+        "parallel_efficiency": {k: round(v, 3) for k, v in efficiency.items()},
         "speedup_vs_seed": {k: round(v, 2) for k, v in speedup.items()},
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     note(f"snapshot written to {args.output}")
     StructuredEmitter(stream=sys.stdout).emit(snapshot)
+
+    if losing:
+        rows = ", ".join(
+            f"jobs={j}: {current[f'mc_parallel_speedup_jobs{j}']:.2f}x"
+            for j in losing
+        )
+        if cpu_count == 1:
+            note(
+                f"WARNING: parallel speedup < 1 at {rows} — expected on "
+                f"this single-core machine (cpu_count=1); not failing"
+            )
+        else:
+            note(
+                f"WARNING: parallel speedup < 1 at {rows} on a "
+                f"{cpu_count}-core machine — the fan-out is losing to serial"
+            )
+            if args.strict:
+                return 1
     return 0
 
 

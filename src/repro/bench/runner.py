@@ -6,7 +6,8 @@ and returns a structured result the pytest-benchmark wrapper asserts on.
 
 When ``REPRO_BENCH_JSONL`` names a file (or an emitter is passed
 explicitly), every run also appends one machine-readable ``experiment``
-record — id, kind, wall seconds, and the full metrics dict — so
+record — id, kind, wall seconds, the worker count (``REPRO_JOBS``), and
+the full metrics dict — so
 experiment trajectories can be collected without scraping the rendered
 tables.
 """
@@ -19,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.obs.emit import StructuredEmitter
 from repro.results import ResultBase, register_result
+from repro.sim.parallel import default_jobs
 
 
 @dataclass(frozen=True)
@@ -96,6 +98,7 @@ def run_experiment(
                 "kind": experiment.kind,
                 "claim": experiment.claim,
                 "seconds": doc["seconds"],
+                "jobs": default_jobs(),
                 "metrics": doc["metrics"],
             }
         )

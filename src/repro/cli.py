@@ -22,8 +22,10 @@ The simulation subcommands (``rebuild``, ``reliability``, ``lifecycle``,
 :func:`repro.scenario.run` — each parses its flags into a ``Scenario``
 and dispatches, so shell runs and scripted runs share one code path.
 The compute-heavy ones accept ``--jobs N`` to fan the work across N
-worker processes; results are bit-identical for every N (deterministic
-per-chunk seeding).
+worker processes (default: the ``REPRO_JOBS`` environment variable when
+set, else serial); results are bit-identical for every N (deterministic
+per-chunk seeding). Workers come from one persistent per-process pool,
+so repeated sweeps in the same process reuse warm workers.
 
 Global flags (before the subcommand): ``--metrics-out FILE`` /
 ``--trace-out FILE`` collect telemetry for the run (worker-merged, also
@@ -63,6 +65,8 @@ from repro.obs import (
 from repro.scenario import Scenario, run as run_scenario
 from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import derived_markov_model, derived_mttr
+from repro.sim.montecarlo import MC_KERNELS
+from repro.sim.parallel import default_jobs
 from repro.sim.rebuild import DiskModel
 from repro.sim.serve import (
     AdaptiveThrottle,
@@ -104,6 +108,26 @@ def _progress_for(args: argparse.Namespace) -> Optional[Heartbeat]:
     if getattr(args, "verbose", 0):
         return Heartbeat(label="trials")
     return None
+
+
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """The worker count: explicit ``--jobs`` wins, else ``$REPRO_JOBS``.
+
+    Mutates ``args.jobs`` so every later use (logging, report rows) sees
+    the resolved value. Raises ``SimulationError`` when the environment
+    variable is set to something that isn't a positive integer.
+    """
+    if args.jobs is None:
+        args.jobs = default_jobs()
+    return args.jobs
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=f"worker processes for {what} (default: $REPRO_JOBS if set, "
+             "else serial; result identical for any N)",
+    )
 
 
 def _disk_from(args: argparse.Namespace) -> DiskModel:
@@ -165,6 +189,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_tolerance(args: argparse.Namespace) -> int:
     layout = _layout_from(args)
+    _resolve_jobs(args)
     profile = tolerance_profile(
         layout,
         max_failures=args.max_failures,
@@ -205,6 +230,7 @@ def _cmd_rebuild(args: argparse.Namespace) -> int:
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
     layout = _layout_from(args)
+    _resolve_jobs(args)
     logger.info(
         "reliability MC: %d disks, %d trials, %d job(s)",
         layout.n_disks, args.trials, args.jobs,
@@ -219,6 +245,7 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             jobs=args.jobs,
+            mc_kernel=args.kernel,
             telemetry=args.telemetry,
         ),
         progress=_progress_for(args),
@@ -274,6 +301,7 @@ def _lifecycle_layout(args: argparse.Namespace):
 def _cmd_lifecycle(args: argparse.Namespace) -> int:
     layout = _lifecycle_layout(args)
     disk = _disk_from(args)
+    _resolve_jobs(args)
     logger.info(
         "lifecycle MC: scheme=%s, %d disks, %d trials, %d job(s)",
         args.scheme, layout.n_disks, args.trials, args.jobs,
@@ -357,6 +385,7 @@ def _throttle_from(args: argparse.Namespace):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     layout = _lifecycle_layout(args)
+    _resolve_jobs(args)
     if args.clients:
         arrival = ClosedLoop(args.clients, think_s=args.think_ms / 1000.0)
     else:
@@ -562,9 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tol.add_argument("--max-failures", type=int, default=4)
     p_tol.add_argument("--samples", type=int, default=500,
                        help="patterns sampled per size (0 = exhaustive)")
-    p_tol.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the pattern sweep "
-                            "(default: serial; result identical for any N)")
+    _add_jobs_arg(p_tol, "the pattern sweep")
     p_tol.set_defaults(func=_cmd_tolerance)
 
     p_rel = sub.add_parser(
@@ -580,9 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mission length (default: 10 years)")
     p_rel.add_argument("--trials", type=int, default=1000)
     p_rel.add_argument("--seed", type=int, default=0)
-    p_rel.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the Monte-Carlo fan-out "
-                            "(default: serial; result identical for any N)")
+    p_rel.add_argument("--kernel", choices=MC_KERNELS, default="auto",
+                       help="lifetime kernel: auto picks the vectorized "
+                            "one when numpy is available")
+    _add_jobs_arg(p_rel, "the Monte-Carlo fan-out")
     p_rel.set_defaults(func=_cmd_reliability)
 
     p_lc = sub.add_parser(
@@ -611,9 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lc.add_argument("--lse-rate", type=float, default=0.0,
                       help="latent sector errors per byte read during "
                            "rebuild (e.g. 1e-15)")
-    p_lc.add_argument("--jobs", type=int, default=1,
-                      help="worker processes for the Monte-Carlo fan-out "
-                           "(default: serial; result identical for any N)")
+    _add_jobs_arg(p_lc, "the Monte-Carlo fan-out")
     p_lc.set_defaults(func=_cmd_lifecycle)
 
     p_srv = sub.add_parser(
@@ -657,9 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--bandwidth-mib", type=float, default=100.0)
     p_srv.add_argument("--trials", type=int, default=1)
     p_srv.add_argument("--seed", type=int, default=0)
-    p_srv.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the trial fan-out "
-                            "(default: serial; result identical for any N)")
+    _add_jobs_arg(p_srv, "the trial fan-out")
     p_srv.set_defaults(func=_cmd_serve)
 
     p_rb = sub.add_parser("rebuild", help="estimate rebuild wall-clock")

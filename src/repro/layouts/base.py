@@ -54,6 +54,35 @@ class PeelingIndex:
 
 
 @dataclass(frozen=True)
+class DiskPeelingIndex:
+    """Integer-id twin of :class:`PeelingIndex` for whole-disk failures.
+
+    The recoverability oracle only ever asks about whole-disk failure
+    patterns, and it is the hot call of every Monte-Carlo kernel — so this
+    index flattens cells to ``disk * units_per_disk + addr`` integers and
+    precomputes each disk's contribution to the per-stripe lost-cell
+    counts. The oracle's peel then runs on lists and a ``bytearray``
+    instead of tuple-keyed dicts and sets (~2.7x on the 21-disk layout).
+
+    Attributes:
+        units_per_disk: cells per disk (the cell-id stride).
+        n_cells: total cells in the layout cycle.
+        stripe_cells: per stripe id, its member cell ids.
+        stripe_tolerance: per stripe id, its erasure tolerance.
+        cell_stripes: per cell id, the stripe ids containing it.
+        disk_stripe_counts: per disk, ``(stripe_id, lost_cells)`` pairs —
+            the per-stripe count increments caused by that disk failing.
+    """
+
+    units_per_disk: int
+    n_cells: int
+    stripe_cells: Tuple[Tuple[int, ...], ...]
+    stripe_tolerance: Tuple[int, ...]
+    cell_stripes: Tuple[Tuple[int, ...], ...]
+    disk_stripe_counts: Tuple[Tuple[Tuple[int, int], ...], ...]
+
+
+@dataclass(frozen=True)
 class Unit:
     """A physical placement: unit *addr* on disk *disk* (within one cycle)."""
 
@@ -127,6 +156,7 @@ class Layout(abc.ABC):
         self._parity_of: Dict[Cell, int] = {}
         self._data_cells: Tuple[Cell, ...] = ()
         self._peeling_index: Optional[PeelingIndex] = None
+        self._disk_peeling_index: Optional[DiskPeelingIndex] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -247,6 +277,34 @@ class Layout(abc.ABC):
                 },
             )
         return self._peeling_index
+
+    def disk_peeling_index(self) -> DiskPeelingIndex:
+        """The cached :class:`DiskPeelingIndex` (built lazily)."""
+        if self._disk_peeling_index is None:
+            u = self.units_per_disk
+            index = self.peeling_index()
+            cell_stripes: List[Tuple[int, ...]] = [()] * (self.n_disks * u)
+            for (disk, addr), sids in index.cell_stripes.items():
+                cell_stripes[disk * u + addr] = sids
+            disk_stripe_counts = []
+            for disk in range(self.n_disks):
+                contrib: Dict[int, int] = {}
+                for addr in range(u):
+                    for sid in cell_stripes[disk * u + addr]:
+                        contrib[sid] = contrib.get(sid, 0) + 1
+                disk_stripe_counts.append(tuple(sorted(contrib.items())))
+            self._disk_peeling_index = DiskPeelingIndex(
+                units_per_disk=u,
+                n_cells=self.n_disks * u,
+                stripe_cells=tuple(
+                    tuple(disk * u + addr for disk, addr in cells)
+                    for cells in index.stripe_cells
+                ),
+                stripe_tolerance=index.stripe_tolerance,
+                cell_stripes=tuple(cell_stripes),
+                disk_stripe_counts=tuple(disk_stripe_counts),
+            )
+        return self._disk_peeling_index
 
     def parity_producer(self, cell: Cell) -> int:
         """The stripe id whose parity lives at *cell*, or raise."""

@@ -27,7 +27,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DataLossError
-from repro.layouts.base import Cell, Layout, PeelingIndex, Stripe
+from repro.layouts.base import (
+    Cell,
+    DiskPeelingIndex,
+    Layout,
+    PeelingIndex,
+    Stripe,
+)
 from repro.obs.telemetry import ambient
 
 
@@ -97,6 +103,52 @@ def _peel(layout: Layout, lost: Set[Cell]) -> bool:
     return not lost
 
 
+def _peel_disks(index: DiskPeelingIndex, failed: Iterable[int]) -> bool:
+    """Whole-disk-failure peeling on the integer-id index.
+
+    Exactly :func:`_peel` restricted to losses that are whole disks, which
+    lets the setup be table lookups: per-stripe lost counts come from each
+    disk's precomputed contribution, and cell membership is a ``bytearray``
+    indexed by cell id. This is the Monte-Carlo oracle's inner loop — the
+    peel order differs from :func:`_peel` but the outcome cannot (peeling
+    is confluent for these layouts; see :func:`is_recoverable`).
+    """
+    tolerance = index.stripe_tolerance
+    counts = [0] * len(tolerance)
+    lost = bytearray(index.n_cells)
+    ones = b"\x01" * index.units_per_disk
+    n_lost = 0
+    for disk in failed:
+        for sid, contribution in index.disk_stripe_counts[disk]:
+            counts[sid] += contribution
+    stack = []
+    for disk in failed:
+        base = disk * index.units_per_disk
+        lost[base:base + index.units_per_disk] = ones
+        n_lost += index.units_per_disk
+        for sid, _contribution in index.disk_stripe_counts[disk]:
+            if 0 < counts[sid] <= tolerance[sid]:
+                stack.append(sid)
+    stripe_cells = index.stripe_cells
+    cell_stripes = index.cell_stripes
+    while stack:
+        sid = stack.pop()
+        count = counts[sid]
+        if count == 0 or count > tolerance[sid]:
+            continue  # stale entry: repaired or re-overloaded meanwhile
+        for cell in stripe_cells[sid]:
+            if not lost[cell]:
+                continue
+            lost[cell] = 0
+            n_lost -= 1
+            for other in cell_stripes[cell]:
+                remaining = counts[other] - 1
+                counts[other] = remaining
+                if other != sid and 0 < remaining <= tolerance[other]:
+                    stack.append(other)
+    return n_lost == 0
+
+
 def cells_recoverable(layout: Layout, cells: Iterable[Cell]) -> bool:
     """True if an explicit lost-*cell* set is decodable by peeling.
 
@@ -131,10 +183,13 @@ def is_recoverable(layout: Layout, failed_disks: Iterable[int]) -> bool:
     tel = ambient()
     if tel.enabled:
         tel.count("recovery.oracle_calls")
-    lost = lost_cells(layout, failed_disks)
-    if not lost:
+    failed = set(failed_disks)
+    for disk in failed:
+        if not 0 <= disk < layout.n_disks:
+            raise ValueError(f"no such disk {disk} in {layout.name}")
+    if not failed:
         return True
-    return _peel(layout, lost)
+    return _peel_disks(layout.disk_peeling_index(), failed)
 
 
 @dataclass(frozen=True)
@@ -205,6 +260,37 @@ class RecoveryPlan:
     @property
     def total_write_units(self) -> int:
         return len(self.recovered_cells)
+
+
+def degraded_read_sources(plan: "RecoveryPlan") -> Dict[Cell, Tuple[int, ...]]:
+    """Lost cell -> the sorted disks its repair step reads from.
+
+    The serving simulator routes a degraded read of a lost cell to
+    exactly the disks the recovery plan would touch to regenerate it, so
+    the foreground fan-out and the rebuild traffic agree on sourcing.
+    """
+    sources: Dict[Cell, Tuple[int, ...]] = {}
+    for step in plan.steps:
+        reads = tuple(sorted({c[0] for c in step.reads}))
+        for target in step.targets:
+            sources[target] = reads
+    return sources
+
+
+def parity_disk_table(layout: Layout) -> Dict[Cell, Tuple[int, ...]]:
+    """Cell -> sorted disks holding parity of its containing stripes.
+
+    A read-modify-write of a cell must update every containing stripe's
+    parity; this table (home disk excluded) is what the serving
+    simulator fans writes out to. Pure function of the layout — callers
+    that serve many trials should compute it once and reuse it.
+    """
+    table: Dict[Cell, set] = {}
+    for stripe in layout.stripes:
+        pdisks = {c[0] for c in stripe.parity_cells()}
+        for cell in stripe.cells():
+            table.setdefault(cell, set()).update(pdisks - {cell[0]})
+    return {cell: tuple(sorted(disks)) for cell, disks in table.items()}
 
 
 def _surrogate_options(

@@ -81,13 +81,22 @@ class EventLog:
         return counts
 
     def merge(self, other: "EventLog", trial_offset: int = 0) -> None:
-        """Append *other*'s records, rebasing trial indices by *trial_offset*."""
-        for record in other.records:
-            if len(self.records) >= self.max_events:
-                self.dropped += 1
-                continue
-            if trial_offset and "trial" in record:
-                record = dict(record)
-                record["trial"] += trial_offset
-            self.records.append(record)
-        self.dropped += other.dropped
+        """Append *other*'s records, rebasing trial indices by *trial_offset*.
+
+        Bulk path: capacity is checked once (the room left can only
+        shrink) and untouched records are extended in one slice instead
+        of appended one by one — merging per-chunk logs is on the
+        parallel runner's chunk-completion path.
+        """
+        room = self.max_events - len(self.records)
+        take = other.records if room >= len(other.records) else other.records[:room]
+        if trial_offset:
+            self.records.extend(
+                {**record, "trial": record["trial"] + trial_offset}
+                if "trial" in record
+                else record
+                for record in take
+            )
+        else:
+            self.records.extend(take)
+        self.dropped += (len(other.records) - len(take)) + other.dropped

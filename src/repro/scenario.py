@@ -31,7 +31,7 @@ from repro.layouts.base import Layout
 from repro.obs.telemetry import Telemetry
 from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import guaranteed_tolerance
-from repro.sim.montecarlo import recoverability_oracle
+from repro.sim.montecarlo import MC_KERNELS, recoverability_oracle
 from repro.sim.parallel import (
     simulate_lifecycle_parallel,
     simulate_lifetimes_parallel,
@@ -84,6 +84,11 @@ class Scenario:
         trials: replications (reliability, lifecycle, serve).
         seed: base RNG seed (``None`` = nondeterministic).
         jobs: worker processes; results are bit-identical for any value.
+        mc_kernel: Monte-Carlo lifetime kernel (reliability) — ``auto``
+            picks the numpy-vectorized kernel when numpy is available,
+            ``vectorized``/``event`` force one. The two kernels draw
+            different (equally valid) random streams, so switching
+            kernels changes individual trials but not the statistics.
         telemetry: collecting telemetry, or ``None`` for the ambient
             default.
     """
@@ -106,6 +111,7 @@ class Scenario:
     trials: int = 100
     seed: Optional[int] = 0
     jobs: int = 1
+    mc_kernel: str = "auto"
     telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
@@ -113,6 +119,11 @@ class Scenario:
             raise SimulationError(
                 f"unknown scenario kind {self.kind!r} "
                 f"(expected one of {SCENARIO_KINDS})"
+            )
+        if self.mc_kernel not in MC_KERNELS:
+            raise SimulationError(
+                f"unknown mc_kernel {self.mc_kernel!r} "
+                f"(expected one of {MC_KERNELS})"
             )
 
     def with_kind(self, kind: str) -> "Scenario":
@@ -147,6 +158,7 @@ def _run_reliability(scenario: Scenario, progress):
         trials=scenario.trials,
         seed=scenario.seed,
         jobs=scenario.jobs,
+        kernel=scenario.mc_kernel,
         telemetry=scenario.telemetry,
         progress=progress,
     )

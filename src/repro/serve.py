@@ -20,7 +20,9 @@ from repro.sim.serve import (
     FixedRateThrottle,
     IdleSlotThrottle,
     ServeResult,
+    ServeTables,
     ThrottlePolicy,
+    build_serve_tables,
     merge_serve_results,
     simulate_serve,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "IdleSlotThrottle",
     "AdaptiveThrottle",
     "ServeResult",
+    "ServeTables",
+    "build_serve_tables",
     "simulate_serve",
     "simulate_serve_parallel",
     "merge_serve_results",

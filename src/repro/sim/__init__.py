@@ -31,7 +31,13 @@ from repro.sim.lifecycle import (
     simulate_lifecycle,
 )
 from repro.sim.markov import MarkovReliabilityModel, mttdl_raid5_array
-from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
+from repro.sim.montecarlo import (
+    MC_KERNELS,
+    LifetimeResult,
+    lifetime_kernel,
+    simulate_lifetimes,
+    simulate_lifetimes_vectorized,
+)
 from repro.sim.parallel import (
     default_jobs,
     merge_lifecycle_results,
@@ -48,12 +54,15 @@ from repro.sim.rebuild import (
     analytic_rebuild_time,
     simulate_rebuild,
 )
+from repro.sim.pool import pool_stats, shutdown_pool
 from repro.sim.serve import (
     AdaptiveThrottle,
     FixedRateThrottle,
     IdleSlotThrottle,
     ServeResult,
+    ServeTables,
     ThrottlePolicy,
+    build_serve_tables,
     merge_serve_results,
     simulate_serve,
 )
@@ -72,11 +81,16 @@ __all__ = [
     "LatencyModel",
     "LatencyResult",
     "simulate_lifetimes",
+    "simulate_lifetimes_vectorized",
+    "lifetime_kernel",
+    "MC_KERNELS",
     "simulate_lifetimes_parallel",
     "survivable_fraction_parallel",
     "merge_lifetime_results",
     "parallel_map",
     "default_jobs",
+    "pool_stats",
+    "shutdown_pool",
     "LifetimeResult",
     "LifecycleResult",
     "RebuildTimer",
@@ -91,6 +105,8 @@ __all__ = [
     "IdleSlotThrottle",
     "AdaptiveThrottle",
     "ServeResult",
+    "ServeTables",
+    "build_serve_tables",
     "simulate_serve",
     "simulate_serve_parallel",
     "merge_serve_results",

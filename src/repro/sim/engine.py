@@ -5,6 +5,11 @@ earlier fire first at equal timestamps) so simulations are exactly
 reproducible. :class:`FcfsServer` models a disk: a single server draining a
 FIFO queue of fixed-service-time requests.
 
+The hot path is allocation-lean: :class:`Event` handles carry ``__slots__``
+and the heap holds plain ``(time, seq, event)`` tuples, so every heap
+comparison is a C-level tuple comparison that never touches the event
+object itself.
+
 Telemetry: a :class:`Simulator` counts scheduled / processed / cancelled
 events into the telemetry passed to it (default: the ambient telemetry,
 a no-op unless a caller installed a collecting one), so the engine's
@@ -15,22 +20,34 @@ telemetry is disabled beyond a single flag check.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.telemetry import Telemetry, ambient
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback; ordering is (time, sequence number)."""
+    """A scheduled callback; the cancellable handle returned by ``schedule``."""
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) == (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
 
 
 class Simulator:
@@ -38,8 +55,8 @@ class Simulator:
 
     def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.now = 0.0
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
         self._processed = 0
         self._tel = telemetry if telemetry is not None else ambient()
 
@@ -47,8 +64,11 @@ class Simulator:
         """Schedule *action* at ``now + delay``; returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
-        event = Event(self.now + delay, next(self._seq), action)
-        heapq.heappush(self._queue, event)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, action)
+        heapq.heappush(self._queue, (time, seq, event))
         if self._tel.enabled:
             self._tel.count("engine.events_scheduled")
         return event
@@ -62,18 +82,21 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> int:
         """Process events (up to time *until*); returns events processed."""
         processed = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            time = queue[0][0]
+            if until is not None and time > until:
                 break
-            event = heapq.heappop(self._queue)
+            event = pop(queue)[2]
             if event.cancelled:
                 continue
-            if event.time < self.now:
+            if time < self.now:
                 raise SimulationError("event queue went backwards (bug)")
-            self.now = event.time
+            self.now = time
             event.action()
             processed += 1
-        if until is not None and self.now < until and not self._queue:
+        if until is not None and self.now < until and not queue:
             self.now = until
         self._processed += processed
         if self._tel.enabled:
@@ -82,7 +105,7 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
 
 
 class FcfsServer:
@@ -91,6 +114,8 @@ class FcfsServer:
     Submit work with :meth:`submit`; the completion callback fires when the
     request reaches the head of the queue and its service time elapses.
     """
+
+    __slots__ = ("sim", "name", "busy_until", "total_busy", "requests")
 
     def __init__(self, sim: Simulator, name: str = "server") -> None:
         self.sim = sim
@@ -107,12 +132,15 @@ class FcfsServer:
             raise SimulationError(
                 f"{self.name}: negative service time {service_time}"
             )
-        start = max(self.sim.now, self.busy_until)
+        sim = self.sim
+        start = self.busy_until
+        if sim.now > start:
+            start = sim.now
         done = start + service_time
         self.busy_until = done
         self.total_busy += service_time
         self.requests += 1
-        self.sim.schedule(done - self.sim.now, on_done)
+        sim.schedule(done - sim.now, on_done)
         return done
 
     def utilization(self, horizon: float) -> float:

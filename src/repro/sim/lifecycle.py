@@ -288,6 +288,7 @@ def simulate_lifecycle(
     seed: Optional[int] = 0,
     oracle: Optional[Callable[[Set[int]], bool]] = None,
     telemetry: Optional[Telemetry] = None,
+    timer: Optional[RebuildTimer] = None,
 ) -> LifecycleResult:
     """Simulate *trials* missions with layout-derived repair durations.
 
@@ -303,6 +304,13 @@ def simulate_lifecycle(
 
     *oracle* overrides the pattern-recoverability check (defaults to the
     layout's peeling decoder with a guaranteed-tolerance fast path).
+
+    *timer* supplies a pre-built :class:`RebuildTimer` so callers running
+    many chunks against one layout (the parallel runner's broadcast state)
+    share a single rebuild-time memo instead of rebuilding it per chunk;
+    it must have been constructed with the same
+    ``(layout, disk, sparing, method, batches)`` — rebuild times are pure
+    functions of those, so a matching timer can never change results.
 
     *telemetry* (default: the ambient telemetry, a no-op unless a caller
     installed a collecting one) receives counters and histograms of
@@ -321,7 +329,8 @@ def simulate_lifecycle(
     if lse_rate_per_byte < 0:
         raise SimulationError("lse_rate_per_byte must be >= 0")
     disk = disk or DiskModel()
-    timer = RebuildTimer(layout, disk, sparing, method, batches)
+    if timer is None:
+        timer = RebuildTimer(layout, disk, sparing, method, batches)
     tolerance = guaranteed_tolerance(layout)
 
     def pattern_ok(failed: Set[int]) -> bool:

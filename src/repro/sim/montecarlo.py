@@ -20,12 +20,21 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set, Tuple
 
+try:  # the vectorized kernel needs numpy; the event kernel does not
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.results import ResultBase, register_result
 from repro.util.checks import check_positive
+
+#: Kernel names accepted by the lifetime runners. ``auto`` resolves to
+#: the vectorized kernel when numpy is importable, else the event kernel.
+MC_KERNELS = ("auto", "vectorized", "event")
 
 
 def normal_interval(
@@ -213,4 +222,278 @@ def simulate_lifetimes(
         losses=len(loss_times),
         loss_times=tuple(loss_times),
         horizon_hours=horizon_hours,
+    )
+
+
+def _oracle_guarantee(oracle: Callable[[Set[int]], bool]) -> int:
+    """Failure count below which *oracle* certainly answers "survives".
+
+    :class:`RecoverabilityOracle` fast-paths sets of at most its
+    ``guaranteed_tolerance``; :class:`ThresholdOracle` *is* its
+    ``tolerance``. Opaque callables get 0 — every trial with a failure is
+    then walked with the oracle, which is slow but exact.
+    """
+    declared = getattr(oracle, "guaranteed_tolerance", None)
+    if declared is None:
+        declared = getattr(oracle, "tolerance", None)
+    return int(declared) if declared is not None else 0
+
+
+def _sample_lifetime_events(rng, n_disks, mttf_hours, mttr_hours,
+                            horizon_hours, trials):
+    """Pre-sample every trial's failure/repair events up to the horizon.
+
+    Each disk is an independent alternating renewal process (operate
+    ``Exp(mttf)``, repair ``Exp(mttr)``, repeat), exactly the process the
+    event kernel builds one arrival at a time. Cycle durations are drawn
+    in whole blocks and extended until every ``(trial, disk)`` lane's
+    last failure lands beyond the horizon; the growth rule depends only
+    on the sampled values, so results are a deterministic function of
+    the seed.
+
+    Returns ``(times, kinds, disks, counts, starts)``: flat event arrays
+    sorted by ``(trial, time)`` — failures are kind 0, repairs kind 1 —
+    plus each trial's event count and its slice start in the flat arrays.
+    The sort key is the composite ``trial * span + time`` (a single
+    float argsort, several times faster than a 4-key lexsort); exact
+    float-time ties inside one trial have probability zero and any
+    deterministic order for them is acceptable because every consumer
+    (the concurrency filter, both replay walks) reads the same ordering.
+    """
+    expected_cycles = horizon_hours / (mttf_hours + mttr_hours)
+    k = max(2, int(expected_cycles * 1.5) + 2)
+    lane_ids = _np.arange(trials * n_disks)  # lane = trial * n_disks + disk
+    base = _np.zeros(len(lane_ids))
+    lane_parts, time_parts, kind_parts = [], [], []
+    while len(lane_ids):
+        # Draw k more cycles for every still-uncovered lane. Lanes that
+        # already reach past the horizon drop out, so later tiers touch a
+        # fast-shrinking remainder instead of re-growing the whole array.
+        fails = rng.exponential(mttf_hours, size=(len(lane_ids), k))
+        repairs = rng.exponential(mttr_hours, size=(len(lane_ids), k))
+        csum = _np.cumsum(fails + repairs, axis=1)
+        csum += base[:, None]
+        fail_t = csum - repairs  # k-th failure is one repair before csum_k
+        fail_mask = fail_t <= horizon_hours
+        repair_mask = csum <= horizon_hours
+        f_lane, _ = _np.nonzero(fail_mask)
+        r_lane, _ = _np.nonzero(repair_mask)
+        lane_parts.append(lane_ids[f_lane])
+        time_parts.append(fail_t[fail_mask])
+        kind_parts.append(_np.zeros(len(f_lane), dtype=_np.int8))
+        lane_parts.append(lane_ids[r_lane])
+        time_parts.append(csum[repair_mask])
+        kind_parts.append(_np.ones(len(r_lane), dtype=_np.int8))
+        uncovered = (csum[:, -1] - repairs[:, -1]) <= horizon_hours
+        lane_ids = lane_ids[uncovered]
+        base = csum[uncovered, -1]
+        k = max(4, k * 2)
+
+    times = _np.concatenate(time_parts)
+    kinds = _np.concatenate(kind_parts)
+    lanes = _np.concatenate(lane_parts)
+    trial_ix = lanes // n_disks
+    disk_ix = lanes - trial_ix * n_disks
+    span = horizon_hours + 1.0
+    order = _np.argsort(trial_ix * span + times)
+    times, kinds = times[order], kinds[order]
+    trial_ix, disk_ix = trial_ix[order], disk_ix[order]
+    counts = _np.bincount(trial_ix, minlength=trials)
+    starts = _np.concatenate(([0], _np.cumsum(counts)[:-1]))
+    return times, kinds, disk_ix, counts, starts
+
+
+def _first_exceedances(kinds, counts, starts, trials, guarantee):
+    """Where each trial first exceeds *guarantee* concurrent failures.
+
+    A failure is +1, a repair -1; the running sum after each event is the
+    failed-set size at that instant. A trial whose concurrency never
+    exceeds the oracle's guaranteed tolerance can never lose data and
+    needs no replay at all; for the rest, the loss (if any) can only
+    happen at or after the first exceedance, so the replay starts there.
+
+    Returns ``(suspect_trials, first_index)`` — both ascending by trial,
+    ``first_index`` being the global index of the trial's first
+    exceedance event (always a failure arrival).
+    """
+    if not len(kinds):
+        empty = _np.zeros(0, dtype=_np.intp)
+        return empty, empty
+    deltas = _np.where(kinds == 0, 1, -1)
+    running = _np.cumsum(deltas)
+    baselines = _np.where(starts > 0, running[starts - 1], 0)
+    concurrency = running - _np.repeat(baselines, counts)
+    hot = _np.flatnonzero(concurrency > guarantee)
+    if not len(hot):
+        return hot, hot
+    hot_trials = _np.repeat(_np.arange(trials), counts)[hot]
+    suspects, first_pos = _np.unique(hot_trials, return_index=True)
+    return suspects, hot[first_pos]
+
+
+def _walk_trial(
+    times, kinds, disks, oracle, guarantee: int, failed: Set[int]
+) -> Optional[float]:
+    """Replay one trial's pre-sampled events; returns the loss time.
+
+    *failed* is the failed set at the replay's starting point (empty when
+    replaying from the trial's first event). The oracle is consulted only
+    when the set outgrows *guarantee* — the same fast path the oracles
+    implement internally, inlined to skip the call entirely — and not even
+    then when the set is a subset of one already verified recoverable
+    (recoverability is monotone: losing less can never be worse).
+    """
+    verified: Optional[Set[int]] = None
+    for i in range(len(times)):
+        if kinds[i] == 0:
+            failed.add(disks[i])
+            if len(failed) > guarantee and not (
+                verified is not None and failed <= verified
+            ):
+                if not oracle(failed):
+                    return times[i]
+                verified = set(failed)
+        else:
+            failed.discard(disks[i])
+    return None
+
+
+def _walk_trial_telemetry(
+    times, kinds, disks, oracle, tel: Telemetry, trial: int
+) -> Optional[float]:
+    """The :func:`_walk_trial` replay, emitting the event-kernel vocabulary."""
+    failed: Set[int] = set()
+    lost_at: Optional[float] = None
+    for i in range(len(times)):
+        time = times[i]
+        if kinds[i] == 0:
+            failed.add(disks[i])
+            tel.count("mc.failures")
+            tel.event(
+                "failure", time, trial=trial,
+                disk=disks[i], failed=len(failed),
+            )
+            if not oracle(failed):
+                lost_at = time
+                tel.count("mc.losses")
+                tel.event(
+                    "data_loss", time, trial=trial,
+                    cause="pattern", failed=len(failed),
+                )
+                break
+        else:
+            failed.discard(disks[i])
+            tel.count("mc.repairs")
+            tel.event("repair_complete", time, trial=trial, disks=1)
+    tel.count("mc.trials")
+    if lost_at is not None:
+        tel.observe("mc.loss_time_hours", lost_at)
+    return lost_at
+
+
+def simulate_lifetimes_vectorized(
+    n_disks: int,
+    mttf_hours: float,
+    mttr_hours: float,
+    oracle: Callable[[Set[int]], bool],
+    horizon_hours: float,
+    trials: int = 1000,
+    seed: Optional[int] = 0,
+    telemetry: Optional[Telemetry] = None,
+) -> LifetimeResult:
+    """The numpy-vectorized twin of :func:`simulate_lifetimes`.
+
+    Same model, same result type, different execution strategy: every
+    trial's failure/repair arrivals are pre-sampled in whole batches,
+    and a whole-batch concurrency filter proves most trials loss-free
+    without a single oracle call — only trials whose peak concurrent
+    failures exceed the oracle's guaranteed tolerance are replayed
+    event-by-event with the exact peeling oracle. At realistic rates
+    that replay set is a few percent of trials, which is where the
+    >= 5x speedup over the event kernel comes from.
+
+    The result is a deterministic function of ``(trials, seed)`` —
+    **with or without telemetry**: a collecting run replays every trial
+    from the *same* pre-sampled arrays (to emit per-event telemetry in
+    the event kernel's vocabulary), so enabling ``--metrics-out`` never
+    changes the simulated outcome. The sampled stream differs from the
+    event kernel's (``numpy`` vs :mod:`random`), so the two kernels
+    agree statistically, not bit-for-bit.
+    """
+    if _np is None:  # pragma: no cover - numpy is a declared dependency
+        raise SimulationError(
+            "the vectorized Monte-Carlo kernel requires numpy; "
+            "use kernel='event' instead"
+        )
+    check_positive("n_disks", n_disks, 2)
+    check_positive("trials", trials, 1)
+    if mttf_hours <= 0 or mttr_hours <= 0 or horizon_hours <= 0:
+        raise SimulationError("rates and horizon must be positive")
+    tel = telemetry if telemetry is not None else ambient()
+    rng = _np.random.default_rng(seed)
+
+    times, kinds, disks, counts, starts = _sample_lifetime_events(
+        rng, n_disks, mttf_hours, mttr_hours, horizon_hours, trials
+    )
+    loss_times: List[float] = []
+
+    if tel.enabled:
+        # Telemetry needs per-event records, so every trial is replayed —
+        # from the same sampled arrays, hence the same LifetimeResult.
+        t_list = times.tolist()
+        k_list = kinds.tolist()
+        d_list = disks.tolist()
+        with use_telemetry(tel):
+            for trial in range(trials):
+                a = int(starts[trial])
+                b = a + int(counts[trial])
+                lost_at = _walk_trial_telemetry(
+                    t_list[a:b], k_list[a:b], d_list[a:b], oracle, tel, trial
+                )
+                if lost_at is not None:
+                    loss_times.append(lost_at)
+    else:
+        guarantee = _oracle_guarantee(oracle)
+        suspects, first_idx = _first_exceedances(
+            kinds, counts, starts, trials, guarantee
+        )
+        for trial, j in zip(suspects.tolist(), first_idx.tolist()):
+            a = int(starts[trial])
+            b = a + int(counts[trial])
+            # Failed set just before the first exceedance: a disk is down
+            # iff it appears an odd number of times in [a, j) — its events
+            # strictly alternate failure/repair.
+            parity = _np.bincount(disks[a:j], minlength=n_disks) & 1
+            failed = set(_np.flatnonzero(parity).tolist())
+            lost_at = _walk_trial(
+                times[j:b].tolist(),
+                kinds[j:b].tolist(),
+                disks[j:b].tolist(),
+                oracle,
+                guarantee,
+                failed,
+            )
+            if lost_at is not None:
+                loss_times.append(lost_at)
+
+    return LifetimeResult(
+        trials=trials,
+        losses=len(loss_times),
+        loss_times=tuple(loss_times),
+        horizon_hours=horizon_hours,
+    )
+
+
+def lifetime_kernel(
+    name: str,
+) -> Callable[..., LifetimeResult]:
+    """Resolve a :data:`MC_KERNELS` name to its simulate function."""
+    if name == "auto":
+        name = "vectorized" if _np is not None else "event"
+    if name == "vectorized":
+        return simulate_lifetimes_vectorized
+    if name == "event":
+        return simulate_lifetimes
+    raise SimulationError(
+        f"unknown Monte-Carlo kernel {name!r} (expected one of {MC_KERNELS})"
     )

@@ -7,9 +7,9 @@ and both are embarrassingly parallel:
 * **Fault-pattern sweeps** (E6, the tolerance CLI): thousands of
   independent ``is_recoverable`` calls.
 
-This module fans both across worker processes via
-:class:`concurrent.futures.ProcessPoolExecutor` while keeping results
-**bit-identical for every worker count**, including ``jobs=1``:
+This module fans both across the persistent worker pool of
+:mod:`repro.sim.pool` while keeping results **bit-identical for every
+worker count**, including ``jobs=1``:
 
 1. Work is split into fixed-size chunks whose boundaries depend only on
    the problem size (never on ``jobs``), so the same chunks exist whether
@@ -19,20 +19,23 @@ This module fans both across worker processes via
    (``seed ^ (chunk_id * 0x9E3779B97F4A7C15)``); chunk 0's seed equals the
    caller's seed, so a single-chunk run reproduces the serial kernel
    exactly.
-3. Chunk results are merged in chunk order (``Executor.map`` preserves
-   order), so concatenated outputs like ``loss_times`` are stable.
+3. Chunk results stream back in **completion** order (progress callbacks
+   fire as chunks land), but are merged through a chunk-ordered reorder
+   buffer — so concatenated outputs like ``loss_times`` and the merged
+   telemetry are stable for any ``jobs``.
 
-Callables shipped to workers must be picklable: module-level functions and
-the oracle dataclasses from :mod:`repro.sim.montecarlo` qualify; closures
-and lambdas do not.
+The heavy read-only state of each runner (the oracle, the layout, the
+rebuild-time memo) is **broadcast** to the pool through its initializer —
+pickled once per pool lifetime, not once per chunk — while the chunk specs
+themselves carry only scalars. Broadcast state must be picklable: the
+oracle dataclasses from :mod:`repro.sim.montecarlo` qualify; closures and
+lambdas do not.
 """
 
 from __future__ import annotations
 
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from repro.errors import SimulationError
@@ -40,12 +43,21 @@ from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.latency import LatencyModel
-from repro.sim.lifecycle import LifecycleResult, simulate_lifecycle
-from repro.sim.montecarlo import LifetimeResult, simulate_lifetimes
+from repro.sim.lifecycle import (
+    LifecycleResult,
+    RebuildTimer,
+    simulate_lifecycle,
+)
+from repro.sim.montecarlo import (
+    LifetimeResult,
+    lifetime_kernel,
+)
+from repro.sim.pool import run_streaming
 from repro.sim.rebuild import DiskModel
 from repro.sim.serve import (
     ServeResult,
     ThrottlePolicy,
+    build_serve_tables,
     merge_serve_results,
     simulate_serve,
 )
@@ -73,16 +85,30 @@ _SEED_MASK = (1 << 63) - 1
 
 
 def default_jobs() -> int:
-    """Worker count from the ``REPRO_JOBS`` environment variable (min 1).
+    """Worker count from the ``REPRO_JOBS`` environment variable.
 
-    The benchmarks read this so CI can opt whole experiment sweeps into
-    parallelism without touching their code; unset or invalid means serial.
+    The benchmarks and the CLI read this so CI can opt whole experiment
+    sweeps into parallelism without touching their code. Unset or empty
+    means serial (1); anything else must be a positive integer —
+    ``REPRO_JOBS=0``, negatives, and non-numbers raise
+    :class:`~repro.errors.SimulationError` instead of being silently
+    clamped to serial, because a typo'd job count that quietly runs 8x
+    slower is exactly the regression this layer exists to prevent.
     """
-    raw = os.environ.get("REPRO_JOBS", "")
-    try:
-        return max(1, int(raw))
-    except ValueError:
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
         return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise SimulationError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise SimulationError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}"
+        )
+    return jobs
 
 
 def derive_chunk_seed(seed: int, chunk_id: int) -> int:
@@ -130,69 +156,63 @@ def merge_lifetime_results(
     )
 
 
-@dataclass(frozen=True)
-class _LifetimeChunk:
-    """One picklable unit of Monte-Carlo work."""
-
-    n_disks: int
-    mttf_hours: float
-    mttr_hours: float
-    oracle: Callable[[Set[int]], bool]
-    horizon_hours: float
-    trials: int
-    seed: int
-    collect: bool = False
-
-
-def _run_lifetime_chunk(
-    spec: _LifetimeChunk,
-) -> Tuple[LifetimeResult, Optional[Telemetry]]:
-    chunk_tel = Telemetry.collecting() if spec.collect else None
-    result = simulate_lifetimes(
-        spec.n_disks,
-        spec.mttf_hours,
-        spec.mttr_hours,
-        spec.oracle,
-        spec.horizon_hours,
-        trials=spec.trials,
-        seed=spec.seed,
+def _lifetime_worker(oracle, common, spec):
+    """Pool task for one Monte-Carlo chunk; *oracle* is broadcast state."""
+    n_disks, mttf_hours, mttr_hours, horizon_hours, kernel, collect = common
+    size, chunk_seed = spec
+    chunk_tel = Telemetry.collecting() if collect else None
+    result = lifetime_kernel(kernel)(
+        n_disks,
+        mttf_hours,
+        mttr_hours,
+        oracle,
+        horizon_hours,
+        trials=size,
+        seed=chunk_seed,
         telemetry=chunk_tel,
     )
     return result, chunk_tel
 
 
-def _drain_chunks(run_chunk, specs, jobs, telemetry, progress, total):
-    """Run chunk specs (serially or fanned out), merging in chunk order.
+def _drain_streaming(
+    worker, state, common, specs, sizes, jobs, telemetry, progress, total
+):
+    """Stream chunk results off the pool, merging telemetry in chunk order.
 
-    The shared collection loop of both Monte-Carlo runners: results are
-    consumed in chunk order (``Executor.map`` preserves it), each chunk's
-    telemetry is folded into *telemetry* with its trial offset the moment
-    it arrives, and *progress* is invoked after every chunk — which is
-    what makes stderr heartbeats possible mid-run instead of only at the
-    end.
+    The shared collection loop of the Monte-Carlo runners. Results arrive
+    in **completion** order — *progress* fires the moment a chunk lands,
+    which is what makes stderr heartbeats possible mid-run — while each
+    chunk's telemetry is folded into *telemetry* through a reorder buffer
+    at its precomputed trial offset, so the merged registry and event log
+    are bit-identical for any ``jobs``. The per-chunk results themselves
+    are slotted by chunk index and merged by the caller afterwards.
     """
-    parts = []
+    offsets = []
+    acc = 0
+    for size in sizes:
+        offsets.append(acc)
+        acc += size
+    parts: List[Optional[object]] = [None] * len(specs)
+    pending_tel = {}
+    next_merge = 0
     done = 0
     losses = 0
-
-    def consume(pair):
-        nonlocal done, losses
-        result, chunk_tel = pair
-        if telemetry is not None and chunk_tel is not None:
-            telemetry.merge_chunk(chunk_tel, trial_offset=done)
-        parts.append(result)
+    for index, (result, chunk_tel) in run_streaming(
+        worker, state, common, specs, jobs
+    ):
+        parts[index] = result
         done += result.trials
         losses += getattr(result, "losses", 0)
+        if telemetry is not None and chunk_tel is not None:
+            pending_tel[index] = chunk_tel
+            while next_merge in pending_tel:
+                telemetry.merge_chunk(
+                    pending_tel.pop(next_merge),
+                    trial_offset=offsets[next_merge],
+                )
+                next_merge += 1
         if progress is not None:
             progress(done, total, losses)
-
-    if jobs == 1 or len(specs) == 1:
-        for spec in specs:
-            consume(run_chunk(spec))
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            for pair in pool.map(run_chunk, specs):
-                consume(pair)
     return parts
 
 
@@ -208,14 +228,20 @@ def simulate_lifetimes_parallel(
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressCallback] = None,
+    kernel: str = "auto",
 ) -> LifetimeResult:
-    """Chunked (and optionally multi-process) :func:`simulate_lifetimes`.
+    """Chunked (and optionally multi-process) Monte-Carlo lifetimes.
 
-    The result depends only on ``(trials, seed, chunk_trials)`` — never on
-    ``jobs`` — so ``jobs=1`` and ``jobs=8`` are bit-identical, and a run
-    with ``trials <= chunk_trials`` is bit-identical to the serial kernel.
-    *oracle* must be picklable when ``jobs > 1`` (use the oracle classes
-    from :mod:`repro.sim.montecarlo`, not ad-hoc closures).
+    The result depends only on ``(trials, seed, chunk_trials, kernel)`` —
+    never on ``jobs`` — so ``jobs=1`` and ``jobs=8`` are bit-identical,
+    and a run with ``trials <= chunk_trials`` is bit-identical to the
+    selected serial kernel. *kernel* picks the per-chunk engine from
+    :data:`~repro.sim.montecarlo.MC_KERNELS` (``"auto"`` prefers the
+    vectorized kernel; the two kernels sample different streams, so they
+    agree statistically, not bit-for-bit). *oracle* must be picklable
+    when ``jobs > 1`` (use the oracle classes from
+    :mod:`repro.sim.montecarlo`, not ad-hoc closures); it is broadcast to
+    the persistent pool once, not shipped per chunk.
 
     When *telemetry* is a collecting instance, each worker fills a
     private registry/event-log and the parent folds the chunks back in
@@ -228,27 +254,21 @@ def simulate_lifetimes_parallel(
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
     if trials < 1:
         raise SimulationError(f"trials must be >= 1, got {trials}")
+    lifetime_kernel(kernel)  # fail fast on unknown names
     if seed is None:
         seed = random.SystemRandom().getrandbits(48)
     collect = telemetry is not None and telemetry.enabled
-    specs = []
-    for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
-        specs.append(
-            _LifetimeChunk(
-                n_disks,
-                mttf_hours,
-                mttr_hours,
-                oracle,
-                horizon_hours,
-                size,
-                derive_chunk_seed(seed, chunk_id),
-                collect,
-            )
-        )
+    sizes = chunk_sizes(trials, chunk_trials)
+    specs = [
+        (size, derive_chunk_seed(seed, chunk_id))
+        for chunk_id, size in enumerate(sizes)
+    ]
+    common = (n_disks, mttf_hours, mttr_hours, horizon_hours, kernel, collect)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_lifetimes_parallel", trials=trials, jobs=jobs):
-        parts = _drain_chunks(
-            _run_lifetime_chunk, specs, jobs, telemetry, progress, trials
+        parts = _drain_streaming(
+            _lifetime_worker, oracle, common, specs, sizes, jobs,
+            telemetry, progress, trials,
         )
     return merge_lifetime_results(parts)
 
@@ -291,39 +311,40 @@ def merge_lifecycle_results(
     )
 
 
-@dataclass(frozen=True)
-class _LifecycleChunk:
-    """One picklable unit of lifecycle Monte-Carlo work."""
+def _lifecycle_worker(state, common, spec):
+    """Pool task for one lifecycle chunk.
 
-    layout: Layout
-    mttf_hours: float
-    horizon_hours: float
-    disk: Optional[DiskModel]
-    sparing: str
-    method: str
-    batches: int
-    lse_rate_per_byte: float
-    trials: int
-    seed: int
-    collect: bool = False
-
-
-def _run_lifecycle_chunk(
-    spec: _LifecycleChunk,
-) -> Tuple[LifecycleResult, Optional[Telemetry]]:
-    chunk_tel = Telemetry.collecting() if spec.collect else None
+    *state* is the broadcast ``(layout, timer)`` pair — the layout's cell
+    indexes and the rebuild-time memo are unpickled once per worker and
+    the memo then accumulates across every chunk the worker runs, instead
+    of starting cold per chunk.
+    """
+    layout, timer = state
+    mttf_hours, horizon_hours, lse_rate_per_byte, collect = common
+    size, chunk_seed = spec
+    chunk_tel = Telemetry.collecting() if collect else None
+    if collect:
+        # Memo hits/misses are recorded in telemetry, so a memo warmed by
+        # *other* chunks would make the merged registry depend on which
+        # chunks shared a worker. Collecting runs therefore pay a cold
+        # memo per chunk; the simulated result is identical either way.
+        timer = RebuildTimer(
+            timer.layout, timer.disk, timer.sparing, timer.method,
+            timer.batches,
+        )
     result = simulate_lifecycle(
-        spec.layout,
-        spec.mttf_hours,
-        spec.horizon_hours,
-        disk=spec.disk,
-        sparing=spec.sparing,
-        method=spec.method,
-        batches=spec.batches,
-        lse_rate_per_byte=spec.lse_rate_per_byte,
-        trials=spec.trials,
-        seed=spec.seed,
+        layout,
+        mttf_hours,
+        horizon_hours,
+        disk=timer.disk,
+        sparing=timer.sparing,
+        method=timer.method,
+        batches=timer.batches,
+        lse_rate_per_byte=lse_rate_per_byte,
+        trials=size,
+        seed=chunk_seed,
         telemetry=chunk_tel,
+        timer=timer,
     )
     return result, chunk_tel
 
@@ -368,27 +389,20 @@ def simulate_lifecycle_parallel(
     if seed is None:
         seed = random.SystemRandom().getrandbits(48)
     collect = telemetry is not None and telemetry.enabled
-    specs = []
-    for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
-        specs.append(
-            _LifecycleChunk(
-                layout,
-                mttf_hours,
-                horizon_hours,
-                disk,
-                sparing,
-                method,
-                batches,
-                lse_rate_per_byte,
-                size,
-                derive_chunk_seed(seed, chunk_id),
-                collect,
-            )
-        )
+    timer = RebuildTimer(
+        layout, disk or DiskModel(), sparing, method, batches
+    )
+    sizes = chunk_sizes(trials, chunk_trials)
+    specs = [
+        (size, derive_chunk_seed(seed, chunk_id))
+        for chunk_id, size in enumerate(sizes)
+    ]
+    common = (mttf_hours, horizon_hours, lse_rate_per_byte, collect)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_lifecycle_parallel", trials=trials, jobs=jobs):
-        parts = _drain_chunks(
-            _run_lifecycle_chunk, specs, jobs, telemetry, progress, trials
+        parts = _drain_streaming(
+            _lifecycle_worker, (layout, timer), common, specs, sizes, jobs,
+            telemetry, progress, trials,
         )
     return merge_lifecycle_results(parts)
 
@@ -399,47 +413,46 @@ def simulate_lifecycle_parallel(
 DEFAULT_CHUNK_SERVE_TRIALS = 1
 
 
-@dataclass(frozen=True)
-class _ServeChunk:
-    """One picklable unit of serving-simulation work.
+def _serve_worker(state, common, spec):
+    """Pool task for one serving chunk.
 
-    Per-trial seeds are derived from ``(seed, start_trial + i)`` — a
-    global trial index, never the chunk geometry — so the merged result
-    is bit-identical for any worker count.
+    ``state`` is the broadcast ``(layout, tables)`` pair — the routing
+    tables (recovery plan, degraded fan-outs, rebuild ops) are computed
+    once by the caller and shipped to each worker exactly once, so
+    trials skip re-planning. Per-trial seeds are derived from
+    ``(seed, start_trial + i)`` — a global trial index, never the chunk
+    geometry — so the merged result is bit-identical for any worker
+    count.
     """
-
-    layout: Layout
-    workload: "WorkloadSpec"
-    failed_disks: Tuple[int, ...]
-    arrival: "ArrivalProcess"
-    model: Optional["LatencyModel"]
-    throttle: Optional["ThrottlePolicy"]
-    sparing: str
-    rebuild_batches: int
-    start_trial: int
-    trials: int
-    seed: int
-    collect: bool = False
-
-
-def _run_serve_chunk(
-    spec: _ServeChunk,
-) -> Tuple["ServeResult", Optional[Telemetry]]:
-    chunk_tel = Telemetry.collecting() if spec.collect else None
+    layout, tables = state
+    (
+        workload,
+        failed_disks,
+        arrival,
+        model,
+        throttle,
+        sparing,
+        rebuild_batches,
+        seed,
+        collect,
+    ) = common
+    start_trial, size = spec
+    chunk_tel = Telemetry.collecting() if collect else None
     parts = []
-    for i in range(spec.trials):
+    for i in range(size):
         parts.append(
             simulate_serve(
-                spec.layout,
-                workload=spec.workload,
-                failed_disks=spec.failed_disks,
-                arrival=spec.arrival,
-                model=spec.model,
-                throttle=spec.throttle,
-                sparing=spec.sparing,
-                rebuild_batches=spec.rebuild_batches,
-                seed=derive_chunk_seed(spec.seed, spec.start_trial + i),
+                layout,
+                workload=workload,
+                failed_disks=failed_disks,
+                arrival=arrival,
+                model=model,
+                throttle=throttle,
+                sparing=sparing,
+                rebuild_batches=rebuild_batches,
+                seed=derive_chunk_seed(seed, start_trial + i),
                 telemetry=chunk_tel,
+                tables=tables,
             )
         )
     return merge_serve_results(parts), chunk_tel
@@ -481,44 +494,39 @@ def simulate_serve_parallel(
         seed = random.SystemRandom().getrandbits(48)
     arrival = arrival if arrival is not None else OpenLoop(100.0)
     collect = telemetry is not None and telemetry.enabled
+    sizes = chunk_sizes(trials, chunk_trials)
     specs = []
     start = 0
-    for chunk_id, size in enumerate(chunk_sizes(trials, chunk_trials)):
-        specs.append(
-            _ServeChunk(
-                layout,
-                workload,
-                tuple(sorted(set(failed_disks))),
-                arrival,
-                model,
-                throttle,
-                sparing,
-                rebuild_batches,
-                start,
-                size,
-                seed,
-                collect,
-            )
-        )
+    for size in sizes:
+        specs.append((start, size))
         start += size
+    failed = tuple(sorted(set(failed_disks)))
+    # Plan the recovery once, here; workers get the routing tables as
+    # broadcast state instead of re-planning per trial.
+    tables = build_serve_tables(layout, failed, sparing, rebuild_batches)
+    common = (
+        workload,
+        failed,
+        arrival,
+        model,
+        throttle,
+        sparing,
+        rebuild_batches,
+        seed,
+        collect,
+    )
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_serve_parallel", trials=trials, jobs=jobs):
-        parts = _drain_chunks(
-            _run_serve_chunk, specs, jobs, telemetry, progress, trials
+        parts = _drain_streaming(
+            _serve_worker, (layout, tables), common, specs, sizes, jobs,
+            telemetry, progress, trials,
         )
     return merge_serve_results(parts)
 
 
-@dataclass(frozen=True)
-class _PatternChunk:
-    """One picklable unit of fault-pattern enumeration."""
-
-    layout: Layout
-    patterns: Tuple[Tuple[int, ...], ...]
-
-
-def _count_recoverable(spec: _PatternChunk) -> int:
-    return sum(1 for p in spec.patterns if is_recoverable(spec.layout, p))
+def _pattern_worker(layout, _common, patterns) -> int:
+    """Pool task for one fault-pattern chunk; the layout is broadcast."""
+    return sum(1 for p in patterns if is_recoverable(layout, p))
 
 
 def count_survivable_parallel(
@@ -527,23 +535,28 @@ def count_survivable_parallel(
     jobs: int = 1,
     chunk_patterns: int = DEFAULT_CHUNK_PATTERNS,
 ) -> int:
-    """Count decodable failure patterns, fanning chunks across processes.
+    """Count decodable failure patterns, fanning chunks across the pool.
 
     Exact — every pattern is checked; only the work distribution differs
-    between worker counts. Used by the E6 sweeps and the ``tolerance`` CLI.
+    between worker counts. Used by the E6 sweeps and the ``tolerance``
+    CLI. The layout is broadcast once per pool lifetime, so a sweep over
+    failure counts (f=1..4 against one layout) reuses warm workers.
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
     normalized = tuple(tuple(p) for p in patterns)
     if jobs == 1 or len(normalized) <= chunk_patterns:
-        return _count_recoverable(_PatternChunk(layout, normalized))
-    specs = []
-    for start in range(0, len(normalized), chunk_patterns):
-        specs.append(
-            _PatternChunk(layout, normalized[start : start + chunk_patterns])
+        return _pattern_worker(layout, None, normalized)
+    specs = [
+        normalized[start : start + chunk_patterns]
+        for start in range(0, len(normalized), chunk_patterns)
+    ]
+    return sum(
+        count
+        for _index, count in run_streaming(
+            _pattern_worker, layout, None, specs, jobs
         )
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        return sum(pool.map(_count_recoverable, specs))
+    )
 
 
 def survivable_fraction_parallel(
@@ -561,22 +574,33 @@ def survivable_fraction_parallel(
     return survived / len(patterns)
 
 
+def _apply_worker(fn, _common, item):
+    """Pool task for :func:`parallel_map`; *fn* itself is the broadcast."""
+    return fn(item)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     jobs: int = 1,
-    chunksize: int = 1,
+    chunksize: int = 1,  # kept for API compatibility; batching is automatic
 ) -> List[R]:
-    """Order-preserving map, serial for ``jobs=1`` else process-parallel.
+    """Order-preserving map, serial for ``jobs=1`` else pool-parallel.
 
     *fn* must be picklable for ``jobs > 1`` (a module-level function or a
-    ``functools.partial`` over one). Results are returned in input order,
-    so callers get deterministic output for any worker count.
+    ``functools.partial`` over one); it is broadcast to the persistent
+    pool, so repeated maps with the same *fn* reuse warm workers.
+    Results are returned in input order, so callers get deterministic
+    output for any worker count.
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
     materialized = list(items)
     if jobs == 1 or len(materialized) <= 1:
         return [fn(item) for item in materialized]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(materialized))) as pool:
-        return list(pool.map(fn, materialized, chunksize=chunksize))
+    results: List[Optional[R]] = [None] * len(materialized)
+    for index, result in run_streaming(
+        _apply_worker, fn, None, materialized, jobs
+    ):
+        results[index] = result
+    return results  # type: ignore[return-value]

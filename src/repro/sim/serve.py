@@ -37,11 +37,15 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
-from repro.layouts.base import Cell, Layout
-from repro.layouts.recovery import plan_recovery
+from repro.layouts.base import Layout
+from repro.layouts.recovery import (
+    degraded_read_sources,
+    parity_disk_table,
+    plan_recovery,
+)
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.results import ResultBase, register_result
 from repro.sim.engine import FcfsServer, Simulator
@@ -302,36 +306,62 @@ def merge_serve_results(parts: Sequence[ServeResult]) -> ServeResult:
     )
 
 
-@dataclass(frozen=True)
 class _RebuildOp:
     """One injectable unit of rebuild work: parallel reads, then writes."""
 
-    reads: Tuple[int, ...]
-    writes: Tuple[int, ...]
+    __slots__ = ("reads", "writes")
+
+    def __init__(self, reads: Tuple[int, ...], writes: Tuple[int, ...]) -> None:
+        self.reads = reads
+        self.writes = writes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _RebuildOp):
+            return NotImplemented
+        return self.reads == other.reads and self.writes == other.writes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_RebuildOp(reads={self.reads}, writes={self.writes})"
 
 
-def _degraded_sources(plan) -> Dict[Cell, Tuple[int, ...]]:
-    """Lost cell -> the disks its repair reads (plan-driven routing)."""
-    sources: Dict[Cell, Tuple[int, ...]] = {}
-    for step in plan.steps:
-        reads = tuple(sorted({c[0] for c in step.reads}))
-        for target in step.targets:
-            sources[target] = reads
-    return sources
+class _Join:
+    """Barrier for a fan-out: fires *done* when the last leg completes."""
+
+    __slots__ = ("remaining", "done")
+
+    def __init__(self, remaining: int, done) -> None:
+        self.remaining = remaining
+        self.done = done
+
+    def one_done(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.done()
 
 
-def _parity_disks(layout: Layout) -> Dict[Cell, Tuple[int, ...]]:
-    """Data cell -> disks holding parity of its containing stripes."""
-    table: Dict[Cell, set] = {}
-    for stripe in layout.stripes:
-        pdisks = {c[0] for c in stripe.parity_cells()}
-        for cell in stripe.cells():
-            table.setdefault(cell, set()).update(pdisks - {cell[0]})
-    return {cell: tuple(sorted(disks)) for cell, disks in table.items()}
+class _Stats:
+    """Mutable per-trial counters (slotted: touched on every request)."""
+
+    __slots__ = (
+        "reads", "writes", "degraded_reads", "degraded_writes",
+        "device_reads", "device_writes", "fg_done", "rebuild_done",
+        "rebuild_finish",
+    )
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.degraded_reads = 0
+        self.degraded_writes = 0
+        self.device_reads = 0
+        self.device_writes = 0
+        self.fg_done = 0.0
+        self.rebuild_done = 0
+        self.rebuild_finish = 0.0
 
 
 def _rebuild_ops(
-    plan, survivors: List[int], sparing: str, batches: int
+    plan, survivors: Sequence[int], sparing: str, batches: int
 ) -> List[_RebuildOp]:
     """Flatten the plan's steps x batches into dispatchable ops.
 
@@ -362,6 +392,104 @@ def _rebuild_ops(
     return ops
 
 
+@dataclass(frozen=True)
+class ServeTables:
+    """Precomputed routing for one ``(layout, failure, sparing, batches)``.
+
+    Everything :func:`simulate_serve` derives from the scenario alone —
+    the recovery plan's degraded-read sources, per-unit read and write
+    fan-outs, the survivor list, and the flattened rebuild ops — hoisted
+    out of the trial loop. A multi-trial sweep (and the parallel
+    runner's broadcast state) pays for recovery planning once instead of
+    once per trial. Routes are indexed by user unit; the tuples preserve
+    the exact fan-out order of a direct computation, so supplying tables
+    never changes a result bit.
+    """
+
+    layout_name: str
+    n_units: int
+    failed: Tuple[int, ...]
+    survivors: Tuple[int, ...]
+    sparing: str
+    rebuild_batches: int
+    read_routes: Tuple[Tuple[int, ...], ...]
+    read_degraded: Tuple[bool, ...]
+    write_routes: Tuple[Tuple[int, ...], ...]
+    write_degraded: Tuple[bool, ...]
+    rebuild_ops: Tuple[_RebuildOp, ...]
+
+
+def build_serve_tables(
+    layout: Layout,
+    failed_disks: Sequence[int] = (),
+    sparing: str = "distributed",
+    rebuild_batches: int = 1,
+) -> ServeTables:
+    """Precompute :class:`ServeTables` for a failure scenario.
+
+    Raises :class:`~repro.errors.DataLossError` when *failed_disks* is
+    not survivable, and :class:`~repro.errors.SimulationError` on
+    invalid disks, sparing mode, or batch count.
+    """
+    if rebuild_batches < 1:
+        raise SimulationError(
+            f"rebuild_batches must be >= 1, got {rebuild_batches}"
+        )
+    if sparing not in ("distributed", "dedicated"):
+        raise SimulationError(f"unknown sparing mode {sparing!r}")
+    failed = tuple(sorted(set(failed_disks)))
+    for disk in failed:
+        if not 0 <= disk < layout.n_disks:
+            raise SimulationError(f"no such disk {disk}")
+    survivors = tuple(
+        d for d in range(layout.n_disks) if d not in failed
+    )
+    plan = plan_recovery(layout, failed) if failed else None
+    degraded = degraded_read_sources(plan) if plan is not None else {}
+    parity = parity_disk_table(layout)
+    failed_set = set(failed)
+
+    read_routes: List[Tuple[int, ...]] = []
+    read_degraded: List[bool] = []
+    write_routes: List[Tuple[int, ...]] = []
+    write_degraded: List[bool] = []
+    for cell in layout.data_cells:
+        if cell in degraded:
+            read_routes.append(degraded[cell] or (survivors[0],))
+            read_degraded.append(True)
+        else:
+            read_routes.append((cell[0],))
+            read_degraded.append(False)
+        targets = [d for d in parity.get(cell, ()) if d not in failed_set]
+        if cell[0] not in failed_set:
+            targets.insert(0, cell[0])
+            write_degraded.append(False)
+        else:
+            write_degraded.append(True)
+        if not targets:
+            targets = [survivors[0]]
+        write_routes.append(tuple(targets))
+
+    ops = (
+        _rebuild_ops(plan, survivors, sparing, rebuild_batches)
+        if plan is not None
+        else []
+    )
+    return ServeTables(
+        layout_name=layout.name,
+        n_units=len(layout.data_cells),
+        failed=failed,
+        survivors=survivors,
+        sparing=sparing,
+        rebuild_batches=rebuild_batches,
+        read_routes=tuple(read_routes),
+        read_degraded=tuple(read_degraded),
+        write_routes=tuple(write_routes),
+        write_degraded=tuple(write_degraded),
+        rebuild_ops=tuple(ops),
+    )
+
+
 def simulate_serve(
     layout: Layout,
     workload: Union[WorkloadSpec, Sequence[Request]] = WorkloadSpec(),
@@ -373,6 +501,7 @@ def simulate_serve(
     rebuild_batches: int = 1,
     seed: Optional[int] = 0,
     telemetry: Optional[Telemetry] = None,
+    tables: Optional[ServeTables] = None,
 ) -> ServeResult:
     """Serve one foreground workload against a (possibly degraded) array.
 
@@ -382,6 +511,13 @@ def simulate_serve(
     rebuild traffic; otherwise the recovery plan of *failed_disks* is
     tiled *rebuild_batches* times and dispatched per the policy.
 
+    *tables* optionally supplies the precomputed routing of
+    :func:`build_serve_tables` — callers running many trials of the same
+    scenario (the parallel runner broadcasts one instance to every
+    worker) skip re-planning the recovery per trial. The tables must
+    have been built for this layout and the same ``failed_disks`` /
+    ``sparing`` / ``rebuild_batches``; a mismatch raises.
+
     Raises :class:`~repro.errors.DataLossError` when *failed_disks* is
     not a survivable pattern (there is nothing to serve). The result is
     a deterministic function of the arguments (the engine breaks ties by
@@ -389,14 +525,29 @@ def simulate_serve(
     seeding builds on.
     """
     model = model or LatencyModel()
-    if rebuild_batches < 1:
-        raise SimulationError(
-            f"rebuild_batches must be >= 1, got {rebuild_batches}"
+    if tables is None:
+        tables = build_serve_tables(
+            layout, failed_disks, sparing, rebuild_batches
         )
-    failed = sorted(set(failed_disks))
-    for disk in failed:
-        if not 0 <= disk < layout.n_disks:
-            raise SimulationError(f"no such disk {disk}")
+    else:
+        expected = tuple(sorted(set(failed_disks)))
+        if (
+            tables.layout_name != layout.name
+            or tables.n_units != len(layout.data_cells)
+            or tables.failed != expected
+            or tables.sparing != sparing
+            or tables.rebuild_batches != rebuild_batches
+        ):
+            raise SimulationError(
+                "serve tables were built for a different scenario "
+                f"({tables.layout_name}, failed={tables.failed}, "
+                f"sparing={tables.sparing!r}, "
+                f"batches={tables.rebuild_batches})"
+            )
+        if rebuild_batches < 1:
+            raise SimulationError(
+                f"rebuild_batches must be >= 1, got {rebuild_batches}"
+            )
     if isinstance(workload, WorkloadSpec):
         requests = workload.build(len(layout.data_cells), seed)
     else:
@@ -404,34 +555,29 @@ def simulate_serve(
     if not requests:
         raise SimulationError("workload has no requests")
 
-    plan = plan_recovery(layout, failed) if failed else None
-    degraded = _degraded_sources(plan) if plan is not None else {}
-    parity = _parity_disks(layout)
-    survivors = [d for d in range(layout.n_disks) if d not in failed]
-    ops = (
-        _rebuild_ops(plan, survivors, sparing, rebuild_batches)
-        if plan is not None and throttle is not None
-        else []
-    )
+    survivors = tables.survivors
+    ops = tables.rebuild_ops if throttle is not None else ()
 
     rng = random.Random(None if seed is None else f"serve:{seed}")
     tel = telemetry if telemetry is not None else ambient()
     sim = Simulator(telemetry=tel)
     servers = {d: FcfsServer(sim, f"disk{d}") for d in survivors}
     service = model.service_seconds()
-    data_cells = layout.data_cells
+    write_service = 2 * service
+    read_routes = tables.read_routes
+    read_degraded = tables.read_degraded
+    write_routes = tables.write_routes
+    write_degraded = tables.write_degraded
 
     latencies: List[float] = []
-    stats = {
-        "reads": 0, "writes": 0, "degraded_reads": 0,
-        "degraded_writes": 0, "device_reads": 0, "device_writes": 0,
-        "fg_done": 0.0, "rebuild_done": 0, "rebuild_finish": 0.0,
-    }
+    stats = _Stats()
 
     def finish_request(arrival_s: float) -> None:
-        latency_ms = (sim.now - arrival_s) * 1000.0
+        now = sim.now
+        latency_ms = (now - arrival_s) * 1000.0
         latencies.append(latency_ms)
-        stats["fg_done"] = max(stats["fg_done"], sim.now)
+        if now > stats.fg_done:
+            stats.fg_done = now
         if throttle is not None:
             throttle.observe(latency_ms)
         if tel.enabled:
@@ -440,47 +586,39 @@ def simulate_serve(
 
     def fan_out(disks: Sequence[int], per_disk_service: float, done) -> None:
         """Submit one access per disk; *done* fires when the slowest ends."""
-        pending = {"n": len(disks)}
-
-        def one_done() -> None:
-            pending["n"] -= 1
-            if pending["n"] == 0:
-                done()
-
+        if len(disks) == 1:
+            servers[disks[0]].submit(per_disk_service, done)
+            return
+        one_done = _Join(len(disks), done).one_done
         for disk in disks:
             servers[disk].submit(per_disk_service, one_done)
 
     def issue(request: Request, arrival_s: float, done) -> None:
-        cell = data_cells[request.unit]
+        unit = request.unit
         if not request.is_write:
-            stats["reads"] += 1
-            if cell in degraded:
-                stats["degraded_reads"] += 1
-                disks = degraded[cell] or (survivors[0],)
-                stats["device_reads"] += len(disks)
+            # Healthy reads hit the home disk; a lost cell fans out to
+            # its repair step's source disks (plan-driven routing).
+            route = read_routes[unit]
+            stats.reads += 1
+            stats.device_reads += len(route)
+            if read_degraded[unit]:
+                stats.degraded_reads += 1
                 if tel.enabled:
                     tel.count("serve.degraded_reads")
-                fan_out(disks, service, done)
-            else:
-                stats["device_reads"] += 1
-                fan_out((cell[0],), service, done)
+            fan_out(route, service, done)
             return
         # Write: read-modify-write the home disk (if online) plus every
         # containing stripe's parity disks; a lost home cell degrades to
         # parity-only (the array absorbs the write into redundancy).
-        stats["writes"] += 1
-        targets = [d for d in parity.get(cell, ()) if d not in failed]
-        if cell[0] not in failed:
-            targets.insert(0, cell[0])
-        else:
-            stats["degraded_writes"] += 1
+        route = write_routes[unit]
+        stats.writes += 1
+        if write_degraded[unit]:
+            stats.degraded_writes += 1
             if tel.enabled:
                 tel.count("serve.degraded_writes")
-        if not targets:
-            targets = [survivors[0]]
-        stats["device_reads"] += len(targets)
-        stats["device_writes"] += len(targets)
-        fan_out(targets, 2 * service, done)
+        stats.device_reads += len(route)
+        stats.device_writes += len(route)
+        fan_out(route, write_service, done)
 
     # -- foreground arrivals ------------------------------------------------
     if isinstance(arrival, OpenLoop):
@@ -522,21 +660,21 @@ def simulate_serve(
     if ops:
         throttle.reset()
         cursor = {"op": 0}
+        n_ops = len(ops)
 
         def dispatch(op: _RebuildOp) -> None:
             if tel.enabled:
                 tel.count("serve.rebuild_ops_dispatched")
 
             def writes_done() -> None:
-                stats["rebuild_done"] += 1
-                stats["rebuild_finish"] = max(
-                    stats["rebuild_finish"], sim.now
-                )
+                stats.rebuild_done += 1
+                if sim.now > stats.rebuild_finish:
+                    stats.rebuild_finish = sim.now
                 if tel.enabled:
                     tel.count("serve.rebuild_ops_completed")
-                    if stats["rebuild_done"] == len(ops):
+                    if stats.rebuild_done == n_ops:
                         tel.event(
-                            "rebuild_drained", sim.now, ops=len(ops)
+                            "rebuild_drained", sim.now, ops=n_ops
                         )
 
             def reads_done() -> None:
@@ -551,7 +689,7 @@ def simulate_serve(
                 fan_out(op.reads, service, reads_done)
 
         def pump() -> None:
-            while cursor["op"] < len(ops):
+            while cursor["op"] < n_ops:
                 op = ops[cursor["op"]]
                 idle = all(
                     servers[d].busy_until <= sim.now for d in op.reads
@@ -582,22 +720,22 @@ def simulate_serve(
                 requests=server.requests,
             )
         if ops:
-            tel.observe("serve.rebuild_seconds", stats["rebuild_finish"])
+            tel.observe("serve.rebuild_seconds", stats.rebuild_finish)
 
     return ServeResult(
         trials=1,
         requests=len(latencies),
-        reads=stats["reads"],
-        writes=stats["writes"],
-        degraded_reads=stats["degraded_reads"],
-        degraded_writes=stats["degraded_writes"],
-        device_reads=stats["device_reads"],
-        device_writes=stats["device_writes"],
+        reads=stats.reads,
+        writes=stats.writes,
+        degraded_reads=stats.degraded_reads,
+        degraded_writes=stats.degraded_writes,
+        device_reads=stats.device_reads,
+        device_writes=stats.device_writes,
         latencies_ms=tuple(latencies),
         rebuild_ops=len(ops),
-        rebuild_ops_done=stats["rebuild_done"],
+        rebuild_ops_done=stats.rebuild_done,
         rebuild_seconds_per_trial=(
-            (stats["rebuild_finish"],) if ops else ()
+            (stats.rebuild_finish,) if ops else ()
         ),
-        foreground_seconds_per_trial=(stats["fg_done"],),
+        foreground_seconds_per_trial=(stats.fg_done,),
     )

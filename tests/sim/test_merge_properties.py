@@ -1,0 +1,176 @@
+"""Property tests: chunk merges are associative and order-stable.
+
+The determinism contract (results bit-identical for any ``jobs``) rests on
+one algebraic fact: merging per-chunk results is insensitive to *how* the
+chunk sequence is grouped, as long as the chunk order itself is kept. These
+tests state that fact directly — for arbitrary part lists and arbitrary
+re-chunkings, ``merge(parts) == merge([merge(group) for group in groups])``
+— so a future merge that, say, sorts loss times or averages instead of
+concatenating fails here before it fails a 40-second end-to-end test.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.lifecycle import LifecycleResult
+from repro.sim.montecarlo import LifetimeResult
+from repro.sim.parallel import merge_lifecycle_results, merge_lifetime_results
+from repro.sim.serve import ServeResult, merge_serve_results
+
+HORIZON = 1000.0
+
+times = st.floats(min_value=0.0, max_value=HORIZON, allow_nan=False)
+counts = st.integers(min_value=0, max_value=50)
+
+
+@st.composite
+def lifetime_results(draw):
+    loss_times = tuple(draw(st.lists(times, max_size=5)))
+    extra_survivors = draw(counts)
+    return LifetimeResult(
+        trials=len(loss_times) + extra_survivors,
+        losses=len(loss_times),
+        loss_times=loss_times,
+        horizon_hours=HORIZON,
+    )
+
+
+@st.composite
+def lifecycle_results(draw):
+    loss_times = tuple(draw(st.lists(times, max_size=4)))
+    trials = len(loss_times) + draw(counts)
+    per_trial = st.lists(counts, min_size=trials, max_size=trials)
+    hours = st.lists(times, min_size=trials, max_size=trials)
+    return LifecycleResult(
+        trials=trials,
+        losses=len(loss_times),
+        loss_times=loss_times,
+        lse_losses=draw(st.integers(min_value=0, max_value=len(loss_times))),
+        horizon_hours=HORIZON,
+        failures_per_trial=tuple(draw(per_trial)),
+        repairs_per_trial=tuple(draw(per_trial)),
+        degraded_hours_per_trial=tuple(draw(hours)),
+        peak_failures_per_trial=tuple(draw(per_trial)),
+    )
+
+
+@st.composite
+def serve_results(draw):
+    latencies = tuple(draw(st.lists(times, max_size=6)))
+    trials = draw(st.integers(min_value=1, max_value=4))
+    per_trial = st.lists(times, min_size=trials, max_size=trials)
+    reads = draw(counts)
+    writes = draw(counts)
+    return ServeResult(
+        trials=trials,
+        requests=reads + writes,
+        reads=reads,
+        writes=writes,
+        degraded_reads=draw(counts),
+        degraded_writes=draw(counts),
+        device_reads=draw(counts),
+        device_writes=draw(counts),
+        latencies_ms=latencies,
+        rebuild_ops=draw(counts),
+        rebuild_ops_done=draw(counts),
+        rebuild_seconds_per_trial=tuple(draw(per_trial)),
+        foreground_seconds_per_trial=tuple(draw(per_trial)),
+    )
+
+
+@st.composite
+def chunked(draw, atoms):
+    """A non-empty part list plus an arbitrary chunking of it.
+
+    Every chunk is non-empty (merging an empty chunk list is an error by
+    contract), and the chunks concatenate back to the original sequence.
+    """
+    parts = draw(st.lists(atoms, min_size=1, max_size=8))
+    cuts = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=1, max_value=len(parts) - 1),
+                max_size=len(parts) - 1,
+            )
+        )
+    ) if len(parts) > 1 else []
+    bounds = [0] + cuts + [len(parts)]
+    groups = [parts[a:b] for a, b in zip(bounds, bounds[1:])]
+    return parts, groups
+
+
+@settings(max_examples=60, deadline=None)
+@given(chunked(lifetime_results()))
+def test_lifetime_merge_is_associative(case):
+    parts, groups = case
+    flat = merge_lifetime_results(parts)
+    regrouped = merge_lifetime_results(
+        [merge_lifetime_results(group) for group in groups]
+    )
+    assert regrouped == flat
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(lifetime_results(), min_size=1, max_size=6))
+def test_lifetime_merge_is_order_stable(parts):
+    merged = merge_lifetime_results(parts)
+    assert merged.loss_times == tuple(
+        t for part in parts for t in part.loss_times
+    )
+    assert merged.trials == sum(p.trials for p in parts)
+    assert merged.losses == sum(p.losses for p in parts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(chunked(lifecycle_results()))
+def test_lifecycle_merge_is_associative(case):
+    parts, groups = case
+    flat = merge_lifecycle_results(parts)
+    regrouped = merge_lifecycle_results(
+        [merge_lifecycle_results(group) for group in groups]
+    )
+    assert regrouped == flat
+
+
+@settings(max_examples=60, deadline=None)
+@given(chunked(serve_results()))
+def test_serve_merge_is_associative(case):
+    parts, groups = case
+    flat = merge_serve_results(parts)
+    regrouped = merge_serve_results(
+        [merge_serve_results(group) for group in groups]
+    )
+    assert regrouped == flat
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(serve_results(), min_size=1, max_size=6))
+def test_serve_merge_is_order_stable(parts):
+    merged = merge_serve_results(parts)
+    assert merged.latencies_ms == tuple(
+        x for part in parts for x in part.latencies_ms
+    )
+    assert merged.rebuild_seconds_per_trial == tuple(
+        x for part in parts for x in part.rebuild_seconds_per_trial
+    )
+
+
+def test_empty_merge_rejected():
+    with pytest.raises(SimulationError, match="no chunk results"):
+        merge_lifetime_results([])
+    with pytest.raises(SimulationError, match="no chunk results"):
+        merge_lifecycle_results([])
+    with pytest.raises(SimulationError, match="no chunk results"):
+        merge_serve_results([])
+
+
+def test_mixed_horizons_rejected():
+    a = LifetimeResult(trials=1, losses=0, loss_times=(), horizon_hours=10.0)
+    b = LifetimeResult(trials=1, losses=0, loss_times=(), horizon_hours=20.0)
+    with pytest.raises(SimulationError, match="different horizons"):
+        merge_lifetime_results([a, b])

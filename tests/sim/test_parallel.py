@@ -82,9 +82,30 @@ class TestDeterminism:
 
     def test_single_chunk_matches_serial_kernel(self):
         args = (6, 500.0, 50.0, threshold_oracle(1), 1000.0)
-        chunked = simulate_lifetimes_parallel(*args, trials=50, seed=3)
+        chunked = simulate_lifetimes_parallel(
+            *args, trials=50, seed=3, kernel="event"
+        )
         legacy = simulate_lifetimes(*args, trials=50, seed=3)
         assert chunked == legacy
+
+    def test_single_chunk_matches_vectorized_kernel(self):
+        numpy = pytest.importorskip("numpy")
+        del numpy
+        from repro.sim.montecarlo import simulate_lifetimes_vectorized
+
+        args = (6, 500.0, 50.0, threshold_oracle(1), 1000.0)
+        chunked = simulate_lifetimes_parallel(
+            *args, trials=50, seed=3, kernel="vectorized"
+        )
+        direct = simulate_lifetimes_vectorized(*args, trials=50, seed=3)
+        assert chunked == direct
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SimulationError, match="kernel"):
+            simulate_lifetimes_parallel(
+                6, 500.0, 50.0, threshold_oracle(1), 1000.0,
+                trials=10, kernel="quantum",
+            )
 
     def test_chunking_independent_of_jobs_with_layout_oracle(self, fano_layout):
         oracle = recoverability_oracle(fano_layout, guaranteed_tolerance=3)
@@ -147,8 +168,14 @@ class TestDefaultJobs:
         monkeypatch.setenv("REPRO_JOBS", "6")
         assert default_jobs() == 6
 
-    def test_env_invalid_or_low_clamped(self, monkeypatch):
-        monkeypatch.setenv("REPRO_JOBS", "banana")
+    def test_env_empty_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "")
         assert default_jobs() == 1
-        monkeypatch.setenv("REPRO_JOBS", "-2")
+        monkeypatch.setenv("REPRO_JOBS", "   ")
         assert default_jobs() == 1
+
+    @pytest.mark.parametrize("raw", ["banana", "0", "-2", "1.5"])
+    def test_env_invalid_or_non_positive_raises(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        with pytest.raises(SimulationError, match="REPRO_JOBS"):
+            default_jobs()

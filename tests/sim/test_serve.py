@@ -18,6 +18,7 @@ from repro.serve import (
     OpenLoop,
     ServeResult,
     WorkloadSpec,
+    build_serve_tables,
     merge_serve_results,
     simulate_serve,
     simulate_serve_parallel,
@@ -185,6 +186,56 @@ class TestDegradedServing:
             serve(workload=[])
         with pytest.raises(SimulationError):
             serve(arrival="nonsense")
+
+
+class TestServeTables:
+    """The precomputed routing tables behind the serve fast path."""
+
+    def test_tables_path_is_bit_identical(self):
+        tables = build_serve_tables(
+            LAYOUT, failed_disks=[0], sparing="distributed"
+        )
+        with_tables = serve(failed_disks=[0], tables=tables)
+        without = serve(failed_disks=[0])
+        assert with_tables == without
+
+    def test_tables_reusable_across_trials(self):
+        tables = build_serve_tables(LAYOUT, failed_disks=[0])
+        first = serve(failed_disks=[0], tables=tables, seed=1)
+        second = serve(failed_disks=[0], tables=tables, seed=1)
+        assert first == second
+
+    def test_healthy_tables_have_no_degraded_routes(self):
+        tables = build_serve_tables(LAYOUT)
+        assert not any(tables.read_degraded)
+        assert not any(tables.write_degraded)
+        assert tables.rebuild_ops == ()
+
+    def test_degraded_tables_route_around_failures(self):
+        tables = build_serve_tables(LAYOUT, failed_disks=[0])
+        assert 0 not in tables.survivors
+        for route in tables.read_routes + tables.write_routes:
+            assert 0 not in route
+        assert any(tables.read_degraded)
+
+    def test_mismatched_tables_rejected(self):
+        tables = build_serve_tables(LAYOUT, failed_disks=[0])
+        with pytest.raises(SimulationError, match="different scenario"):
+            serve(failed_disks=[1], tables=tables)
+        with pytest.raises(SimulationError, match="different scenario"):
+            serve(failed_disks=[0], tables=tables, sparing="dedicated")
+
+    def test_unsurvivable_pattern_raises_at_build(self):
+        with pytest.raises(DataLossError):
+            build_serve_tables(LAYOUT, failed_disks=[0, 1, 2, 3, 4, 5])
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(SimulationError, match="no such disk"):
+            build_serve_tables(LAYOUT, failed_disks=[99])
+        with pytest.raises(SimulationError):
+            build_serve_tables(LAYOUT, rebuild_batches=0)
+        with pytest.raises(SimulationError):
+            build_serve_tables(LAYOUT, sparing="nonsense")
 
 
 class TestMergeAndResult:

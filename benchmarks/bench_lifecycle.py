@@ -12,7 +12,15 @@ Expected shape (the paper's E7 claim, now measured): OI-RAID's fast,
 declustered rebuild shrinks its vulnerability windows so much that its
 loss probability sits far below RAID50's and RAID6's even though all
 three face the same failure process on the same hardware.
+
+Like ``$REPRO_JOBS`` for parallelism, ``$REPRO_MC_KERNEL`` selects the
+lifecycle kernel (``auto``/``vectorized``/``event``). The lifecycle
+kernels share one sampling plane, so the choice cannot move a single
+number in the report — only the wall clock (the event walk is ~5x
+slower at this scale).
 """
+
+import os
 
 from repro.analysis.reliability import (
     LayoutReliabilitySpec,
@@ -46,13 +54,14 @@ def _body() -> ExperimentResult:
     survivable = {"oi-raid": [profile[f] for f in sorted(profile)]}
 
     jobs = default_jobs()
+    kernel = os.environ.get("REPRO_MC_KERNEL", "auto").strip() or "auto"
     mc = {}
     rows = []
     metrics = {}
     for name, layout in schemes:
         result = simulate_lifecycle_parallel(
             layout, MTTF, HORIZON, disk=DISK,
-            trials=TRIALS, seed=0, jobs=jobs,
+            trials=TRIALS, seed=0, jobs=jobs, kernel=kernel,
         )
         mc[name] = result
         mttr = derived_mttr(layout, DISK)

@@ -64,7 +64,11 @@ from repro.obs import (
 )
 from repro.scenario import Scenario, run as run_scenario
 from repro.sim.latency import LatencyModel
-from repro.sim.lifecycle import derived_markov_model, derived_mttr
+from repro.sim.lifecycle import (
+    LIFECYCLE_KERNELS,
+    derived_markov_model,
+    derived_mttr,
+)
 from repro.sim.montecarlo import MC_KERNELS
 from repro.sim.parallel import default_jobs
 from repro.sim.rebuild import DiskModel
@@ -319,6 +323,7 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             jobs=args.jobs,
+            mc_kernel=args.kernel,
             telemetry=args.telemetry,
         ),
         progress=_progress_for(args),
@@ -636,6 +641,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_lc.add_argument("--bandwidth-mib", type=float, default=100.0)
     p_lc.add_argument("--foreground", type=float, default=0.0,
                       help="fraction of bandwidth reserved for user I/O")
+    p_lc.add_argument("--kernel", choices=LIFECYCLE_KERNELS, default="auto",
+                      help="lifecycle kernel: auto picks the vectorized "
+                           "(columnar) kernel when numpy is available; "
+                           "both kernels return identical results")
     p_lc.add_argument("--lse-rate", type=float, default=0.0,
                       help="latent sector errors per byte read during "
                            "rebuild (e.g. 1e-15)")

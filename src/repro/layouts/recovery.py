@@ -354,13 +354,40 @@ def plan_recovery(
     units make "which cells are lost" diverge from "which disks failed".
     Load accounting then attributes reads to the layout's *home* disks,
     so callers with relocations should treat per-disk loads as approximate.
+
+    Single-disk patterns planned with the default flags are served from
+    :meth:`Layout.single_failure_plan` — the per-layout cache alongside
+    the peeling indexes — since they dominate planning traffic (rebuild
+    clocks, lifecycle repair times, the serve fast path all start from
+    one). Each hit returns a fresh :class:`RecoveryPlan` that shares the
+    immutable steps, so callers may extend their copy freely.
     """
+    failed = tuple(sorted(set(failed_disks)))
+    cacheable = (
+        len(failed) == 1
+        and balance
+        and offload
+        and max_offload_rounds == 10_000
+        and lost_override is None
+    )
     tel = ambient()
-    with tel.span("plan_recovery", failed=len(set(failed_disks))):
-        plan = _plan_recovery_impl(
-            layout, failed_disks, balance, offload, max_offload_rounds,
-            lost_override,
-        )
+    with tel.span("plan_recovery", failed=len(failed)):
+        if cacheable:
+            cached = layout.single_failure_plan(
+                failed[0],
+                lambda: _plan_recovery_impl(
+                    layout, failed, balance, offload, max_offload_rounds,
+                    None,
+                ),
+            )
+            plan = RecoveryPlan(
+                cached.layout_name, cached.failed_disks, list(cached.steps)
+            )
+        else:
+            plan = _plan_recovery_impl(
+                layout, failed, balance, offload, max_offload_rounds,
+                lost_override,
+            )
     if tel.enabled:
         tel.count("recovery.plans")
         tel.observe("recovery.plan_steps", len(plan.steps))
@@ -405,7 +432,10 @@ def _plan_recovery_impl(
             stripe = layout.stripes[stripe_id]
             cells = index.stripe_cells[stripe_id]
             repairable = tuple(c for c in cells if c in lost)
-            reads, _reuse = _select_sources(
+            # Sourcing is a pure function of state that is frozen for the
+            # whole round, so the scoring call doubles as the final one —
+            # the winner's picks are kept instead of recomputed.
+            reads, reuse = _select_sources(
                 stripe, cells, lost, recovered, loads
             )
             if balance:
@@ -417,15 +447,13 @@ def _plan_recovery_impl(
             else:
                 key = (stripe_id, 0, 0)
             if best is None or (key, stripe_id) < (best[0], best[1].stripe_id):
-                best = (key, stripe, repairable)
+                best = (key, stripe, repairable, reads, reuse)
         if best is None:
             raise DataLossError(
                 f"{layout.name}: failure of disks {list(failed)} is not "
                 f"recoverable ({len(lost)} cells stranded)"
             )
-        _key, stripe, repairable = best
-        cells = index.stripe_cells[stripe.stripe_id]
-        fresh, reuse = _select_sources(stripe, cells, lost, recovered, loads)
+        _key, stripe, repairable, fresh, reuse = best
         raw_steps.append((stripe, tuple(repairable), fresh, reuse))
         for disk, _addr in fresh:
             loads[disk] = loads.get(disk, 0) + 1

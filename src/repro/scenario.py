@@ -84,11 +84,13 @@ class Scenario:
         trials: replications (reliability, lifecycle, serve).
         seed: base RNG seed (``None`` = nondeterministic).
         jobs: worker processes; results are bit-identical for any value.
-        mc_kernel: Monte-Carlo lifetime kernel (reliability) — ``auto``
-            picks the numpy-vectorized kernel when numpy is available,
-            ``vectorized``/``event`` force one. The two kernels draw
-            different (equally valid) random streams, so switching
-            kernels changes individual trials but not the statistics.
+        mc_kernel: Monte-Carlo kernel (reliability, lifecycle) —
+            ``auto`` picks the numpy-vectorized kernel when numpy is
+            available, ``vectorized``/``event`` force one. The lifetime
+            kernels draw different (equally valid) random streams, so
+            switching changes individual trials but not the statistics;
+            the lifecycle kernels share one sampling plane, so there the
+            choice changes wall clock only, never the result.
         telemetry: collecting telemetry, or ``None`` for the ambient
             default.
     """
@@ -177,6 +179,7 @@ def _run_lifecycle(scenario: Scenario, progress):
         trials=scenario.trials,
         seed=scenario.seed,
         jobs=scenario.jobs,
+        kernel=scenario.mc_kernel,
         telemetry=scenario.telemetry,
         progress=progress,
     )

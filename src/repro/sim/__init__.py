@@ -9,10 +9,15 @@
 * :mod:`repro.sim.markov` — continuous-time Markov MTTDL models.
 * :mod:`repro.sim.montecarlo` — system-lifetime Monte-Carlo, cross-checking
   the Markov results and capturing what the chains abstract away.
+* :mod:`repro.sim.columnar` — the shared columnar Monte-Carlo core:
+  per-trial counter-based draw lanes and the per-disk state tables both
+  kernel families read (sampling plane vs. exact event-replay plane).
 * :mod:`repro.sim.lifecycle` — full-lifecycle Monte-Carlo whose repair
   durations are *derived from the layout* (every failure arrival re-plans
   the pattern and reads its rebuild clock from the rebuild simulator),
   coupling recovery speed to reliability instead of assuming an MTTR.
+  Ships an event kernel and a lockstep columnar kernel that return
+  bit-identical results on numpy builds.
 * :mod:`repro.sim.serve` — online serving: foreground request streams
   contending with throttled rebuild traffic on per-disk queues (also
   exposed as :mod:`repro.serve`).
@@ -20,15 +25,23 @@
   fault-pattern, and serving sweeps, bit-identical for any worker count.
 """
 
+from repro.sim.columnar import (
+    DiskStateTable,
+    LifecycleTables,
+    TrialStreams,
+)
 from repro.sim.engine import Event, FcfsServer, Simulator
 from repro.sim.latency import LatencyModel, LatencyResult, simulate_read_latency
 from repro.sim.lifecycle import (
+    LIFECYCLE_KERNELS,
     LifecycleResult,
     RebuildTimer,
     derived_markov_model,
     derived_mttr,
     guaranteed_tolerance,
+    lifecycle_kernel,
     simulate_lifecycle,
+    simulate_lifecycle_vectorized,
 )
 from repro.sim.markov import MarkovReliabilityModel, mttdl_raid5_array
 from repro.sim.montecarlo import (
@@ -98,6 +111,12 @@ __all__ = [
     "derived_mttr",
     "guaranteed_tolerance",
     "simulate_lifecycle",
+    "simulate_lifecycle_vectorized",
+    "lifecycle_kernel",
+    "LIFECYCLE_KERNELS",
+    "TrialStreams",
+    "DiskStateTable",
+    "LifecycleTables",
     "simulate_lifecycle_parallel",
     "merge_lifecycle_results",
     "ThrottlePolicy",

@@ -1,0 +1,480 @@
+"""Shared columnar Monte-Carlo core: trial streams and disk-state tables.
+
+The lifetime kernel (PR 5) and the lifecycle kernel both follow the same
+two-plane design — a cheap batched *sampling plane* that covers every
+trial, and an exact *event plane* that replays only the trials the
+sampling plane flags as dangerous. This module is the shared substrate
+for both planes so the kernels stop duplicating scaffolding:
+
+* :class:`TrialStreams` — per-trial counter-based draw lanes. Lane ``t``
+  of a run seeded ``s`` is the splitmix64 stream
+  ``u[t, j] = (mix64(mix64(s + (t+1)*G) + (j+1)*G) >> 11) * 2**-53``
+  (``G`` the 64-bit golden-ratio increment), so any slot of any trial is
+  addressable without sequential generator state. Both lifecycle kernels
+  draw from the *same* lanes: the vectorized kernel reads whole
+  ``(trials, slots)`` planes, the event kernel walks one trial at a time
+  through a :class:`LaneCursor` — which is what makes ``--kernel`` a pure
+  speed knob: on a numpy build the two kernels return bit-identical
+  results, because every uniform (and every exponential, computed once by
+  ``numpy.log`` over the whole plane) is literally the same float.
+* :class:`DiskStateTable` — the columnar per-disk state (status, failure
+  clock, repair clock, BIBD group membership) the kernels advance. A
+  struct-of-arrays rather than an interleaved numpy structured dtype:
+  every kernel step reads one field across all trials (``argmin`` over
+  failure clocks, status masks), so contiguous per-field columns are the
+  cache-friendly orientation; :meth:`DiskStateTable.to_structured`
+  exports the interleaved form for interop.
+* :class:`LifecycleTables` — broadcast-ready per-disk single-failure
+  rebuild columns (hours, bytes read), computed once from a
+  ``RebuildTimer`` in the parent and shipped to workers through the pool
+  initializer exactly like ``ServeTables``.
+* :func:`sample_renewal_events` / :func:`first_exceedances` — the
+  lifetime kernel's tiered renewal sampler and concurrency filter, moved
+  here verbatim from :mod:`repro.sim.montecarlo` so the lifecycle kernel
+  shares the machinery instead of copying it.
+
+Without numpy the pure-Python lane implementation produces bit-identical
+*uniforms* (the integer mixing and the power-of-two scaling are exact in
+both implementations); exponentials then come from ``math.log`` instead
+of ``numpy.log`` and may differ from a numpy build in the last ulp. That
+is irrelevant in practice: installs without numpy can only run the event
+kernel, so there is no second kernel to compare against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, FrozenSet, Optional, Tuple
+
+try:  # the vectorized kernels need numpy; the event kernels do not
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.layouts.base import Layout
+
+_MASK64 = (1 << 64) - 1
+#: 64-bit golden-ratio increment — the same stride
+#: :func:`repro.sim.parallel.derive_chunk_seed` uses for chunk seeds.
+GOLDEN_STRIDE = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+
+#: :attr:`DiskStateTable.status` values.
+STATUS_ALIVE, STATUS_FAILED, STATUS_REBUILDING = 0, 1, 2
+
+
+def mix64(z: int) -> int:
+    """The splitmix64 finalizer on Python ints (modulo ``2**64``)."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _mix64_np(z):  # pragma: no cover - exercised via TrialStreams
+    """splitmix64 finalizer on uint64 arrays; bit-identical to :func:`mix64`."""
+    z = (z ^ (z >> _np.uint64(30))) * _np.uint64(_MIX_A)
+    z = (z ^ (z >> _np.uint64(27))) * _np.uint64(_MIX_B)
+    return z ^ (z >> _np.uint64(31))
+
+
+def lane_seed(seed: int, trial: int) -> int:
+    """The lane seed of *trial* under run seed *seed* (both impls agree)."""
+    return mix64((seed & _MASK64) + (trial + 1) * GOLDEN_STRIDE)
+
+
+def oracle_guarantee(oracle: Callable[..., bool]) -> int:
+    """Failure count below which *oracle* certainly answers "survives".
+
+    ``RecoverabilityOracle`` fast-paths sets of at most its
+    ``guaranteed_tolerance``; ``ThresholdOracle`` *is* its ``tolerance``.
+    Opaque callables get 0 — every trial with a failure is then walked
+    with the oracle, which is slow but exact.
+    """
+    declared = getattr(oracle, "guaranteed_tolerance", None)
+    if declared is None:
+        declared = getattr(oracle, "tolerance", None)
+    return int(declared) if declared is not None else 0
+
+
+class LaneCursor:
+    """Sequential ``random.Random``-shaped view of one trial's lane.
+
+    Supports exactly the draw vocabulary the lifecycle walk uses —
+    ``random()``, ``expovariate()``, ``randrange()`` — reading successive
+    slots of the trial's lane. ``expovariate`` must be called with the
+    rate the streams were built for: the exponentials are precomputed for
+    that rate (that is what makes the event walk read the *same* floats
+    as the vectorized plane), so a different rate would silently decouple
+    the kernels and raises instead.
+    """
+
+    __slots__ = ("_streams", "_trial", "pos", "_u", "_e")
+
+    def __init__(self, streams: "TrialStreams", trial: int) -> None:
+        self._streams = streams
+        self._trial = trial
+        self.pos = 0
+        # Materialized plane rows (plain float lists) make the hot draws
+        # list indexing instead of per-scalar numpy access — the event
+        # walk draws thousands of times per trial and the difference is
+        # ~1.5x on the whole kernel. Same floats either way.
+        self._u, self._e = streams.rows(trial)
+
+    def random(self) -> float:
+        """The next uniform in ``[0, 1)`` of this trial's lane."""
+        pos = self.pos
+        self.pos = pos + 1
+        if pos < len(self._u):
+            return self._u[pos]
+        return self._slow_draw(pos, self._streams.uniform)
+
+    def expovariate(self, lambd: float) -> float:
+        """The next ``Exp(lambd)`` draw; *lambd* must be the plane's rate."""
+        if lambd != self._streams.lambd:
+            raise SimulationError(
+                f"lane streams were built for rate {self._streams.lambd!r}, "
+                f"cannot draw expovariate({lambd!r})"
+            )
+        pos = self.pos
+        self.pos = pos + 1
+        if pos < len(self._e):
+            return self._e[pos]
+        return self._slow_draw(pos, self._streams.exponential)
+
+    def _slow_draw(self, pos: int, accessor) -> float:
+        """Grow the planes (numpy builds), refresh the rows, re-read."""
+        self._streams.ensure(pos + 1)
+        self._u, self._e = self._streams.rows(self._trial)
+        return accessor(self._trial, pos)
+
+    def randrange(self, n: int) -> int:
+        """A uniform integer in ``[0, n)`` from the next uniform slot."""
+        value = int(self.random() * n)
+        return value if value < n else n - 1
+
+
+class TrialStreams:
+    """numpy-backed per-trial draw lanes (uniform and exponential planes).
+
+    Slots are generated in whole ``(trials, slots)`` planes and grown on
+    demand; growth depends only on the requested slot count, never on how
+    the slots are consumed, so every lane is a pure function of
+    ``(seed, trial)``.
+    """
+
+    __slots__ = ("seed", "trials", "lambd", "_lanes", "_uniforms",
+                 "_exponentials", "_slots")
+
+    def __init__(self, seed: int, trials: int, lambd: float,
+                 slots: int = 64) -> None:
+        if _np is None:
+            raise SimulationError("TrialStreams requires numpy")
+        if trials < 1:
+            raise SimulationError(f"trials must be >= 1, got {trials}")
+        if lambd <= 0:
+            raise SimulationError(f"lambd must be > 0, got {lambd}")
+        self.seed = seed
+        self.trials = trials
+        self.lambd = lambd
+        base = _np.uint64(seed & _MASK64)
+        counters = _np.arange(1, trials + 1, dtype=_np.uint64)
+        self._lanes = _mix64_np(base + counters * _np.uint64(GOLDEN_STRIDE))
+        self._slots = 0
+        self._uniforms = _np.zeros((trials, 0))
+        self._exponentials = _np.zeros((trials, 0))
+        self.ensure(slots)
+
+    @property
+    def slots(self) -> int:
+        return self._slots
+
+    @property
+    def uniforms(self):
+        """The ``(trials, slots)`` uniform plane (values in ``[0, 1)``)."""
+        return self._uniforms
+
+    @property
+    def exponentials(self):
+        """The matching ``Exp(lambd)`` plane: ``-log(1 - u) / lambd``."""
+        return self._exponentials
+
+    def ensure(self, slots: int) -> None:
+        """Grow the planes to at least *slots* columns (amortized doubling)."""
+        if slots <= self._slots:
+            return
+        target = max(slots, 2 * self._slots, 16)
+        counters = _np.arange(
+            self._slots + 1, target + 1, dtype=_np.uint64
+        ) * _np.uint64(GOLDEN_STRIDE)
+        z = _mix64_np(self._lanes[:, None] + counters[None, :])
+        fresh_u = (z >> _np.uint64(11)).astype(_np.float64) * 2.0 ** -53
+        fresh_e = -_np.log(1.0 - fresh_u) / self.lambd
+        self._uniforms = _np.hstack((self._uniforms, fresh_u))
+        self._exponentials = _np.hstack((self._exponentials, fresh_e))
+        self._slots = target
+
+    def uniform(self, trial: int, pos: int) -> float:
+        """Slot *pos* of trial *trial*'s uniform lane (grows as needed)."""
+        if pos >= self._slots:
+            self.ensure(pos + 1)
+        return float(self._uniforms[trial, pos])
+
+    def exponential(self, trial: int, pos: int) -> float:
+        """Slot *pos* of trial *trial*'s exponential lane (grows as needed)."""
+        if pos >= self._slots:
+            self.ensure(pos + 1)
+        return float(self._exponentials[trial, pos])
+
+    def rows(self, trial: int):
+        """One trial's planes as plain float lists (cursor fast path)."""
+        return self._uniforms[trial].tolist(), self._exponentials[trial].tolist()
+
+    def cursor(self, trial: int) -> LaneCursor:
+        """A sequential reader over trial *trial*'s lane."""
+        return LaneCursor(self, trial)
+
+
+class PyTrialStreams:
+    """Pure-Python :class:`TrialStreams` stand-in (no plane storage).
+
+    Uniforms are bit-identical to the numpy implementation (integer
+    mixing and power-of-two scaling are exact in both); exponentials use
+    ``math.log`` and may differ from a numpy build in the final ulp.
+    """
+
+    __slots__ = ("seed", "trials", "lambd")
+
+    def __init__(self, seed: int, trials: int, lambd: float,
+                 slots: int = 0) -> None:
+        if trials < 1:
+            raise SimulationError(f"trials must be >= 1, got {trials}")
+        if lambd <= 0:
+            raise SimulationError(f"lambd must be > 0, got {lambd}")
+        self.seed = seed
+        self.trials = trials
+        self.lambd = lambd
+
+    def uniform(self, trial: int, pos: int) -> float:
+        """Slot *pos* of trial *trial*'s uniform lane, computed on demand."""
+        z = mix64(lane_seed(self.seed, trial) + (pos + 1) * GOLDEN_STRIDE)
+        return (z >> 11) * 2.0 ** -53
+
+    def exponential(self, trial: int, pos: int) -> float:
+        """``Exp(lambd)`` at slot *pos* via ``math.log`` (see class note)."""
+        return -math.log(1.0 - self.uniform(trial, pos)) / self.lambd
+
+    def ensure(self, slots: int) -> None:
+        """No-op: slots are computed on demand, nothing is stored."""
+
+    def rows(self, trial: int):
+        """Empty rows — every cursor draw takes the compute-on-demand path."""
+        return (), ()
+
+    def cursor(self, trial: int) -> LaneCursor:
+        """A sequential reader over trial *trial*'s lane."""
+        return LaneCursor(self, trial)  # type: ignore[arg-type]
+
+
+def trial_streams(seed: int, trials: int, lambd: float, slots: int = 64):
+    """The best available stream implementation for this install."""
+    if _np is not None:
+        return TrialStreams(seed, trials, lambd, slots)
+    return PyTrialStreams(seed, trials, lambd)
+
+
+def _layout_groups(layout: "Layout"):
+    """Per-disk outer-layer group ids; ``-1`` for flat (ungrouped) layouts."""
+    groups = _np.full(layout.n_disks, -1, dtype=_np.int16)
+    grouping = getattr(layout, "grouping", None)
+    if grouping is not None:
+        for disk in range(layout.n_disks):
+            groups[disk] = grouping.locate(disk)[0]
+    return groups
+
+
+@dataclass
+class DiskStateTable:
+    """Columnar ``(trials, disks)`` per-disk state the kernels advance.
+
+    Fields (one contiguous column each — see the module docstring for why
+    struct-of-arrays beats an interleaved structured dtype here):
+
+    * ``status`` — ``STATUS_ALIVE`` / ``STATUS_FAILED`` /
+      ``STATUS_REBUILDING`` per ``(trial, disk)``.
+    * ``fail_at`` — each online disk's next failure epoch (hours).
+    * ``repair_at`` — the in-flight rebuild's completion epoch, ``+inf``
+      when the disk is not being rebuilt.
+    * ``group`` — per-disk outer-layer (BIBD) group id, shared by all
+      trials; ``-1`` for flat layouts without a disk grouping.
+    """
+
+    status: Any
+    fail_at: Any
+    repair_at: Any
+    group: Any
+
+    #: The interleaved record layout :meth:`to_structured` exports.
+    dtype = [("status", "i1"), ("fail_at", "f8"),
+             ("repair_at", "f8"), ("group", "i2")]
+
+    @classmethod
+    def for_layout(cls, layout: "Layout", trials: int) -> "DiskStateTable":
+        if _np is None:
+            raise SimulationError("DiskStateTable requires numpy")
+        if trials < 1:
+            raise SimulationError(f"trials must be >= 1, got {trials}")
+        n = layout.n_disks
+        return cls(
+            status=_np.zeros((trials, n), dtype=_np.int8),
+            fail_at=_np.zeros((trials, n)),
+            repair_at=_np.full((trials, n), _np.inf),
+            group=_layout_groups(layout),
+        )
+
+    def to_structured(self):
+        """The same state as an interleaved numpy structured array."""
+        records = _np.zeros(self.status.shape, dtype=self.dtype)
+        records["status"] = self.status
+        records["fail_at"] = self.fail_at
+        records["repair_at"] = self.repair_at
+        records["group"] = self.group[None, :]
+        return records
+
+
+@dataclass(frozen=True)
+class LifecycleTables:
+    """Broadcast-ready per-disk single-failure rebuild columns.
+
+    ``hours[d]`` / ``bytes_read[d]`` are the layout-derived rebuild time
+    and read volume of the pattern ``{d}`` — exactly what a
+    ``RebuildTimer`` returns for it, computed once in the parent (warming
+    the timer's memo as a side effect) and shipped to every worker
+    through the pool initializer like ``ServeTables``. The vectorized
+    kernel's clean plane reads these columns instead of calling the
+    planner per incident; replayed trials still go through the timer and
+    see the same floats, because both come from the same memoized pure
+    function of the pattern.
+    """
+
+    hours: Any
+    bytes_read: Any
+    group: Any
+
+    @classmethod
+    def build(
+        cls,
+        layout: "Layout",
+        timer: Callable[[FrozenSet[int]], Tuple[float, float]],
+    ) -> "LifecycleTables":
+        if _np is None:
+            raise SimulationError("LifecycleTables requires numpy")
+        pairs = [timer(frozenset((d,))) for d in range(layout.n_disks)]
+        return cls(
+            hours=_np.array([hours for hours, _ in pairs]),
+            bytes_read=_np.array([read for _, read in pairs]),
+            group=_layout_groups(layout),
+        )
+
+
+def sample_renewal_events(rng, n_disks, mttf_hours, mttr_hours,
+                          horizon_hours, trials):
+    """Pre-sample every trial's failure/repair events up to the horizon.
+
+    Each disk is an independent alternating renewal process (operate
+    ``Exp(mttf)``, repair ``Exp(mttr)``, repeat), exactly the process the
+    lifetime event kernel builds one arrival at a time. Cycle durations
+    are drawn in whole blocks and extended until every ``(trial, disk)``
+    lane's last failure lands beyond the horizon; the growth rule depends
+    only on the sampled values, so results are a deterministic function
+    of the seed.
+
+    Returns ``(times, kinds, disks, counts, starts)``: flat event arrays
+    sorted by ``(trial, time)`` — failures are kind 0, repairs kind 1 —
+    plus each trial's event count and its slice start in the flat arrays.
+    The sort key is the composite ``trial * span + time`` (a single
+    float argsort, several times faster than a 4-key lexsort); exact
+    float-time ties inside one trial have probability zero and any
+    deterministic order for them is acceptable because every consumer
+    (the concurrency filter, both replay walks) reads the same ordering.
+    """
+    expected_cycles = horizon_hours / (mttf_hours + mttr_hours)
+    k = max(2, int(expected_cycles * 1.5) + 2)
+    lane_ids = _np.arange(trials * n_disks)  # lane = trial * n_disks + disk
+    base = _np.zeros(len(lane_ids))
+    lane_parts, time_parts, kind_parts = [], [], []
+    while len(lane_ids):
+        # Draw k more cycles for every still-uncovered lane. Lanes that
+        # already reach past the horizon drop out, so later tiers touch a
+        # fast-shrinking remainder instead of re-growing the whole array.
+        fails = rng.exponential(mttf_hours, size=(len(lane_ids), k))
+        repairs = rng.exponential(mttr_hours, size=(len(lane_ids), k))
+        csum = _np.cumsum(fails + repairs, axis=1)
+        csum += base[:, None]
+        fail_t = csum - repairs  # k-th failure is one repair before csum_k
+        fail_mask = fail_t <= horizon_hours
+        repair_mask = csum <= horizon_hours
+        f_lane, _ = _np.nonzero(fail_mask)
+        r_lane, _ = _np.nonzero(repair_mask)
+        lane_parts.append(lane_ids[f_lane])
+        time_parts.append(fail_t[fail_mask])
+        kind_parts.append(_np.zeros(len(f_lane), dtype=_np.int8))
+        lane_parts.append(lane_ids[r_lane])
+        time_parts.append(csum[repair_mask])
+        kind_parts.append(_np.ones(len(r_lane), dtype=_np.int8))
+        uncovered = (csum[:, -1] - repairs[:, -1]) <= horizon_hours
+        lane_ids = lane_ids[uncovered]
+        base = csum[uncovered, -1]
+        k = max(4, k * 2)
+
+    times = _np.concatenate(time_parts)
+    kinds = _np.concatenate(kind_parts)
+    lanes = _np.concatenate(lane_parts)
+    trial_ix = lanes // n_disks
+    disk_ix = lanes - trial_ix * n_disks
+    span = horizon_hours + 1.0
+    order = _np.argsort(trial_ix * span + times)
+    times, kinds = times[order], kinds[order]
+    trial_ix, disk_ix = trial_ix[order], disk_ix[order]
+    counts = _np.bincount(trial_ix, minlength=trials)
+    starts = _np.concatenate(([0], _np.cumsum(counts)[:-1]))
+    return times, kinds, disk_ix, counts, starts
+
+
+def first_exceedances(kinds, counts, starts, trials, guarantee):
+    """Where each trial first exceeds *guarantee* concurrent failures.
+
+    A failure is +1, a repair -1; the running sum after each event is the
+    failed-set size at that instant. A trial whose concurrency never
+    exceeds the oracle's guaranteed tolerance can never lose data and
+    needs no replay at all; for the rest, the loss (if any) can only
+    happen at or after the first exceedance, so the replay starts there.
+
+    Returns ``(suspect_trials, first_index)`` — both ascending by trial,
+    ``first_index`` being the global index of the trial's first
+    exceedance event (always a failure arrival).
+    """
+    if not len(kinds):
+        empty = _np.zeros(0, dtype=_np.intp)
+        return empty, empty
+    deltas = _np.where(kinds == 0, 1, -1)
+    running = _np.cumsum(deltas)
+    baselines = _np.where(starts > 0, running[starts - 1], 0)
+    concurrency = running - _np.repeat(baselines, counts)
+    hot = _np.flatnonzero(concurrency > guarantee)
+    if not len(hot):
+        return hot, hot
+    hot_trials = _np.repeat(_np.arange(trials), counts)[hot]
+    suspects, first_pos = _np.unique(hot_trials, return_index=True)
+    return suspects, hot[first_pos]
+
+
+def fresh_seed() -> int:
+    """A 48-bit OS-entropy seed for callers invoked with ``seed=None``."""
+    return random.SystemRandom().getrandbits(48)

@@ -34,24 +34,46 @@ simulator consume identical layout-derived μ values, making the Markov
 chain and the lifecycle MC directly comparable (E19).
 
 Rebuild times depend only on the failed pattern, so they are memoized per
-pattern within a run; trials are driven by one ``random.Random`` stream,
-making results reproducible and (via the chunked runner in
-:mod:`repro.sim.parallel`) bit-identical for any worker count.
+pattern within a run. Trials draw from per-trial counter-based lanes
+(:class:`repro.sim.columnar.TrialStreams`), so every trial is a pure
+function of ``(seed, trial)`` — reproducible, bit-identical for any
+worker count (via the chunked runner in :mod:`repro.sim.parallel`), and
+shared verbatim between the two kernels: the event kernel
+(:func:`simulate_lifecycle`) walks every trial's event heap, while
+:func:`simulate_lifecycle_vectorized` advances all trials in lockstep on
+the columnar disk-state table and replays through the exact event walk
+only the trials whose concurrent-failure count ever reaches the danger
+threshold. On a numpy build the kernels read the *same* sampled floats,
+so ``kernel=`` selects a speed, never a result.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-import random
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Callable, FrozenSet, List, Optional, Set, Tuple
+
+try:  # the vectorized kernel needs numpy; the event kernel does not
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 from repro.errors import SimulationError
 from repro.layouts.base import Cell, Layout
 from repro.layouts.recovery import cells_recoverable, is_recoverable, lost_cells
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.results import ResultBase, register_result
+from repro.sim.columnar import (
+    DiskStateTable,
+    LifecycleTables,
+    STATUS_FAILED,
+    STATUS_REBUILDING,
+    TrialStreams,
+    fresh_seed,
+    oracle_guarantee,
+    trial_streams,
+)
 from repro.sim.markov import MarkovReliabilityModel, model_for_layout
 from repro.sim.montecarlo import normal_interval
 from repro.sim.rebuild import (
@@ -64,6 +86,10 @@ from repro.util.stats import mean
 
 #: Rebuild-time evaluation methods accepted by the lifecycle machinery.
 REBUILD_METHODS = ("analytic", "event")
+
+#: Kernel names accepted by the lifecycle runners. ``auto`` resolves to
+#: the vectorized kernel when numpy is importable, else the event kernel.
+LIFECYCLE_KERNELS = ("auto", "vectorized", "event")
 
 
 @register_result
@@ -254,7 +280,7 @@ def derived_markov_model(
     return model_for_layout(layout.n_disks, mttf_hours, mttr, survivable)
 
 
-def _poisson(rng: random.Random, mean_events: float) -> int:
+def _poisson(rng: Any, mean_events: float) -> int:
     """Knuth's algorithm; LSE means per rebuild are small."""
     if mean_events <= 0:
         return 0
@@ -267,12 +293,183 @@ def _poisson(rng: random.Random, mean_events: float) -> int:
 
 
 def _random_surviving_cell(
-    rng: random.Random, layout: Layout, failed: Set[int]
+    rng: Any, layout: Layout, failed: Set[int]
 ) -> Cell:
     while True:
         disk = rng.randrange(layout.n_disks)
         if disk not in failed:
             return (disk, rng.randrange(layout.units_per_disk))
+
+
+def _pattern_check(
+    layout: Layout,
+    oracle: Optional[Callable[[Set[int]], bool]],
+    tolerance: int,
+) -> Callable[[Set[int]], bool]:
+    """The pattern-recoverability predicate both kernels consult."""
+
+    def pattern_ok(failed: Set[int]) -> bool:
+        if oracle is not None:
+            return oracle(failed)
+        if len(failed) <= tolerance:
+            return True
+        return is_recoverable(layout, failed)
+
+    return pattern_ok
+
+
+def _slot_estimate(
+    n_disks: int, mttf_hours: float, horizon_hours: float
+) -> int:
+    """Initial draw-lane width: initial lifetimes plus expected incidents.
+
+    Each mission consumes ``n_disks`` initial lifetime draws plus at most
+    two slots per failure incident (one latent-error check, one fresh
+    lifetime); sizing for 2.5x the expected incident count makes a second
+    growth pass rare. Only a sizing hint — the lanes grow on demand and
+    lane contents are position-addressed, so the estimate can never
+    change results.
+    """
+    incidents = n_disks * horizon_hours / mttf_hours
+    return n_disks + 8 + min(4096, int(2.5 * incidents))
+
+
+def _lifecycle_trial(
+    rng: Any,
+    layout: Layout,
+    lambd: float,
+    horizon_hours: float,
+    timer: "RebuildTimer",
+    lse_rate_per_byte: float,
+    pattern_ok: Callable[[Set[int]], bool],
+    tel: Telemetry,
+    trial: int,
+) -> Tuple[Optional[float], bool, int, int, float, int]:
+    """Walk one mission's event heap; the exact (event) plane.
+
+    *rng* is the trial's lane cursor — its draws are position-addressed
+    slots of the shared sampling plane, which is what lets the vectorized
+    kernel replay exactly this walk for any trial it flags as dangerous.
+    Returns ``(lost_at, lost_to_lse, failures, repairs, degraded_hours,
+    peak_failures)``.
+    """
+    # Event heap: (time, seq, kind, payload). kind 0 = disk failure
+    # (payload: disk id), kind 1 = rebuild completion (payload: epoch;
+    # stale epochs are rebuilds invalidated by a later failure).
+    heap: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    for disk_id in range(layout.n_disks):
+        t = rng.expovariate(lambd)
+        heapq.heappush(heap, (t, seq, 0, disk_id))
+        seq += 1
+    failed: Set[int] = set()
+    epoch = 0
+    rebuild_bytes = 0.0
+    n_failures = 0
+    n_repairs = 0
+    degraded_hours = 0.0
+    degraded_since: Optional[float] = None
+    peak = 0
+    lost_at: Optional[float] = None
+    lost_to_lse = False
+
+    while heap:
+        time, _s, kind, payload = heapq.heappop(heap)
+        if time > horizon_hours:
+            break
+        if kind == 0:
+            n_failures += 1
+            rebuild_in_flight = bool(failed)
+            if not failed:
+                degraded_since = time
+            failed.add(payload)
+            peak = max(peak, len(failed))
+            if tel.enabled:
+                tel.count("lifecycle.failures")
+                tel.event(
+                    "failure", time, trial=trial,
+                    disk=payload, failed=len(failed),
+                )
+                if rebuild_in_flight:
+                    tel.count("lifecycle.repairs_abandoned")
+                    tel.event(
+                        "repair_abandon", time, trial=trial,
+                        epoch=epoch,
+                    )
+            if not pattern_ok(failed):
+                lost_at = time
+                if tel.enabled:
+                    tel.count("lifecycle.losses")
+                    tel.event(
+                        "data_loss", time, trial=trial,
+                        cause="pattern", failed=len(failed),
+                    )
+                break
+            # Re-plan the enlarged pattern; the previous rebuild (if
+            # any) is abandoned and its epoch goes stale.
+            epoch += 1
+            hours, rebuild_bytes = timer(frozenset(failed))
+            heapq.heappush(heap, (time + hours, seq, 1, epoch))
+            seq += 1
+            if tel.enabled:
+                tel.count("lifecycle.repairs_planned")
+                tel.observe("lifecycle.rebuild_hours", hours)
+                tel.event(
+                    "repair_start", time, trial=trial,
+                    failed=len(failed), hours=hours,
+                )
+        else:
+            if payload != epoch or not failed:
+                continue  # invalidated by a later failure
+            if lse_rate_per_byte > 0:
+                strikes = _poisson(
+                    rng, rebuild_bytes * lse_rate_per_byte
+                )
+                if tel.enabled:
+                    tel.count("lifecycle.lse_checks")
+                    if strikes:
+                        tel.count("lifecycle.lse_strikes", strikes)
+                    tel.event(
+                        "lse_check", time, trial=trial,
+                        strikes=strikes,
+                    )
+                if strikes:
+                    stranded = {
+                        _random_surviving_cell(rng, layout, failed)
+                        for _ in range(strikes)
+                    }
+                    jointly = stranded | lost_cells(layout, failed)
+                    if not cells_recoverable(layout, jointly):
+                        lost_at = time
+                        lost_to_lse = True
+                        if tel.enabled:
+                            tel.count("lifecycle.losses")
+                            tel.count("lifecycle.lse_losses")
+                            tel.event(
+                                "data_loss", time, trial=trial,
+                                cause="lse", failed=len(failed),
+                            )
+                        break
+            n_repairs += 1
+            if tel.enabled:
+                tel.count("lifecycle.repairs_completed")
+                tel.event(
+                    "repair_complete", time, trial=trial,
+                    disks=len(failed),
+                )
+            for disk_id in sorted(failed):
+                t = time + rng.expovariate(lambd)
+                heapq.heappush(heap, (t, seq, 0, disk_id))
+                seq += 1
+            failed.clear()
+            if degraded_since is not None:
+                degraded_hours += time - degraded_since
+                degraded_since = None
+
+    end = lost_at if lost_at is not None else horizon_hours
+    if degraded_since is not None and end > degraded_since:
+        degraded_hours += end - degraded_since
+    return lost_at, lost_to_lse, n_failures, n_repairs, degraded_hours, peak
 
 
 def simulate_lifecycle(
@@ -331,17 +528,16 @@ def simulate_lifecycle(
     disk = disk or DiskModel()
     if timer is None:
         timer = RebuildTimer(layout, disk, sparing, method, batches)
-    tolerance = guaranteed_tolerance(layout)
-
-    def pattern_ok(failed: Set[int]) -> bool:
-        if oracle is not None:
-            return oracle(failed)
-        if len(failed) <= tolerance:
-            return True
-        return is_recoverable(layout, failed)
+    pattern_ok = _pattern_check(layout, oracle, guaranteed_tolerance(layout))
 
     tel = telemetry if telemetry is not None else ambient()
-    rng = random.Random(seed)
+    if seed is None:
+        seed = fresh_seed()
+    lambd = 1.0 / mttf_hours
+    streams = trial_streams(
+        seed, trials, lambd,
+        _slot_estimate(layout.n_disks, mttf_hours, horizon_hours),
+    )
     loss_times: List[float] = []
     lse_losses = 0
     failures_per_trial: List[int] = []
@@ -351,133 +547,23 @@ def simulate_lifecycle(
 
     with use_telemetry(tel):
         for trial in range(trials):
-            # Event heap: (time, seq, kind, payload). kind 0 = disk failure
-            # (payload: disk id), kind 1 = rebuild completion (payload: epoch;
-            # stale epochs are rebuilds invalidated by a later failure).
-            heap: List[Tuple[float, int, int, int]] = []
-            seq = 0
-            for disk_id in range(layout.n_disks):
-                t = rng.expovariate(1.0 / mttf_hours)
-                heapq.heappush(heap, (t, seq, 0, disk_id))
-                seq += 1
-            failed: Set[int] = set()
-            epoch = 0
-            rebuild_bytes = 0.0
-            n_failures = 0
-            n_repairs = 0
-            degraded_hours = 0.0
-            degraded_since: Optional[float] = None
-            peak = 0
-            lost_at: Optional[float] = None
-            lost_to_lse = False
-
-            while heap:
-                time, _s, kind, payload = heapq.heappop(heap)
-                if time > horizon_hours:
-                    break
-                if kind == 0:
-                    n_failures += 1
-                    rebuild_in_flight = bool(failed)
-                    if not failed:
-                        degraded_since = time
-                    failed.add(payload)
-                    peak = max(peak, len(failed))
-                    if tel.enabled:
-                        tel.count("lifecycle.failures")
-                        tel.event(
-                            "failure", time, trial=trial,
-                            disk=payload, failed=len(failed),
-                        )
-                        if rebuild_in_flight:
-                            tel.count("lifecycle.repairs_abandoned")
-                            tel.event(
-                                "repair_abandon", time, trial=trial,
-                                epoch=epoch,
-                            )
-                    if not pattern_ok(failed):
-                        lost_at = time
-                        if tel.enabled:
-                            tel.count("lifecycle.losses")
-                            tel.event(
-                                "data_loss", time, trial=trial,
-                                cause="pattern", failed=len(failed),
-                            )
-                        break
-                    # Re-plan the enlarged pattern; the previous rebuild (if
-                    # any) is abandoned and its epoch goes stale.
-                    epoch += 1
-                    hours, rebuild_bytes = timer(frozenset(failed))
-                    heapq.heappush(heap, (time + hours, seq, 1, epoch))
-                    seq += 1
-                    if tel.enabled:
-                        tel.count("lifecycle.repairs_planned")
-                        tel.observe("lifecycle.rebuild_hours", hours)
-                        tel.event(
-                            "repair_start", time, trial=trial,
-                            failed=len(failed), hours=hours,
-                        )
-                else:
-                    if payload != epoch or not failed:
-                        continue  # invalidated by a later failure
-                    if lse_rate_per_byte > 0:
-                        strikes = _poisson(
-                            rng, rebuild_bytes * lse_rate_per_byte
-                        )
-                        if tel.enabled:
-                            tel.count("lifecycle.lse_checks")
-                            if strikes:
-                                tel.count("lifecycle.lse_strikes", strikes)
-                            tel.event(
-                                "lse_check", time, trial=trial,
-                                strikes=strikes,
-                            )
-                        if strikes:
-                            stranded = {
-                                _random_surviving_cell(rng, layout, failed)
-                                for _ in range(strikes)
-                            }
-                            jointly = stranded | lost_cells(layout, failed)
-                            if not cells_recoverable(layout, jointly):
-                                lost_at = time
-                                lost_to_lse = True
-                                if tel.enabled:
-                                    tel.count("lifecycle.losses")
-                                    tel.count("lifecycle.lse_losses")
-                                    tel.event(
-                                        "data_loss", time, trial=trial,
-                                        cause="lse", failed=len(failed),
-                                    )
-                                break
-                    n_repairs += 1
-                    if tel.enabled:
-                        tel.count("lifecycle.repairs_completed")
-                        tel.event(
-                            "repair_complete", time, trial=trial,
-                            disks=len(failed),
-                        )
-                    for disk_id in sorted(failed):
-                        t = time + rng.expovariate(1.0 / mttf_hours)
-                        heapq.heappush(heap, (t, seq, 0, disk_id))
-                        seq += 1
-                    failed.clear()
-                    if degraded_since is not None:
-                        degraded_hours += time - degraded_since
-                        degraded_since = None
-
-            end = lost_at if lost_at is not None else horizon_hours
-            if degraded_since is not None and end > degraded_since:
-                degraded_hours += end - degraded_since
+            lost_at, lost_to_lse, n_failures, n_repairs, degraded, peak = (
+                _lifecycle_trial(
+                    streams.cursor(trial), layout, lambd, horizon_hours,
+                    timer, lse_rate_per_byte, pattern_ok, tel, trial,
+                )
+            )
             if lost_at is not None:
                 loss_times.append(lost_at)
                 if lost_to_lse:
                     lse_losses += 1
             failures_per_trial.append(n_failures)
             repairs_per_trial.append(n_repairs)
-            degraded_per_trial.append(degraded_hours)
+            degraded_per_trial.append(degraded)
             peak_per_trial.append(peak)
             if tel.enabled:
                 tel.count("lifecycle.trials")
-                tel.observe("lifecycle.degraded_hours", degraded_hours)
+                tel.observe("lifecycle.degraded_hours", degraded)
                 tel.observe("lifecycle.peak_failures", peak)
                 if lost_at is not None:
                     tel.observe("lifecycle.loss_time_hours", lost_at)
@@ -492,4 +578,222 @@ def simulate_lifecycle(
         repairs_per_trial=tuple(repairs_per_trial),
         degraded_hours_per_trial=tuple(degraded_per_trial),
         peak_failures_per_trial=tuple(peak_per_trial),
+    )
+
+
+def simulate_lifecycle_vectorized(
+    layout: Layout,
+    mttf_hours: float,
+    horizon_hours: float,
+    disk: Optional[DiskModel] = None,
+    sparing: str = "distributed",
+    method: str = "analytic",
+    batches: int = 8,
+    lse_rate_per_byte: float = 0.0,
+    trials: int = 100,
+    seed: Optional[int] = 0,
+    oracle: Optional[Callable[[Set[int]], bool]] = None,
+    telemetry: Optional[Telemetry] = None,
+    timer: Optional[RebuildTimer] = None,
+    tables: Optional[LifecycleTables] = None,
+) -> LifecycleResult:
+    """Lockstep columnar lifecycle kernel; bit-identical to the event one.
+
+    All trials advance together on a :class:`~repro.sim.columnar.DiskStateTable`:
+    each round takes every active trial's earliest pending failure, reads
+    the failed disk's single-failure rebuild clock from the broadcast
+    :class:`~repro.sim.columnar.LifecycleTables` columns, and screens the
+    incident vectorized — past the horizon (mission over), truncated
+    (rebuild still running at the horizon), overlapped by a second
+    failure (dangerous), struck by a latent sector error (dangerous), or
+    clean (repair completes, the disk redraws a lifetime). Dangerous
+    trials leave the lockstep plane and are replayed *in full* through
+    the exact event walk — re-planning via ``plan_recovery``, LSE checks,
+    mid-rebuild restarts — from their own draw lane, so every replayed
+    trial is bit-for-bit the event kernel's trial. Clean trials read the
+    very same sampled floats the event walk would have consumed, so the
+    whole result (not just the replayed subset) matches the event kernel
+    exactly; only the work to produce it changes.
+
+    The screen never consults the recovery planner: a single failure is
+    safe whenever the guarantee (the layout's tolerance, or the oracle's
+    declared ``guaranteed_tolerance``) covers one failure. An opaque
+    *oracle* without a declared guarantee forces every trial with any
+    failure through the replay plane — slow but exact, matching the
+    lifetime kernel's policy.
+
+    *tables* supplies pre-built per-disk rebuild columns (the parallel
+    runner's broadcast state); they must come from a timer configured
+    like this call's, which makes them a pure function of the layout and
+    disk model and therefore incapable of changing results.
+
+    When *telemetry* is collecting, the run needs the full per-event
+    vocabulary for every trial, so it simply delegates to the event
+    kernel — identical result *and* identical registry/event log, the
+    telemetry-invariance contract in its strongest form.
+    """
+    if _np is None:
+        raise SimulationError(
+            "the vectorized lifecycle kernel requires numpy; "
+            "use kernel='event'"
+        )
+    check_positive("trials", trials, 1)
+    if mttf_hours <= 0 or horizon_hours <= 0:
+        raise SimulationError("MTTF and horizon must be positive")
+    if lse_rate_per_byte < 0:
+        raise SimulationError("lse_rate_per_byte must be >= 0")
+    disk = disk or DiskModel()
+    if timer is None:
+        timer = RebuildTimer(layout, disk, sparing, method, batches)
+    tel = telemetry if telemetry is not None else ambient()
+    if tel.enabled:
+        return simulate_lifecycle(
+            layout, mttf_hours, horizon_hours, disk=disk, sparing=sparing,
+            method=method, batches=batches,
+            lse_rate_per_byte=lse_rate_per_byte, trials=trials, seed=seed,
+            oracle=oracle, telemetry=telemetry, timer=timer,
+        )
+    if seed is None:
+        seed = fresh_seed()
+    if tables is None:
+        tables = LifecycleTables.build(layout, timer)
+    tolerance = guaranteed_tolerance(layout)
+    pattern_ok = _pattern_check(layout, oracle, tolerance)
+    guarantee = oracle_guarantee(oracle) if oracle is not None else tolerance
+    single_safe = guarantee >= 1
+
+    n = layout.n_disks
+    lambd = 1.0 / mttf_hours
+    streams = TrialStreams(
+        seed, trials, lambd,
+        max(_slot_estimate(n, mttf_hours, horizon_hours), n + 2),
+    )
+    table = DiskStateTable.for_layout(layout, trials)
+    fail_at = table.fail_at
+    fail_at[:] = streams.exponentials[:, :n]
+    hours1 = tables.hours
+    lse_thresholds = None
+    if lse_rate_per_byte > 0:
+        # math.exp, not numpy's: the event plane's Poisson test compares
+        # the same uniform against math.exp(-mean), and the two libraries
+        # differ in the last ulp often enough to misclassify a trial.
+        lse_thresholds = _np.array([
+            math.exp(-(float(b) * lse_rate_per_byte))
+            for b in tables.bytes_read
+        ])
+
+    ptr = _np.full(trials, n, dtype=_np.int64)
+    n_failures = _np.zeros(trials, dtype=_np.int64)
+    n_repairs = _np.zeros(trials, dtype=_np.int64)
+    degraded = _np.zeros(trials)
+    peak = _np.zeros(trials, dtype=_np.int64)
+    dangerous = _np.zeros(trials, dtype=bool)
+    active = _np.arange(trials)
+
+    while active.size:
+        streams.ensure(int(ptr[active].max()) + 2)
+        fa = fail_at[active]
+        rows = _np.arange(active.size)
+        first = _np.argmin(fa, axis=1)
+        tf = fa[rows, first]
+        # Disks whose next failure falls past the horizon are never seen.
+        over = tf > horizon_hours
+        comp = tf + hours1[first]
+        fa[rows, first] = _np.inf
+        second = fa.min(axis=1)
+        if single_safe:
+            # A pending failure at the same instant as a completion pops
+            # first (it always carries a lower heap sequence number), so
+            # an exact tie is an overlap, hence <= on both sides.
+            danger = ~over & (second <= comp) & (second <= horizon_hours)
+        else:
+            danger = ~over
+        trunc = ~(over | danger) & (comp > horizon_hours)
+        clean = ~(over | danger | trunc)
+        if lse_thresholds is not None:
+            # The event plane draws no Poisson uniform when the rebuild
+            # read zero bytes, so zero-byte completions keep their slot.
+            check = clean & (tables.bytes_read[first] > 0)
+            hit = _np.flatnonzero(check)
+            if hit.size:
+                t_ix = active[hit]
+                struck = (
+                    streams.uniforms[t_ix, ptr[t_ix]]
+                    > lse_thresholds[first[hit]]
+                )
+                danger[hit[struck]] = True
+                clean[hit[struck]] = False
+                ptr[t_ix[~struck]] += 1
+        ti = _np.flatnonzero(trunc)
+        if ti.size:
+            t_ix = active[ti]
+            n_failures[t_ix] += 1
+            degraded[t_ix] += horizon_hours - tf[ti]
+            table.status[t_ix, first[ti]] = STATUS_REBUILDING
+            table.repair_at[t_ix, first[ti]] = comp[ti]
+        di = _np.flatnonzero(danger)
+        if di.size:
+            t_ix = active[di]
+            dangerous[t_ix] = True
+            table.status[t_ix, first[di]] = STATUS_FAILED
+        ci = _np.flatnonzero(clean)
+        if ci.size:
+            t_ix = active[ci]
+            n_failures[t_ix] += 1
+            n_repairs[t_ix] += 1
+            degraded[t_ix] += comp[ci] - tf[ci]
+            fail_at[t_ix, first[ci]] = (
+                comp[ci] + streams.exponentials[t_ix, ptr[t_ix]]
+            )
+            ptr[t_ix] += 1
+        active = active[clean]
+
+    peak[(~dangerous) & (n_failures > 0)] = 1
+    loss_times: List[float] = []
+    lse_losses = 0
+    with use_telemetry(tel):
+        for t in _np.flatnonzero(dangerous).tolist():
+            lost_at, lost_to_lse, nf, nr, dh, pk = _lifecycle_trial(
+                streams.cursor(t), layout, lambd, horizon_hours,
+                timer, lse_rate_per_byte, pattern_ok, tel, t,
+            )
+            n_failures[t] = nf
+            n_repairs[t] = nr
+            degraded[t] = dh
+            peak[t] = pk
+            if lost_at is not None:
+                loss_times.append(lost_at)
+                if lost_to_lse:
+                    lse_losses += 1
+
+    return LifecycleResult(
+        trials=trials,
+        losses=len(loss_times),
+        loss_times=tuple(loss_times),
+        lse_losses=lse_losses,
+        horizon_hours=horizon_hours,
+        failures_per_trial=tuple(n_failures.tolist()),
+        repairs_per_trial=tuple(n_repairs.tolist()),
+        degraded_hours_per_trial=tuple(degraded.tolist()),
+        peak_failures_per_trial=tuple(peak.tolist()),
+    )
+
+
+def lifecycle_kernel(
+    name: str = "auto",
+) -> Callable[..., LifecycleResult]:
+    """Resolve a :data:`LIFECYCLE_KERNELS` name to its simulate function."""
+    if name == "auto":
+        return (
+            simulate_lifecycle_vectorized
+            if _np is not None
+            else simulate_lifecycle
+        )
+    if name == "vectorized":
+        return simulate_lifecycle_vectorized
+    if name == "event":
+        return simulate_lifecycle
+    raise SimulationError(
+        f"unknown lifecycle kernel {name!r} "
+        f"(expected one of {LIFECYCLE_KERNELS})"
     )

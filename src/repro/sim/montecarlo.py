@@ -29,6 +29,11 @@ from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
+from repro.sim.columnar import (
+    first_exceedances as _first_exceedances,
+    oracle_guarantee as _oracle_guarantee,
+    sample_renewal_events as _sample_lifetime_events,
+)
 from repro.results import ResultBase, register_result
 from repro.util.checks import check_positive
 
@@ -223,112 +228,6 @@ def simulate_lifetimes(
         loss_times=tuple(loss_times),
         horizon_hours=horizon_hours,
     )
-
-
-def _oracle_guarantee(oracle: Callable[[Set[int]], bool]) -> int:
-    """Failure count below which *oracle* certainly answers "survives".
-
-    :class:`RecoverabilityOracle` fast-paths sets of at most its
-    ``guaranteed_tolerance``; :class:`ThresholdOracle` *is* its
-    ``tolerance``. Opaque callables get 0 — every trial with a failure is
-    then walked with the oracle, which is slow but exact.
-    """
-    declared = getattr(oracle, "guaranteed_tolerance", None)
-    if declared is None:
-        declared = getattr(oracle, "tolerance", None)
-    return int(declared) if declared is not None else 0
-
-
-def _sample_lifetime_events(rng, n_disks, mttf_hours, mttr_hours,
-                            horizon_hours, trials):
-    """Pre-sample every trial's failure/repair events up to the horizon.
-
-    Each disk is an independent alternating renewal process (operate
-    ``Exp(mttf)``, repair ``Exp(mttr)``, repeat), exactly the process the
-    event kernel builds one arrival at a time. Cycle durations are drawn
-    in whole blocks and extended until every ``(trial, disk)`` lane's
-    last failure lands beyond the horizon; the growth rule depends only
-    on the sampled values, so results are a deterministic function of
-    the seed.
-
-    Returns ``(times, kinds, disks, counts, starts)``: flat event arrays
-    sorted by ``(trial, time)`` — failures are kind 0, repairs kind 1 —
-    plus each trial's event count and its slice start in the flat arrays.
-    The sort key is the composite ``trial * span + time`` (a single
-    float argsort, several times faster than a 4-key lexsort); exact
-    float-time ties inside one trial have probability zero and any
-    deterministic order for them is acceptable because every consumer
-    (the concurrency filter, both replay walks) reads the same ordering.
-    """
-    expected_cycles = horizon_hours / (mttf_hours + mttr_hours)
-    k = max(2, int(expected_cycles * 1.5) + 2)
-    lane_ids = _np.arange(trials * n_disks)  # lane = trial * n_disks + disk
-    base = _np.zeros(len(lane_ids))
-    lane_parts, time_parts, kind_parts = [], [], []
-    while len(lane_ids):
-        # Draw k more cycles for every still-uncovered lane. Lanes that
-        # already reach past the horizon drop out, so later tiers touch a
-        # fast-shrinking remainder instead of re-growing the whole array.
-        fails = rng.exponential(mttf_hours, size=(len(lane_ids), k))
-        repairs = rng.exponential(mttr_hours, size=(len(lane_ids), k))
-        csum = _np.cumsum(fails + repairs, axis=1)
-        csum += base[:, None]
-        fail_t = csum - repairs  # k-th failure is one repair before csum_k
-        fail_mask = fail_t <= horizon_hours
-        repair_mask = csum <= horizon_hours
-        f_lane, _ = _np.nonzero(fail_mask)
-        r_lane, _ = _np.nonzero(repair_mask)
-        lane_parts.append(lane_ids[f_lane])
-        time_parts.append(fail_t[fail_mask])
-        kind_parts.append(_np.zeros(len(f_lane), dtype=_np.int8))
-        lane_parts.append(lane_ids[r_lane])
-        time_parts.append(csum[repair_mask])
-        kind_parts.append(_np.ones(len(r_lane), dtype=_np.int8))
-        uncovered = (csum[:, -1] - repairs[:, -1]) <= horizon_hours
-        lane_ids = lane_ids[uncovered]
-        base = csum[uncovered, -1]
-        k = max(4, k * 2)
-
-    times = _np.concatenate(time_parts)
-    kinds = _np.concatenate(kind_parts)
-    lanes = _np.concatenate(lane_parts)
-    trial_ix = lanes // n_disks
-    disk_ix = lanes - trial_ix * n_disks
-    span = horizon_hours + 1.0
-    order = _np.argsort(trial_ix * span + times)
-    times, kinds = times[order], kinds[order]
-    trial_ix, disk_ix = trial_ix[order], disk_ix[order]
-    counts = _np.bincount(trial_ix, minlength=trials)
-    starts = _np.concatenate(([0], _np.cumsum(counts)[:-1]))
-    return times, kinds, disk_ix, counts, starts
-
-
-def _first_exceedances(kinds, counts, starts, trials, guarantee):
-    """Where each trial first exceeds *guarantee* concurrent failures.
-
-    A failure is +1, a repair -1; the running sum after each event is the
-    failed-set size at that instant. A trial whose concurrency never
-    exceeds the oracle's guaranteed tolerance can never lose data and
-    needs no replay at all; for the rest, the loss (if any) can only
-    happen at or after the first exceedance, so the replay starts there.
-
-    Returns ``(suspect_trials, first_index)`` — both ascending by trial,
-    ``first_index`` being the global index of the trial's first
-    exceedance event (always a failure arrival).
-    """
-    if not len(kinds):
-        empty = _np.zeros(0, dtype=_np.intp)
-        return empty, empty
-    deltas = _np.where(kinds == 0, 1, -1)
-    running = _np.cumsum(deltas)
-    baselines = _np.where(starts > 0, running[starts - 1], 0)
-    concurrency = running - _np.repeat(baselines, counts)
-    hot = _np.flatnonzero(concurrency > guarantee)
-    if not len(hot):
-        return hot, hot
-    hot_trials = _np.repeat(_np.arange(trials), counts)[hot]
-    suspects, first_pos = _np.unique(hot_trials, return_index=True)
-    return suspects, hot[first_pos]
 
 
 def _walk_trial(

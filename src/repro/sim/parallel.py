@@ -43,10 +43,13 @@ from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.latency import LatencyModel
+from repro.sim.columnar import LifecycleTables
 from repro.sim.lifecycle import (
     LifecycleResult,
     RebuildTimer,
+    lifecycle_kernel,
     simulate_lifecycle,
+    simulate_lifecycle_vectorized,
 )
 from repro.sim.montecarlo import (
     LifetimeResult,
@@ -314,13 +317,15 @@ def merge_lifecycle_results(
 def _lifecycle_worker(state, common, spec):
     """Pool task for one lifecycle chunk.
 
-    *state* is the broadcast ``(layout, timer)`` pair — the layout's cell
-    indexes and the rebuild-time memo are unpickled once per worker and
-    the memo then accumulates across every chunk the worker runs, instead
-    of starting cold per chunk.
+    *state* is the broadcast ``(layout, timer, tables)`` triple — the
+    layout's cell indexes, the rebuild-time memo, and the columnar
+    per-disk rebuild columns (``None`` when the event kernel runs) are
+    unpickled once per worker; the memo then accumulates across every
+    chunk the worker runs instead of starting cold per chunk, and the
+    tables ride along like ``ServeTables`` does for the serving runner.
     """
-    layout, timer = state
-    mttf_hours, horizon_hours, lse_rate_per_byte, collect = common
+    layout, timer, tables = state
+    mttf_hours, horizon_hours, lse_rate_per_byte, collect, kernel = common
     size, chunk_seed = spec
     chunk_tel = Telemetry.collecting() if collect else None
     if collect:
@@ -332,7 +337,11 @@ def _lifecycle_worker(state, common, spec):
             timer.layout, timer.disk, timer.sparing, timer.method,
             timer.batches,
         )
-    result = simulate_lifecycle(
+    simulate = lifecycle_kernel(kernel)
+    extra = {}
+    if simulate is simulate_lifecycle_vectorized:
+        extra["tables"] = tables
+    result = simulate(
         layout,
         mttf_hours,
         horizon_hours,
@@ -345,6 +354,7 @@ def _lifecycle_worker(state, common, spec):
         seed=chunk_seed,
         telemetry=chunk_tel,
         timer=timer,
+        **extra,
     )
     return result, chunk_tel
 
@@ -362,10 +372,11 @@ def simulate_lifecycle_parallel(
     seed: Optional[int] = 0,
     jobs: int = 1,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    kernel: str = "auto",
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> LifecycleResult:
-    """Chunked (and optionally multi-process) :func:`simulate_lifecycle`.
+    """Chunked (and optionally multi-process) lifecycle simulation.
 
     Same determinism contract as :func:`simulate_lifetimes_parallel`: the
     result depends only on ``(trials, seed, chunk_trials)``, never on
@@ -373,6 +384,15 @@ def simulate_lifecycle_parallel(
     to the serial kernel. Rebuild times are memoized per pattern within
     each worker (they are pure functions of the pattern, so the memo never
     affects results).
+
+    *kernel* selects a :data:`~repro.sim.lifecycle.LIFECYCLE_KERNELS`
+    entry per chunk. Unlike the lifetime runner's kernels, the lifecycle
+    kernels share one sampling plane, so on a numpy build the choice
+    cannot change the result — only the wall clock. When the vectorized
+    kernel runs, the per-disk rebuild columns
+    (:class:`~repro.sim.columnar.LifecycleTables`) are computed once here
+    and broadcast to the workers alongside the timer, whose memo they
+    warm as a side effect.
 
     The determinism contract extends to telemetry: when *telemetry* is a
     collecting instance, every worker records into a private registry and
@@ -389,20 +409,24 @@ def simulate_lifecycle_parallel(
     if seed is None:
         seed = random.SystemRandom().getrandbits(48)
     collect = telemetry is not None and telemetry.enabled
+    simulate = lifecycle_kernel(kernel)  # validates the name up front
     timer = RebuildTimer(
         layout, disk or DiskModel(), sparing, method, batches
     )
+    tables = None
+    if simulate is simulate_lifecycle_vectorized:
+        tables = LifecycleTables.build(layout, timer)
     sizes = chunk_sizes(trials, chunk_trials)
     specs = [
         (size, derive_chunk_seed(seed, chunk_id))
         for chunk_id, size in enumerate(sizes)
     ]
-    common = (mttf_hours, horizon_hours, lse_rate_per_byte, collect)
+    common = (mttf_hours, horizon_hours, lse_rate_per_byte, collect, kernel)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_lifecycle_parallel", trials=trials, jobs=jobs):
         parts = _drain_streaming(
-            _lifecycle_worker, (layout, timer), common, specs, sizes, jobs,
-            telemetry, progress, trials,
+            _lifecycle_worker, (layout, timer, tables), common, specs,
+            sizes, jobs, telemetry, progress, trials,
         )
     return merge_lifecycle_results(parts)
 

@@ -49,7 +49,7 @@ TASKS_PER_WORKER = 4
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_jobs: int = 0
 _pool_fingerprint: Optional[str] = None
-_stats = {"created": 0, "reused": 0, "recycled": 0}
+_stats = {"created": 0, "reused": 0, "recycled": 0, "broadcast_bytes": 0}
 
 # -- worker-side broadcast slot -----------------------------------------------
 
@@ -96,6 +96,10 @@ def get_pool(jobs: int, state: Any) -> ProcessPoolExecutor:
     if jobs < 2:
         raise SimulationError(f"pool needs jobs >= 2, got {jobs}")
     blob, digest = state_fingerprint(state)
+    # Broadcasts now carry columnar tables (rebuild columns, serve routing)
+    # besides the layout; the last blob's size is surfaced in pool_stats()
+    # so runners can sanity-check what a recycle would re-ship.
+    _stats["broadcast_bytes"] = len(blob)
     if _pool is not None and _pool_jobs == jobs and _pool_fingerprint == digest:
         _stats["reused"] += 1
         return _pool
@@ -122,7 +126,7 @@ def shutdown_pool() -> None:
 
 
 def pool_stats() -> dict:
-    """Lifetime counts of pool creations / reuses / recycles (for tests)."""
+    """Pool creations / reuses / recycles and the last broadcast's size."""
     return dict(_stats)
 
 

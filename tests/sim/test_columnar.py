@@ -1,0 +1,168 @@
+"""The shared columnar core: draw lanes, state tables, moved samplers."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.layouts import Raid5Layout
+from repro.sim.columnar import (
+    GOLDEN_STRIDE,
+    STATUS_ALIVE,
+    DiskStateTable,
+    LifecycleTables,
+    PyTrialStreams,
+    TrialStreams,
+    lane_seed,
+    mix64,
+    oracle_guarantee,
+    trial_streams,
+)
+from repro.sim.lifecycle import RebuildTimer
+from repro.sim.montecarlo import ThresholdOracle, recoverability_oracle
+from repro.sim.rebuild import DiskModel
+from repro.util.units import GIB
+
+DISK = DiskModel(capacity_bytes=64 * GIB, bandwidth_bytes_per_s=2 * 1024 * 1024)
+
+
+class TestMix64:
+    def test_reference_vector(self):
+        # splitmix64 of seed 0 emits this well-known first output when the
+        # state is advanced by the golden stride and finalized.
+        assert mix64(GOLDEN_STRIDE) == 0xE220A8397B1DCDAF
+
+    def test_numpy_and_python_agree(self):
+        np = pytest.importorskip("numpy")
+        from repro.sim.columnar import _mix64_np
+
+        values = [0, 1, 2**63, 2**64 - 1, 0xDEADBEEF,
+                  (GOLDEN_STRIDE * 7) & (2**64 - 1)]
+        got = _mix64_np(np.array(values, dtype=np.uint64))
+        assert [int(v) for v in got] == [mix64(v) for v in values]
+
+
+class TestTrialStreams:
+    def test_python_and_numpy_uniforms_bit_identical(self):
+        pytest.importorskip("numpy")
+        streams = TrialStreams(seed=42, trials=5, lambd=0.5, slots=16)
+        py = PyTrialStreams(seed=42, trials=5, lambd=0.5)
+        for trial in range(5):
+            for pos in range(16):
+                assert streams.uniform(trial, pos) == py.uniform(trial, pos)
+
+    def test_growth_is_invisible(self):
+        pytest.importorskip("numpy")
+        small = TrialStreams(seed=7, trials=3, lambd=1.0, slots=4)
+        big = TrialStreams(seed=7, trials=3, lambd=1.0, slots=64)
+        small.ensure(64)
+        assert (small.uniforms == big.uniforms[:, : small.slots]).all()
+        assert (small.exponentials == big.exponentials[:, : small.slots]).all()
+
+    def test_lanes_keyed_by_trial_counter(self):
+        pytest.importorskip("numpy")
+        streams = TrialStreams(seed=9, trials=2, lambd=1.0, slots=2)
+        expected = (
+            mix64(lane_seed(9, 1) + 2 * GOLDEN_STRIDE) >> 11
+        ) * 2.0**-53
+        assert streams.uniform(1, 1) == expected
+
+    def test_cursor_walks_the_plane_in_order(self):
+        pytest.importorskip("numpy")
+        streams = TrialStreams(seed=3, trials=2, lambd=0.25, slots=8)
+        cursor = streams.cursor(1)
+        assert cursor.random() == streams.uniform(1, 0)
+        assert cursor.expovariate(0.25) == streams.exponential(1, 1)
+        assert cursor.pos == 2
+
+    def test_cursor_grows_past_the_plane(self):
+        pytest.importorskip("numpy")
+        streams = TrialStreams(seed=3, trials=1, lambd=1.0, slots=2)
+        cursor = streams.cursor(0)
+        draws = [cursor.random() for _ in range(40)]
+        reference = PyTrialStreams(seed=3, trials=1, lambd=1.0)
+        assert draws == [reference.uniform(0, pos) for pos in range(40)]
+
+    def test_cursor_rejects_foreign_rate(self):
+        streams = trial_streams(seed=0, trials=1, lambd=0.5)
+        with pytest.raises(SimulationError):
+            streams.cursor(0).expovariate(0.25)
+
+    def test_randrange_stays_in_bounds(self):
+        streams = trial_streams(seed=11, trials=1, lambd=1.0)
+        cursor = streams.cursor(0)
+        assert all(0 <= cursor.randrange(3) < 3 for _ in range(100))
+
+    def test_pure_python_exponentials_match_math_log(self):
+        py = PyTrialStreams(seed=5, trials=1, lambd=2.0)
+        u = py.uniform(0, 0)
+        assert py.exponential(0, 0) == -math.log(1.0 - u) / 2.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            trial_streams(seed=0, trials=0, lambd=1.0)
+        with pytest.raises(SimulationError):
+            trial_streams(seed=0, trials=1, lambd=0.0)
+
+
+class TestDiskStateTable:
+    def test_shapes_and_initial_state(self, fano_layout):
+        np = pytest.importorskip("numpy")
+        table = DiskStateTable.for_layout(fano_layout, trials=4)
+        n = fano_layout.n_disks
+        assert table.status.shape == (4, n)
+        assert (table.status == STATUS_ALIVE).all()
+        assert (table.repair_at == np.inf).all()
+
+    def test_group_column_reflects_bibd_grouping(self, fano_layout):
+        pytest.importorskip("numpy")
+        table = DiskStateTable.for_layout(fano_layout, trials=1)
+        groups = [fano_layout.grouping.locate(d)[0]
+                  for d in range(fano_layout.n_disks)]
+        assert table.group.tolist() == groups
+
+    def test_flat_layouts_are_ungrouped(self):
+        pytest.importorskip("numpy")
+        table = DiskStateTable.for_layout(Raid5Layout(5), trials=1)
+        assert table.group.tolist() == [-1] * 5
+
+    def test_structured_export_round_trips(self, fano_layout):
+        pytest.importorskip("numpy")
+        table = DiskStateTable.for_layout(fano_layout, trials=2)
+        table.fail_at[1, 3] = 12.5
+        records = table.to_structured()
+        assert records.dtype.names == ("status", "fail_at", "repair_at", "group")
+        assert records["fail_at"][1, 3] == 12.5
+        assert records["group"][0].tolist() == table.group.tolist()
+
+
+class TestLifecycleTables:
+    def test_columns_match_the_timer(self, fano_layout):
+        pytest.importorskip("numpy")
+        timer = RebuildTimer(fano_layout, DISK)
+        tables = LifecycleTables.build(fano_layout, timer)
+        for disk in range(fano_layout.n_disks):
+            hours, read = timer(frozenset((disk,)))
+            assert tables.hours[disk] == hours
+            assert tables.bytes_read[disk] == read
+
+
+class TestOracleGuarantee:
+    def test_recoverability_oracle_declares_its_guarantee(self, fano_layout):
+        oracle = recoverability_oracle(fano_layout, guaranteed_tolerance=3)
+        assert oracle_guarantee(oracle) == 3
+
+    def test_threshold_oracle_is_its_tolerance(self):
+        assert oracle_guarantee(ThresholdOracle(2)) == 2
+
+    def test_opaque_callables_get_zero(self):
+        assert oracle_guarantee(lambda failed: True) == 0
+
+
+class TestSharedSamplers:
+    def test_montecarlo_reexports_the_moved_machinery(self):
+        from repro.sim import columnar, montecarlo
+
+        assert montecarlo._sample_lifetime_events is columnar.sample_renewal_events
+        assert montecarlo._first_exceedances is columnar.first_exceedances
+        assert montecarlo._oracle_guarantee is columnar.oracle_guarantee

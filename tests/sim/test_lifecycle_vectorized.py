@@ -1,0 +1,178 @@
+"""The vectorized lifecycle kernel: bit-identity, replay, kernel wiring."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import SimulationError
+from repro.layouts import Raid5Layout, Raid50Layout
+from repro.obs.telemetry import Telemetry
+from repro.sim.columnar import LifecycleTables
+from repro.sim.lifecycle import (
+    LIFECYCLE_KERNELS,
+    RebuildTimer,
+    guaranteed_tolerance,
+    lifecycle_kernel,
+    simulate_lifecycle,
+    simulate_lifecycle_vectorized,
+)
+from repro.sim.parallel import simulate_lifecycle_parallel
+from repro.sim.rebuild import DiskModel
+from repro.util.units import GIB
+
+# Same accelerated geometry as test_lifecycle: hours-long rebuild windows
+# make overlapping failures (the replayed minority) common at test scale.
+DISK = DiskModel(
+    capacity_bytes=64 * GIB, bandwidth_bytes_per_s=2 * 1024 * 1024
+)
+
+
+def per_trial_records(result):
+    """One comparable tuple per trial of a LifecycleResult."""
+    return list(zip(
+        result.failures_per_trial,
+        result.repairs_per_trial,
+        result.degraded_hours_per_trial,
+        result.peak_failures_per_trial,
+    ))
+
+
+class TestKernelBitIdentity:
+    """Both kernels consume one sampling plane: results are identical."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    def test_full_result_identity_on_oi(self, fano_layout, seed):
+        kwargs = dict(
+            disk=DISK, trials=120, seed=seed, lse_rate_per_byte=1e-13
+        )
+        event = simulate_lifecycle(fano_layout, 600.0, 2500.0, **kwargs)
+        vec = simulate_lifecycle_vectorized(
+            fano_layout, 600.0, 2500.0, **kwargs
+        )
+        assert event.to_dict() == vec.to_dict()
+
+    @pytest.mark.parametrize("layout_factory", [
+        lambda: Raid5Layout(5), lambda: Raid50Layout(3, 3),
+    ])
+    def test_full_result_identity_on_flat_layouts(self, layout_factory):
+        layout = layout_factory()
+        event = simulate_lifecycle(
+            layout, 900.0, 3000.0, disk=DISK, trials=100, seed=5
+        )
+        vec = simulate_lifecycle_vectorized(
+            layout, 900.0, 3000.0, disk=DISK, trials=100, seed=5
+        )
+        assert event.to_dict() == vec.to_dict()
+
+    def test_replayed_trials_are_bit_identical(self, fano_layout):
+        """The dangerous minority goes through the exact event walk.
+
+        With a guarantee >= 1 a trial is replayed iff a second failure
+        lands inside a rebuild window, i.e. exactly the trials whose peak
+        concurrent failures reach 2 — so comparing those trials' records
+        pins the replay path specifically, not just the aggregate.
+        """
+        assert guaranteed_tolerance(fano_layout) >= 1
+        kwargs = dict(disk=DISK, trials=200, seed=3)
+        event = simulate_lifecycle(fano_layout, 500.0, 2500.0, **kwargs)
+        vec = simulate_lifecycle_vectorized(
+            fano_layout, 500.0, 2500.0, **kwargs
+        )
+        ev_records = per_trial_records(event)
+        vec_records = per_trial_records(vec)
+        replayed = [i for i, r in enumerate(vec_records) if r[3] >= 2]
+        assert replayed, "config produced no dangerous trials to compare"
+        for i in replayed:
+            assert ev_records[i] == vec_records[i]
+        assert event.loss_times == vec.loss_times
+
+    def test_non_replayed_population_statistics_agree(self, fano_layout):
+        """Across seeds the fast plane's population matches the walk's.
+
+        Same-seed identity is exact, so the statistical check runs the
+        kernels on disjoint seeds: the vectorized clean path must produce
+        a loss probability inside the event kernel's confidence interval
+        and a mean degraded time within a few percent.
+        """
+        event = simulate_lifecycle(
+            fano_layout, 600.0, 2500.0, disk=DISK, trials=400, seed=101
+        )
+        vec = simulate_lifecycle_vectorized(
+            fano_layout, 600.0, 2500.0, disk=DISK, trials=400, seed=202
+        )
+        lo_e, hi_e = event.prob_loss_interval(z=2.58)
+        lo_v, hi_v = vec.prob_loss_interval(z=2.58)
+        assert max(lo_e, lo_v) <= min(hi_e, hi_v), (
+            "loss-probability intervals of the two populations are disjoint"
+        )
+        mean = lambda xs: sum(xs) / len(xs)
+        ev_deg = mean(event.degraded_hours_per_trial)
+        vec_deg = mean(vec.degraded_hours_per_trial)
+        assert vec_deg == pytest.approx(ev_deg, rel=0.25)
+
+    def test_prebuilt_tables_change_nothing(self, fano_layout):
+        timer = RebuildTimer(fano_layout, DISK)
+        tables = LifecycleTables.build(fano_layout, timer)
+        plain = simulate_lifecycle_vectorized(
+            fano_layout, 700.0, 2000.0, disk=DISK, trials=60, seed=2
+        )
+        shared = simulate_lifecycle_vectorized(
+            fano_layout, 700.0, 2000.0, disk=DISK, trials=60, seed=2,
+            timer=timer, tables=tables,
+        )
+        assert plain.to_dict() == shared.to_dict()
+
+
+class TestParallelKernelContract:
+    def test_kernel_and_jobs_never_change_the_result(self, fano_layout):
+        results = [
+            simulate_lifecycle_parallel(
+                fano_layout, 600.0, 2500.0, disk=DISK, trials=90, seed=9,
+                jobs=jobs, chunk_trials=16, kernel=kernel,
+            ).to_dict()
+            for kernel in ("event", "vectorized", "auto")
+            for jobs in (1, 3)
+        ]
+        assert all(r == results[0] for r in results[1:])
+
+    def test_unknown_kernel_is_rejected_up_front(self, fano_layout):
+        with pytest.raises(SimulationError):
+            simulate_lifecycle_parallel(
+                fano_layout, 600.0, 2500.0, disk=DISK, trials=10,
+                kernel="warp",
+            )
+
+
+class TestTelemetryInvariance:
+    def test_metrics_and_events_identical_across_kernels(self, fano_layout):
+        captures = {}
+        for kernel in ("event", "vectorized"):
+            tel = Telemetry.collecting()
+            result = simulate_lifecycle_parallel(
+                fano_layout, 700.0, 2500.0, disk=DISK, trials=30, seed=4,
+                lse_rate_per_byte=1e-13, kernel=kernel, telemetry=tel,
+            )
+            captures[kernel] = (result.to_dict(), tel)
+        ev_result, ev_tel = captures["event"]
+        vec_result, vec_tel = captures["vectorized"]
+        assert ev_result == vec_result
+        assert ev_tel.metrics.counters() == vec_tel.metrics.counters()
+        ev_hists = {k: h.to_dict() for k, h in ev_tel.metrics.histograms()}
+        vec_hists = {k: h.to_dict() for k, h in vec_tel.metrics.histograms()}
+        assert ev_hists == vec_hists
+        assert ev_tel.events.records == vec_tel.events.records
+        assert ev_tel.events.records, "telemetry captured no events"
+
+
+class TestKernelResolver:
+    def test_names(self):
+        assert LIFECYCLE_KERNELS == ("auto", "vectorized", "event")
+
+    def test_auto_prefers_vectorized_when_numpy_present(self):
+        assert lifecycle_kernel("auto") is simulate_lifecycle_vectorized
+        assert lifecycle_kernel("event") is simulate_lifecycle
+        assert lifecycle_kernel("vectorized") is simulate_lifecycle_vectorized
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SimulationError):
+            lifecycle_kernel("fancy")

@@ -50,7 +50,9 @@ from repro.codes.gf256 import GF256
 from repro.core.oi_layout import _oi_raid_cached, oi_raid
 from repro.core.tolerance import survivable_fraction
 from repro.layouts.recovery import is_recoverable, plan_recovery
+from repro.layouts import Raid50Layout
 from repro.obs import StructuredEmitter
+from repro.sim.fleet import simulate_fleet
 from repro.sim.lifecycle import RebuildTimer, lifecycle_kernel, simulate_lifecycle
 from repro.sim.montecarlo import recoverability_oracle
 from repro.sim.parallel import simulate_lifetimes_parallel, simulate_serve_parallel
@@ -229,6 +231,43 @@ def measure_lifecycle(trials: int) -> dict:
     return current
 
 
+def measure_fleet(trials: int) -> dict:
+    """The fleet kernel's per-array rate and the IS honesty diagnostic.
+
+    ``fleet_arrays_per_s`` runs one mission per array at the lifecycle
+    workload (LC_ARGS on the same layout), so it prices the same
+    per-mission screen the vectorized lifecycle kernel pays plus the
+    fleet tier's chunking and weight bookkeeping — the perf-smoke gate
+    asserts the overhead stays within 20%. ``fleet_is_ess_ratio`` runs
+    an importance-sampled rare-event config (boost 1.4) and reports
+    ``ESS / missions`` — the fraction of nominal-measure information the
+    reweighted run retains (1.0 for naive sampling by construction).
+    """
+    oi = oi_raid(7, 3)
+    mttf, horizon = LC_ARGS
+    timer = RebuildTimer(oi, None, "distributed", "analytic", 8)
+
+    def run():
+        simulate_fleet(
+            oi, mttf, horizon, arrays=trials, trials=1, seed=0, timer=timer
+        )
+
+    note(f"measuring fleet kernel ({trials} arrays x 1 mission) ...")
+    run()  # warm the shared rebuild-time memo (replay patterns)
+    seconds = best_of(run, repeat=3, number=1)
+    current = {"fleet_arrays_per_s": trials / seconds}
+
+    note("measuring fleet importance-sampling ESS ratio ...")
+    rare = simulate_fleet(
+        Raid50Layout(3, 3), 100_000.0, 20_000.0,
+        arrays=100, trials=100, seed=11, lambda_boost=1.4,
+    )
+    current["fleet_is_ess_ratio"] = (
+        rare.effective_sample_size / rare.missions
+    )
+    return current
+
+
 def measure_serve(trials: int) -> dict:
     """The online serving simulator's serial trial rate."""
     serve_trials = max(10, min(50, trials // 50))
@@ -273,6 +312,7 @@ def main(argv=None) -> int:
     current = measure_kernels()
     current.update(measure_mc(args.trials, jobs_sweep))
     current.update(measure_lifecycle(args.trials))
+    current.update(measure_fleet(args.trials))
     current.update(measure_serve(args.trials))
 
     efficiency = {

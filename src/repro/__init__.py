@@ -76,7 +76,10 @@ from repro.serve import (
 )
 from repro.sim import (
     DiskModel,
+    FleetResult,
     analytic_rebuild_time,
+    simulate_fleet,
+    simulate_fleet_parallel,
     simulate_lifetimes_parallel,
     simulate_rebuild,
 )
@@ -113,6 +116,9 @@ __all__ = [
     "analytic_rebuild_time",
     "simulate_rebuild",
     "simulate_lifetimes_parallel",
+    "FleetResult",
+    "simulate_fleet",
+    "simulate_fleet_parallel",
     # scenarios + results
     "Scenario",
     "run",

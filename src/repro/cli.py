@@ -12,13 +12,16 @@ Gives operators the planning surface without writing Python:
   from the layout's own recovery plans (no exogenous MTTR), with a
   derived-μ Markov cross-check; ``--scheme`` also runs the RAID50/RAID5/
   RAID6 baselines on the same disk model
+* ``fleet``       — fleet-scale rare-event lifecycle simulation:
+  thousands of arrays over long missions, streamed through the columnar
+  core with optional importance sampling (``--boost``) on failure rates
 * ``serve``       — online serving simulation: a foreground workload
   contending with throttled rebuild traffic on per-disk queues
 * ``report``      — pretty-print (and validate) telemetry files saved
   by ``--metrics-out`` / ``--trace-out``
 
 The simulation subcommands (``rebuild``, ``reliability``, ``lifecycle``,
-``serve``) are thin wrappers over :class:`repro.scenario.Scenario` +
+``fleet``, ``serve``) are thin wrappers over :class:`repro.scenario.Scenario` +
 :func:`repro.scenario.run` — each parses its flags into a ``Scenario``
 and dispatches, so shell runs and scripted runs share one code path.
 The compute-heavy ones accept ``--jobs N`` to fan the work across N
@@ -377,6 +380,76 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    layout = _lifecycle_layout(args)
+    disk = _disk_from(args)
+    _resolve_jobs(args)
+    logger.info(
+        "fleet MC: scheme=%s, %d disks, %d arrays x %d missions, "
+        "boost=%.2f, %d job(s)",
+        args.scheme, layout.n_disks, args.arrays, args.trials,
+        args.boost, args.jobs,
+    )
+    result = run_scenario(
+        Scenario(
+            kind="fleet",
+            layout=layout,
+            disk=disk,
+            sparing=args.sparing,
+            rebuild_method=args.rebuild_model,
+            lse_rate_per_byte=args.lse_rate,
+            mttf_hours=args.mttf_hours,
+            horizon_hours=args.horizon_hours,
+            arrays=args.arrays,
+            lambda_boost=args.boost,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            telemetry=args.telemetry,
+        ),
+        progress=_progress_for(args),
+    )
+    lo, hi = result.prob_loss_interval()
+    mttdl = result.mttdl_estimate_hours
+    rows = [
+        ["disks per array", str(layout.n_disks)],
+        ["arrays", str(result.arrays)],
+        ["missions (arrays x trials)", str(result.missions)],
+        ["raw losses (sampling measure)", str(result.raw_losses)],
+        ["  of which latent-error losses", str(result.lse_losses)],
+        ["exact event replays", str(result.replays)],
+        ["P(array loss before horizon)", f"{result.prob_loss:.3e}"],
+        ["95% CI", f"[{lo:.3e}, {hi:.3e}]"],
+        ["P(any array loss in fleet)", f"{result.prob_any_loss:.4f}"],
+        [
+            "MTTDL estimate",
+            "inf (no losses observed)"
+            if mttdl == float("inf")
+            else format_duration(mttdl * 3600.0),
+        ],
+        ["lambda boost", f"{result.lambda_boost:.2f}"],
+        [
+            "effective sample size",
+            f"{result.effective_sample_size:.0f} of {result.missions}",
+        ],
+        ["mean failures per mission", f"{result.mean_failures:.2f}"],
+        ["peak concurrent failures", str(result.max_peak_failures)],
+        ["workers", str(args.jobs)],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"fleet lifecycle ({args.scheme}, {args.sparing} sparing): "
+                f"{result.arrays} arrays, MTTF {args.mttf_hours:.0f} h, "
+                f"mission {args.horizon_hours:.0f} h"
+            ),
+        )
+    )
+    return 0
+
+
 def _throttle_from(args: argparse.Namespace):
     """The rebuild-injection policy the ``serve`` flags describe."""
     if args.throttle == "none":
@@ -650,6 +723,45 @@ def build_parser() -> argparse.ArgumentParser:
                            "rebuild (e.g. 1e-15)")
     _add_jobs_arg(p_lc, "the Monte-Carlo fan-out")
     p_lc.set_defaults(func=_cmd_lifecycle)
+
+    p_fl = sub.add_parser(
+        "fleet",
+        help="fleet-scale rare-event lifecycle simulation "
+             "(streaming, optional importance sampling)",
+    )
+    _add_layout_args(p_fl)
+    p_fl.add_argument("--scheme", choices=["oi", "raid50", "raid5", "raid6"],
+                      default="oi",
+                      help="layout to simulate on the -v/-k/-g geometry")
+    p_fl.add_argument("--arrays", type=int, default=100,
+                      help="identical arrays in the fleet")
+    p_fl.add_argument("--trials", type=int, default=10,
+                      help="missions simulated per array")
+    p_fl.add_argument("--boost", type=float, default=1.0,
+                      help="importance-sampling failure-rate inflation: "
+                           "sample at boost/MTTF, reweight by the exact "
+                           "likelihood ratio (1.0 = naive Monte-Carlo; "
+                           "useful range ~1.2-1.8 — the per-draw weight "
+                           "variance diverges at 2.0)")
+    p_fl.add_argument("--mttf-hours", type=float, default=100_000.0,
+                      help="per-disk mean time to failure")
+    p_fl.add_argument("--horizon-hours", type=float, default=87_660.0,
+                      help="mission length (default: 10 years)")
+    p_fl.add_argument("--seed", type=int, default=0)
+    p_fl.add_argument("--sparing", choices=["distributed", "dedicated"],
+                      default="distributed")
+    p_fl.add_argument("--rebuild-model", choices=["analytic", "event"],
+                      default="analytic",
+                      help="rebuild clock: bandwidth bound or event-driven")
+    p_fl.add_argument("--capacity-tb", type=float, default=4.0)
+    p_fl.add_argument("--bandwidth-mib", type=float, default=100.0)
+    p_fl.add_argument("--foreground", type=float, default=0.0,
+                      help="fraction of bandwidth reserved for user I/O")
+    p_fl.add_argument("--lse-rate", type=float, default=0.0,
+                      help="latent sector errors per byte read during "
+                           "rebuild (e.g. 1e-15)")
+    _add_jobs_arg(p_fl, "the fleet fan-out")
+    p_fl.set_defaults(func=_cmd_fleet)
 
     p_srv = sub.add_parser(
         "serve",

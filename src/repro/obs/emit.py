@@ -11,11 +11,29 @@ interactive reports.
 from __future__ import annotations
 
 import json
+import math
 import os
-from typing import IO, Optional
+from typing import IO, Any, Optional
 
 #: Environment variable naming the bench runner's JSONL destination.
 BENCH_JSONL_ENV = "REPRO_BENCH_JSONL"
+
+
+def _strict(value: Any) -> Any:
+    """Replace non-finite floats with ``None`` so every line is strict JSON.
+
+    ``json.dumps`` would otherwise spell them ``Infinity``/``NaN`` —
+    tokens strict parsers (and ``json.loads(..., parse_constant=...)``
+    consumers) reject. Mirrors the :mod:`repro.results` convention:
+    ``null`` means "not observed".
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _strict(v) for key, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_strict(v) for v in value]
+    return value
 
 
 class StructuredEmitter:
@@ -37,8 +55,10 @@ class StructuredEmitter:
         return cls(path=path) if path else None
 
     def emit(self, record: dict) -> None:
-        """Append one record as a sorted-key JSON line, flushed eagerly."""
-        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        """Append one record as a sorted-key strict-JSON line, flushed eagerly."""
+        line = json.dumps(
+            _strict(record), sort_keys=True, default=str, allow_nan=False
+        ) + "\n"
         if self._stream is not None:
             self._stream.write(line)
             self._stream.flush()

@@ -7,11 +7,16 @@ serialized ad hoc — the bench JSONL emitter flattened whatever dict a
 bench hand-built, and nothing could round-trip a result from disk. The
 protocol normalizes all of them behind three methods:
 
-* ``to_dict()`` — a JSON-safe dict tagged with the result type name
-  (tuples become lists; ``inf`` becomes the string ``"inf"`` so the
-  output survives strict JSON parsers).
-* ``from_dict(doc)`` — the exact inverse, dispatching on the tag, so
-  saved results reload as the original dataclass.
+* ``to_dict()`` — a strict-JSON-safe dict tagged with the result type
+  name (tuples become lists; non-finite floats become ``null`` — JSON
+  has no number for them, and the string spellings an earlier revision
+  used choke numeric consumers).
+* ``from_dict(doc)`` — the inverse, dispatching on the tag, so saved
+  results reload as the original dataclass. Documents written by older
+  revisions still load: the legacy ``"inf"`` / ``"-inf"`` / ``"nan"``
+  string spellings come back as the original floats, and keys stored
+  under a :func:`deprecated_alias`'d old name are remapped to the
+  current field.
 * ``summary()`` — a flat ``{metric: number}`` dict of the headline
   quantities, suitable for the bench JSONL records and quick printing.
 
@@ -44,12 +49,25 @@ def register_result(cls: type) -> type:
     return cls
 
 
+class _DeprecatedAlias(property):
+    """A forwarding property that remembers its ``(old, new)`` mapping.
+
+    The mapping is what lets :meth:`ResultBase.from_dict` load documents
+    that were serialized before the rename — an old JSONL line carrying
+    the old key still rebuilds the current dataclass.
+    """
+
+    old: str
+    new: str
+
+
 def deprecated_alias(old: str, new: str) -> property:
     """A property forwarding *old* attribute access to *new*, with a warning.
 
     Attach to a class as ``old_name = deprecated_alias("old_name",
     "new_name")`` when a field is renamed; reads keep working and emit a
-    ``DeprecationWarning`` naming the replacement.
+    ``DeprecationWarning`` naming the replacement, and stored documents
+    using the old key name keep loading through ``from_dict``.
     """
 
     def getter(self):
@@ -61,25 +79,49 @@ def deprecated_alias(old: str, new: str) -> property:
         return getattr(self, new)
 
     getter.__doc__ = f"Deprecated alias of :attr:`{new}`."
-    return property(getter)
+    alias = _DeprecatedAlias(getter)
+    alias.old = old
+    alias.new = new
+    return alias
+
+
+def _field_aliases(target: type) -> Dict[str, str]:
+    """``{old_key: new_field}`` for every :func:`deprecated_alias` on *target*."""
+    aliases: Dict[str, str] = {}
+    for klass in reversed(target.__mro__):
+        for attr in vars(klass).values():
+            if isinstance(attr, _DeprecatedAlias):
+                aliases[attr.old] = attr.new
+    return aliases
 
 
 def _jsonify(value: Any) -> Any:
-    """Make one field value JSON-safe (tuples -> lists, inf -> 'inf')."""
+    """Make one field value strict-JSON-safe (tuples -> lists, inf -> null).
+
+    JSON has no number for the non-finite floats, and both common
+    workarounds break consumers: raw ``Infinity``/``NaN`` tokens are not
+    strict JSON (``json.loads(..., parse_constant=...)`` and non-Python
+    parsers reject them), and string spellings like ``"inf"`` poison any
+    numeric aggregation over the field. ``null`` is the one spelling
+    every strict parser accepts; consumers treat a null metric as "not
+    observed" (e.g. a censored MTTDL with zero losses).
+    """
     if isinstance(value, tuple):
         return [_jsonify(v) for v in value]
     if isinstance(value, dict):
         return {key: _jsonify(v) for key, v in value.items()}
-    if isinstance(value, float):
-        if math.isinf(value):
-            return "inf" if value > 0 else "-inf"
-        if math.isnan(value):
-            return "nan"
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
     return value
 
 
 def _unjsonify(value: Any) -> Any:
-    """Inverse of :func:`_jsonify` (lists -> tuples, 'inf' -> inf)."""
+    """Inverse of :func:`_jsonify` (lists -> tuples).
+
+    Also accepts the legacy ``"inf"`` / ``"-inf"`` / ``"nan"`` string
+    spellings an earlier protocol revision wrote, restoring the original
+    floats so stored JSONL from old runs keeps loading.
+    """
     if isinstance(value, list):
         return tuple(_unjsonify(v) for v in value)
     if isinstance(value, dict):
@@ -132,6 +174,9 @@ class ResultBase:
             for key, value in doc.items()
             if key in names
         }
+        for old, new in _field_aliases(target).items():
+            if new in names and new not in kwargs and old in doc:
+                kwargs[new] = _unjsonify(doc[old])
         missing = names - set(kwargs)
         if missing:
             raise ReproError(

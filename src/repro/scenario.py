@@ -15,7 +15,7 @@ kind-specific knobs, and :func:`run` dispatches to the right simulator:
     >>> result.p99_ms  # doctest: +SKIP
 
 The CLI subcommands (``rebuild``, ``reliability``, ``lifecycle``,
-``serve``) are thin wrappers that parse flags into a ``Scenario`` and
+``serve``, ``fleet``) are thin wrappers that parse flags into a ``Scenario`` and
 call :func:`run` — so scripting an experiment and typing it at the shell
 exercise the identical code path, and every result comes back speaking
 the common protocol of :mod:`repro.results`.
@@ -33,6 +33,7 @@ from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import guaranteed_tolerance
 from repro.sim.montecarlo import MC_KERNELS, recoverability_oracle
 from repro.sim.parallel import (
+    simulate_fleet_parallel,
     simulate_lifecycle_parallel,
     simulate_lifetimes_parallel,
     simulate_serve_parallel,
@@ -47,7 +48,7 @@ from repro.workloads.arrivals import ArrivalProcess, OpenLoop
 from repro.workloads.generators import WorkloadSpec
 
 #: The simulation kinds :func:`run` dispatches on.
-SCENARIO_KINDS = ("rebuild", "reliability", "lifecycle", "serve")
+SCENARIO_KINDS = ("rebuild", "reliability", "lifecycle", "serve", "fleet")
 
 
 @dataclass(frozen=True)
@@ -80,8 +81,15 @@ class Scenario:
         mttr_hours: exogenous repair time (reliability only — the
             lifecycle kind derives repair times from the layout).
         horizon_hours: mission length (reliability, lifecycle).
-        lse_rate_per_byte: latent-sector-error rate (lifecycle).
-        trials: replications (reliability, lifecycle, serve).
+        lse_rate_per_byte: latent-sector-error rate (lifecycle, fleet).
+        arrays: identical arrays in the fleet (fleet only).
+        lambda_boost: importance-sampling failure-rate inflation
+            (fleet only) — missions sample lifetimes at
+            ``lambda_boost / mttf_hours`` and are reweighted by the
+            exact likelihood ratio, so estimates stay unbiased for the
+            nominal rate; ``1.0`` is plain Monte-Carlo.
+        trials: replications (reliability, lifecycle, serve) or
+            missions per array (fleet).
         seed: base RNG seed (``None`` = nondeterministic).
         jobs: worker processes; results are bit-identical for any value.
         mc_kernel: Monte-Carlo kernel (reliability, lifecycle) —
@@ -110,6 +118,8 @@ class Scenario:
     mttr_hours: float = 24.0
     horizon_hours: float = 87_660.0
     lse_rate_per_byte: float = 0.0
+    arrays: int = 100
+    lambda_boost: float = 1.0
     trials: int = 100
     seed: Optional[int] = 0
     jobs: int = 1
@@ -203,11 +213,32 @@ def _run_serve(scenario: Scenario, progress):
     )
 
 
+def _run_fleet(scenario: Scenario, progress):
+    return simulate_fleet_parallel(
+        scenario.layout,
+        scenario.mttf_hours,
+        scenario.horizon_hours,
+        disk=scenario.disk,
+        sparing=scenario.sparing,
+        method=scenario.rebuild_method,
+        batches=max(scenario.rebuild_batches, 8),
+        lse_rate_per_byte=scenario.lse_rate_per_byte,
+        arrays=scenario.arrays,
+        trials=scenario.trials,
+        lambda_boost=scenario.lambda_boost,
+        seed=scenario.seed,
+        jobs=scenario.jobs,
+        telemetry=scenario.telemetry,
+        progress=progress,
+    )
+
+
 _RUNNERS: Dict[str, Callable] = {
     "rebuild": _run_rebuild,
     "reliability": _run_reliability,
     "lifecycle": _run_lifecycle,
     "serve": _run_serve,
+    "fleet": _run_fleet,
 }
 
 
@@ -215,7 +246,8 @@ def run(scenario: Scenario, progress: Optional[Callable] = None):
     """Execute *scenario* with the simulator its ``kind`` names.
 
     Returns the kind's native result — ``RebuildResult``,
-    ``LifetimeResult``, ``LifecycleResult``, or ``ServeResult`` — every
+    ``LifetimeResult``, ``LifecycleResult``, ``ServeResult``, or
+    ``FleetResult`` — every
     one of which speaks the :mod:`repro.results` protocol
     (``to_dict``/``from_dict``/``summary``). *progress*, when given, is
     forwarded to the parallel runners' per-chunk callback

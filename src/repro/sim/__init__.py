@@ -21,8 +21,13 @@
 * :mod:`repro.sim.serve` — online serving: foreground request streams
   contending with throttled rebuild traffic on per-disk queues (also
   exposed as :mod:`repro.serve`).
+* :mod:`repro.sim.fleet` — fleet-scale rare-event kernel: thousands of
+  arrays streamed through the columnar core in fixed chunks with
+  globally-keyed draw lanes, optional importance sampling on failure
+  rates, and flat-memory streaming aggregation.
 * :mod:`repro.sim.parallel` — process fan-out for the Monte-Carlo,
-  fault-pattern, and serving sweeps, bit-identical for any worker count.
+  fault-pattern, fleet, and serving sweeps, bit-identical for any worker
+  count.
 """
 
 from repro.sim.columnar import (
@@ -31,6 +36,12 @@ from repro.sim.columnar import (
     TrialStreams,
 )
 from repro.sim.engine import Event, FcfsServer, Simulator
+from repro.sim.fleet import (
+    FLEET_CHUNK_MISSIONS,
+    FleetResult,
+    merge_fleet_chunks,
+    simulate_fleet,
+)
 from repro.sim.latency import LatencyModel, LatencyResult, simulate_read_latency
 from repro.sim.lifecycle import (
     LIFECYCLE_KERNELS,
@@ -53,6 +64,7 @@ from repro.sim.montecarlo import (
 )
 from repro.sim.parallel import (
     default_jobs,
+    simulate_fleet_parallel,
     merge_lifecycle_results,
     merge_lifetime_results,
     parallel_map,
@@ -119,6 +131,11 @@ __all__ = [
     "LifecycleTables",
     "simulate_lifecycle_parallel",
     "merge_lifecycle_results",
+    "FleetResult",
+    "FLEET_CHUNK_MISSIONS",
+    "simulate_fleet",
+    "simulate_fleet_parallel",
+    "merge_fleet_chunks",
     "ThrottlePolicy",
     "FixedRateThrottle",
     "IdleSlotThrottle",

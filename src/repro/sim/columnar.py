@@ -167,24 +167,39 @@ class TrialStreams:
     demand; growth depends only on the requested slot count, never on how
     the slots are consumed, so every lane is a pure function of
     ``(seed, trial)``.
+
+    *lane_offset* keys the lanes to a window of a larger global trial
+    space: local row ``t`` reads global lane ``lane_offset + t``, so
+    ``TrialStreams(seed, k, lambd, lane_offset=m)`` is bit-identical to
+    rows ``m .. m+k-1`` of ``TrialStreams(seed, m+k, lambd)``. The fleet
+    kernel uses this to key one lane per ``(array, trial)`` mission while
+    materializing only a chunk of missions at a time — chunk boundaries
+    can never change which floats a mission reads.
     """
 
-    __slots__ = ("seed", "trials", "lambd", "_lanes", "_uniforms",
-                 "_exponentials", "_slots")
+    __slots__ = ("seed", "trials", "lambd", "lane_offset", "_lanes",
+                 "_uniforms", "_exponentials", "_slots")
 
     def __init__(self, seed: int, trials: int, lambd: float,
-                 slots: int = 64) -> None:
+                 slots: int = 64, lane_offset: int = 0) -> None:
         if _np is None:
             raise SimulationError("TrialStreams requires numpy")
         if trials < 1:
             raise SimulationError(f"trials must be >= 1, got {trials}")
         if lambd <= 0:
             raise SimulationError(f"lambd must be > 0, got {lambd}")
+        if lane_offset < 0:
+            raise SimulationError(
+                f"lane_offset must be >= 0, got {lane_offset}"
+            )
         self.seed = seed
         self.trials = trials
         self.lambd = lambd
+        self.lane_offset = lane_offset
         base = _np.uint64(seed & _MASK64)
-        counters = _np.arange(1, trials + 1, dtype=_np.uint64)
+        counters = _np.arange(
+            lane_offset + 1, lane_offset + trials + 1, dtype=_np.uint64
+        )
         self._lanes = _mix64_np(base + counters * _np.uint64(GOLDEN_STRIDE))
         self._slots = 0
         self._uniforms = _np.zeros((trials, 0))
@@ -249,21 +264,27 @@ class PyTrialStreams:
     ``math.log`` and may differ from a numpy build in the final ulp.
     """
 
-    __slots__ = ("seed", "trials", "lambd")
+    __slots__ = ("seed", "trials", "lambd", "lane_offset")
 
     def __init__(self, seed: int, trials: int, lambd: float,
-                 slots: int = 0) -> None:
+                 slots: int = 0, lane_offset: int = 0) -> None:
         if trials < 1:
             raise SimulationError(f"trials must be >= 1, got {trials}")
         if lambd <= 0:
             raise SimulationError(f"lambd must be > 0, got {lambd}")
+        if lane_offset < 0:
+            raise SimulationError(
+                f"lane_offset must be >= 0, got {lane_offset}"
+            )
         self.seed = seed
         self.trials = trials
         self.lambd = lambd
+        self.lane_offset = lane_offset
 
     def uniform(self, trial: int, pos: int) -> float:
         """Slot *pos* of trial *trial*'s uniform lane, computed on demand."""
-        z = mix64(lane_seed(self.seed, trial) + (pos + 1) * GOLDEN_STRIDE)
+        lane = lane_seed(self.seed, trial + self.lane_offset)
+        z = mix64(lane + (pos + 1) * GOLDEN_STRIDE)
         return (z >> 11) * 2.0 ** -53
 
     def exponential(self, trial: int, pos: int) -> float:
@@ -282,11 +303,12 @@ class PyTrialStreams:
         return LaneCursor(self, trial)  # type: ignore[arg-type]
 
 
-def trial_streams(seed: int, trials: int, lambd: float, slots: int = 64):
+def trial_streams(seed: int, trials: int, lambd: float, slots: int = 64,
+                  lane_offset: int = 0):
     """The best available stream implementation for this install."""
     if _np is not None:
-        return TrialStreams(seed, trials, lambd, slots)
-    return PyTrialStreams(seed, trials, lambd)
+        return TrialStreams(seed, trials, lambd, slots, lane_offset)
+    return PyTrialStreams(seed, trials, lambd, lane_offset=lane_offset)
 
 
 def _layout_groups(layout: "Layout"):

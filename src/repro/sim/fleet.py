@@ -1,0 +1,699 @@
+"""Fleet-scale rare-event lifecycle kernel on the columnar core.
+
+One lifecycle run simulates one array; a production fleet is thousands
+of arrays over decade missions, and the interesting loss probabilities
+are ~1e-4 .. 1e-6 — naive Monte-Carlo needs millions of missions to see
+a single loss. This module is the columnar core's third consumer
+(after the lifetime and lifecycle kernels) and attacks both axes:
+
+* **Fleet axis, streaming aggregation.** The mission space is
+  ``arrays x trials`` independent array-missions, flattened to a global
+  mission index ``m = array * trials + trial``. Missions are processed
+  in fixed-size chunks; each chunk builds a
+  :class:`~repro.sim.columnar.TrialStreams` window whose lanes are keyed
+  by the *global* mission index (``lane_offset=start``), advances a
+  :class:`~repro.sim.columnar.DiskStateTable` over the chunk's
+  ``(mission, disk)`` state in lockstep exactly like the vectorized
+  lifecycle kernel, and folds everything into running accumulators —
+  losses, likelihood-weight sums, exposure, per-array failure/repair
+  counts. Memory is flat in the fleet size: only one chunk of missions
+  is ever materialized, and the per-array vectors are linear in
+  ``arrays``, not in ``arrays * trials``.
+* **Exact replay only where it matters.** The lockstep screen flags a
+  mission dangerous the moment a second failure overlaps an in-flight
+  rebuild window (or a latent sector error strikes); only flagged
+  missions are replayed through the exact event walk
+  (:func:`~repro.sim.lifecycle._lifecycle_trial`), reading the *same*
+  position-addressed lane floats the screen read — so the replayed
+  mission is bit-for-bit the event kernel's mission.
+* **Importance sampling on failure rates.** With ``lambda_boost = b``,
+  lifetimes are sampled at the inflated rate ``lambda' = b * lambda``
+  and every mission is weighted by the exact likelihood ratio over its
+  ``N`` consumed lifetime draws summing to ``S``::
+
+      w = (lambda / lambda')**N * exp((lambda' - lambda) * S)
+        = b**(-N) * exp(lambda * (b - 1) * S)
+
+    (computed in log space; uniform draws — latent-error checks,
+    stranded-cell placement — are identically distributed under both
+    measures and cancel). ``E[w * 1{loss}]`` under the boosted measure
+    equals the true loss probability, so the weighted estimators in
+    :class:`FleetResult` are unbiased, with an empirical-variance
+    confidence interval on the weighted mean and the effective sample
+    size ``(sum w)^2 / sum w^2`` as the honesty diagnostic.
+
+Determinism contract: lanes are keyed by ``(seed, global mission)``
+and chunk boundaries are a pure function of the mission count, so the
+result is bit-identical for any ``jobs`` (the float accumulators are
+folded in chunk order by :func:`merge_fleet_chunks`); chunk size only
+regroups float additions. A collecting telemetry records the event
+vocabulary for *replayed* missions only — the fleet kernel is a
+counting kernel, and walking every clean mission just to narrate it
+would defeat the screen — and never changes the result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+
+try:  # the fleet kernel is vectorized end to end
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+from repro.errors import SimulationError
+from repro.layouts.base import Layout
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, ambient, use_telemetry
+from repro.results import ResultBase, register_result
+from repro.sim.columnar import (
+    DiskStateTable,
+    LifecycleTables,
+    STATUS_FAILED,
+    STATUS_REBUILDING,
+    TrialStreams,
+    fresh_seed,
+    oracle_guarantee,
+)
+from repro.sim.lifecycle import (
+    RebuildTimer,
+    _lifecycle_trial,
+    _pattern_check,
+    _slot_estimate,
+    guaranteed_tolerance,
+)
+from repro.sim.rebuild import DiskModel
+from repro.util.checks import check_positive
+from repro.util.stats import wilson_interval
+
+#: Missions per fleet chunk. Fixed (never derived from ``jobs``) so the
+#: chunk layout — and therefore the order float accumulators fold in —
+#: is identical for any worker count. Because lanes are keyed by the
+#: global mission index, changing this regroups float additions (last-ulp
+#: effects on the weight sums) but never changes which floats any
+#: mission samples.
+FLEET_CHUNK_MISSIONS = 1024
+
+
+def mission_chunks(
+    missions: int, chunk: int = FLEET_CHUNK_MISSIONS
+) -> List[Tuple[int, int]]:
+    """Fixed ``(start, count)`` chunk boundaries over the mission space."""
+    if missions < 1:
+        raise SimulationError(f"missions must be >= 1, got {missions}")
+    if chunk < 1:
+        raise SimulationError(f"chunk size must be >= 1, got {chunk}")
+    return [
+        (start, min(chunk, missions - start))
+        for start in range(0, missions, chunk)
+    ]
+
+
+class _CountingCursor:
+    """A lane cursor that tallies the lifetime draws it hands out.
+
+    The likelihood ratio of a mission needs exactly two sufficient
+    statistics of its sampled path: the count ``N`` and the sum ``S`` of
+    the ``Exp(lambda')`` lifetime draws the walk consumed. Uniform draws
+    pass through untallied — they are identically distributed under the
+    nominal and boosted measures, so their ratio terms cancel.
+    """
+
+    __slots__ = ("_cursor", "draws", "draw_sum")
+
+    def __init__(self, cursor: Any) -> None:
+        self._cursor = cursor
+        self.draws = 0
+        self.draw_sum = 0.0
+
+    def random(self) -> float:
+        return self._cursor.random()
+
+    def randrange(self, n: int) -> int:
+        return self._cursor.randrange(n)
+
+    def expovariate(self, lambd: float) -> float:
+        value = self._cursor.expovariate(lambd)
+        self.draws += 1
+        self.draw_sum += value
+        return value
+
+
+@register_result
+@dataclass(frozen=True)
+class FleetResult(ResultBase):
+    """Streaming-aggregated fleet outcome with rare-event estimators.
+
+    All mission-level detail is folded away during the run (that is what
+    keeps memory flat); what remains are the sufficient statistics of
+    the estimators plus per-array failure/repair counts.
+
+    Attributes:
+        arrays: arrays in the fleet.
+        trials: missions simulated per array.
+        horizon_hours: mission length.
+        mttf_hours: per-disk mean time to failure (nominal rate).
+        lambda_boost: importance-sampling rate inflation (1.0 = naive).
+        missions: total array-missions (``arrays * trials``).
+        raw_losses: missions that lost data, *unweighted* (under the
+            boosted measure when ``lambda_boost > 1``).
+        lse_losses: of those, losses triggered by a latent sector error.
+        replays: missions the concurrency screen flagged dangerous and
+            replayed through the exact event walk.
+        sum_weights: sum of likelihood-ratio weights over all missions.
+        sum_sq_weights: sum of squared weights (for the effective
+            sample size).
+        weighted_losses: sum of weights over lost missions — the
+            unbiased numerator of :attr:`prob_loss`.
+        weighted_sq_losses: sum of squared weights over lost missions
+            (for the empirical-variance interval).
+        weighted_exposure_hours: weight-scaled exposure (loss time for
+            lost missions, the horizon for survivors).
+        failures_per_array: disk-failure arrivals folded per array.
+        repairs_per_array: completed rebuilds folded per array.
+        max_peak_failures: most concurrent failures any mission reached.
+    """
+
+    arrays: int
+    trials: int
+    horizon_hours: float
+    mttf_hours: float
+    lambda_boost: float
+    missions: int
+    raw_losses: int
+    lse_losses: int
+    replays: int
+    sum_weights: float
+    sum_sq_weights: float
+    weighted_losses: float
+    weighted_sq_losses: float
+    weighted_exposure_hours: float
+    failures_per_array: Tuple[int, ...]
+    repairs_per_array: Tuple[int, ...]
+    max_peak_failures: int
+
+    SUMMARY_KEYS = (
+        "arrays", "trials", "missions", "raw_losses", "lse_losses",
+        "replays", "prob_loss", "prob_any_loss", "mttdl_estimate_hours",
+        "effective_sample_size", "lambda_boost",
+    )
+
+    @property
+    def prob_loss(self) -> float:
+        """Unbiased per-array-mission loss probability estimate.
+
+        The weighted mean ``sum(w * 1{loss}) / missions``; with
+        ``lambda_boost == 1`` every weight is 1 and this is the plain
+        loss fraction.
+        """
+        return self.weighted_losses / self.missions
+
+    @property
+    def raw_prob_loss(self) -> float:
+        """Unweighted loss fraction (under the *sampling* measure)."""
+        return self.raw_losses / self.missions
+
+    def prob_loss_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Confidence interval on :attr:`prob_loss`.
+
+        Naive runs (``lambda_boost == 1``) get the Wilson score interval
+        — non-degenerate even at zero losses. Importance-sampled runs
+        get the empirical-variance (delta-method) interval on the
+        weighted mean; with zero raw losses the weighted variance is
+        uninformative, so the Wilson bound on the raw counts is reported
+        instead (conservative: the boosted measure sees losses *more*
+        often than the nominal one).
+        """
+        if self.lambda_boost == 1.0 or self.raw_losses == 0:
+            return wilson_interval(self.raw_losses, self.missions, z)
+        p = self.prob_loss
+        second_moment = self.weighted_sq_losses / self.missions
+        variance = max(second_moment - p * p, 0.0) / self.missions
+        half = z * math.sqrt(variance)
+        return (max(0.0, p - half), min(1.0, p + half))
+
+    @property
+    def prob_any_loss(self) -> float:
+        """P(at least one array loses data) for a fleet of ``arrays``."""
+        p = min(max(self.prob_loss, 0.0), 1.0)
+        return 1.0 - (1.0 - p) ** self.arrays
+
+    @property
+    def mttdl_estimate_hours(self) -> float:
+        """Censored-exponential MTTDL: weighted exposure / weighted losses."""
+        if self.weighted_losses <= 0.0:
+            return float("inf")
+        return self.weighted_exposure_hours / self.weighted_losses
+
+    @property
+    def effective_sample_size(self) -> float:
+        """``(sum w)^2 / sum w^2`` — how many naive missions the run is worth.
+
+        Equal to ``missions`` for a naive run; importance sampling trades
+        some of it for resolution on the rare event. A collapsed ESS
+        (<< missions) flags an over-aggressive ``lambda_boost``.
+        """
+        if self.sum_sq_weights <= 0.0:
+            return 0.0
+        return self.sum_weights * self.sum_weights / self.sum_sq_weights
+
+    @property
+    def replay_fraction(self) -> float:
+        """Fraction of missions that needed the exact event walk."""
+        return self.replays / self.missions
+
+    @property
+    def mean_failures(self) -> float:
+        """Mean disk-failure arrivals per mission (sampling measure)."""
+        return sum(self.failures_per_array) / self.missions
+
+    @property
+    def mean_repairs(self) -> float:
+        """Mean completed rebuilds per mission (sampling measure)."""
+        return sum(self.repairs_per_array) / self.missions
+
+
+@dataclass(frozen=True)
+class FleetChunk:
+    """One chunk's folded accumulators (the streaming unit of work).
+
+    Integer fields merge commutatively; the float weight sums must be
+    folded in chunk order (see :func:`merge_fleet_chunks`). The
+    per-array count vectors cover only the contiguous array range the
+    chunk's missions touch (``first_array`` onward) — a chunk never
+    ships a fleet-sized vector.
+    """
+
+    missions: int
+    raw_losses: int
+    lse_losses: int
+    replays: int
+    sum_weights: float
+    sum_sq_weights: float
+    weighted_losses: float
+    weighted_sq_losses: float
+    weighted_exposure_hours: float
+    max_peak_failures: int
+    first_array: int
+    failures_by_array: Tuple[int, ...]
+    repairs_by_array: Tuple[int, ...]
+
+    @property
+    def trials(self) -> int:
+        """Chunk size, under the streaming drain's progress vocabulary."""
+        return self.missions
+
+    @property
+    def losses(self) -> int:
+        """Raw losses, under the streaming drain's progress vocabulary."""
+        return self.raw_losses
+
+
+def _fleet_chunk(
+    layout: Layout,
+    timer: RebuildTimer,
+    tables: LifecycleTables,
+    oracle: Optional[Callable[[Set[int]], bool]],
+    mttf_hours: float,
+    horizon_hours: float,
+    lse_rate_per_byte: float,
+    lambda_boost: float,
+    start: int,
+    count: int,
+    seed: int,
+    trials_per_array: int,
+    tel: Telemetry,
+) -> FleetChunk:
+    """Advance missions ``start .. start+count-1`` and fold their outcome.
+
+    The lockstep screen is the vectorized lifecycle kernel's, applied to
+    a lane *window* of the global mission space: every mission's draws
+    come from lane ``start + row``, so the chunk geometry cannot change
+    a single sampled float. On top of the screen this kernel tracks the
+    two weight statistics (lifetime-draw count and sum) for the
+    likelihood ratio; replayed missions recompute both exactly through a
+    :class:`_CountingCursor` around the event walk.
+    """
+    n = layout.n_disks
+    lambd_true = 1.0 / mttf_hours
+    lambd = lambda_boost * lambd_true
+    tolerance = guaranteed_tolerance(layout)
+    pattern_ok = _pattern_check(layout, oracle, tolerance)
+    guarantee = oracle_guarantee(oracle) if oracle is not None else tolerance
+    single_safe = guarantee >= 1
+
+    streams = TrialStreams(
+        seed, count, lambd,
+        max(
+            _slot_estimate(n, mttf_hours / lambda_boost, horizon_hours),
+            n + 2,
+        ),
+        lane_offset=start,
+    )
+    table = DiskStateTable.for_layout(layout, count)
+    fail_at = table.fail_at
+    fail_at[:] = streams.exponentials[:, :n]
+    draw_n = _np.full(count, n, dtype=_np.int64)
+    draw_sum = streams.exponentials[:, :n].sum(axis=1)
+    hours1 = tables.hours
+    lse_thresholds = None
+    if lse_rate_per_byte > 0:
+        # math.exp, not numpy's: the event plane's Poisson test compares
+        # the same uniform against math.exp(-mean), and the two libraries
+        # differ in the last ulp often enough to misclassify a mission.
+        lse_thresholds = _np.array([
+            math.exp(-(float(b) * lse_rate_per_byte))
+            for b in tables.bytes_read
+        ])
+
+    ptr = _np.full(count, n, dtype=_np.int64)
+    n_failures = _np.zeros(count, dtype=_np.int64)
+    n_repairs = _np.zeros(count, dtype=_np.int64)
+    peak = _np.zeros(count, dtype=_np.int64)
+    dangerous = _np.zeros(count, dtype=bool)
+    active = _np.arange(count)
+
+    while active.size:
+        streams.ensure(int(ptr[active].max()) + 2)
+        fa = fail_at[active]
+        rows = _np.arange(active.size)
+        first = _np.argmin(fa, axis=1)
+        tf = fa[rows, first]
+        over = tf > horizon_hours
+        comp = tf + hours1[first]
+        fa[rows, first] = _np.inf
+        second = fa.min(axis=1)
+        if single_safe:
+            # A pending failure at the same instant as a completion pops
+            # first (lower heap sequence number), so an exact tie is an
+            # overlap, hence <= on both sides.
+            danger = ~over & (second <= comp) & (second <= horizon_hours)
+        else:
+            danger = ~over
+        trunc = ~(over | danger) & (comp > horizon_hours)
+        clean = ~(over | danger | trunc)
+        if lse_thresholds is not None:
+            # The event plane draws no Poisson uniform when the rebuild
+            # read zero bytes, so zero-byte completions keep their slot.
+            check = clean & (tables.bytes_read[first] > 0)
+            hit = _np.flatnonzero(check)
+            if hit.size:
+                t_ix = active[hit]
+                struck = (
+                    streams.uniforms[t_ix, ptr[t_ix]]
+                    > lse_thresholds[first[hit]]
+                )
+                danger[hit[struck]] = True
+                clean[hit[struck]] = False
+                ptr[t_ix[~struck]] += 1
+        ti = _np.flatnonzero(trunc)
+        if ti.size:
+            t_ix = active[ti]
+            n_failures[t_ix] += 1
+            table.status[t_ix, first[ti]] = STATUS_REBUILDING
+            table.repair_at[t_ix, first[ti]] = comp[ti]
+        di = _np.flatnonzero(danger)
+        if di.size:
+            t_ix = active[di]
+            dangerous[t_ix] = True
+            table.status[t_ix, first[di]] = STATUS_FAILED
+        ci = _np.flatnonzero(clean)
+        if ci.size:
+            t_ix = active[ci]
+            n_failures[t_ix] += 1
+            n_repairs[t_ix] += 1
+            redraw = streams.exponentials[t_ix, ptr[t_ix]]
+            draw_n[t_ix] += 1
+            draw_sum[t_ix] += redraw
+            fail_at[t_ix, first[ci]] = comp[ci] + redraw
+            ptr[t_ix] += 1
+        active = active[clean]
+
+    end = _np.full(count, horizon_hours)
+    lost = _np.zeros(count, dtype=bool)
+    lse_lost = 0
+    replay_ix = _np.flatnonzero(dangerous)
+    with use_telemetry(tel):
+        for t in replay_ix.tolist():
+            cursor = _CountingCursor(streams.cursor(t))
+            lost_at, lost_to_lse, nf, nr, _degraded, pk = _lifecycle_trial(
+                cursor, layout, lambd, horizon_hours, timer,
+                lse_rate_per_byte, pattern_ok, tel, t,
+            )
+            n_failures[t] = nf
+            n_repairs[t] = nr
+            peak[t] = pk
+            draw_n[t] = cursor.draws
+            draw_sum[t] = cursor.draw_sum
+            if lost_at is not None:
+                lost[t] = True
+                end[t] = lost_at
+                if lost_to_lse:
+                    lse_lost += 1
+    peak[(~dangerous) & (n_failures > 0)] = 1
+    raw_losses = int(_np.count_nonzero(lost))
+
+    if lambda_boost == 1.0:
+        # Every weight is exactly 1; skip the exp/log round trip so the
+        # naive path stays free of last-ulp weight noise.
+        sum_w = float(count)
+        sum_w2 = float(count)
+        w_losses = float(raw_losses)
+        w_losses_sq = float(raw_losses)
+        w_exposure = float(_np.sum(end))
+    else:
+        logw = (
+            -draw_n * math.log(lambda_boost)
+            + lambd_true * (lambda_boost - 1.0) * draw_sum
+        )
+        weights = _np.exp(logw)
+        sum_w = float(_np.sum(weights))
+        sum_w2 = float(_np.sum(weights * weights))
+        lost_w = weights[lost]
+        w_losses = float(_np.sum(lost_w))
+        w_losses_sq = float(_np.sum(lost_w * lost_w))
+        w_exposure = float(_np.sum(weights * end))
+
+    first_array = start // trials_per_array
+    ids = (start + _np.arange(count)) // trials_per_array - first_array
+    width = int(ids[-1]) + 1
+    fails = _np.zeros(width, dtype=_np.int64)
+    reps = _np.zeros(width, dtype=_np.int64)
+    _np.add.at(fails, ids, n_failures)
+    _np.add.at(reps, ids, n_repairs)
+
+    if tel.enabled:
+        tel.count("fleet.missions", count)
+        tel.count("fleet.replays", int(replay_ix.size))
+        tel.count("fleet.losses", raw_losses)
+
+    return FleetChunk(
+        missions=count,
+        raw_losses=raw_losses,
+        lse_losses=lse_lost,
+        replays=int(replay_ix.size),
+        sum_weights=sum_w,
+        sum_sq_weights=sum_w2,
+        weighted_losses=w_losses,
+        weighted_sq_losses=w_losses_sq,
+        weighted_exposure_hours=w_exposure,
+        max_peak_failures=int(peak.max()) if count else 0,
+        first_array=first_array,
+        failures_by_array=tuple(fails.tolist()),
+        repairs_by_array=tuple(reps.tolist()),
+    )
+
+
+def _fleet_worker(state, common, spec):
+    """Pool task for one fleet chunk (also the serial runner's body).
+
+    *state* is the broadcast ``(layout, timer, tables, oracle)`` tuple —
+    unpickled once per worker, exactly like the lifecycle runner's. The
+    chunk seed is the *run* seed: lanes are keyed by the global mission
+    index carried in *spec*, so no per-chunk seed derivation is needed
+    (or wanted — it would tie sampled values to the chunk layout).
+    """
+    layout, timer, tables, oracle = state
+    (
+        mttf_hours,
+        horizon_hours,
+        lse_rate_per_byte,
+        lambda_boost,
+        trials_per_array,
+        seed,
+        collect,
+    ) = common
+    start, count = spec
+    chunk_tel = Telemetry.collecting() if collect else None
+    if collect:
+        # Memo hits/misses are telemetry, so a memo warmed by *other*
+        # chunks would make the merged registry depend on which chunks
+        # shared a worker. Collecting runs pay a cold memo per chunk;
+        # the simulated result is identical either way.
+        timer = RebuildTimer(
+            timer.layout, timer.disk, timer.sparing, timer.method,
+            timer.batches,
+        )
+    chunk = _fleet_chunk(
+        layout, timer, tables, oracle, mttf_hours, horizon_hours,
+        lse_rate_per_byte, lambda_boost, start, count, seed,
+        trials_per_array, chunk_tel if chunk_tel is not None else NULL_TELEMETRY,
+    )
+    return chunk, chunk_tel
+
+
+def merge_fleet_chunks(
+    parts: Sequence[FleetChunk],
+    arrays: int,
+    trials: int,
+    horizon_hours: float,
+    mttf_hours: float,
+    lambda_boost: float,
+) -> FleetResult:
+    """Fold chunk accumulators (in chunk order) into one :class:`FleetResult`.
+
+    Integer counters are exact under any fold order, but the float
+    weight sums are not associative in the last ulp — callers must pass
+    *parts* in chunk order (the parallel drain's reorder buffer
+    guarantees it), which is what keeps the merged result bit-identical
+    for any worker count.
+    """
+    if not parts:
+        raise SimulationError("no fleet chunks to merge")
+    missions = sum(p.missions for p in parts)
+    if missions != arrays * trials:
+        raise SimulationError(
+            f"fleet chunks cover {missions} missions, "
+            f"expected {arrays * trials}"
+        )
+    failures = [0] * arrays
+    repairs = [0] * arrays
+    sum_w = sum_w2 = w_losses = w_losses_sq = w_exposure = 0.0
+    raw_losses = lse_losses = replays = 0
+    max_peak = 0
+    for part in parts:
+        raw_losses += part.raw_losses
+        lse_losses += part.lse_losses
+        replays += part.replays
+        sum_w += part.sum_weights
+        sum_w2 += part.sum_sq_weights
+        w_losses += part.weighted_losses
+        w_losses_sq += part.weighted_sq_losses
+        w_exposure += part.weighted_exposure_hours
+        max_peak = max(max_peak, part.max_peak_failures)
+        for i, value in enumerate(part.failures_by_array):
+            failures[part.first_array + i] += value
+        for i, value in enumerate(part.repairs_by_array):
+            repairs[part.first_array + i] += value
+    return FleetResult(
+        arrays=arrays,
+        trials=trials,
+        horizon_hours=horizon_hours,
+        mttf_hours=mttf_hours,
+        lambda_boost=lambda_boost,
+        missions=missions,
+        raw_losses=raw_losses,
+        lse_losses=lse_losses,
+        replays=replays,
+        sum_weights=sum_w,
+        sum_sq_weights=sum_w2,
+        weighted_losses=w_losses,
+        weighted_sq_losses=w_losses_sq,
+        weighted_exposure_hours=w_exposure,
+        failures_per_array=tuple(failures),
+        repairs_per_array=tuple(repairs),
+        max_peak_failures=max_peak,
+    )
+
+
+def _validate_fleet_args(
+    arrays: int,
+    trials: int,
+    mttf_hours: float,
+    horizon_hours: float,
+    lse_rate_per_byte: float,
+    lambda_boost: float,
+) -> None:
+    if _np is None:
+        raise SimulationError("the fleet kernel requires numpy")
+    check_positive("arrays", arrays, 1)
+    check_positive("trials", trials, 1)
+    if mttf_hours <= 0 or horizon_hours <= 0:
+        raise SimulationError("MTTF and horizon must be positive")
+    if lse_rate_per_byte < 0:
+        raise SimulationError("lse_rate_per_byte must be >= 0")
+    if lambda_boost <= 0:
+        raise SimulationError(
+            f"lambda_boost must be > 0, got {lambda_boost}"
+        )
+
+
+def simulate_fleet(
+    layout: Layout,
+    mttf_hours: float,
+    horizon_hours: float,
+    disk: Optional[DiskModel] = None,
+    sparing: str = "distributed",
+    method: str = "analytic",
+    batches: int = 8,
+    lse_rate_per_byte: float = 0.0,
+    arrays: int = 100,
+    trials: int = 10,
+    lambda_boost: float = 1.0,
+    seed: Optional[int] = 0,
+    oracle: Optional[Callable[[Set[int]], bool]] = None,
+    telemetry: Optional[Telemetry] = None,
+    timer: Optional[RebuildTimer] = None,
+    tables: Optional[LifecycleTables] = None,
+    chunk_missions: int = FLEET_CHUNK_MISSIONS,
+) -> FleetResult:
+    """Simulate ``arrays`` identical arrays for ``trials`` missions each.
+
+    Every array-mission is an independent lifecycle mission of *layout*
+    (layout-derived repair clocks, optional latent sector errors),
+    sampled at failure rate ``lambda_boost / mttf_hours`` and weighted
+    by the exact likelihood ratio, so the :class:`FleetResult`
+    estimators are unbiased for the *nominal* rate. ``lambda_boost=1``
+    is plain (naive) Monte-Carlo.
+
+    Missions stream through fixed chunks of *chunk_missions* — memory is
+    flat in ``arrays * trials`` — and the result is bit-identical to
+    :func:`~repro.sim.parallel.simulate_fleet_parallel` at any ``jobs``,
+    because both read the same globally-keyed lanes and fold the same
+    chunks in the same order.
+
+    *oracle*, *timer* and *tables* follow the lifecycle kernel's
+    contract (picklable pattern oracle; pre-built rebuild memo and
+    per-disk rebuild columns that are pure functions of the layout and
+    disk model). A collecting *telemetry* records events for replayed
+    missions only, merged in chunk order with global mission indices.
+    """
+    _validate_fleet_args(
+        arrays, trials, mttf_hours, horizon_hours,
+        lse_rate_per_byte, lambda_boost,
+    )
+    disk = disk or DiskModel()
+    if timer is None:
+        timer = RebuildTimer(layout, disk, sparing, method, batches)
+    if tables is None:
+        tables = LifecycleTables.build(layout, timer)
+    if seed is None:
+        seed = fresh_seed()
+    tel = telemetry if telemetry is not None else ambient()
+    collect = tel.enabled
+    common = (
+        mttf_hours, horizon_hours, lse_rate_per_byte, lambda_boost,
+        trials, seed, collect,
+    )
+    state = (layout, timer, tables, oracle)
+    parts: List[FleetChunk] = []
+    with tel.span("simulate_fleet", arrays=arrays, trials=trials):
+        for start, count in mission_chunks(arrays * trials, chunk_missions):
+            chunk, chunk_tel = _fleet_worker(state, common, (start, count))
+            parts.append(chunk)
+            if collect and chunk_tel is not None:
+                tel.merge_chunk(chunk_tel, trial_offset=start)
+    return merge_fleet_chunks(
+        parts, arrays, trials, horizon_hours, mttf_hours, lambda_boost
+    )

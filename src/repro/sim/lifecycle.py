@@ -75,14 +75,13 @@ from repro.sim.columnar import (
     trial_streams,
 )
 from repro.sim.markov import MarkovReliabilityModel, model_for_layout
-from repro.sim.montecarlo import normal_interval
 from repro.sim.rebuild import (
     DiskModel,
     analytic_rebuild_time,
     simulate_rebuild,
 )
 from repro.util.checks import check_positive
-from repro.util.stats import mean
+from repro.util.stats import mean, wilson_interval
 
 #: Rebuild-time evaluation methods accepted by the lifecycle machinery.
 REBUILD_METHODS = ("analytic", "event")
@@ -134,8 +133,14 @@ class LifecycleResult(ResultBase):
         return self.losses / self.trials
 
     def prob_loss_interval(self, z: float = 1.96) -> Tuple[float, float]:
-        """Normal-approximation confidence interval on the loss probability."""
-        return normal_interval(self.prob_loss, self.trials, z)
+        """Wilson score interval on the loss probability.
+
+        Non-degenerate even at zero observed losses — the upper bound
+        stays ``~z**2 / (trials + z**2)`` instead of collapsing to the
+        zero-width ``[0, 0]`` the old normal approximation produced,
+        which is what the rare-event regime needs.
+        """
+        return wilson_interval(self.losses, self.trials, z)
 
     @property
     def mttdl_estimate_hours(self) -> float:

@@ -36,6 +36,7 @@ from repro.sim.columnar import (
 )
 from repro.results import ResultBase, register_result
 from repro.util.checks import check_positive
+from repro.util.stats import wilson_interval
 
 #: Kernel names accepted by the lifetime runners. ``auto`` resolves to
 #: the vectorized kernel when numpy is importable, else the event kernel.
@@ -82,8 +83,13 @@ class LifetimeResult(ResultBase):
         return self.losses / self.trials
 
     def prob_loss_interval(self, z: float = 1.96) -> Tuple[float, float]:
-        """Normal-approximation confidence interval on the loss probability."""
-        return normal_interval(self.prob_loss, self.trials, z)
+        """Wilson score interval on the loss probability.
+
+        Non-degenerate even at zero observed losses — the upper bound
+        stays ``~z**2 / (trials + z**2)`` instead of collapsing to 0,
+        which is what rare-event runs need.
+        """
+        return wilson_interval(self.losses, self.trials, z)
 
     @property
     def mttdl_estimate_hours(self) -> float:

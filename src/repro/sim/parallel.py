@@ -43,7 +43,15 @@ from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.latency import LatencyModel
-from repro.sim.columnar import LifecycleTables
+from repro.sim.columnar import LifecycleTables, fresh_seed
+from repro.sim.fleet import (
+    FLEET_CHUNK_MISSIONS,
+    FleetResult,
+    _fleet_worker,
+    _validate_fleet_args,
+    merge_fleet_chunks,
+    mission_chunks,
+)
 from repro.sim.lifecycle import (
     LifecycleResult,
     RebuildTimer,
@@ -429,6 +437,73 @@ def simulate_lifecycle_parallel(
             sizes, jobs, telemetry, progress, trials,
         )
     return merge_lifecycle_results(parts)
+
+
+def simulate_fleet_parallel(
+    layout: Layout,
+    mttf_hours: float,
+    horizon_hours: float,
+    disk: Optional[DiskModel] = None,
+    sparing: str = "distributed",
+    method: str = "analytic",
+    batches: int = 8,
+    lse_rate_per_byte: float = 0.0,
+    arrays: int = 100,
+    trials: int = 10,
+    lambda_boost: float = 1.0,
+    seed: Optional[int] = 0,
+    jobs: int = 1,
+    chunk_missions: int = FLEET_CHUNK_MISSIONS,
+    oracle: Optional[Callable[[Set[int]], bool]] = None,
+    telemetry: Optional[Telemetry] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> FleetResult:
+    """Chunked (and optionally multi-process) fleet simulation.
+
+    The strongest determinism contract in this module: fleet draw lanes
+    are keyed by the **global mission index** (not per-chunk seeds), and
+    chunk boundaries are a pure function of ``arrays * trials``, so the
+    result is bit-identical not only for any ``jobs`` but also to the
+    serial :func:`~repro.sim.fleet.simulate_fleet` — same lanes, same
+    chunks, same chunk-ordered float fold. The broadcast state carries
+    the layout, the rebuild-time memo, the columnar rebuild tables, and
+    the (picklable, when ``jobs > 1``) pattern *oracle*.
+
+    *progress* is called after every completed chunk with
+    ``(missions_done, missions_total, raw_losses_so_far)``. Collecting
+    *telemetry* is merged in chunk order with global mission offsets and
+    covers replayed missions only (the fleet kernel's contract).
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    _validate_fleet_args(
+        arrays, trials, mttf_hours, horizon_hours,
+        lse_rate_per_byte, lambda_boost,
+    )
+    if seed is None:
+        seed = fresh_seed()
+    disk = disk or DiskModel()
+    timer = RebuildTimer(layout, disk, sparing, method, batches)
+    tables = LifecycleTables.build(layout, timer)
+    collect = telemetry is not None and telemetry.enabled
+    missions = arrays * trials
+    specs = mission_chunks(missions, chunk_missions)
+    sizes = [count for _start, count in specs]
+    common = (
+        mttf_hours, horizon_hours, lse_rate_per_byte, lambda_boost,
+        trials, seed, collect,
+    )
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span(
+        "simulate_fleet_parallel", arrays=arrays, trials=trials, jobs=jobs
+    ):
+        parts = _drain_streaming(
+            _fleet_worker, (layout, timer, tables, oracle), common, specs,
+            sizes, jobs, telemetry, progress, missions,
+        )
+    return merge_fleet_chunks(
+        parts, arrays, trials, horizon_hours, mttf_hours, lambda_boost
+    )
 
 
 #: Serving trials per chunk. One trial per chunk by default — serving

@@ -7,7 +7,12 @@ spindle / its sustained bandwidth. The recovery plan supplies exactly those
 per-disk byte counts, so two evaluation modes are provided:
 
 * :func:`analytic_rebuild_time` — the bandwidth-bound lower bound: the
-  busiest disk's read + write volume over its effective bandwidth.
+  busiest disk's unavoidable volume over its effective bandwidth. Reads
+  are pinned to the disks that hold the surviving units; distributed
+  spare-writes are *placeable*, so the bound water-fills them onto the
+  least-loaded survivors — ``max(max_d reads_d, (reads + writes) / S)``
+  — rather than charging the busiest reader an even write share it need
+  never carry.
 * :func:`simulate_rebuild` — a discrete-event execution of the plan's
   steps over FCFS disk servers, capturing queueing and step dependencies
   (a step's XOR cannot start before its reads complete). This lands within
@@ -85,8 +90,8 @@ class RebuildResult(ResultBase):
     bottleneck_seconds: float
     raid5_seconds: float
     #: Spare-write counts per disk id, populated by the event-driven
-    #: simulation (None for the analytic bound, which spreads writes as a
-    #: continuous even share instead of discrete round-robin units).
+    #: simulation (None for the analytic bound, which places writes as a
+    #: continuous water-filling instead of discrete round-robin units).
     writes_per_disk: Optional[Tuple[Tuple[int, int], ...]] = None
 
     SUMMARY_KEYS = (
@@ -106,31 +111,41 @@ class RebuildResult(ResultBase):
         return self.raid5_seconds / self.seconds
 
 
-def _per_disk_volumes(
+def _bottleneck_volume(
     layout: Layout,
     plan: RecoveryPlan,
     disk: DiskModel,
     sparing: str,
     survivors: List[int],
-) -> Dict[int, float]:
-    """Bytes moved per disk (reads + spare-writes), at full-disk scale."""
+) -> float:
+    """Bytes the busiest disk must move, minimized over write placements.
+
+    Reads are pinned: a surviving unit can only be read from the disk
+    that holds it. Distributed spare-writes are placeable, so the tight
+    lower bound water-fills them onto the least-read survivors; the
+    level is ``(reads + writes) / S`` when it tops the heaviest reader
+    and ``max_d reads_d`` otherwise (the heaviest reader then takes no
+    writes and still bounds the rebuild). Charging the busiest reader an
+    even write share — the previous model — overstates the bound for
+    read-unbalanced plans, and the discrete event simulation legitimately
+    beat it (hence the "lower bound" contract failed).
+    """
     unit_bytes = disk.capacity_bytes / layout.units_per_disk
     volumes: Dict[int, float] = {d: 0.0 for d in survivors}
     for d, units in plan.read_units_per_disk().items():
         volumes[d] = volumes.get(d, 0.0) + units * unit_bytes
     total_write = plan.total_write_units * unit_bytes
     if sparing == "distributed":
-        share = total_write / len(survivors)
-        for d in survivors:
-            volumes[d] += share
-    elif sparing == "dedicated":
+        total_read = sum(volumes.values())
+        level = (total_read + total_write) / len(survivors)
+        return max(max(volumes.values(), default=0.0), level)
+    if sparing == "dedicated":
         per_disk = layout.units_per_disk * unit_bytes
         for d in plan.failed_disks:
             # Replacement disks absorb their own full image.
             volumes[d] = volumes.get(d, 0.0) + per_disk
-    else:
-        raise SimulationError(f"unknown sparing mode {sparing!r}")
-    return volumes
+        return max(volumes.values(), default=0.0)
+    raise SimulationError(f"unknown sparing mode {sparing!r}")
 
 
 def analytic_rebuild_time(
@@ -147,9 +162,8 @@ def analytic_rebuild_time(
     survivors = [
         d for d in range(layout.n_disks) if d not in plan.failed_disks
     ]
-    volumes = _per_disk_volumes(layout, plan, disk, sparing, survivors)
+    busiest = _bottleneck_volume(layout, plan, disk, sparing, survivors)
     unit_bytes = disk.capacity_bytes / layout.units_per_disk
-    busiest = max(volumes.values()) if volumes else 0.0
     seconds = busiest / disk.effective_bandwidth
     tel = ambient()
     if tel.enabled:

@@ -67,6 +67,32 @@ class TestTrialStreams:
         ) * 2.0**-53
         assert streams.uniform(1, 1) == expected
 
+    def test_lane_offset_windows_the_global_lane_space(self):
+        """``lane_offset=m`` is rows m..m+k-1 of the unoffset plane —
+        the keystone of the fleet kernel's chunk-invariant sampling."""
+        pytest.importorskip("numpy")
+        full = TrialStreams(seed=13, trials=10, lambd=0.25, slots=8)
+        window = TrialStreams(
+            seed=13, trials=4, lambd=0.25, slots=8, lane_offset=3
+        )
+        assert (window.uniforms == full.uniforms[3:7]).all()
+        assert (window.exponentials == full.exponentials[3:7]).all()
+
+    def test_lane_offset_pure_python_agrees(self):
+        pytest.importorskip("numpy")
+        window = TrialStreams(
+            seed=13, trials=4, lambd=0.25, slots=8, lane_offset=3
+        )
+        py = PyTrialStreams(seed=13, trials=4, lambd=0.25, lane_offset=3)
+        for trial in range(4):
+            for pos in range(8):
+                assert window.uniform(trial, pos) == py.uniform(trial, pos)
+
+    def test_lane_offset_validation(self):
+        pytest.importorskip("numpy")
+        with pytest.raises(SimulationError):
+            TrialStreams(seed=1, trials=2, lambd=1.0, lane_offset=-1)
+
     def test_cursor_walks_the_plane_in_order(self):
         pytest.importorskip("numpy")
         streams = TrialStreams(seed=3, trials=2, lambd=0.25, slots=8)

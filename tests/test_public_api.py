@@ -38,7 +38,7 @@ def test_quickstart_from_module_docstring():
 def test_scenario_front_door_exported():
     """The unified entry point and serving API are one import away."""
     assert set(repro.SCENARIO_KINDS) == {
-        "rebuild", "reliability", "lifecycle", "serve",
+        "rebuild", "reliability", "lifecycle", "serve", "fleet",
     }
     result = repro.run(
         repro.Scenario(
@@ -59,6 +59,7 @@ def test_registered_results_speak_the_protocol():
     expected = {
         "RebuildResult", "LifetimeResult", "LifecycleResult",
         "LatencyResult", "ServeResult", "ExperimentResult",
+        "FleetResult",
     }
     assert expected <= set(RESULT_TYPES)
     for name, cls in RESULT_TYPES.items():

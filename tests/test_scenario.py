@@ -24,6 +24,10 @@ from repro.workloads import WorkloadSpec
 LAYOUT = oi_raid(7, 3)
 
 
+def _reject_constant(token):
+    raise AssertionError(f"non-strict JSON constant {token!r} in output")
+
+
 class TestScenario:
     def test_unknown_kind_rejected(self):
         with pytest.raises(SimulationError, match="unknown scenario kind"):
@@ -149,15 +153,43 @@ class TestResultProtocol:
         with pytest.raises(ReproError, match="not a"):
             ServeResult.from_dict(doc)
 
-    def test_inf_survives_strict_json(self):
+    def test_nonfinite_serializes_as_null(self):
         result = run(Scenario(kind="reliability", layout=LAYOUT, trials=3))
+        assert result.mttdl_estimate_hours == float("inf")  # no losses
         text = json.dumps(result.summary(), allow_nan=False)
-        assert "inf" in text  # no losses -> mttdl is the string "inf"
+        doc = json.loads(text, parse_constant=_reject_constant)
+        assert doc["mttdl_estimate_hours"] is None
+        full = json.dumps(result.to_dict(), allow_nan=False)
+        assert "Infinity" not in full and '"inf"' not in full
+
+    def test_legacy_inf_strings_still_load(self):
+        result = run(Scenario(kind="reliability", layout=LAYOUT, trials=3))
+        doc = result.to_dict()
+        # an earlier protocol revision spelled non-finite floats as strings
+        doc["horizon_hours"] = "inf"
+        reloaded = result_from_dict(doc)
+        assert reloaded.horizon_hours == float("inf")
 
     def test_deprecated_alias_warns_and_forwards(self):
         result = run(Scenario(kind="rebuild", layout=LAYOUT))
         with pytest.warns(DeprecationWarning, match="bottleneck_seconds"):
             assert result.busiest_disk_seconds == result.bottleneck_seconds
+
+    def test_old_key_names_load_through_alias(self):
+        """JSONL written before a field rename still rebuilds the current
+        dataclass: from_dict remaps keys through the alias table."""
+        result = run(Scenario(kind="rebuild", layout=LAYOUT, faults=(0,)))
+        doc = result.to_dict()
+        doc["busiest_disk_seconds"] = doc.pop("bottleneck_seconds")
+        reloaded = result_from_dict(doc)
+        assert reloaded == result
+
+    def test_current_key_wins_over_alias(self):
+        result = run(Scenario(kind="rebuild", layout=LAYOUT, faults=(0,)))
+        doc = result.to_dict()
+        doc["busiest_disk_seconds"] = doc["bottleneck_seconds"] + 1.0
+        reloaded = result_from_dict(doc)
+        assert reloaded == result  # the stale alias key is ignored
 
     def test_alias_factory(self):
         @register_result

@@ -9,7 +9,12 @@ from repro.util.checks import (
     check_type,
 )
 from repro.util.primes import is_prime, next_prime, prime_power_base
-from repro.util.stats import coefficient_of_variation, mean, percentile
+from repro.util.stats import (
+    coefficient_of_variation,
+    mean,
+    percentile,
+    wilson_interval,
+)
 from repro.util.units import GIB, KIB, MIB, TIB, format_bytes, format_duration
 
 
@@ -90,9 +95,14 @@ class TestStats:
     def test_cv_zero_for_constant(self):
         assert coefficient_of_variation([5, 5, 5]) == 0.0
 
-    def test_cv_undefined_for_zero_mean(self):
+    def test_cv_zero_for_all_zero_values(self):
+        # a perfectly idle disk set is perfectly balanced, not an error
+        assert coefficient_of_variation([0, 0]) == 0.0
+        assert coefficient_of_variation([0.0, 0.0, 0.0]) == 0.0
+
+    def test_cv_undefined_for_mixed_sign_zero_mean(self):
         with pytest.raises(ValueError):
-            coefficient_of_variation([0, 0])
+            coefficient_of_variation([-1, 1])
 
     def test_percentile_interpolation(self):
         assert percentile([0, 10], 50) == 5
@@ -120,3 +130,50 @@ class TestStats:
             mean(np.array([]))
         with pytest.raises(ValueError):
             percentile(np.array([]), 50)
+
+
+class TestWilsonInterval:
+    def test_zero_successes_upper_bound_is_positive(self):
+        lo, hi = wilson_interval(0, 1000)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.005  # ~ z^2 / (n + z^2), never [0, 0]
+
+    def test_all_successes_lower_bound_below_one(self):
+        lo, hi = wilson_interval(1000, 1000)
+        assert hi == 1.0
+        assert 0.995 < lo < 1.0
+
+    def test_brackets_the_point_estimate(self):
+        lo, hi = wilson_interval(30, 200)
+        assert lo < 30 / 200 < hi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_coverage_at_small_n_and_p(self):
+        """Exact binomial coverage of the 95% Wilson interval at a small
+        n and rare p — the regime where the normal (Wald) interval the
+        results used to report collapses to [0, 0] on the most likely
+        outcome (k=0) and covers almost never."""
+        import math
+
+        n, p = 30, 0.02
+        wilson_cover = 0.0
+        wald_cover = 0.0
+        for k in range(n + 1):
+            pmf = math.comb(n, k) * p**k * (1 - p) ** (n - k)
+            lo, hi = wilson_interval(k, n)
+            if lo <= p <= hi:
+                wilson_cover += pmf
+            # the old normal approximation: p_hat +/- z * sqrt(pq/n)
+            ph = k / n
+            half = 1.96 * math.sqrt(ph * (1 - ph) / n)
+            if ph - half <= p <= ph + half:
+                wald_cover += pmf
+        assert wilson_cover >= 0.95
+        assert wald_cover < 0.65  # k=0 (pmf ~0.55) covers nothing

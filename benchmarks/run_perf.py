@@ -51,7 +51,8 @@ from repro.core.oi_layout import _oi_raid_cached, oi_raid
 from repro.core.tolerance import survivable_fraction
 from repro.layouts.recovery import is_recoverable, plan_recovery
 from repro.layouts import Raid50Layout
-from repro.obs import StructuredEmitter
+from repro.obs import PhaseProfiler, RunLedger, StructuredEmitter, use_profiler
+from repro.obs.ledger import run_manifest
 from repro.sim.fleet import simulate_fleet
 from repro.sim.lifecycle import RebuildTimer, lifecycle_kernel, simulate_lifecycle
 from repro.sim.montecarlo import recoverability_oracle
@@ -268,6 +269,47 @@ def measure_fleet(trials: int) -> dict:
     return current
 
 
+def measure_profile(trials: int):
+    """Phase-profiled vectorized lifecycle run: coverage figure + profile.
+
+    ``lifecycle_profile_coverage`` is the fraction of the kernel's
+    measured wall-clock the recorded phase breakdown accounts for — the
+    observability gate asserts it stays >= 0.95, so a new hot path that
+    dodges instrumentation shows up as a coverage drop, not silence.
+    Returns ``(figures, profiler)`` so the profile document can be
+    written as an artifact.
+
+    Trials are floored at 2000 and the ratio is the best of three
+    measured runs: the uninstrumented residue is fixed per-call overhead
+    (validation, span entry), so at tiny trial counts — or when the
+    scheduler preempts the process *between* two spans, inflating wall
+    time the phases never saw — the ratio measures container noise, not
+    instrumentation coverage. Best-of mirrors every other figure here.
+    """
+    trials = max(trials, 2000)
+    oi = oi_raid(7, 3)
+    mttf, horizon = LC_ARGS
+    timer = RebuildTimer(oi, None, "distributed", "analytic", 8)
+    simulate = lifecycle_kernel("vectorized")
+
+    def run():
+        simulate(oi, mttf, horizon, trials=trials, seed=0, timer=timer)
+
+    note(f"measuring phase-profiler coverage ({trials} trials) ...")
+    run()  # warm the shared rebuild-time memo
+    best_coverage, best_prof = 0.0, None
+    for _ in range(3):
+        prof = PhaseProfiler()
+        start = time.perf_counter()
+        with use_profiler(prof):
+            run()
+        wall = time.perf_counter() - start
+        coverage = prof.total_seconds() / wall
+        if coverage > best_coverage:
+            best_coverage, best_prof = coverage, prof
+    return {"lifecycle_profile_coverage": best_coverage}, best_prof
+
+
 def measure_serve(trials: int) -> dict:
     """The online serving simulator's serial trial rate."""
     serve_trials = max(10, min(50, trials // 50))
@@ -302,6 +344,11 @@ def main(argv=None) -> int:
         default=pathlib.Path(__file__).resolve().parent.parent
         / "BENCH_perf.json",
     )
+    parser.add_argument(
+        "--profile-out", type=pathlib.Path, default=None,
+        help="also write the profiled lifecycle run's phase-profile "
+             "document (CI uploads this as an artifact)",
+    )
     args = parser.parse_args(argv)
     if args.jobs_sweep:
         jobs_sweep = tuple(int(j) for j in args.jobs_sweep.split(","))
@@ -309,11 +356,15 @@ def main(argv=None) -> int:
         jobs_sweep = DEFAULT_JOBS_SWEEP
     cpu_count = os.cpu_count() or 1
 
+    start = time.perf_counter()
     current = measure_kernels()
     current.update(measure_mc(args.trials, jobs_sweep))
     current.update(measure_lifecycle(args.trials))
     current.update(measure_fleet(args.trials))
     current.update(measure_serve(args.trials))
+    coverage, profiler = measure_profile(args.trials)
+    current.update(coverage)
+    harness_seconds = time.perf_counter() - start
 
     efficiency = {
         str(jobs): current[f"mc_parallel_speedup_jobs{jobs}"] / jobs
@@ -345,6 +396,28 @@ def main(argv=None) -> int:
     }
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     note(f"snapshot written to {args.output}")
+    if args.profile_out:
+        args.profile_out.write_text(
+            json.dumps(profiler.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        note(f"profile written to {args.profile_out}")
+    ledger = RunLedger.from_env()
+    if ledger is not None:
+        ledger.append(
+            run_manifest(
+                "perf",
+                {
+                    "mc_trials": args.trials,
+                    "jobs_sweep": list(jobs_sweep),
+                    "unit_bytes": UNIT,
+                },
+                seconds=harness_seconds,
+                result_doc=snapshot,
+                profiler=profiler,
+                extra={"current": current, "cpu_count": cpu_count},
+            )
+        )
+        note(f"perf record appended to {ledger.path}")
     StructuredEmitter(stream=sys.stdout).emit(snapshot)
 
     if losing:

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.obs.emit import StructuredEmitter
+from repro.obs.ledger import RunLedger, run_manifest
+from repro.obs.prof import ambient_profiler
 from repro.results import ResultBase, register_result
 from repro.sim.parallel import default_jobs
 
@@ -80,13 +82,29 @@ def run_experiment(
 
     *emitter* (default: one appending to ``$REPRO_BENCH_JSONL`` when that
     variable is set, else none) receives a single structured
-    ``experiment`` record per run.
+    ``experiment`` record per run. Independently, when ``$REPRO_LEDGER``
+    names a file, one provenance manifest (kind
+    ``experiment:<exp_id>``) is appended there too.
     """
     if emitter is None:
         emitter = StructuredEmitter.from_env()
     start = time.perf_counter()
     result = experiment.body()
     result.seconds = time.perf_counter() - start
+    ledger = RunLedger.from_env()
+    if ledger is not None:
+        ledger.append(
+            run_manifest(
+                f"experiment:{experiment.exp_id}",
+                {"exp_id": experiment.exp_id, "kind": experiment.kind,
+                 "claim": experiment.claim},
+                jobs=default_jobs(),
+                seconds=result.seconds,
+                result_doc=result.to_dict(),
+                summary=result.metrics,
+                profiler=ambient_profiler(),
+            )
+        )
     if emitter is not None:
         # The result's own to_dict() supplies the JSON-safe payload; the
         # record keeps its historical key set on top of it.

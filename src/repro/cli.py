@@ -18,7 +18,13 @@ Gives operators the planning surface without writing Python:
 * ``serve``       — online serving simulation: a foreground workload
   contending with throttled rebuild traffic on per-disk queues
 * ``report``      — pretty-print (and validate) telemetry files saved
-  by ``--metrics-out`` / ``--trace-out``
+  by ``--metrics-out`` / ``--trace-out`` / ``--profile-out``
+* ``runs``        — inspect the provenance ledger (``list``/``show``/
+  ``diff`` over the JSONL file named by ``--ledger`` or
+  ``$REPRO_LEDGER``)
+* ``perf``        — performance drift gates: ``perf check`` compares a
+  fresh ``benchmarks/run_perf.py`` snapshot against a baseline file or
+  the ledger's latest perf record
 
 The simulation subcommands (``rebuild``, ``reliability``, ``lifecycle``,
 ``fleet``, ``serve``) are thin wrappers over :class:`repro.scenario.Scenario` +
@@ -32,9 +38,12 @@ so repeated sweeps in the same process reuse warm workers.
 
 Global flags (before the subcommand): ``--metrics-out FILE`` /
 ``--trace-out FILE`` collect telemetry for the run (worker-merged, also
-deterministic per N); ``-v`` turns on INFO logging plus stderr progress
-heartbeats for the Monte-Carlo runs (``-vv`` for DEBUG), ``-q`` silences
-everything below ERROR. Stdout carries only the command's output.
+deterministic per N); ``--profile-out FILE`` turns on the kernel phase
+profiler (chunk-merged, deterministic per N) and writes the profile
+document, with run-level tracemalloc peak memory; ``-v`` turns on INFO
+logging plus stderr progress heartbeats for the Monte-Carlo runs
+(``-vv`` for DEBUG), ``-q`` silences everything below ERROR. Stdout
+carries only the command's output.
 
 Exit codes are uniform: 0 success, 1 domain error (anything raising
 :class:`~repro.errors.ReproError`, reported on stderr), 2 usage error
@@ -44,10 +53,12 @@ Exit codes are uniform: 0 success, 1 domain error (anything raising
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import logging
 import pathlib
 import sys
+import tracemalloc
 from typing import List, Optional
 
 from repro.analysis.speedup import measured_speedup
@@ -61,10 +72,16 @@ from repro.layouts import Raid5Layout, Raid6Layout, Raid50Layout
 from repro.obs import (
     Heartbeat,
     MetricsRegistry,
+    PhaseProfiler,
+    RunLedger,
     Telemetry,
+    ambient_profiler,
     load_telemetry_file,
+    perf_drift,
+    use_profiler,
     use_telemetry,
 )
+from repro.obs.ledger import DEFAULT_DRIFT_THRESHOLD, iter_regressions
 from repro.scenario import Scenario, run as run_scenario
 from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import (
@@ -111,9 +128,18 @@ def _layout_from(args: argparse.Namespace):
 
 
 def _progress_for(args: argparse.Namespace) -> Optional[Heartbeat]:
-    """A stderr heartbeat for long Monte-Carlo runs, when ``-v`` is on."""
+    """A stderr heartbeat for long Monte-Carlo runs, when ``-v`` is on.
+
+    When the ambient phase profiler is live, the heartbeat subscribes to
+    its phase transitions so the rate window resets at kernel phase
+    boundaries (screen -> replay) instead of averaging across them.
+    """
     if getattr(args, "verbose", 0):
-        return Heartbeat(label="trials")
+        heartbeat = Heartbeat(label="trials")
+        prof = ambient_profiler()
+        if prof.enabled:
+            prof.on_phase = heartbeat.on_phase
+        return heartbeat
     return None
 
 
@@ -566,6 +592,39 @@ def _print_metrics_report(path: str, doc: dict) -> None:
         print(f"{path}: empty metrics registry")
 
 
+def _print_profile_report(path: str, doc: dict) -> None:
+    phases = doc.get("phases", {})
+    if phases:
+        rows = [
+            [name, entry.get("calls", 0), f"{entry.get('seconds', 0.0):.4f}"]
+            for name, entry in sorted(phases.items())
+        ]
+        print(format_table(
+            ["phase", "calls", "exclusive (s)"], rows,
+            title=f"{path}: phases",
+        ))
+        print()
+    counters = doc.get("counters", {})
+    if counters:
+        print(format_table(
+            ["counter", "value"], sorted(counters.items()),
+            title=f"{path}: counters",
+        ))
+        print()
+    series = doc.get("series", {})
+    if series:
+        rows = [[name, len(values)] for name, values in sorted(series.items())]
+        print(format_table(
+            ["series", "points"], rows, title=f"{path}: series",
+        ))
+        print()
+    peak = doc.get("memory_peak_kib")
+    if peak is not None:
+        print(f"{path}: peak traced memory {peak:.0f} KiB")
+    if not (phases or counters or series or peak is not None):
+        print(f"{path}: empty profile")
+
+
 def _span_summary_rows(spans) -> List[list]:
     """Aggregate (name, dur_s) pairs into per-name count/total/mean/max."""
     agg = {}
@@ -608,6 +667,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
             continue
         if kind == "metrics":
             _print_metrics_report(path, doc)
+        elif kind == "profile":
+            _print_profile_report(path, doc)
         elif kind == "trace":
             entries = doc["traceEvents"]
             spans = [
@@ -622,6 +683,182 @@ def _cmd_report(args: argparse.Namespace) -> int:
             events = [r["kind"] for r in doc if r["record"] == "event"]
             _print_trace_report(path, spans, events)
         print()
+    return 0
+
+
+def _ledger_from(args: argparse.Namespace) -> RunLedger:
+    """The ledger named by ``--ledger`` or ``$REPRO_LEDGER`` (required)."""
+    if getattr(args, "ledger", None):
+        return RunLedger(args.ledger)
+    ledger = RunLedger.from_env()
+    if ledger is None:
+        raise ReproError(
+            "no run ledger: pass --ledger FILE or set $REPRO_LEDGER"
+        )
+    return ledger
+
+
+def _ledger_record(ledger: RunLedger, index: int) -> dict:
+    """One ledger record by (possibly negative) index, with a clear error."""
+    records = ledger.records()
+    if not records:
+        raise ReproError(f"ledger {ledger.path} is empty")
+    try:
+        return records[index]
+    except IndexError:
+        raise ReproError(
+            f"ledger {ledger.path} has {len(records)} record(s); "
+            f"index {index} is out of range"
+        ) from None
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    ledger = _ledger_from(args)
+    records = ledger.records()
+    if not records:
+        print(f"{ledger.path}: empty ledger")
+        return 0
+    rows = []
+    for i, rec in enumerate(records):
+        ts = rec.get("ts")
+        when = (
+            datetime.datetime.fromtimestamp(ts).strftime("%Y-%m-%d %H:%M:%S")
+            if isinstance(ts, (int, float)) else "-"
+        )
+        seconds = rec.get("seconds")
+        rows.append([
+            i,
+            when,
+            str(rec.get("kind", "-")),
+            str(rec.get("config_fingerprint", "-")),
+            str(rec.get("seed", "-")),
+            str(rec.get("jobs", "-")),
+            f"{seconds:.2f}" if isinstance(seconds, (int, float)) else "-",
+            str(rec.get("result_digest", "-")),
+        ])
+    print(format_table(
+        ["#", "when", "kind", "config", "seed", "jobs", "seconds", "digest"],
+        rows, title=f"run ledger: {ledger.path}",
+    ))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    ledger = _ledger_from(args)
+    record = _ledger_record(ledger, args.index)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _numeric_delta_rows(doc_a: dict, doc_b: dict) -> List[list]:
+    """Side-by-side rows for two flat dicts, with deltas where numeric."""
+    rows = []
+    for key in sorted(set(doc_a) | set(doc_b)):
+        va, vb = doc_a.get(key), doc_b.get(key)
+        numeric = (
+            isinstance(va, (int, float)) and not isinstance(va, bool)
+            and isinstance(vb, (int, float)) and not isinstance(vb, bool)
+        )
+        rows.append([
+            key,
+            "-" if va is None else f"{va:.6g}" if numeric else str(va),
+            "-" if vb is None else f"{vb:.6g}" if numeric else str(vb),
+            f"{vb - va:+.6g}" if numeric else "-",
+        ])
+    return rows
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    ledger = _ledger_from(args)
+    rec_a = _ledger_record(ledger, args.a)
+    rec_b = _ledger_record(ledger, args.b)
+    identity_rows = []
+    for key in ("kind", "config_fingerprint", "seed", "jobs", "kernel",
+                "version", "result_digest"):
+        va, vb = rec_a.get(key), rec_b.get(key)
+        identity_rows.append([
+            key, str(va), str(vb), "same" if va == vb else "DIFFERS",
+        ])
+    print(format_table(
+        ["field", f"run {args.a}", f"run {args.b}", "status"],
+        identity_rows, title=f"{ledger.path}: runs {args.a} vs {args.b}",
+    ))
+    for block in ("summary", "phases"):
+        doc_a = rec_a.get(block) or {}
+        doc_b = rec_b.get(block) or {}
+        if not (doc_a or doc_b):
+            continue
+        flat_a = {k: v for k, v in doc_a.items() if not isinstance(v, dict)}
+        flat_b = {k: v for k, v in doc_b.items() if not isinstance(v, dict)}
+        if not (flat_a or flat_b):
+            continue
+        print()
+        print(format_table(
+            [block, f"run {args.a}", f"run {args.b}", "delta"],
+            _numeric_delta_rows(flat_a, flat_b),
+        ))
+    return 0
+
+
+def _load_json_doc(path: str) -> dict:
+    try:
+        doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from None
+    except ValueError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    return doc
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    snapshot = _load_json_doc(args.snapshot)
+    if args.baseline:
+        baseline = _load_json_doc(args.baseline)
+        source = args.baseline
+    else:
+        ledger = _ledger_from(args)
+        record = ledger.last("perf")
+        if record is None:
+            raise ReproError(
+                f"ledger {ledger.path} has no perf record; pass "
+                "--baseline FILE or record one with benchmarks/run_perf.py"
+            )
+        baseline = record
+        source = f"{ledger.path} (latest perf record)"
+    rows = perf_drift(snapshot, baseline, threshold=args.threshold)
+    if not rows:
+        raise ReproError(
+            f"no comparable perf keys between {args.snapshot} and {source}"
+        )
+    table_rows = [
+        [
+            row["key"],
+            f"{row['baseline']:.4g}",
+            f"{row['current']:.4g}",
+            f"{row['speed']:.3f}x",
+            "REGRESSED" if row["regressed"] else "ok",
+        ]
+        for row in rows
+    ]
+    print(format_table(
+        ["metric", "baseline", "current", "speed", "status"],
+        table_rows,
+        title=(
+            f"perf drift vs {source} "
+            f"(threshold {args.threshold:.0%})"
+        ),
+    ))
+    regressions = iter_regressions(rows)
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0%}"
+            + ("" if args.strict else " (non-strict: not failing)")
+        )
+        if args.strict:
+            return 1
     return 0
 
 
@@ -647,6 +884,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="write spans + sim events (Chrome trace JSON, or JSONL if "
              "FILE ends in .jsonl)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="enable the kernel phase profiler and write its profile "
+             "document (phases, counters, series, peak memory) as JSON",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -826,6 +1068,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.set_defaults(func=_cmd_report)
 
+    p_runs = sub.add_parser(
+        "runs",
+        help="inspect the provenance run ledger ($REPRO_LEDGER)",
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_ledger_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger", metavar="FILE", default=None,
+            help="ledger JSONL file (default: $REPRO_LEDGER)",
+        )
+
+    p_runs_list = runs_sub.add_parser("list", help="one row per recorded run")
+    _add_ledger_arg(p_runs_list)
+    p_runs_list.set_defaults(func=_cmd_runs_list)
+
+    p_runs_show = runs_sub.add_parser(
+        "show", help="print one run manifest as JSON",
+    )
+    _add_ledger_arg(p_runs_show)
+    p_runs_show.add_argument(
+        "index", type=int, nargs="?", default=-1,
+        help="record index from `runs list` (negative counts from the "
+             "end; default: the last record)",
+    )
+    p_runs_show.set_defaults(func=_cmd_runs_show)
+
+    p_runs_diff = runs_sub.add_parser(
+        "diff", help="compare two recorded runs field by field",
+    )
+    _add_ledger_arg(p_runs_diff)
+    p_runs_diff.add_argument(
+        "a", type=int, nargs="?", default=-2,
+        help="first record index (default: second-to-last)",
+    )
+    p_runs_diff.add_argument(
+        "b", type=int, nargs="?", default=-1,
+        help="second record index (default: last)",
+    )
+    p_runs_diff.set_defaults(func=_cmd_runs_diff)
+
+    p_perf = sub.add_parser("perf", help="performance drift gates")
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    p_perf_check = perf_sub.add_parser(
+        "check",
+        help="compare a run_perf.py snapshot against a baseline for drift",
+    )
+    p_perf_check.add_argument(
+        "snapshot", metavar="SNAPSHOT",
+        help="fresh perf snapshot JSON (benchmarks/run_perf.py --output)",
+    )
+    p_perf_check.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline snapshot to compare against (default: the "
+             "ledger's latest perf record)",
+    )
+    _add_ledger_arg(p_perf_check)
+    p_perf_check.add_argument(
+        "--threshold", type=float, default=DEFAULT_DRIFT_THRESHOLD,
+        help="relative slowdown that counts as a regression "
+             f"(default {DEFAULT_DRIFT_THRESHOLD:.0%})",
+    )
+    p_perf_check.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any metric regressed (default: report only)",
+    )
+    p_perf_check.set_defaults(func=_cmd_perf_check)
+
     return parser
 
 
@@ -846,6 +1156,15 @@ def _configure_logging(args: argparse.Namespace) -> None:
         format="%(levelname)s %(name)s: %(message)s",
         force=True,
     )
+
+
+def _write_profile(args: argparse.Namespace, profiler: PhaseProfiler) -> None:
+    path = pathlib.Path(args.profile_out)
+    path.write_text(
+        json.dumps(profiler.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    logger.info("wrote profile to %s", path)
 
 
 def _write_telemetry(args: argparse.Namespace, telemetry: Telemetry) -> None:
@@ -890,11 +1209,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
     args.telemetry = telemetry
+    profiler = PhaseProfiler() if args.profile_out else None
     try:
-        with use_telemetry(telemetry):
-            rc = args.func(args)
+        if profiler is not None:
+            tracemalloc.start()
+        try:
+            with use_telemetry(telemetry), use_profiler(profiler):
+                rc = args.func(args)
+            if profiler is not None:
+                profiler.capture_memory_peak()
+        finally:
+            if profiler is not None:
+                tracemalloc.stop()
         if telemetry is not None:
             _write_telemetry(args, telemetry)
+        if profiler is not None:
+            _write_profile(args, profiler)
         return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -11,6 +11,14 @@ Three cooperating pieces (full design in DESIGN.md, "Telemetry layer"):
 * :mod:`repro.obs.events` — a structured, sim-time-stamped event log of
   lifecycle happenings (failure, repair start/abandon/complete,
   latent-error check, data loss).
+* :mod:`repro.obs.prof` — :class:`PhaseProfiler`, a low-overhead
+  wall-clock phase profiler for the vectorized kernels (sample/screen/
+  replay/merge durations, replay counters, chunk-ordered ESS series);
+  rides its own ambient channel (:func:`use_profiler`) so profiling
+  never flips the telemetry-driven kernel delegation.
+* :mod:`repro.obs.ledger` — :class:`RunLedger`, the append-only JSONL
+  provenance ledger (``$REPRO_LEDGER``) behind ``repro runs`` and
+  ``repro perf check``.
 
 :class:`Telemetry` bundles the three behind no-op emitters
 (:data:`NULL_TELEMETRY` is the default everywhere), and
@@ -24,6 +32,14 @@ report`` and CI.
 
 from repro.obs.emit import BENCH_JSONL_ENV, StructuredEmitter
 from repro.obs.events import EVENT_KINDS, EventLog
+from repro.obs.ledger import (
+    REPRO_LEDGER_ENV,
+    RunLedger,
+    config_fingerprint,
+    perf_drift,
+    result_digest,
+    run_manifest,
+)
 from repro.obs.metrics import (
     METRICS_SCHEMA,
     Counter,
@@ -31,11 +47,19 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.prof import (
+    NULL_PROFILER,
+    PROFILE_SCHEMA,
+    PhaseProfiler,
+    ambient_profiler,
+    use_profiler,
+)
 from repro.obs.progress import Heartbeat
 from repro.obs.schema import (
     load_telemetry_file,
     validate_chrome_doc,
     validate_metrics_doc,
+    validate_profile_doc,
     validate_trace_jsonl,
 )
 from repro.obs.telemetry import (
@@ -50,7 +74,10 @@ __all__ = [
     "BENCH_JSONL_ENV",
     "EVENT_KINDS",
     "METRICS_SCHEMA",
+    "NULL_PROFILER",
     "NULL_TELEMETRY",
+    "PROFILE_SCHEMA",
+    "REPRO_LEDGER_ENV",
     "TRACE_SCHEMA",
     "Counter",
     "EventLog",
@@ -58,14 +85,23 @@ __all__ = [
     "Heartbeat",
     "Histogram",
     "MetricsRegistry",
+    "PhaseProfiler",
+    "RunLedger",
     "Span",
     "StructuredEmitter",
     "Telemetry",
     "Tracer",
     "ambient",
+    "ambient_profiler",
+    "config_fingerprint",
     "load_telemetry_file",
+    "perf_drift",
+    "result_digest",
+    "run_manifest",
+    "use_profiler",
     "use_telemetry",
     "validate_chrome_doc",
     "validate_metrics_doc",
+    "validate_profile_doc",
     "validate_trace_jsonl",
 ]

@@ -24,6 +24,7 @@ from typing import Tuple, Union
 from repro.errors import TelemetryError
 from repro.obs.events import EVENT_KINDS
 from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.prof import PROFILE_SCHEMA
 from repro.obs.trace import TRACE_SCHEMA
 
 
@@ -46,6 +47,47 @@ def _validate_event_fields(record: dict, where: str) -> None:
         raise TelemetryError(f"{where}: unknown event kind {record.get('kind')!r}")
     if not isinstance(record.get("t"), (int, float)):
         raise TelemetryError(f"{where}: event field 't' missing or mistyped")
+
+
+def validate_profile_doc(doc: object) -> None:
+    """Raise :class:`TelemetryError` unless *doc* is a phase-profile document."""
+    if not isinstance(doc, dict) or doc.get("schema") != PROFILE_SCHEMA:
+        raise TelemetryError(
+            f"profile document schema is not {PROFILE_SCHEMA!r}"
+        )
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        raise TelemetryError("profile document has no phases object")
+    for name, entry in phases.items():
+        where = f"phases[{name!r}]"
+        if not isinstance(entry, dict):
+            raise TelemetryError(f"{where}: not an object")
+        calls = entry.get("calls")
+        if not isinstance(calls, int) or isinstance(calls, bool) or calls < 0:
+            raise TelemetryError(f"{where}: calls missing or mistyped")
+        if "seconds" in entry:
+            seconds = entry["seconds"]
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                raise TelemetryError(f"{where}: negative or mistyped seconds")
+    counters = doc.get("counters", {})
+    if not isinstance(counters, dict):
+        raise TelemetryError("profile counters is not an object")
+    for name, value in counters.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TelemetryError(f"counters[{name!r}]: not a number")
+    series = doc.get("series", {})
+    if not isinstance(series, dict):
+        raise TelemetryError("profile series is not an object")
+    for name, values in series.items():
+        if not isinstance(values, list):
+            raise TelemetryError(f"series[{name!r}]: not a list")
+        for i, value in enumerate(values):
+            # Non-finite floats serialize as null (StructuredEmitter._strict).
+            if value is not None and not isinstance(value, (int, float)):
+                raise TelemetryError(f"series[{name!r}][{i}]: not a number")
+    peak = doc.get("memory_peak_kib")
+    if peak is not None and not isinstance(peak, (int, float)):
+        raise TelemetryError("memory_peak_kib is not a number")
 
 
 def validate_chrome_doc(doc: object) -> None:
@@ -100,9 +142,10 @@ def load_telemetry_file(
 ) -> Tuple[str, object]:
     """Sniff, validate, and load one telemetry artifact.
 
-    Returns ``("metrics", doc)``, ``("trace", doc)`` (Chrome format), or
-    ``("trace-jsonl", [records...])``. Raises :class:`TelemetryError`
-    for anything malformed.
+    Returns ``("metrics", doc)``, ``("profile", doc)`` (phase profiler),
+    ``("trace", doc)`` (Chrome format), or ``("trace-jsonl",
+    [records...])``. Raises :class:`TelemetryError` for anything
+    malformed.
     """
     path = pathlib.Path(path)
     try:
@@ -122,6 +165,9 @@ def load_telemetry_file(
             if doc.get("schema") == METRICS_SCHEMA:
                 validate_metrics_doc(doc)
                 return ("metrics", doc)
+            if doc.get("schema") == PROFILE_SCHEMA:
+                validate_profile_doc(doc)
+                return ("profile", doc)
             if "traceEvents" in doc:
                 validate_chrome_doc(doc)
                 return ("trace", doc)

@@ -23,11 +23,14 @@ the common protocol of :mod:`repro.results`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
+from repro.obs.ledger import RunLedger, run_manifest
+from repro.obs.prof import ambient_profiler
 from repro.obs.telemetry import Telemetry
 from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import guaranteed_tolerance
@@ -242,6 +245,40 @@ _RUNNERS: Dict[str, Callable] = {
 }
 
 
+def scenario_config(scenario: Scenario) -> Dict[str, object]:
+    """The JSON-able configuration document the run ledger fingerprints.
+
+    Seed and jobs are deliberately excluded — they are recorded as
+    separate manifest fields, so runs of the same experiment at
+    different seeds (or worker counts) share a
+    :func:`~repro.obs.ledger.config_fingerprint` and group together in
+    ``repro runs list``. Model objects are captured by their dataclass
+    ``repr``, which is stable for a fixed configuration.
+    """
+    throttle = scenario.throttle
+    return {
+        "kind": scenario.kind,
+        "layout": scenario.layout.describe(),
+        "disk": repr(scenario.disk),
+        "latency": repr(scenario.latency),
+        "workload": repr(scenario.workload),
+        "arrival": repr(scenario.arrival),
+        "faults": list(scenario.faults),
+        "throttle": repr(throttle) if throttle is not None else None,
+        "sparing": scenario.sparing,
+        "rebuild_method": scenario.rebuild_method,
+        "rebuild_batches": scenario.rebuild_batches,
+        "mttf_hours": scenario.mttf_hours,
+        "mttr_hours": scenario.mttr_hours,
+        "horizon_hours": scenario.horizon_hours,
+        "lse_rate_per_byte": scenario.lse_rate_per_byte,
+        "arrays": scenario.arrays,
+        "lambda_boost": scenario.lambda_boost,
+        "trials": scenario.trials,
+        "mc_kernel": scenario.mc_kernel,
+    }
+
+
 def run(scenario: Scenario, progress: Optional[Callable] = None):
     """Execute *scenario* with the simulator its ``kind`` names.
 
@@ -252,5 +289,32 @@ def run(scenario: Scenario, progress: Optional[Callable] = None):
     (``to_dict``/``from_dict``/``summary``). *progress*, when given, is
     forwarded to the parallel runners' per-chunk callback
     (:data:`~repro.sim.parallel.ProgressCallback`).
+
+    When the ``REPRO_LEDGER`` environment variable names a file, every
+    call appends one provenance manifest to it — config fingerprint,
+    seed, jobs, kernel, wall seconds, result digest and summary, plus
+    the ambient profiler's phase breakdown when profiling is on (see
+    :mod:`repro.obs.ledger`). Ledger writes never change the result.
     """
-    return _RUNNERS[scenario.kind](scenario, progress)
+    ledger = RunLedger.from_env()
+    if ledger is None:
+        return _RUNNERS[scenario.kind](scenario, progress)
+    start = time.perf_counter()
+    result = _RUNNERS[scenario.kind](scenario, progress)
+    seconds = time.perf_counter() - start
+    to_dict = getattr(result, "to_dict", None)
+    summary = getattr(result, "summary", None)
+    ledger.append(
+        run_manifest(
+            scenario.kind,
+            scenario_config(scenario),
+            seed=scenario.seed,
+            jobs=scenario.jobs,
+            kernel=scenario.mc_kernel,
+            seconds=seconds,
+            result_doc=to_dict() if to_dict is not None else None,
+            summary=summary() if summary is not None else None,
+            profiler=ambient_profiler(),
+        )
+    )
+    return result

@@ -54,6 +54,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
     _np = None
 
 from repro.errors import SimulationError
+from repro.obs.prof import ambient_profiler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.layouts.base import Layout
@@ -224,16 +225,19 @@ class TrialStreams:
         """Grow the planes to at least *slots* columns (amortized doubling)."""
         if slots <= self._slots:
             return
-        target = max(slots, 2 * self._slots, 16)
-        counters = _np.arange(
-            self._slots + 1, target + 1, dtype=_np.uint64
-        ) * _np.uint64(GOLDEN_STRIDE)
-        z = _mix64_np(self._lanes[:, None] + counters[None, :])
-        fresh_u = (z >> _np.uint64(11)).astype(_np.float64) * 2.0 ** -53
-        fresh_e = -_np.log(1.0 - fresh_u) / self.lambd
-        self._uniforms = _np.hstack((self._uniforms, fresh_u))
-        self._exponentials = _np.hstack((self._exponentials, fresh_e))
-        self._slots = target
+        # The phase span sits after the early return so the common
+        # no-growth path never touches the profiler.
+        with ambient_profiler().phase("sample"):
+            target = max(slots, 2 * self._slots, 16)
+            counters = _np.arange(
+                self._slots + 1, target + 1, dtype=_np.uint64
+            ) * _np.uint64(GOLDEN_STRIDE)
+            z = _mix64_np(self._lanes[:, None] + counters[None, :])
+            fresh_u = (z >> _np.uint64(11)).astype(_np.float64) * 2.0 ** -53
+            fresh_e = -_np.log(1.0 - fresh_u) / self.lambd
+            self._uniforms = _np.hstack((self._uniforms, fresh_u))
+            self._exponentials = _np.hstack((self._exponentials, fresh_e))
+            self._slots = target
 
     def uniform(self, trial: int, pos: int) -> float:
         """Slot *pos* of trial *trial*'s uniform lane (grows as needed)."""

@@ -65,6 +65,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
+from repro.obs.prof import PhaseProfiler, ambient_profiler, use_profiler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, ambient, use_telemetry
 from repro.results import ResultBase, register_result
 from repro.sim.columnar import (
@@ -342,99 +343,104 @@ def _fleet_chunk(
     pattern_ok = _pattern_check(layout, oracle, tolerance)
     guarantee = oracle_guarantee(oracle) if oracle is not None else tolerance
     single_safe = guarantee >= 1
+    prof = ambient_profiler()
 
-    streams = TrialStreams(
-        seed, count, lambd,
-        max(
-            _slot_estimate(n, mttf_hours / lambda_boost, horizon_hours),
-            n + 2,
-        ),
-        lane_offset=start,
-    )
-    table = DiskStateTable.for_layout(layout, count)
-    fail_at = table.fail_at
-    fail_at[:] = streams.exponentials[:, :n]
-    draw_n = _np.full(count, n, dtype=_np.int64)
-    draw_sum = streams.exponentials[:, :n].sum(axis=1)
-    hours1 = tables.hours
-    lse_thresholds = None
-    if lse_rate_per_byte > 0:
-        # math.exp, not numpy's: the event plane's Poisson test compares
-        # the same uniform against math.exp(-mean), and the two libraries
-        # differ in the last ulp often enough to misclassify a mission.
-        lse_thresholds = _np.array([
-            math.exp(-(float(b) * lse_rate_per_byte))
-            for b in tables.bytes_read
-        ])
+    with prof.phase("sample"):
+        streams = TrialStreams(
+            seed, count, lambd,
+            max(
+                _slot_estimate(n, mttf_hours / lambda_boost, horizon_hours),
+                n + 2,
+            ),
+            lane_offset=start,
+        )
+        table = DiskStateTable.for_layout(layout, count)
+        fail_at = table.fail_at
+        fail_at[:] = streams.exponentials[:, :n]
+        draw_n = _np.full(count, n, dtype=_np.int64)
+        draw_sum = streams.exponentials[:, :n].sum(axis=1)
+        hours1 = tables.hours
+        lse_thresholds = None
+        if lse_rate_per_byte > 0:
+            # math.exp, not numpy's: the event plane's Poisson test
+            # compares the same uniform against math.exp(-mean), and the
+            # two libraries differ in the last ulp often enough to
+            # misclassify a mission.
+            lse_thresholds = _np.array([
+                math.exp(-(float(b) * lse_rate_per_byte))
+                for b in tables.bytes_read
+            ])
 
-    ptr = _np.full(count, n, dtype=_np.int64)
-    n_failures = _np.zeros(count, dtype=_np.int64)
-    n_repairs = _np.zeros(count, dtype=_np.int64)
-    peak = _np.zeros(count, dtype=_np.int64)
-    dangerous = _np.zeros(count, dtype=bool)
-    active = _np.arange(count)
+        ptr = _np.full(count, n, dtype=_np.int64)
+        n_failures = _np.zeros(count, dtype=_np.int64)
+        n_repairs = _np.zeros(count, dtype=_np.int64)
+        peak = _np.zeros(count, dtype=_np.int64)
+        dangerous = _np.zeros(count, dtype=bool)
+        active = _np.arange(count)
 
-    while active.size:
-        streams.ensure(int(ptr[active].max()) + 2)
-        fa = fail_at[active]
-        rows = _np.arange(active.size)
-        first = _np.argmin(fa, axis=1)
-        tf = fa[rows, first]
-        over = tf > horizon_hours
-        comp = tf + hours1[first]
-        fa[rows, first] = _np.inf
-        second = fa.min(axis=1)
-        if single_safe:
-            # A pending failure at the same instant as a completion pops
-            # first (lower heap sequence number), so an exact tie is an
-            # overlap, hence <= on both sides.
-            danger = ~over & (second <= comp) & (second <= horizon_hours)
-        else:
-            danger = ~over
-        trunc = ~(over | danger) & (comp > horizon_hours)
-        clean = ~(over | danger | trunc)
-        if lse_thresholds is not None:
-            # The event plane draws no Poisson uniform when the rebuild
-            # read zero bytes, so zero-byte completions keep their slot.
-            check = clean & (tables.bytes_read[first] > 0)
-            hit = _np.flatnonzero(check)
-            if hit.size:
-                t_ix = active[hit]
-                struck = (
-                    streams.uniforms[t_ix, ptr[t_ix]]
-                    > lse_thresholds[first[hit]]
-                )
-                danger[hit[struck]] = True
-                clean[hit[struck]] = False
-                ptr[t_ix[~struck]] += 1
-        ti = _np.flatnonzero(trunc)
-        if ti.size:
-            t_ix = active[ti]
-            n_failures[t_ix] += 1
-            table.status[t_ix, first[ti]] = STATUS_REBUILDING
-            table.repair_at[t_ix, first[ti]] = comp[ti]
-        di = _np.flatnonzero(danger)
-        if di.size:
-            t_ix = active[di]
-            dangerous[t_ix] = True
-            table.status[t_ix, first[di]] = STATUS_FAILED
-        ci = _np.flatnonzero(clean)
-        if ci.size:
-            t_ix = active[ci]
-            n_failures[t_ix] += 1
-            n_repairs[t_ix] += 1
-            redraw = streams.exponentials[t_ix, ptr[t_ix]]
-            draw_n[t_ix] += 1
-            draw_sum[t_ix] += redraw
-            fail_at[t_ix, first[ci]] = comp[ci] + redraw
-            ptr[t_ix] += 1
-        active = active[clean]
+    with prof.phase("screen"):
+        while active.size:
+            streams.ensure(int(ptr[active].max()) + 2)
+            fa = fail_at[active]
+            rows = _np.arange(active.size)
+            first = _np.argmin(fa, axis=1)
+            tf = fa[rows, first]
+            over = tf > horizon_hours
+            comp = tf + hours1[first]
+            fa[rows, first] = _np.inf
+            second = fa.min(axis=1)
+            if single_safe:
+                # A pending failure at the same instant as a completion
+                # pops first (lower heap sequence number), so an exact
+                # tie is an overlap, hence <= on both sides.
+                danger = ~over & (second <= comp) & (second <= horizon_hours)
+            else:
+                danger = ~over
+            trunc = ~(over | danger) & (comp > horizon_hours)
+            clean = ~(over | danger | trunc)
+            if lse_thresholds is not None:
+                # The event plane draws no Poisson uniform when the
+                # rebuild read zero bytes, so zero-byte completions keep
+                # their slot.
+                check = clean & (tables.bytes_read[first] > 0)
+                hit = _np.flatnonzero(check)
+                if hit.size:
+                    t_ix = active[hit]
+                    struck = (
+                        streams.uniforms[t_ix, ptr[t_ix]]
+                        > lse_thresholds[first[hit]]
+                    )
+                    danger[hit[struck]] = True
+                    clean[hit[struck]] = False
+                    ptr[t_ix[~struck]] += 1
+            ti = _np.flatnonzero(trunc)
+            if ti.size:
+                t_ix = active[ti]
+                n_failures[t_ix] += 1
+                table.status[t_ix, first[ti]] = STATUS_REBUILDING
+                table.repair_at[t_ix, first[ti]] = comp[ti]
+            di = _np.flatnonzero(danger)
+            if di.size:
+                t_ix = active[di]
+                dangerous[t_ix] = True
+                table.status[t_ix, first[di]] = STATUS_FAILED
+            ci = _np.flatnonzero(clean)
+            if ci.size:
+                t_ix = active[ci]
+                n_failures[t_ix] += 1
+                n_repairs[t_ix] += 1
+                redraw = streams.exponentials[t_ix, ptr[t_ix]]
+                draw_n[t_ix] += 1
+                draw_sum[t_ix] += redraw
+                fail_at[t_ix, first[ci]] = comp[ci] + redraw
+                ptr[t_ix] += 1
+            active = active[clean]
 
     end = _np.full(count, horizon_hours)
     lost = _np.zeros(count, dtype=bool)
     lse_lost = 0
     replay_ix = _np.flatnonzero(dangerous)
-    with use_telemetry(tel):
+    with use_telemetry(tel), prof.phase("replay"):
         for t in replay_ix.tolist():
             cursor = _CountingCursor(streams.cursor(t))
             lost_at, lost_to_lse, nf, nr, _degraded, pk = _lifecycle_trial(
@@ -487,6 +493,15 @@ def _fleet_chunk(
         tel.count("fleet.missions", count)
         tel.count("fleet.replays", int(replay_ix.size))
         tel.count("fleet.losses", raw_losses)
+    if prof.enabled:
+        prof.count("fleet.missions", count)
+        prof.count("fleet.replays", int(replay_ix.size))
+        prof.count("fleet.losses", raw_losses)
+        prof.record("fleet.dangerous_fraction", replay_ix.size / count)
+        # Per-chunk ESS ratio: effective samples per mission. Pure
+        # function of the sampled weights, so the merged series is
+        # chunk-ordered and jobs-invariant.
+        prof.record("fleet.ess_ratio", sum_w * sum_w / sum_w2 / count)
 
     return FleetChunk(
         missions=count,
@@ -523,9 +538,16 @@ def _fleet_worker(state, common, spec):
         trials_per_array,
         seed,
         collect,
+        profile,
     ) = common
     start, count = spec
     chunk_tel = Telemetry.collecting() if collect else None
+    chunk_prof = None
+    if profile:
+        chunk_prof = PhaseProfiler()
+        # In-process execution (jobs=1) keeps the parent's phase observer
+        # so heartbeats see boundaries; worker processes inherit None.
+        chunk_prof.on_phase = ambient_profiler().on_phase
     if collect:
         # Memo hits/misses are telemetry, so a memo warmed by *other*
         # chunks would make the merged registry depend on which chunks
@@ -535,12 +557,14 @@ def _fleet_worker(state, common, spec):
             timer.layout, timer.disk, timer.sparing, timer.method,
             timer.batches,
         )
-    chunk = _fleet_chunk(
-        layout, timer, tables, oracle, mttf_hours, horizon_hours,
-        lse_rate_per_byte, lambda_boost, start, count, seed,
-        trials_per_array, chunk_tel if chunk_tel is not None else NULL_TELEMETRY,
-    )
-    return chunk, chunk_tel
+    with use_profiler(chunk_prof):
+        chunk = _fleet_chunk(
+            layout, timer, tables, oracle, mttf_hours, horizon_hours,
+            lse_rate_per_byte, lambda_boost, start, count, seed,
+            trials_per_array,
+            chunk_tel if chunk_tel is not None else NULL_TELEMETRY,
+        )
+    return chunk, chunk_tel, chunk_prof
 
 
 def merge_fleet_chunks(
@@ -682,18 +706,25 @@ def simulate_fleet(
         seed = fresh_seed()
     tel = telemetry if telemetry is not None else ambient()
     collect = tel.enabled
+    prof = ambient_profiler()
+    profile = prof.enabled
     common = (
         mttf_hours, horizon_hours, lse_rate_per_byte, lambda_boost,
-        trials, seed, collect,
+        trials, seed, collect, profile,
     )
     state = (layout, timer, tables, oracle)
     parts: List[FleetChunk] = []
     with tel.span("simulate_fleet", arrays=arrays, trials=trials):
         for start, count in mission_chunks(arrays * trials, chunk_missions):
-            chunk, chunk_tel = _fleet_worker(state, common, (start, count))
+            chunk, chunk_tel, chunk_prof = _fleet_worker(
+                state, common, (start, count)
+            )
             parts.append(chunk)
             if collect and chunk_tel is not None:
                 tel.merge_chunk(chunk_tel, trial_offset=start)
+            if profile and chunk_prof is not None:
+                with prof.phase("merge"):
+                    prof.merge_chunk(chunk_prof)
     return merge_fleet_chunks(
         parts, arrays, trials, horizon_hours, mttf_hours, lambda_boost
     )

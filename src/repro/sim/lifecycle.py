@@ -62,6 +62,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 from repro.errors import SimulationError
 from repro.layouts.base import Cell, Layout
 from repro.layouts.recovery import cells_recoverable, is_recoverable, lost_cells
+from repro.obs.prof import ambient_profiler
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.results import ResultBase, register_result
 from repro.sim.columnar import (
@@ -536,6 +537,7 @@ def simulate_lifecycle(
     pattern_ok = _pattern_check(layout, oracle, guaranteed_tolerance(layout))
 
     tel = telemetry if telemetry is not None else ambient()
+    prof = ambient_profiler()
     if seed is None:
         seed = fresh_seed()
     lambd = 1.0 / mttf_hours
@@ -550,7 +552,7 @@ def simulate_lifecycle(
     degraded_per_trial: List[float] = []
     peak_per_trial: List[int] = []
 
-    with use_telemetry(tel):
+    with use_telemetry(tel), prof.phase("replay"):
         for trial in range(trials):
             lost_at, lost_to_lse, n_failures, n_repairs, degraded, peak = (
                 _lifecycle_trial(
@@ -572,6 +574,8 @@ def simulate_lifecycle(
                 tel.observe("lifecycle.peak_failures", peak)
                 if lost_at is not None:
                     tel.observe("lifecycle.loss_time_hours", lost_at)
+    if prof.enabled:
+        prof.count("lifecycle.trials", trials)
 
     return LifecycleResult(
         trials=trials,
@@ -658,105 +662,119 @@ def simulate_lifecycle_vectorized(
             lse_rate_per_byte=lse_rate_per_byte, trials=trials, seed=seed,
             oracle=oracle, telemetry=telemetry, timer=timer,
         )
-    if seed is None:
-        seed = fresh_seed()
-    if tables is None:
-        tables = LifecycleTables.build(layout, timer)
-    tolerance = guaranteed_tolerance(layout)
-    pattern_ok = _pattern_check(layout, oracle, tolerance)
-    guarantee = oracle_guarantee(oracle) if oracle is not None else tolerance
-    single_safe = guarantee >= 1
+    prof = ambient_profiler()
+    with prof.phase("sample"):
+        if seed is None:
+            seed = fresh_seed()
+        if tables is None:
+            tables = LifecycleTables.build(layout, timer)
+        tolerance = guaranteed_tolerance(layout)
+        pattern_ok = _pattern_check(layout, oracle, tolerance)
+        guarantee = (
+            oracle_guarantee(oracle) if oracle is not None else tolerance
+        )
+        single_safe = guarantee >= 1
 
-    n = layout.n_disks
-    lambd = 1.0 / mttf_hours
-    streams = TrialStreams(
-        seed, trials, lambd,
-        max(_slot_estimate(n, mttf_hours, horizon_hours), n + 2),
-    )
-    table = DiskStateTable.for_layout(layout, trials)
-    fail_at = table.fail_at
-    fail_at[:] = streams.exponentials[:, :n]
-    hours1 = tables.hours
-    lse_thresholds = None
-    if lse_rate_per_byte > 0:
-        # math.exp, not numpy's: the event plane's Poisson test compares
-        # the same uniform against math.exp(-mean), and the two libraries
-        # differ in the last ulp often enough to misclassify a trial.
-        lse_thresholds = _np.array([
-            math.exp(-(float(b) * lse_rate_per_byte))
-            for b in tables.bytes_read
-        ])
+        n = layout.n_disks
+        lambd = 1.0 / mttf_hours
+        streams = TrialStreams(
+            seed, trials, lambd,
+            max(_slot_estimate(n, mttf_hours, horizon_hours), n + 2),
+        )
+        table = DiskStateTable.for_layout(layout, trials)
+        fail_at = table.fail_at
+        fail_at[:] = streams.exponentials[:, :n]
+        hours1 = tables.hours
+        lse_thresholds = None
+        if lse_rate_per_byte > 0:
+            # math.exp, not numpy's: the event plane's Poisson test
+            # compares the same uniform against math.exp(-mean), and the
+            # two libraries differ in the last ulp often enough to
+            # misclassify a trial.
+            lse_thresholds = _np.array([
+                math.exp(-(float(b) * lse_rate_per_byte))
+                for b in tables.bytes_read
+            ])
 
-    ptr = _np.full(trials, n, dtype=_np.int64)
-    n_failures = _np.zeros(trials, dtype=_np.int64)
-    n_repairs = _np.zeros(trials, dtype=_np.int64)
-    degraded = _np.zeros(trials)
-    peak = _np.zeros(trials, dtype=_np.int64)
-    dangerous = _np.zeros(trials, dtype=bool)
-    active = _np.arange(trials)
+        ptr = _np.full(trials, n, dtype=_np.int64)
+        n_failures = _np.zeros(trials, dtype=_np.int64)
+        n_repairs = _np.zeros(trials, dtype=_np.int64)
+        degraded = _np.zeros(trials)
+        peak = _np.zeros(trials, dtype=_np.int64)
+        dangerous = _np.zeros(trials, dtype=bool)
+        active = _np.arange(trials)
 
-    while active.size:
-        streams.ensure(int(ptr[active].max()) + 2)
-        fa = fail_at[active]
-        rows = _np.arange(active.size)
-        first = _np.argmin(fa, axis=1)
-        tf = fa[rows, first]
-        # Disks whose next failure falls past the horizon are never seen.
-        over = tf > horizon_hours
-        comp = tf + hours1[first]
-        fa[rows, first] = _np.inf
-        second = fa.min(axis=1)
-        if single_safe:
-            # A pending failure at the same instant as a completion pops
-            # first (it always carries a lower heap sequence number), so
-            # an exact tie is an overlap, hence <= on both sides.
-            danger = ~over & (second <= comp) & (second <= horizon_hours)
-        else:
-            danger = ~over
-        trunc = ~(over | danger) & (comp > horizon_hours)
-        clean = ~(over | danger | trunc)
-        if lse_thresholds is not None:
-            # The event plane draws no Poisson uniform when the rebuild
-            # read zero bytes, so zero-byte completions keep their slot.
-            check = clean & (tables.bytes_read[first] > 0)
-            hit = _np.flatnonzero(check)
-            if hit.size:
-                t_ix = active[hit]
-                struck = (
-                    streams.uniforms[t_ix, ptr[t_ix]]
-                    > lse_thresholds[first[hit]]
+    with prof.phase("screen"):
+        while active.size:
+            streams.ensure(int(ptr[active].max()) + 2)
+            fa = fail_at[active]
+            rows = _np.arange(active.size)
+            first = _np.argmin(fa, axis=1)
+            tf = fa[rows, first]
+            # Disks whose next failure falls past the horizon are never
+            # seen.
+            over = tf > horizon_hours
+            comp = tf + hours1[first]
+            fa[rows, first] = _np.inf
+            second = fa.min(axis=1)
+            if single_safe:
+                # A pending failure at the same instant as a completion
+                # pops first (it always carries a lower heap sequence
+                # number), so an exact tie is an overlap, hence <= on
+                # both sides.
+                danger = ~over & (second <= comp) & (second <= horizon_hours)
+            else:
+                danger = ~over
+            trunc = ~(over | danger) & (comp > horizon_hours)
+            clean = ~(over | danger | trunc)
+            if lse_thresholds is not None:
+                # The event plane draws no Poisson uniform when the
+                # rebuild read zero bytes, so zero-byte completions keep
+                # their slot.
+                check = clean & (tables.bytes_read[first] > 0)
+                hit = _np.flatnonzero(check)
+                if hit.size:
+                    t_ix = active[hit]
+                    struck = (
+                        streams.uniforms[t_ix, ptr[t_ix]]
+                        > lse_thresholds[first[hit]]
+                    )
+                    danger[hit[struck]] = True
+                    clean[hit[struck]] = False
+                    ptr[t_ix[~struck]] += 1
+            ti = _np.flatnonzero(trunc)
+            if ti.size:
+                t_ix = active[ti]
+                n_failures[t_ix] += 1
+                degraded[t_ix] += horizon_hours - tf[ti]
+                table.status[t_ix, first[ti]] = STATUS_REBUILDING
+                table.repair_at[t_ix, first[ti]] = comp[ti]
+            di = _np.flatnonzero(danger)
+            if di.size:
+                t_ix = active[di]
+                dangerous[t_ix] = True
+                table.status[t_ix, first[di]] = STATUS_FAILED
+            ci = _np.flatnonzero(clean)
+            if ci.size:
+                t_ix = active[ci]
+                n_failures[t_ix] += 1
+                n_repairs[t_ix] += 1
+                degraded[t_ix] += comp[ci] - tf[ci]
+                fail_at[t_ix, first[ci]] = (
+                    comp[ci] + streams.exponentials[t_ix, ptr[t_ix]]
                 )
-                danger[hit[struck]] = True
-                clean[hit[struck]] = False
-                ptr[t_ix[~struck]] += 1
-        ti = _np.flatnonzero(trunc)
-        if ti.size:
-            t_ix = active[ti]
-            n_failures[t_ix] += 1
-            degraded[t_ix] += horizon_hours - tf[ti]
-            table.status[t_ix, first[ti]] = STATUS_REBUILDING
-            table.repair_at[t_ix, first[ti]] = comp[ti]
-        di = _np.flatnonzero(danger)
-        if di.size:
-            t_ix = active[di]
-            dangerous[t_ix] = True
-            table.status[t_ix, first[di]] = STATUS_FAILED
-        ci = _np.flatnonzero(clean)
-        if ci.size:
-            t_ix = active[ci]
-            n_failures[t_ix] += 1
-            n_repairs[t_ix] += 1
-            degraded[t_ix] += comp[ci] - tf[ci]
-            fail_at[t_ix, first[ci]] = (
-                comp[ci] + streams.exponentials[t_ix, ptr[t_ix]]
-            )
-            ptr[t_ix] += 1
-        active = active[clean]
+                ptr[t_ix] += 1
+            active = active[clean]
 
     peak[(~dangerous) & (n_failures > 0)] = 1
     loss_times: List[float] = []
     lse_losses = 0
-    with use_telemetry(tel):
+    if prof.enabled:
+        n_dangerous = int(dangerous.sum())
+        prof.count("lifecycle.trials", trials)
+        prof.count("lifecycle.replays", n_dangerous)
+        prof.record("lifecycle.dangerous_fraction", n_dangerous / trials)
+    with use_telemetry(tel), prof.phase("replay"):
         for t in _np.flatnonzero(dangerous).tolist():
             lost_at, lost_to_lse, nf, nr, dh, pk = _lifecycle_trial(
                 streams.cursor(t), layout, lambd, horizon_hours,
@@ -771,17 +789,18 @@ def simulate_lifecycle_vectorized(
                 if lost_to_lse:
                     lse_losses += 1
 
-    return LifecycleResult(
-        trials=trials,
-        losses=len(loss_times),
-        loss_times=tuple(loss_times),
-        lse_losses=lse_losses,
-        horizon_hours=horizon_hours,
-        failures_per_trial=tuple(n_failures.tolist()),
-        repairs_per_trial=tuple(n_repairs.tolist()),
-        degraded_hours_per_trial=tuple(degraded.tolist()),
-        peak_failures_per_trial=tuple(peak.tolist()),
-    )
+    with prof.phase("merge"):
+        return LifecycleResult(
+            trials=trials,
+            losses=len(loss_times),
+            loss_times=tuple(loss_times),
+            lse_losses=lse_losses,
+            horizon_hours=horizon_hours,
+            failures_per_trial=tuple(n_failures.tolist()),
+            repairs_per_trial=tuple(n_repairs.tolist()),
+            degraded_hours_per_trial=tuple(degraded.tolist()),
+            peak_failures_per_trial=tuple(peak.tolist()),
+        )
 
 
 def lifecycle_kernel(

@@ -28,6 +28,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
+from repro.obs.prof import ambient_profiler
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.sim.columnar import (
     first_exceedances as _first_exceedances,
@@ -167,10 +168,13 @@ def simulate_lifetimes(
     if mttf_hours <= 0 or mttr_hours <= 0 or horizon_hours <= 0:
         raise SimulationError("rates and horizon must be positive")
     tel = telemetry if telemetry is not None else ambient()
+    prof = ambient_profiler()
+    if prof.enabled:
+        prof.count("mc.trials", trials)
     rng = random.Random(seed)
     loss_times: List[float] = []
 
-    with use_telemetry(tel):
+    with use_telemetry(tel), prof.phase("replay"):
         for trial in range(trials):
             # Event heap: (time, seq, kind, disk). kind: 0 = fail, 1 = repair.
             heap: List[Tuple[float, int, int, int]] = []
@@ -335,11 +339,13 @@ def simulate_lifetimes_vectorized(
     if mttf_hours <= 0 or mttr_hours <= 0 or horizon_hours <= 0:
         raise SimulationError("rates and horizon must be positive")
     tel = telemetry if telemetry is not None else ambient()
+    prof = ambient_profiler()
     rng = _np.random.default_rng(seed)
 
-    times, kinds, disks, counts, starts = _sample_lifetime_events(
-        rng, n_disks, mttf_hours, mttr_hours, horizon_hours, trials
-    )
+    with prof.phase("sample"):
+        times, kinds, disks, counts, starts = _sample_lifetime_events(
+            rng, n_disks, mttf_hours, mttr_hours, horizon_hours, trials
+        )
     loss_times: List[float] = []
 
     if tel.enabled:
@@ -348,7 +354,7 @@ def simulate_lifetimes_vectorized(
         t_list = times.tolist()
         k_list = kinds.tolist()
         d_list = disks.tolist()
-        with use_telemetry(tel):
+        with use_telemetry(tel), prof.phase("replay"):
             for trial in range(trials):
                 a = int(starts[trial])
                 b = a + int(counts[trial])
@@ -357,29 +363,39 @@ def simulate_lifetimes_vectorized(
                 )
                 if lost_at is not None:
                     loss_times.append(lost_at)
+        if prof.enabled:
+            prof.count("mc.trials", trials)
+            prof.count("mc.replays", trials)
+            prof.record("mc.suspect_fraction", 1.0)
     else:
         guarantee = _oracle_guarantee(oracle)
-        suspects, first_idx = _first_exceedances(
-            kinds, counts, starts, trials, guarantee
-        )
-        for trial, j in zip(suspects.tolist(), first_idx.tolist()):
-            a = int(starts[trial])
-            b = a + int(counts[trial])
-            # Failed set just before the first exceedance: a disk is down
-            # iff it appears an odd number of times in [a, j) — its events
-            # strictly alternate failure/repair.
-            parity = _np.bincount(disks[a:j], minlength=n_disks) & 1
-            failed = set(_np.flatnonzero(parity).tolist())
-            lost_at = _walk_trial(
-                times[j:b].tolist(),
-                kinds[j:b].tolist(),
-                disks[j:b].tolist(),
-                oracle,
-                guarantee,
-                failed,
+        with prof.phase("screen"):
+            suspects, first_idx = _first_exceedances(
+                kinds, counts, starts, trials, guarantee
             )
-            if lost_at is not None:
-                loss_times.append(lost_at)
+        if prof.enabled:
+            prof.count("mc.trials", trials)
+            prof.count("mc.replays", int(suspects.size))
+            prof.record("mc.suspect_fraction", suspects.size / trials)
+        with prof.phase("replay"):
+            for trial, j in zip(suspects.tolist(), first_idx.tolist()):
+                a = int(starts[trial])
+                b = a + int(counts[trial])
+                # Failed set just before the first exceedance: a disk is
+                # down iff it appears an odd number of times in [a, j) —
+                # its events strictly alternate failure/repair.
+                parity = _np.bincount(disks[a:j], minlength=n_disks) & 1
+                failed = set(_np.flatnonzero(parity).tolist())
+                lost_at = _walk_trial(
+                    times[j:b].tolist(),
+                    kinds[j:b].tolist(),
+                    disks[j:b].tolist(),
+                    oracle,
+                    guarantee,
+                    failed,
+                )
+                if lost_at is not None:
+                    loss_times.append(lost_at)
 
     return LifetimeResult(
         trials=trials,

@@ -41,6 +41,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Typ
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
 from repro.layouts.recovery import is_recoverable
+from repro.obs.prof import PhaseProfiler, ambient_profiler, use_profiler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.latency import LatencyModel
 from repro.sim.columnar import LifecycleTables, fresh_seed
@@ -167,22 +168,42 @@ def merge_lifetime_results(
     )
 
 
+def _chunk_profiler(profile: bool) -> Optional[PhaseProfiler]:
+    """A fresh per-chunk profiler, or ``None`` when profiling is off.
+
+    In-process execution (``jobs=1``) inherits the parent's phase
+    observer so heartbeats see phase boundaries; worker processes have a
+    null ambient profiler and inherit ``None`` (observers never cross
+    process boundaries).
+    """
+    if not profile:
+        return None
+    chunk_prof = PhaseProfiler()
+    chunk_prof.on_phase = ambient_profiler().on_phase
+    return chunk_prof
+
+
 def _lifetime_worker(oracle, common, spec):
     """Pool task for one Monte-Carlo chunk; *oracle* is broadcast state."""
-    n_disks, mttf_hours, mttr_hours, horizon_hours, kernel, collect = common
+    (
+        n_disks, mttf_hours, mttr_hours, horizon_hours, kernel, collect,
+        profile,
+    ) = common
     size, chunk_seed = spec
     chunk_tel = Telemetry.collecting() if collect else None
-    result = lifetime_kernel(kernel)(
-        n_disks,
-        mttf_hours,
-        mttr_hours,
-        oracle,
-        horizon_hours,
-        trials=size,
-        seed=chunk_seed,
-        telemetry=chunk_tel,
-    )
-    return result, chunk_tel
+    chunk_prof = _chunk_profiler(profile)
+    with use_profiler(chunk_prof):
+        result = lifetime_kernel(kernel)(
+            n_disks,
+            mttf_hours,
+            mttr_hours,
+            oracle,
+            horizon_hours,
+            trials=size,
+            seed=chunk_seed,
+            telemetry=chunk_tel,
+        )
+    return result, chunk_tel, chunk_prof
 
 
 def _drain_streaming(
@@ -197,18 +218,33 @@ def _drain_streaming(
     at its precomputed trial offset, so the merged registry and event log
     are bit-identical for any ``jobs``. The per-chunk results themselves
     are slotted by chunk index and merged by the caller afterwards.
+
+    When the ambient :class:`~repro.obs.prof.PhaseProfiler` is enabled,
+    each worker returns a per-chunk profile alongside its telemetry and
+    the drain folds those through the same chunk-ordered reorder buffer
+    (under a ``merge`` phase span per chunk), so merged profiles obey the
+    jobs-invariance contract of :meth:`PhaseProfiler.deterministic_dict`.
+    Progress callbacks that expose ``note_ess`` (the fleet heartbeat)
+    additionally receive the running effective-sample-size ratio
+    accumulated from chunks that carry importance weights.
     """
     offsets = []
     acc = 0
     for size in sizes:
         offsets.append(acc)
         acc += size
+    prof = ambient_profiler()
     parts: List[Optional[object]] = [None] * len(specs)
     pending_tel = {}
+    pending_prof = {}
     next_merge = 0
+    next_prof = 0
     done = 0
     losses = 0
-    for index, (result, chunk_tel) in run_streaming(
+    track_ess = progress is not None and hasattr(progress, "note_ess")
+    sum_w = 0.0
+    sum_w2 = 0.0
+    for index, (result, chunk_tel, chunk_prof) in run_streaming(
         worker, state, common, specs, jobs
     ):
         parts[index] = result
@@ -222,7 +258,20 @@ def _drain_streaming(
                     trial_offset=offsets[next_merge],
                 )
                 next_merge += 1
+        if prof.enabled and chunk_prof is not None:
+            pending_prof[index] = chunk_prof
+            while next_prof in pending_prof:
+                with prof.phase("merge"):
+                    prof.merge_chunk(pending_prof.pop(next_prof))
+                next_prof += 1
         if progress is not None:
+            if track_ess:
+                chunk_w = getattr(result, "sum_weights", None)
+                if chunk_w is not None:
+                    sum_w += chunk_w
+                    sum_w2 += result.sum_sq_weights
+                    if sum_w2 > 0.0 and done > 0:
+                        progress.note_ess(sum_w * sum_w / sum_w2 / done)
             progress(done, total, losses)
     return parts
 
@@ -274,7 +323,10 @@ def simulate_lifetimes_parallel(
         (size, derive_chunk_seed(seed, chunk_id))
         for chunk_id, size in enumerate(sizes)
     ]
-    common = (n_disks, mttf_hours, mttr_hours, horizon_hours, kernel, collect)
+    common = (
+        n_disks, mttf_hours, mttr_hours, horizon_hours, kernel, collect,
+        ambient_profiler().enabled,
+    )
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_lifetimes_parallel", trials=trials, jobs=jobs):
         parts = _drain_streaming(
@@ -333,9 +385,13 @@ def _lifecycle_worker(state, common, spec):
     tables ride along like ``ServeTables`` does for the serving runner.
     """
     layout, timer, tables = state
-    mttf_hours, horizon_hours, lse_rate_per_byte, collect, kernel = common
+    (
+        mttf_hours, horizon_hours, lse_rate_per_byte, collect, kernel,
+        profile,
+    ) = common
     size, chunk_seed = spec
     chunk_tel = Telemetry.collecting() if collect else None
+    chunk_prof = _chunk_profiler(profile)
     if collect:
         # Memo hits/misses are recorded in telemetry, so a memo warmed by
         # *other* chunks would make the merged registry depend on which
@@ -349,22 +405,23 @@ def _lifecycle_worker(state, common, spec):
     extra = {}
     if simulate is simulate_lifecycle_vectorized:
         extra["tables"] = tables
-    result = simulate(
-        layout,
-        mttf_hours,
-        horizon_hours,
-        disk=timer.disk,
-        sparing=timer.sparing,
-        method=timer.method,
-        batches=timer.batches,
-        lse_rate_per_byte=lse_rate_per_byte,
-        trials=size,
-        seed=chunk_seed,
-        telemetry=chunk_tel,
-        timer=timer,
-        **extra,
-    )
-    return result, chunk_tel
+    with use_profiler(chunk_prof):
+        result = simulate(
+            layout,
+            mttf_hours,
+            horizon_hours,
+            disk=timer.disk,
+            sparing=timer.sparing,
+            method=timer.method,
+            batches=timer.batches,
+            lse_rate_per_byte=lse_rate_per_byte,
+            trials=size,
+            seed=chunk_seed,
+            telemetry=chunk_tel,
+            timer=timer,
+            **extra,
+        )
+    return result, chunk_tel, chunk_prof
 
 
 def simulate_lifecycle_parallel(
@@ -429,7 +486,10 @@ def simulate_lifecycle_parallel(
         (size, derive_chunk_seed(seed, chunk_id))
         for chunk_id, size in enumerate(sizes)
     ]
-    common = (mttf_hours, horizon_hours, lse_rate_per_byte, collect, kernel)
+    common = (
+        mttf_hours, horizon_hours, lse_rate_per_byte, collect, kernel,
+        ambient_profiler().enabled,
+    )
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_lifecycle_parallel", trials=trials, jobs=jobs):
         parts = _drain_streaming(
@@ -491,7 +551,7 @@ def simulate_fleet_parallel(
     sizes = [count for _start, count in specs]
     common = (
         mttf_hours, horizon_hours, lse_rate_per_byte, lambda_boost,
-        trials, seed, collect,
+        trials, seed, collect, ambient_profiler().enabled,
     )
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span(
@@ -534,27 +594,30 @@ def _serve_worker(state, common, spec):
         rebuild_batches,
         seed,
         collect,
+        profile,
     ) = common
     start_trial, size = spec
     chunk_tel = Telemetry.collecting() if collect else None
+    chunk_prof = _chunk_profiler(profile)
     parts = []
-    for i in range(size):
-        parts.append(
-            simulate_serve(
-                layout,
-                workload=workload,
-                failed_disks=failed_disks,
-                arrival=arrival,
-                model=model,
-                throttle=throttle,
-                sparing=sparing,
-                rebuild_batches=rebuild_batches,
-                seed=derive_chunk_seed(seed, start_trial + i),
-                telemetry=chunk_tel,
-                tables=tables,
+    with use_profiler(chunk_prof):
+        for i in range(size):
+            parts.append(
+                simulate_serve(
+                    layout,
+                    workload=workload,
+                    failed_disks=failed_disks,
+                    arrival=arrival,
+                    model=model,
+                    throttle=throttle,
+                    sparing=sparing,
+                    rebuild_batches=rebuild_batches,
+                    seed=derive_chunk_seed(seed, start_trial + i),
+                    telemetry=chunk_tel,
+                    tables=tables,
+                )
             )
-        )
-    return merge_serve_results(parts), chunk_tel
+    return merge_serve_results(parts), chunk_tel, chunk_prof
 
 
 def simulate_serve_parallel(
@@ -613,6 +676,7 @@ def simulate_serve_parallel(
         rebuild_batches,
         seed,
         collect,
+        ambient_profiler().enabled,
     )
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_serve_parallel", trials=trials, jobs=jobs):

@@ -46,6 +46,7 @@ from repro.layouts.recovery import (
     parity_disk_table,
     plan_recovery,
 )
+from repro.obs.prof import ambient_profiler
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.results import ResultBase, register_result
 from repro.sim.engine import FcfsServer, Simulator
@@ -524,36 +525,38 @@ def simulate_serve(
     schedule order), which is what the parallel runner's per-chunk
     seeding builds on.
     """
-    model = model or LatencyModel()
-    if tables is None:
-        tables = build_serve_tables(
-            layout, failed_disks, sparing, rebuild_batches
-        )
-    else:
-        expected = tuple(sorted(set(failed_disks)))
-        if (
-            tables.layout_name != layout.name
-            or tables.n_units != len(layout.data_cells)
-            or tables.failed != expected
-            or tables.sparing != sparing
-            or tables.rebuild_batches != rebuild_batches
-        ):
-            raise SimulationError(
-                "serve tables were built for a different scenario "
-                f"({tables.layout_name}, failed={tables.failed}, "
-                f"sparing={tables.sparing!r}, "
-                f"batches={tables.rebuild_batches})"
+    prof = ambient_profiler()
+    with prof.phase("sample"):
+        model = model or LatencyModel()
+        if tables is None:
+            tables = build_serve_tables(
+                layout, failed_disks, sparing, rebuild_batches
             )
-        if rebuild_batches < 1:
-            raise SimulationError(
-                f"rebuild_batches must be >= 1, got {rebuild_batches}"
-            )
-    if isinstance(workload, WorkloadSpec):
-        requests = workload.build(len(layout.data_cells), seed)
-    else:
-        requests = list(workload)
-    if not requests:
-        raise SimulationError("workload has no requests")
+        else:
+            expected = tuple(sorted(set(failed_disks)))
+            if (
+                tables.layout_name != layout.name
+                or tables.n_units != len(layout.data_cells)
+                or tables.failed != expected
+                or tables.sparing != sparing
+                or tables.rebuild_batches != rebuild_batches
+            ):
+                raise SimulationError(
+                    "serve tables were built for a different scenario "
+                    f"({tables.layout_name}, failed={tables.failed}, "
+                    f"sparing={tables.sparing!r}, "
+                    f"batches={tables.rebuild_batches})"
+                )
+            if rebuild_batches < 1:
+                raise SimulationError(
+                    f"rebuild_batches must be >= 1, got {rebuild_batches}"
+                )
+        if isinstance(workload, WorkloadSpec):
+            requests = workload.build(len(layout.data_cells), seed)
+        else:
+            requests = list(workload)
+        if not requests:
+            raise SimulationError("workload has no requests")
 
     survivors = tables.survivors
     ops = tables.rebuild_ops if throttle is not None else ()
@@ -621,90 +624,94 @@ def simulate_serve(
         fan_out(route, write_service, done)
 
     # -- foreground arrivals ------------------------------------------------
-    if isinstance(arrival, OpenLoop):
-        t = 0.0
-        for request in requests:
-            t += rng.expovariate(arrival.rate_per_s)
+    with prof.phase("sample"):
+        if isinstance(arrival, OpenLoop):
+            t = 0.0
+            for request in requests:
+                t += rng.expovariate(arrival.rate_per_s)
 
-            def fire(request=request, t=t) -> None:
-                issue(request, t, lambda t=t: finish_request(t))
+                def fire(request=request, t=t) -> None:
+                    issue(request, t, lambda t=t: finish_request(t))
 
-            sim.schedule(t, fire)
-    elif isinstance(arrival, ClosedLoop):
-        queue = {"next": 0}
+                sim.schedule(t, fire)
+        elif isinstance(arrival, ClosedLoop):
+            queue = {"next": 0}
 
-        def client_issue() -> None:
-            index = queue["next"]
-            if index >= len(requests):
-                return
-            queue["next"] = index + 1
-            arrival_s = sim.now
+            def client_issue() -> None:
+                index = queue["next"]
+                if index >= len(requests):
+                    return
+                queue["next"] = index + 1
+                arrival_s = sim.now
 
-            def done() -> None:
-                finish_request(arrival_s)
-                if arrival.think_s > 0:
-                    sim.schedule(arrival.think_s, client_issue)
-                else:
-                    client_issue()
+                def done() -> None:
+                    finish_request(arrival_s)
+                    if arrival.think_s > 0:
+                        sim.schedule(arrival.think_s, client_issue)
+                    else:
+                        client_issue()
 
-            issue(requests[index], arrival_s, done)
+                issue(requests[index], arrival_s, done)
 
-        for _client in range(min(arrival.clients, len(requests))):
-            sim.schedule(0.0, client_issue)
-    else:
-        raise SimulationError(
-            f"unknown arrival process {type(arrival).__name__}"
-        )
+            for _client in range(min(arrival.clients, len(requests))):
+                sim.schedule(0.0, client_issue)
+        else:
+            raise SimulationError(
+                f"unknown arrival process {type(arrival).__name__}"
+            )
 
-    # -- rebuild injection --------------------------------------------------
-    if ops:
-        throttle.reset()
-        cursor = {"op": 0}
-        n_ops = len(ops)
+        # -- rebuild injection ----------------------------------------------
+        if ops:
+            throttle.reset()
+            cursor = {"op": 0}
+            n_ops = len(ops)
 
-        def dispatch(op: _RebuildOp) -> None:
-            if tel.enabled:
-                tel.count("serve.rebuild_ops_dispatched")
-
-            def writes_done() -> None:
-                stats.rebuild_done += 1
-                if sim.now > stats.rebuild_finish:
-                    stats.rebuild_finish = sim.now
+            def dispatch(op: _RebuildOp) -> None:
                 if tel.enabled:
-                    tel.count("serve.rebuild_ops_completed")
-                    if stats.rebuild_done == n_ops:
-                        tel.event(
-                            "rebuild_drained", sim.now, ops=n_ops
-                        )
+                    tel.count("serve.rebuild_ops_dispatched")
 
-            def reads_done() -> None:
-                if not op.writes:
-                    writes_done()
-                    return
-                fan_out(op.writes, service, writes_done)
+                def writes_done() -> None:
+                    stats.rebuild_done += 1
+                    if sim.now > stats.rebuild_finish:
+                        stats.rebuild_finish = sim.now
+                    if tel.enabled:
+                        tel.count("serve.rebuild_ops_completed")
+                        if stats.rebuild_done == n_ops:
+                            tel.event(
+                                "rebuild_drained", sim.now, ops=n_ops
+                            )
 
-            if not op.reads:
-                reads_done()
-            else:
-                fan_out(op.reads, service, reads_done)
+                def reads_done() -> None:
+                    if not op.writes:
+                        writes_done()
+                        return
+                    fan_out(op.writes, service, writes_done)
 
-        def pump() -> None:
-            while cursor["op"] < n_ops:
-                op = ops[cursor["op"]]
-                idle = all(
-                    servers[d].busy_until <= sim.now for d in op.reads
-                )
-                delay = throttle.next_delay(sim.now, idle)
-                if delay is None:
-                    cursor["op"] += 1
-                    dispatch(op)
+                if not op.reads:
+                    reads_done()
                 else:
-                    sim.schedule(delay, pump)
-                    return
+                    fan_out(op.reads, service, reads_done)
 
-        sim.schedule(0.0, pump)
+            def pump() -> None:
+                while cursor["op"] < n_ops:
+                    op = ops[cursor["op"]]
+                    idle = all(
+                        servers[d].busy_until <= sim.now for d in op.reads
+                    )
+                    delay = throttle.next_delay(sim.now, idle)
+                    if delay is None:
+                        cursor["op"] += 1
+                        dispatch(op)
+                    else:
+                        sim.schedule(delay, pump)
+                        return
 
-    with use_telemetry(tel):
+            sim.schedule(0.0, pump)
+
+    if prof.enabled:
+        prof.count("serve.trials", 1)
+        prof.count("serve.requests", len(requests))
+    with use_telemetry(tel), prof.phase("serve"):
         sim.run()
 
     if not latencies:

@@ -2,10 +2,13 @@
 
 import io
 import json
+import math
 
 import pytest
 
 from repro.obs import Heartbeat, StructuredEmitter
+from repro.results import result_from_dict
+from repro.sim.montecarlo import LifetimeResult
 
 
 def fake_clock(times):
@@ -40,6 +43,47 @@ class TestHeartbeat:
         line = out.getvalue().splitlines()[-1]
         assert "(25/s" in line  # 50 trials in 2s
         assert "ETA 2s" in line
+
+    def test_phase_change_resets_the_rate_window(self):
+        out = io.StringIO()
+        beat = Heartbeat(
+            stream=out, min_interval_s=0.0,
+            clock=fake_clock([0.0, 1.0, 2.0]),
+        )
+        beat.on_phase("screen")
+        beat(0, 100, 0)
+        beat(80, 100, 0)   # screen phase: 80/s so far
+        beat.on_phase("replay")
+        beat(90, 100, 0)   # replay: window restarts at (t=1.0, done=80)
+        lines = out.getvalue().splitlines()
+        assert "(80/s" in lines[1]
+        # 10 trials in the 1s since the boundary — not 30/s over [0, 3].
+        assert "(10/s" in lines[2]
+        assert "ETA 1s" in lines[2]
+
+    def test_stable_phase_never_resets_the_window(self):
+        out = io.StringIO()
+        beat = Heartbeat(
+            stream=out, min_interval_s=0.0,
+            clock=fake_clock([0.0, 2.0, 4.0]),
+        )
+        beat.on_phase("screen")
+        beat(0, 100, 0)
+        beat(50, 100, 0)
+        beat(100, 100, 0)
+        line = out.getvalue().splitlines()[-1]
+        assert "(25/s" in line  # global rate over the whole [0, 4]s window
+
+    def test_note_ess_appears_on_the_line(self):
+        out = io.StringIO()
+        beat = Heartbeat(
+            stream=out, min_interval_s=0.0, clock=fake_clock([0.0, 1.0]),
+        )
+        beat(10, 100, 0)
+        assert "ESS" not in out.getvalue()
+        beat.note_ess(0.42)
+        beat(20, 100, 0)
+        assert "ESS 0.42" in out.getvalue().splitlines()[-1]
 
 
 class TestStructuredEmitter:
@@ -77,3 +121,33 @@ class TestStructuredEmitter:
         emitter = StructuredEmitter.from_env()
         emitter.emit({"ok": True})
         assert json.loads(target.read_text()) == {"ok": True}
+
+    def test_nonfinite_floats_in_nested_payloads_emit_as_null(self):
+        # Strict-JSON contract: inf/nan anywhere in a record — including
+        # nested profile/summary payloads — must come out as null, never
+        # as the Infinity/NaN tokens strict parsers reject.
+        out = io.StringIO()
+        StructuredEmitter(stream=out).emit({
+            "summary": {"mttdl_estimate_hours": float("inf")},
+            "series": {"ess": [0.5, float("nan"), 0.7]},
+        })
+        doc = json.loads(out.getvalue())
+        assert doc["summary"]["mttdl_estimate_hours"] is None
+        assert doc["series"]["ess"] == [0.5, None, 0.7]
+
+    def test_result_round_trip_through_strict_json(self):
+        # A zero-loss result has mttdl == inf in its summary and finite
+        # fields everywhere else: its to_dict() must survive the strict
+        # emitter and load back via result_from_dict unchanged.
+        result = LifetimeResult(
+            trials=4, losses=0, loss_times=(), horizon_hours=100.0,
+        )
+        out = io.StringIO()
+        StructuredEmitter(stream=out).emit(
+            {"doc": result.to_dict(), "summary": result.summary()}
+        )
+        record = json.loads(out.getvalue())
+        reloaded = result_from_dict(record["doc"])
+        assert reloaded == result
+        assert math.isinf(reloaded.mttdl_estimate_hours)
+        assert record["summary"]["mttdl_estimate_hours"] is None

@@ -18,6 +18,7 @@ Package map — see DESIGN.md for the full inventory:
 * :mod:`repro.codes` — GF(256), RAID5/RAID6/Reed-Solomon codecs
 * :mod:`repro.disks` — simulated devices and fault injection
 * :mod:`repro.layouts` — the layout interface + all baseline layouts
+* :mod:`repro.schemes` — the redundancy-scheme registry (``--scheme``)
 * :mod:`repro.core` — OI-RAID itself (layout, recovery, data path)
 * :mod:`repro.sim` — rebuild timing and reliability simulation
 * :mod:`repro.serve` — online serving under rebuild contention
@@ -28,11 +29,13 @@ Package map — see DESIGN.md for the full inventory:
 * :mod:`repro.workloads` — request generators and traces
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``
 
-Every simulation is also reachable declaratively::
+Every simulation is also reachable declaratively — name the array
+directly, or pick any registered redundancy scheme by name::
 
     from repro import Scenario, run, oi_raid
 
     result = run(Scenario(kind="serve", layout=oi_raid(7, 3), faults=(0,)))
+    result = run(Scenario(kind="lifecycle", scheme="lrc", trials=200))
     print(result.summary())
 """
 
@@ -56,16 +59,30 @@ from repro.errors import (
     ReproError,
 )
 from repro.layouts import (
+    FlatMDSLayout,
+    HierarchicalLayout,
+    LrcLayout,
     MirrorLayout,
     ParityDeclusteringLayout,
     Raid5Layout,
     Raid6Layout,
     Raid50Layout,
+    XorbasLayout,
     is_recoverable,
     plan_recovery,
 )
 from repro.results import result_from_dict
 from repro.scenario import SCENARIO_KINDS, Scenario, run
+from repro.schemes import (
+    SCHEME_REGISTRY,
+    Geometry,
+    RepairCost,
+    Scheme,
+    build_scheme_layout,
+    register_scheme,
+    scheme,
+    scheme_names,
+)
 from repro.serve import (
     AdaptiveThrottle,
     FixedRateThrottle,
@@ -109,8 +126,21 @@ __all__ = [
     "Raid50Layout",
     "ParityDeclusteringLayout",
     "MirrorLayout",
+    "FlatMDSLayout",
+    "LrcLayout",
+    "XorbasLayout",
+    "HierarchicalLayout",
     "plan_recovery",
     "is_recoverable",
+    # schemes
+    "Scheme",
+    "SCHEME_REGISTRY",
+    "Geometry",
+    "RepairCost",
+    "register_scheme",
+    "scheme",
+    "scheme_names",
+    "build_scheme_layout",
     # simulation
     "DiskModel",
     "analytic_rebuild_time",

@@ -10,8 +10,7 @@ Gives operators the planning surface without writing Python:
 * ``reliability`` — Monte-Carlo lifetime simulation with the exact oracle
 * ``lifecycle``   — coupled lifecycle simulation: repair times derived
   from the layout's own recovery plans (no exogenous MTTR), with a
-  derived-μ Markov cross-check; ``--scheme`` also runs the RAID50/RAID5/
-  RAID6 baselines on the same disk model
+  derived-μ Markov cross-check
 * ``fleet``       — fleet-scale rare-event lifecycle simulation:
   thousands of arrays over long missions, streamed through the columnar
   core with optional importance sampling (``--boost``) on failure rates
@@ -30,6 +29,12 @@ The simulation subcommands (``rebuild``, ``reliability``, ``lifecycle``,
 ``fleet``, ``serve``) are thin wrappers over :class:`repro.scenario.Scenario` +
 :func:`repro.scenario.run` — each parses its flags into a ``Scenario``
 and dispatches, so shell runs and scripted runs share one code path.
+Every one of them takes ``--scheme`` (any name in the
+:data:`repro.schemes.SCHEME_REGISTRY` — ``oi``, ``raid5``, ``raid50``,
+``raid6``, ``mirror``, ``rs``, ``rep3``, ``lrc``, ``xorbas``,
+``hierarchical``) built on the shared ``-v``/``-k``/``-g`` geometry,
+plus repeatable ``--scheme-param KEY=VALUE`` overrides for the scheme's
+declared knobs.
 The compute-heavy ones accept ``--jobs N`` to fan the work across N
 worker processes (default: the ``REPRO_JOBS`` environment variable when
 set, else serial); results are bit-identical for every N (deterministic
@@ -59,7 +64,8 @@ import logging
 import pathlib
 import sys
 import tracemalloc
-from typing import List, Optional
+import warnings
+from typing import Dict, List, Optional
 
 from repro.analysis.speedup import measured_speedup
 from repro.bench.tables import format_table
@@ -68,7 +74,6 @@ from repro.core.recovery import recovery_summary
 from repro.core.tolerance import tolerance_profile
 from repro.design.catalog import available_designs
 from repro.errors import ReproError
-from repro.layouts import Raid5Layout, Raid6Layout, Raid50Layout
 from repro.obs import (
     Heartbeat,
     MetricsRegistry,
@@ -83,6 +88,7 @@ from repro.obs import (
 )
 from repro.obs.ledger import DEFAULT_DRIFT_THRESHOLD, iter_regressions
 from repro.scenario import Scenario, run as run_scenario
+from repro.schemes import scheme, scheme_names
 from repro.sim.latency import LatencyModel
 from repro.sim.lifecycle import (
     LIFECYCLE_KERNELS,
@@ -124,6 +130,93 @@ def _layout_from(args: argparse.Namespace):
         skewed=not args.no_skew,
         outer_parities=args.outer_parities,
         inner_parities=args.inner_parities,
+    )
+
+
+def _add_scheme_args(parser: argparse.ArgumentParser) -> None:
+    """``--scheme`` / ``--scheme-param`` on a simulation subcommand."""
+    parser.add_argument(
+        "--scheme", choices=scheme_names(), default="oi",
+        help="registered redundancy scheme to build on the "
+             "-v/-k/-g geometry (default: the paper's OI-RAID)",
+    )
+    parser.add_argument(
+        "--scheme-param", action="append", default=None,
+        metavar="KEY=VALUE",
+        help="override one of the scheme's declared knobs (repeatable; "
+             "e.g. --scheme-param global_parities=3)",
+    )
+
+
+def _coerce_param(text: str) -> object:
+    """Parse a ``--scheme-param`` value: bool, int, float, else string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _scheme_params_from(args: argparse.Namespace) -> Dict[str, object]:
+    """The ``Scenario.scheme_params`` mapping the parsed flags describe.
+
+    Geometry always passes through; the legacy OI knob flags
+    (``--outer-parities``/``--inner-parities``/``--no-skew``) are
+    forwarded only when the selected scheme declares them, so
+    ``--scheme raid50`` does not trip the registry's strict parameter
+    validation. Explicit ``--scheme-param KEY=VALUE`` overrides win and
+    *are* validated against the scheme's declared knobs.
+    """
+    params: Dict[str, object] = {
+        "groups": args.groups,
+        "stripe_width": args.stripe_width,
+        "group_size": args.group_size,
+    }
+    declared = scheme(args.scheme).params
+    for name, value in (
+        ("outer_parities", args.outer_parities),
+        ("inner_parities", args.inner_parities),
+        ("skewed", not args.no_skew),
+    ):
+        if name in declared:
+            params[name] = value
+    for item in args.scheme_param or ():
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ReproError(
+                f"--scheme-param expects KEY=VALUE, got {item!r}"
+            )
+        params[key.strip().replace("-", "_")] = _coerce_param(value.strip())
+    return params
+
+
+class _DeprecatedKernelFlag(argparse.Action):
+    """``--kernel``: hidden alias for ``--mc-kernel``, warns on use."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            "--kernel is deprecated; use --mc-kernel",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def _add_kernel_args(parser, choices, help_text: str) -> None:
+    """``--mc-kernel`` (canonical, matches ``Scenario.mc_kernel``) plus
+    the hidden deprecated ``--kernel`` spelling."""
+    parser.add_argument(
+        "--mc-kernel", dest="mc_kernel", choices=choices, default="auto",
+        help=help_text,
+    )
+    parser.add_argument(
+        "--kernel", dest="mc_kernel", choices=choices,
+        action=_DeprecatedKernelFlag, default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
     )
 
 
@@ -244,7 +337,8 @@ def _cmd_rebuild(args: argparse.Namespace) -> int:
     result = run_scenario(
         Scenario(
             kind="rebuild",
-            layout=_layout_from(args),
+            scheme=args.scheme,
+            scheme_params=_scheme_params_from(args),
             disk=_disk_from(args),
             faults=tuple(args.failed),
         )
@@ -262,27 +356,26 @@ def _cmd_rebuild(args: argparse.Namespace) -> int:
 
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
-    layout = _layout_from(args)
     _resolve_jobs(args)
+    scenario = Scenario(
+        kind="reliability",
+        scheme=args.scheme,
+        scheme_params=_scheme_params_from(args),
+        mttf_hours=args.mttf_hours,
+        mttr_hours=args.mttr_hours,
+        horizon_hours=args.horizon_hours,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        mc_kernel=args.mc_kernel,
+        telemetry=args.telemetry,
+    )
+    layout = scenario.layout
     logger.info(
-        "reliability MC: %d disks, %d trials, %d job(s)",
-        layout.n_disks, args.trials, args.jobs,
+        "reliability MC: scheme=%s, %d disks, %d trials, %d job(s)",
+        args.scheme, layout.n_disks, args.trials, args.jobs,
     )
-    result = run_scenario(
-        Scenario(
-            kind="reliability",
-            layout=layout,
-            mttf_hours=args.mttf_hours,
-            mttr_hours=args.mttr_hours,
-            horizon_hours=args.horizon_hours,
-            trials=args.trials,
-            seed=args.seed,
-            jobs=args.jobs,
-            mc_kernel=args.kernel,
-            telemetry=args.telemetry,
-        ),
-        progress=_progress_for(args),
-    )
+    result = run_scenario(scenario, progress=_progress_for(args))
     lo, hi = result.prob_loss_interval()
     mttdl = result.mttdl_estimate_hours
     rows = [
@@ -313,50 +406,31 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
     return 0
 
 
-def _lifecycle_layout(args: argparse.Namespace):
-    """The layout the lifecycle subcommand simulates.
-
-    ``oi`` uses the usual OI-RAID construction; the baselines reuse the
-    same ``-v``/``-k``/``-g`` geometry so every scheme covers the same
-    physical array (``v`` groups of ``g`` disks, ``g`` defaulting to the
-    stripe width for the flat schemes).
-    """
-    if args.scheme == "oi":
-        return _layout_from(args)
-    width = args.group_size or args.stripe_width
-    if args.scheme == "raid50":
-        return Raid50Layout(args.groups, width)
-    if args.scheme == "raid5":
-        return Raid5Layout(args.groups * width)
-    return Raid6Layout(args.groups * width)
-
-
 def _cmd_lifecycle(args: argparse.Namespace) -> int:
-    layout = _lifecycle_layout(args)
     disk = _disk_from(args)
     _resolve_jobs(args)
+    scenario = Scenario(
+        kind="lifecycle",
+        scheme=args.scheme,
+        scheme_params=_scheme_params_from(args),
+        disk=disk,
+        sparing=args.sparing,
+        rebuild_method=args.rebuild_model,
+        lse_rate_per_byte=args.lse_rate,
+        mttf_hours=args.mttf_hours,
+        horizon_hours=args.horizon_hours,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        mc_kernel=args.mc_kernel,
+        telemetry=args.telemetry,
+    )
+    layout = scenario.layout
     logger.info(
         "lifecycle MC: scheme=%s, %d disks, %d trials, %d job(s)",
         args.scheme, layout.n_disks, args.trials, args.jobs,
     )
-    result = run_scenario(
-        Scenario(
-            kind="lifecycle",
-            layout=layout,
-            disk=disk,
-            sparing=args.sparing,
-            rebuild_method=args.rebuild_model,
-            lse_rate_per_byte=args.lse_rate,
-            mttf_hours=args.mttf_hours,
-            horizon_hours=args.horizon_hours,
-            trials=args.trials,
-            seed=args.seed,
-            jobs=args.jobs,
-            mc_kernel=args.kernel,
-            telemetry=args.telemetry,
-        ),
-        progress=_progress_for(args),
-    )
+    result = run_scenario(scenario, progress=_progress_for(args))
     mttr = derived_mttr(layout, disk, args.sparing, args.rebuild_model)
     markov = derived_markov_model(
         layout, args.mttf_hours, disk=disk, sparing=args.sparing,
@@ -407,34 +481,33 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    layout = _lifecycle_layout(args)
     disk = _disk_from(args)
     _resolve_jobs(args)
+    scenario = Scenario(
+        kind="fleet",
+        scheme=args.scheme,
+        scheme_params=_scheme_params_from(args),
+        disk=disk,
+        sparing=args.sparing,
+        rebuild_method=args.rebuild_model,
+        lse_rate_per_byte=args.lse_rate,
+        mttf_hours=args.mttf_hours,
+        horizon_hours=args.horizon_hours,
+        arrays=args.arrays,
+        lambda_boost=args.boost,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        telemetry=args.telemetry,
+    )
+    layout = scenario.layout
     logger.info(
         "fleet MC: scheme=%s, %d disks, %d arrays x %d missions, "
         "boost=%.2f, %d job(s)",
         args.scheme, layout.n_disks, args.arrays, args.trials,
         args.boost, args.jobs,
     )
-    result = run_scenario(
-        Scenario(
-            kind="fleet",
-            layout=layout,
-            disk=disk,
-            sparing=args.sparing,
-            rebuild_method=args.rebuild_model,
-            lse_rate_per_byte=args.lse_rate,
-            mttf_hours=args.mttf_hours,
-            horizon_hours=args.horizon_hours,
-            arrays=args.arrays,
-            lambda_boost=args.boost,
-            trials=args.trials,
-            seed=args.seed,
-            jobs=args.jobs,
-            telemetry=args.telemetry,
-        ),
-        progress=_progress_for(args),
-    )
+    result = run_scenario(scenario, progress=_progress_for(args))
     lo, hi = result.prob_loss_interval()
     mttdl = result.mttdl_estimate_hours
     rows = [
@@ -488,7 +561,6 @@ def _throttle_from(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    layout = _lifecycle_layout(args)
     _resolve_jobs(args)
     if args.clients:
         arrival = ClosedLoop(args.clients, think_s=args.think_ms / 1000.0)
@@ -496,7 +568,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         arrival = OpenLoop(args.rate)
     scenario = Scenario(
         kind="serve",
-        layout=layout,
+        scheme=args.scheme,
+        scheme_params=_scheme_params_from(args),
         latency=LatencyModel(
             seek_ms=args.seek_ms,
             unit_bytes=int(args.unit_kib * 1024),
@@ -518,6 +591,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         telemetry=args.telemetry,
     )
+    layout = scenario.layout
     logger.info(
         "serve: scheme=%s, %d disks, %d failed, throttle=%s, %d trial(s), "
         "%d job(s)",
@@ -919,6 +993,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo lifetime simulation (exact pattern oracle)",
     )
     _add_layout_args(p_rel)
+    _add_scheme_args(p_rel)
     p_rel.add_argument("--mttf-hours", type=float, default=100_000.0,
                        help="per-disk mean time to failure")
     p_rel.add_argument("--mttr-hours", type=float, default=24.0,
@@ -927,9 +1002,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mission length (default: 10 years)")
     p_rel.add_argument("--trials", type=int, default=1000)
     p_rel.add_argument("--seed", type=int, default=0)
-    p_rel.add_argument("--kernel", choices=MC_KERNELS, default="auto",
-                       help="lifetime kernel: auto picks the vectorized "
-                            "one when numpy is available")
+    _add_kernel_args(p_rel, MC_KERNELS,
+                     "lifetime kernel: auto picks the vectorized "
+                     "one when numpy is available")
     _add_jobs_arg(p_rel, "the Monte-Carlo fan-out")
     p_rel.set_defaults(func=_cmd_reliability)
 
@@ -938,9 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="coupled lifecycle simulation (layout-derived repair times)",
     )
     _add_layout_args(p_lc)
-    p_lc.add_argument("--scheme", choices=["oi", "raid50", "raid5", "raid6"],
-                      default="oi",
-                      help="layout to simulate on the -v/-k/-g geometry")
+    _add_scheme_args(p_lc)
     p_lc.add_argument("--mttf-hours", type=float, default=100_000.0,
                       help="per-disk mean time to failure")
     p_lc.add_argument("--horizon-hours", type=float, default=87_660.0,
@@ -956,10 +1029,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_lc.add_argument("--bandwidth-mib", type=float, default=100.0)
     p_lc.add_argument("--foreground", type=float, default=0.0,
                       help="fraction of bandwidth reserved for user I/O")
-    p_lc.add_argument("--kernel", choices=LIFECYCLE_KERNELS, default="auto",
-                      help="lifecycle kernel: auto picks the vectorized "
-                           "(columnar) kernel when numpy is available; "
-                           "both kernels return identical results")
+    _add_kernel_args(p_lc, LIFECYCLE_KERNELS,
+                     "lifecycle kernel: auto picks the vectorized "
+                     "(columnar) kernel when numpy is available; "
+                     "both kernels return identical results")
     p_lc.add_argument("--lse-rate", type=float, default=0.0,
                       help="latent sector errors per byte read during "
                            "rebuild (e.g. 1e-15)")
@@ -972,9 +1045,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(streaming, optional importance sampling)",
     )
     _add_layout_args(p_fl)
-    p_fl.add_argument("--scheme", choices=["oi", "raid50", "raid5", "raid6"],
-                      default="oi",
-                      help="layout to simulate on the -v/-k/-g geometry")
+    _add_scheme_args(p_fl)
     p_fl.add_argument("--arrays", type=int, default=100,
                       help="identical arrays in the fleet")
     p_fl.add_argument("--trials", type=int, default=10,
@@ -1010,9 +1081,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="online serving simulation (foreground vs rebuild contention)",
     )
     _add_layout_args(p_srv)
-    p_srv.add_argument("--scheme", choices=["oi", "raid50", "raid5", "raid6"],
-                       default="oi",
-                       help="layout to serve on the -v/-k/-g geometry")
+    _add_scheme_args(p_srv)
     p_srv.add_argument("-f", "--failed", type=int, nargs="*", default=[],
                        help="failed disks (empty = healthy array)")
     p_srv.add_argument("--requests", type=int, default=2000,
@@ -1051,6 +1120,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rb = sub.add_parser("rebuild", help="estimate rebuild wall-clock")
     _add_layout_args(p_rb)
+    _add_scheme_args(p_rb)
     p_rb.add_argument("-f", "--failed", type=int, nargs="+", default=[0])
     p_rb.add_argument("--capacity-tb", type=float, default=4.0)
     p_rb.add_argument("--bandwidth-mib", type=float, default=100.0)

@@ -9,11 +9,14 @@ interface; OI-RAID (:mod:`repro.core`) and all baselines implement it.
 
 from repro.layouts.base import Cell, Layout, Stripe, Unit
 from repro.layouts.flat_mds import FlatMDSLayout
+from repro.layouts.hierarchical import HierarchicalLayout
+from repro.layouts.lrc import LrcLayout
 from repro.layouts.mirror import MirrorLayout
 from repro.layouts.parity_declustering import ParityDeclusteringLayout
 from repro.layouts.raid5 import Raid5Layout
 from repro.layouts.raid6 import Raid6Layout
 from repro.layouts.raid50 import Raid50Layout
+from repro.layouts.xorbas import XorbasLayout
 from repro.layouts.recovery import (
     RecoveryPlan,
     RepairStep,
@@ -32,6 +35,9 @@ __all__ = [
     "ParityDeclusteringLayout",
     "MirrorLayout",
     "FlatMDSLayout",
+    "LrcLayout",
+    "XorbasLayout",
+    "HierarchicalLayout",
     "plan_recovery",
     "is_recoverable",
     "RecoveryPlan",

@@ -1,0 +1,143 @@
+"""Hierarchical RAID with a tunable inter/intra-node redundancy split.
+
+Thomasian's hierarchical-RAID analysis ("Optimizing Apportionment of
+Redundancies in Hierarchical RAID") studies arrays built from *nodes*
+(disk groups) that carry redundancy at two levels: *intra-node* parity
+inside each group and *inter-node* parity across groups. The interesting
+design variable is the apportionment — how many parities to spend at each
+level for a fixed total.
+
+This layout realizes that design space directly, and is the non-BIBD
+cousin of OI-RAID: ``n_groups`` groups of ``group_size`` disks, with
+
+* **outer (inter-node) stripes** — width ``n_groups``, one cell per
+  group (the same member index in every group), ``inter_parities``
+  rotated parities, and
+* **inner (intra-node) stripes** — per-group diagonal rows of width
+  ``group_size`` covering the outer cells plus ``intra_parities``
+  dedicated parity addresses, exactly like OI-RAID's inner layer.
+
+Setting ``intra_parities = 0`` degenerates to a flat code over nodes
+(one unit per group, no within-group repair); ``inter_parities = 0``
+degenerates to independent per-group arrays (RAID50-like, declustered
+diagonal parity). OI-RAID differs only in replacing the aligned outer
+stripes with BIBD-spread, skewed ones — which is why this layout is the
+right ablation for how much of OI's win is the BIBD spreading.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LayoutError
+from repro.layouts.base import Layout, Stripe, Unit
+
+
+class HierarchicalLayout(Layout):
+    """Aligned two-layer array: inter-node + intra-node parity.
+
+    Per disk the cycle holds ``group_size - intra_parities`` outer
+    addresses and ``intra_parities`` inner-parity addresses (so
+    ``units_per_disk == group_size``, except in the pure-inter case
+    where it is 1). Inner rows are diagonals — row *r* of a group takes
+    address ``(r + t) % group_size`` on member *t* — so parity load
+    spreads evenly across the group's disks.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        n_groups: int,
+        group_size: int,
+        inter_parities: int = 1,
+        intra_parities: int = 1,
+    ) -> None:
+        if n_groups < 2:
+            raise LayoutError(f"need >= 2 groups, got {n_groups}")
+        if group_size < 2:
+            raise LayoutError(f"group size must be >= 2, got {group_size}")
+        if inter_parities < 0 or intra_parities < 0:
+            raise LayoutError("parity counts must be >= 0")
+        if inter_parities + intra_parities < 1:
+            raise LayoutError(
+                "apportion at least one parity between the levels"
+            )
+        if inter_parities >= n_groups:
+            raise LayoutError(
+                f"inter_parities {inter_parities} must be < n_groups "
+                f"{n_groups}"
+            )
+        if intra_parities >= group_size:
+            raise LayoutError(
+                f"intra_parities {intra_parities} must be < group_size "
+                f"{group_size}"
+            )
+        self.n_groups = n_groups
+        self.group_size = group_size
+        self.inter_parities = inter_parities
+        self.intra_parities = intra_parities
+        # Outer addresses per disk: the members of each inner diagonal
+        # row. Choosing group_size - intra_parities makes every inner row
+        # exactly one diagonal of the group's cell grid.
+        outer_addrs = (
+            group_size - intra_parities if intra_parities else 1
+        )
+        self.outer_addrs = outer_addrs
+        units_per_disk = group_size if intra_parities else 1
+        super().__init__(n_groups * group_size, units_per_disk)
+        stripes: List[Stripe] = []
+        if inter_parities:
+            for addr in range(outer_addrs):
+                for member in range(group_size):
+                    units = tuple(
+                        Unit(group * group_size + member, addr)
+                        for group in range(n_groups)
+                    )
+                    parity = tuple(
+                        sorted(
+                            (addr * group_size + member + j) % n_groups
+                            for j in range(inter_parities)
+                        )
+                    )
+                    stripes.append(
+                        Stripe(
+                            stripe_id=len(stripes),
+                            kind="inter",
+                            units=units,
+                            parity=parity,
+                            tolerance=inter_parities,
+                            level=0,
+                        )
+                    )
+        if intra_parities:
+            for group in range(n_groups):
+                base = group * group_size
+                for row in range(group_size):
+                    units = tuple(
+                        Unit(base + t, (row + t) % group_size)
+                        for t in range(group_size)
+                    )
+                    parity = tuple(
+                        t
+                        for t in range(group_size)
+                        if (row + t) % group_size >= outer_addrs
+                    )
+                    stripes.append(
+                        Stripe(
+                            stripe_id=len(stripes),
+                            kind="intra",
+                            units=units,
+                            parity=parity,
+                            tolerance=intra_parities,
+                            level=1,
+                        )
+                    )
+        self._stripes = tuple(stripes)
+        self._finalize()
+
+    def group_of(self, disk: int) -> int:
+        """The node (group) a disk belongs to."""
+        if not 0 <= disk < self.n_disks:
+            raise LayoutError(f"no such disk {disk}")
+        return disk // self.group_size

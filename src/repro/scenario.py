@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
@@ -47,6 +47,7 @@ from repro.sim.rebuild import (
     simulate_rebuild,
 )
 from repro.sim.serve import ThrottlePolicy
+from repro.schemes import build_scheme_layout
 from repro.workloads.arrivals import ArrivalProcess, OpenLoop
 from repro.workloads.generators import WorkloadSpec
 
@@ -63,9 +64,24 @@ class Scenario:
     simply ignored, so one scenario can be :func:`dataclasses.replace`-d
     across kinds to keep an experiment's geometry identical.
 
+    A scenario names its array either directly (``layout=``) or through
+    the scheme registry (``scheme="lrc"`` plus optional
+    ``scheme_params``). When ``scheme`` is set it is authoritative: the
+    ``layout`` field is derived from the registry at construction (and
+    re-derived on :func:`dataclasses.replace`, deterministically), and
+    parameter names are validated against the scheme's declared knobs.
+
     Attributes:
         kind: one of :data:`SCENARIO_KINDS`.
-        layout: the array geometry under test.
+        layout: the array geometry under test; leave ``None`` when
+            building through ``scheme`` (it is then filled in from the
+            registry).
+        scheme: registered scheme name
+            (:func:`repro.schemes.scheme_names`) to build ``layout``
+            from.
+        scheme_params: geometry keys (``groups``, ``stripe_width``,
+            ``group_size``) plus the scheme's own knobs, forwarded to
+            :func:`repro.schemes.build_scheme_layout`.
         disk: capacity/bandwidth model (rebuild, lifecycle).
         latency: per-request service model (serve).
         workload: foreground request recipe (serve).
@@ -107,7 +123,9 @@ class Scenario:
     """
 
     kind: str
-    layout: Layout
+    layout: Optional[Layout] = None
+    scheme: Optional[str] = None
+    scheme_params: Mapping[str, object] = field(default_factory=dict)
     disk: DiskModel = field(default_factory=DiskModel)
     latency: LatencyModel = field(default_factory=LatencyModel)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
@@ -139,6 +157,17 @@ class Scenario:
             raise SimulationError(
                 f"unknown mc_kernel {self.mc_kernel!r} "
                 f"(expected one of {MC_KERNELS})"
+            )
+        if self.scheme is not None:
+            built = build_scheme_layout(self.scheme, **self.scheme_params)
+            object.__setattr__(self, "layout", built)
+        elif self.layout is None:
+            raise SimulationError(
+                "a Scenario needs an array: pass layout= or scheme="
+            )
+        elif self.scheme_params:
+            raise SimulationError(
+                "scheme_params only applies when building via scheme="
             )
 
     def with_kind(self, kind: str) -> "Scenario":
@@ -259,6 +288,8 @@ def scenario_config(scenario: Scenario) -> Dict[str, object]:
     return {
         "kind": scenario.kind,
         "layout": scenario.layout.describe(),
+        "scheme": scenario.scheme,
+        "scheme_params": dict(scenario.scheme_params),
         "disk": repr(scenario.disk),
         "latency": repr(scenario.latency),
         "workload": repr(scenario.workload),

@@ -1,0 +1,32 @@
+"""The redundancy-scheme zoo: one protocol, one registry, ten schemes.
+
+Importing this package registers every built-in scheme — the OI-RAID
+retrofits in :mod:`repro.schemes.classic` and the new competitors in
+:mod:`repro.schemes.zoo` — into :data:`~repro.schemes.base.
+SCHEME_REGISTRY`. ``Scenario(scheme="lrc")`` and ``repro lifecycle
+--scheme lrc`` both resolve through here.
+"""
+
+from repro.schemes import classic as _classic  # noqa: F401  (registers)
+from repro.schemes import zoo as _zoo  # noqa: F401  (registers)
+from repro.schemes.base import (
+    SCHEME_REGISTRY,
+    Geometry,
+    RepairCost,
+    Scheme,
+    build_scheme_layout,
+    register_scheme,
+    scheme,
+    scheme_names,
+)
+
+__all__ = [
+    "SCHEME_REGISTRY",
+    "Geometry",
+    "RepairCost",
+    "Scheme",
+    "build_scheme_layout",
+    "register_scheme",
+    "scheme",
+    "scheme_names",
+]

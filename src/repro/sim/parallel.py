@@ -283,12 +283,13 @@ def simulate_lifetimes_parallel(
     oracle: Callable[[Set[int]], bool],
     horizon_hours: float,
     trials: int = 1000,
+    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
+    kernel: str = "auto",
+    *,
     seed: Optional[int] = 0,
     jobs: int = 1,
-    chunk_trials: int = DEFAULT_CHUNK_TRIALS,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressCallback] = None,
-    kernel: str = "auto",
 ) -> LifetimeResult:
     """Chunked (and optionally multi-process) Monte-Carlo lifetimes.
 
@@ -434,10 +435,11 @@ def simulate_lifecycle_parallel(
     batches: int = 8,
     lse_rate_per_byte: float = 0.0,
     trials: int = 100,
-    seed: Optional[int] = 0,
-    jobs: int = 1,
     chunk_trials: int = DEFAULT_CHUNK_TRIALS,
     kernel: str = "auto",
+    *,
+    seed: Optional[int] = 0,
+    jobs: int = 1,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> LifecycleResult:
@@ -511,10 +513,11 @@ def simulate_fleet_parallel(
     arrays: int = 100,
     trials: int = 10,
     lambda_boost: float = 1.0,
-    seed: Optional[int] = 0,
-    jobs: int = 1,
     chunk_missions: int = FLEET_CHUNK_MISSIONS,
     oracle: Optional[Callable[[Set[int]], bool]] = None,
+    *,
+    seed: Optional[int] = 0,
+    jobs: int = 1,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> FleetResult:
@@ -630,9 +633,10 @@ def simulate_serve_parallel(
     sparing: str = "distributed",
     rebuild_batches: int = 1,
     trials: int = 1,
+    chunk_trials: int = DEFAULT_CHUNK_SERVE_TRIALS,
+    *,
     seed: Optional[int] = 0,
     jobs: int = 1,
-    chunk_trials: int = DEFAULT_CHUNK_SERVE_TRIALS,
     telemetry: Optional[Telemetry] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> "ServeResult":

@@ -1,0 +1,114 @@
+"""The three layouts introduced for the scheme zoo: LRC, XORBAS,
+hierarchical RAID with the apportionment knob."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layouts import (
+    HierarchicalLayout,
+    LrcLayout,
+    XorbasLayout,
+    is_recoverable,
+    plan_recovery,
+)
+
+
+class TestLrcLayout:
+    def test_reference_shape(self):
+        layout = LrcLayout(21)
+        assert layout.width == 16
+        assert layout.units_per_disk == 16
+        assert layout.storage_efficiency == pytest.approx(12 / 16)
+        # one global + local_groups local stripes per row
+        assert len(layout.stripes) == 21 * 3
+
+    def test_single_repair_is_local_for_data_cells(self):
+        layout = LrcLayout(21)
+        plan = plan_recovery(layout, [0])
+        # each of the 14 data/local-parity cells repairs with local_data
+        # reads; the 2 global parities re-encode from the 12 data cells
+        assert plan.total_read_units == 14 * 6 + 2 * 12
+        assert plan.total_write_units == 16
+
+    def test_all_two_disk_patterns_recoverable(self):
+        layout = LrcLayout(21)
+        for pair in itertools.combinations(range(0, 21, 5), 2):
+            assert is_recoverable(layout, list(pair)), pair
+
+    def test_needs_enough_disks(self):
+        with pytest.raises(LayoutError, match="width 16"):
+            LrcLayout(10)
+
+
+class TestXorbasLayout:
+    def test_reference_shape(self):
+        layout = XorbasLayout(21)
+        assert layout.width == 17
+        assert layout.storage_efficiency == pytest.approx(10 / 17)
+        # per row: local_groups locals + 1 global + 1 parity-local
+        assert len(layout.stripes) == 21 * 4
+
+    def test_every_single_cell_repair_is_local(self):
+        layout = XorbasLayout(21)
+        plan = plan_recovery(layout, [0])
+        # XORBAS's whole point: no single-cell repair reads a full
+        # stripe. Data cells read local_data; a lost RS parity may be
+        # re-encoded from the 10 data cells (the balanced planner's
+        # pick) or read via its 4-wide local group — either way the
+        # 16-read full-stripe decode never happens.
+        assert plan.max_read_units < layout.width
+        widest = max(len(step.reads) for step in plan.steps)
+        assert widest <= 2 * 5
+
+    def test_stored_parity_local_sits_above_globals(self):
+        layout = XorbasLayout(21)
+        levels = {s.kind: s.level for s in layout.stripes}
+        assert levels["xorbas-parity-local"] == 1
+        assert levels["xorbas-global"] == 0
+
+
+class TestHierarchicalLayout:
+    def test_reference_shape_matches_oi_geometry(self):
+        layout = HierarchicalLayout(7, 3)
+        assert layout.n_disks == 21
+        assert layout.units_per_disk == 3
+        assert layout.storage_efficiency == pytest.approx(4 / 7)
+
+    def test_apportionment_sweep_builds_and_recovers(self):
+        for inter, intra in ((1, 1), (2, 0), (0, 2), (2, 1), (1, 2)):
+            if intra >= 3 or inter >= 7:
+                continue
+            layout = HierarchicalLayout(7, 3, inter, intra)
+            assert is_recoverable(layout, [0]), (inter, intra)
+
+    def test_pure_inter_tolerates_two_anywhere(self):
+        layout = HierarchicalLayout(7, 3, inter_parities=2,
+                                    intra_parities=0)
+        assert layout.units_per_disk == 1
+        for pair in itertools.combinations(range(0, 21, 4), 2):
+            assert is_recoverable(layout, list(pair)), pair
+
+    def test_pure_intra_is_independent_groups(self):
+        layout = HierarchicalLayout(7, 3, inter_parities=0,
+                                    intra_parities=2)
+        # two failures in one group survive; the layout has no
+        # cross-group stripes at all
+        assert is_recoverable(layout, [0, 1])
+        assert all(s.kind == "intra" for s in layout.stripes)
+
+    def test_group_of(self):
+        layout = HierarchicalLayout(7, 3)
+        assert layout.group_of(0) == 0
+        assert layout.group_of(20) == 6
+        with pytest.raises(LayoutError):
+            layout.group_of(21)
+
+    def test_invalid_apportionments_rejected(self):
+        with pytest.raises(LayoutError, match="at least one parity"):
+            HierarchicalLayout(7, 3, 0, 0)
+        with pytest.raises(LayoutError, match="inter_parities"):
+            HierarchicalLayout(3, 4, inter_parities=3)
+        with pytest.raises(LayoutError, match="intra_parities"):
+            HierarchicalLayout(3, 4, intra_parities=4)

@@ -1,0 +1,49 @@
+"""The shared-signature contract across the ``simulate_*_parallel`` family.
+
+Every parallel runner ends with the same keyword-only block, in the same
+order: ``seed``, ``jobs``, ``telemetry``, ``progress``. Introspection
+enforces it so a new runner (or a refactor of an old one) cannot drift
+back to positional seeds or shuffled trailing keywords.
+"""
+
+import inspect
+
+import pytest
+
+from repro.sim.parallel import (
+    simulate_fleet_parallel,
+    simulate_lifecycle_parallel,
+    simulate_lifetimes_parallel,
+    simulate_serve_parallel,
+)
+
+RUNNERS = (
+    simulate_lifetimes_parallel,
+    simulate_lifecycle_parallel,
+    simulate_fleet_parallel,
+    simulate_serve_parallel,
+)
+
+SHARED_TRAILING = ("seed", "jobs", "telemetry", "progress")
+
+
+@pytest.mark.parametrize("runner", RUNNERS, ids=lambda f: f.__name__)
+def test_shared_trailing_keywords_are_keyword_only_in_order(runner):
+    params = list(inspect.signature(runner).parameters.values())
+    tail = params[-len(SHARED_TRAILING):]
+    assert tuple(p.name for p in tail) == SHARED_TRAILING, runner.__name__
+    for param in tail:
+        assert param.kind is inspect.Parameter.KEYWORD_ONLY, param.name
+    # and nothing before the tail is keyword-only: the shared block is
+    # exactly the keyword-only suffix, no stragglers hiding earlier
+    for param in params[: -len(SHARED_TRAILING)]:
+        assert param.kind is not inspect.Parameter.KEYWORD_ONLY, param.name
+
+
+@pytest.mark.parametrize("runner", RUNNERS, ids=lambda f: f.__name__)
+def test_shared_defaults_match(runner):
+    sig = inspect.signature(runner)
+    assert sig.parameters["seed"].default == 0
+    assert sig.parameters["jobs"].default == 1
+    assert sig.parameters["telemetry"].default is None
+    assert sig.parameters["progress"].default is None

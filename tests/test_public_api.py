@@ -51,6 +51,27 @@ def test_scenario_front_door_exported():
     assert repro.result_from_dict(result.to_dict()) == result
 
 
+def test_scheme_registry_exported():
+    """The scheme zoo is one import away and the registry is complete."""
+    expected = {
+        "oi", "raid5", "raid6", "raid50", "mirror",
+        "rs", "rep3", "lrc", "xorbas", "hierarchical",
+    }
+    assert expected <= set(repro.scheme_names())
+    assert set(repro.scheme_names()) == set(repro.SCHEME_REGISTRY)
+    for name in repro.scheme_names():
+        instance = repro.scheme(name)
+        assert isinstance(instance, repro.Scheme)
+        assert instance.name == name
+        assert instance.summary
+    layout = repro.build_scheme_layout("lrc")
+    assert isinstance(layout, repro.LrcLayout)
+    geometry = repro.Geometry()
+    cost = repro.scheme("oi").repair_cost(repro.scheme("oi").build(geometry))
+    assert isinstance(cost, repro.RepairCost)
+    assert cost.read_units > 0
+
+
 def test_registered_results_speak_the_protocol():
     """Every registered result type inherits the to/from/summary trio."""
     import repro.bench.runner  # noqa: F401  (registers ExperimentResult)

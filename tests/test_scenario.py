@@ -1,6 +1,7 @@
 """The unified Scenario/run() front door and the common result protocol."""
 
 import json
+import warnings
 
 import pytest
 
@@ -174,6 +175,18 @@ class TestResultProtocol:
         result = run(Scenario(kind="rebuild", layout=LAYOUT))
         with pytest.warns(DeprecationWarning, match="bottleneck_seconds"):
             assert result.busiest_disk_seconds == result.bottleneck_seconds
+
+    def test_deprecated_alias_warns_exactly_once_per_access(self):
+        result = run(Scenario(kind="rebuild", layout=LAYOUT))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result.busiest_disk_seconds
+        fired = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "bottleneck_seconds" in str(w.message)
+        ]
+        assert len(fired) == 1
 
     def test_old_key_names_load_through_alias(self):
         """JSONL written before a field rename still rebuilds the current

@@ -311,20 +311,33 @@ def measure_profile(trials: int):
 
 
 def measure_serve(trials: int) -> dict:
-    """The online serving simulator's serial trial rate."""
+    """The online serving simulator's serial trial rate, per kernel.
+
+    The headline ``serve_trials_per_s`` is the ``auto`` kernel — what a
+    caller actually gets — alongside explicit per-kernel rates. Both
+    kernels read one sampling plane, so the ratio between them is pure
+    wall clock, never a result difference.
+    """
     serve_trials = max(10, min(50, trials // 50))
     note(f"measuring serving simulator ({serve_trials} trials) ...")
     oi = oi_raid(7, 3)
 
-    def run():
+    def run(kernel):
         simulate_serve_parallel(
             oi, WorkloadSpec(), failed_disks=(0,),
-            trials=serve_trials, seed=0, jobs=1,
+            trials=serve_trials, kernel=kernel, seed=0, jobs=1,
         )
 
-    run()  # warm the plan/routing caches out of the measured region
-    seconds = best_of(run, repeat=3, number=1)
-    return {"serve_trials_per_s": serve_trials / seconds}
+    run("auto")  # warm the plan/routing caches out of the measured region
+    rates = {}
+    for kernel in ("auto", "vectorized", "event"):
+        seconds = best_of(lambda: run(kernel), repeat=3, number=1)
+        rates[kernel] = serve_trials / seconds
+    return {
+        "serve_trials_per_s": rates["auto"],
+        "serve_vectorized_per_s": rates["vectorized"],
+        "serve_event_per_s": rates["event"],
+    }
 
 
 def main(argv=None) -> int:

@@ -96,6 +96,7 @@ from repro.sim.lifecycle import (
     derived_mttr,
 )
 from repro.sim.montecarlo import MC_KERNELS
+from repro.sim.serve import SERVE_KERNELS
 from repro.sim.parallel import default_jobs
 from repro.sim.rebuild import DiskModel
 from repro.sim.serve import (
@@ -587,6 +588,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sparing=args.sparing,
         rebuild_batches=args.rebuild_batches,
         trials=args.trials,
+        serve_kernel=args.serve_kernel,
         seed=args.seed,
         jobs=args.jobs,
         telemetry=args.telemetry,
@@ -1114,6 +1116,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--unit-kib", type=float, default=64.0)
     p_srv.add_argument("--bandwidth-mib", type=float, default=100.0)
     p_srv.add_argument("--trials", type=int, default=1)
+    p_srv.add_argument("--serve-kernel", dest="serve_kernel",
+                       choices=SERVE_KERNELS, default="auto",
+                       help="serving kernel: auto picks the vectorized "
+                            "queue sweep when numpy is available; both "
+                            "kernels produce bit-identical results")
     p_srv.add_argument("--seed", type=int, default=0)
     _add_jobs_arg(p_srv, "the trial fan-out")
     p_srv.set_defaults(func=_cmd_serve)

@@ -45,11 +45,16 @@ class PeelingIndex:
     Attributes:
         stripe_cells: per stripe id, its cells in position order.
         stripe_tolerance: per stripe id, its erasure tolerance.
+        stripe_needed: per stripe id, ``width - tolerance`` — how many
+            known values an MDS decode of the stripe consumes. The
+            planner's source selection reads this instead of touching
+            :class:`Stripe` objects in its scoring loop.
         cell_stripes: cell -> stripe ids containing it.
     """
 
     stripe_cells: Tuple[Tuple[Cell, ...], ...]
     stripe_tolerance: Tuple[int, ...]
+    stripe_needed: Tuple[int, ...]
     cell_stripes: Dict[Cell, Tuple[int, ...]]
 
 
@@ -272,6 +277,9 @@ class Layout(abc.ABC):
             self._peeling_index = PeelingIndex(
                 stripe_cells=tuple(s.cells() for s in self._stripes),
                 stripe_tolerance=tuple(s.tolerance for s in self._stripes),
+                stripe_needed=tuple(
+                    s.width - s.tolerance for s in self._stripes
+                ),
                 cell_stripes={
                     cell: tuple(ids)
                     for cell, ids in self._cell_stripes.items()

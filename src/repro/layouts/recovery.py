@@ -282,15 +282,20 @@ def parity_disk_table(layout: Layout) -> Dict[Cell, Tuple[int, ...]]:
 
     A read-modify-write of a cell must update every containing stripe's
     parity; this table (home disk excluded) is what the serving
-    simulator fans writes out to. Pure function of the layout — callers
-    that serve many trials should compute it once and reuse it.
+    simulator fans writes out to. Pure function of the layout, so the
+    result is memoized on the layout instance; treat it as read-only.
     """
+    cached = getattr(layout, "_parity_disk_table", None)
+    if cached is not None:
+        return cached
     table: Dict[Cell, set] = {}
     for stripe in layout.stripes:
         pdisks = {c[0] for c in stripe.parity_cells()}
         for cell in stripe.cells():
             table.setdefault(cell, set()).update(pdisks - {cell[0]})
-    return {cell: tuple(sorted(disks)) for cell, disks in table.items()}
+    result = {cell: tuple(sorted(disks)) for cell, disks in table.items()}
+    layout._parity_disk_table = result
+    return result
 
 
 def _surrogate_options(
@@ -310,29 +315,35 @@ def _surrogate_options(
 
 
 def _select_sources(
-    stripe: Stripe,
     cells: Tuple[Cell, ...],
-    lost: Set[Cell],
+    needed: int,
+    base_fresh: List[Cell],
     recovered: Set[Cell],
     loads: Dict[int, int],
-) -> Tuple[Tuple[Cell, ...], Tuple[Cell, ...]]:
-    """Pick the surviving values a repair of *stripe* actually needs.
+) -> Tuple[List[Cell], List[Cell]]:
+    """Pick the surviving values a repair of the stripe actually needs.
 
     An MDS stripe decodes from any ``width - tolerance`` known values, so
     a stripe with fewer losses than its tolerance can skip some survivors.
     Free values first (cells already recovered by earlier steps), then the
     least-loaded disks; returns (fresh reads, reuses).
+
+    *base_fresh* is the stripe's static fresh-read pool — the cells never
+    in the failure's lost set, pre-sorted by cell — so the per-round work
+    is one stable re-sort by current load (ties break by cell, exactly the
+    old ``(load, cell)`` composite key) instead of rebuilding and
+    re-keying the survivor list from scratch every scoring call.
     """
-    survivors = [c for c in cells if c not in lost]
-    needed = stripe.width - stripe.tolerance
-    reuse_pool = [c for c in survivors if c in recovered]
-    fresh_pool = sorted(
-        (c for c in survivors if c not in recovered),
-        key=lambda c: (loads.get(c[0], 0), c),
-    )
-    chosen_reuse = reuse_pool[:needed]
-    chosen_fresh = fresh_pool[: max(0, needed - len(chosen_reuse))]
-    return tuple(chosen_fresh), tuple(chosen_reuse)
+    reuse = [c for c in cells if c in recovered]
+    if len(reuse) > needed:
+        del reuse[needed:]
+    n_fresh = needed - len(reuse)
+    if n_fresh <= 0:
+        return [], reuse
+    loads_get = loads.get
+    fresh = sorted(base_fresh, key=lambda c: loads_get(c[0], 0))
+    del fresh[n_fresh:]
+    return fresh, reuse
 
 
 def plan_recovery(
@@ -422,41 +433,79 @@ def _plan_recovery_impl(
     # lookup instead of a rescan of every candidate stripe per round.
     index = layout.peeling_index()
     tolerance = index.stripe_tolerance
+    stripe_cells = index.stripe_cells
+    stripe_needed = index.stripe_needed
     counts = _lost_counts(index, lost)
     eligible = {sid for sid, c in counts.items() if c <= tolerance[sid]}
 
+    # Static fresh-read pools, built lazily per stripe the first time it
+    # becomes a candidate: a cell is a possible fresh read iff it is never
+    # lost (recovered cells move to the reuse pool, not back to fresh), so
+    # the pool is fixed for the whole plan and scoring rounds only re-rank
+    # it by current load instead of re-deriving it from the lost set.
+    base_fresh: Dict[int, List[Cell]] = {}
+
+    # The selection below is an argmin over ``(key, stripe_id)``, so the
+    # iteration order of ``eligible`` is immaterial — no per-round sort.
     raw_steps: List[Tuple[Stripe, Tuple[Cell, ...], Tuple[Cell, ...], Tuple[Cell, ...]]] = []
+    peak = 0
+    loads_get = loads.get
     while lost:
-        best = None
-        for stripe_id in sorted(eligible):
-            stripe = layout.stripes[stripe_id]
-            cells = index.stripe_cells[stripe_id]
-            repairable = tuple(c for c in cells if c in lost)
+        best_key = None
+        best_sid = -1
+        best_fresh: List[Cell] = []
+        best_reuse: List[Cell] = []
+        for stripe_id in eligible:
+            cells = stripe_cells[stripe_id]
+            pool = base_fresh.get(stripe_id)
+            if pool is None:
+                pool = base_fresh[stripe_id] = sorted(
+                    c for c in cells if c not in all_lost
+                )
             # Sourcing is a pure function of state that is frozen for the
             # whole round, so the scoring call doubles as the final one —
             # the winner's picks are kept instead of recomputed.
             reads, reuse = _select_sources(
-                stripe, cells, lost, recovered, loads
+                cells, stripe_needed[stripe_id], pool, recovered, loads
             )
             if balance:
-                new_loads = dict(loads)
-                for disk, _addr in reads:
-                    new_loads[disk] = new_loads.get(disk, 0) + 1
-                peak = max(new_loads.values()) if new_loads else 0
-                key = (peak, -len(repairable), len(reads))
+                # Loads only grow within a round, so the candidate peak is
+                # the running peak bumped by this candidate's own reads —
+                # no dict copy, no full re-max.
+                cand_peak = peak
+                if reads:
+                    bump: Dict[int, int] = {}
+                    for disk, _addr in reads:
+                        bump[disk] = bump.get(disk, 0) + 1
+                    for disk, extra in bump.items():
+                        value = loads_get(disk, 0) + extra
+                        if value > cand_peak:
+                            cand_peak = value
+                key = (cand_peak, -counts[stripe_id], len(reads))
             else:
                 key = (stripe_id, 0, 0)
-            if best is None or (key, stripe_id) < (best[0], best[1].stripe_id):
-                best = (key, stripe, repairable, reads, reuse)
-        if best is None:
+            if best_key is None or (key, stripe_id) < (best_key, best_sid):
+                best_key = key
+                best_sid = stripe_id
+                best_fresh = reads
+                best_reuse = reuse
+        if best_key is None:
             raise DataLossError(
                 f"{layout.name}: failure of disks {list(failed)} is not "
                 f"recoverable ({len(lost)} cells stranded)"
             )
-        _key, stripe, repairable, fresh, reuse = best
-        raw_steps.append((stripe, tuple(repairable), fresh, reuse))
+        repairable = tuple(
+            c for c in stripe_cells[best_sid] if c in lost
+        )
+        fresh = tuple(best_fresh)
+        raw_steps.append(
+            (layout.stripes[best_sid], repairable, fresh, tuple(best_reuse))
+        )
         for disk, _addr in fresh:
-            loads[disk] = loads.get(disk, 0) + 1
+            value = loads_get(disk, 0) + 1
+            loads[disk] = value
+            if value > peak:
+                peak = value
         lost.difference_update(repairable)
         recovered.update(repairable)
         for cell in repairable:
@@ -501,10 +550,18 @@ def _offload_pass(
     ``(peak load, number of disks at peak, total reads)``.
     """
     loads: Dict[int, int] = {}
+    total = 0
     for sources in sources_per_step:
         for src in sources:
             for disk, _addr in src.reads:
                 loads[disk] = loads.get(disk, 0) + 1
+                total += 1
+    # Load-value histogram (value -> disks at that value, zeros dropped):
+    # move trials score against a copy of this handful of entries instead
+    # of copying and re-scanning the whole per-disk load dict.
+    hist: Dict[int, int] = {}
+    for value in loads.values():
+        hist[value] = hist.get(value, 0) + 1
 
     # Precompute each needed cell's sourcing options once.
     option_cache: Dict[Cell, List[ValueSource]] = {}
@@ -518,13 +575,24 @@ def _offload_pass(
             option_cache[cell] = cached
         return cached
 
-    def score(ld: Dict[int, int]) -> Tuple[int, int, int]:
-        if not ld:
+    def score(h: Dict[int, int], tot: int) -> Tuple[int, int, int]:
+        if not h:
             return (0, 0, 0)
-        peak = max(ld.values())
-        return (peak, sum(1 for v in ld.values() if v == peak), sum(ld.values()))
+        peak = max(h)
+        return (peak, h[peak], tot)
 
-    current = score(loads)
+    def shift(h: Dict[int, int], old: int, new: int) -> None:
+        """Move one disk from load *old* to load *new* in histogram *h*."""
+        if old:
+            remaining = h[old] - 1
+            if remaining:
+                h[old] = remaining
+            else:
+                del h[old]
+        if new:
+            h[new] = h.get(new, 0) + 1
+
+    current = score(hist, total)
     for _ in range(max_rounds):
         peak = current[0]
         if peak == 0:
@@ -539,21 +607,36 @@ def _offload_pass(
                 for alt in options_for(src.cell):
                     if alt.via == src.via:
                         continue
-                    trial = dict(loads)
+                    delta: Dict[int, int] = {}
                     for disk, _a in src.reads:
-                        trial[disk] -= 1
-                        if trial[disk] == 0:
-                            del trial[disk]
+                        delta[disk] = delta.get(disk, 0) - 1
                     for disk, _a in alt.reads:
-                        trial[disk] = trial.get(disk, 0) + 1
-                    trial_score = score(trial)
+                        delta[disk] = delta.get(disk, 0) + 1
+                    trial_hist = dict(hist)
+                    for disk, change in delta.items():
+                        if change:
+                            old = loads.get(disk, 0)
+                            shift(trial_hist, old, old + change)
+                    trial_total = total + len(alt.reads) - len(src.reads)
+                    trial_score = score(trial_hist, trial_total)
                     if trial_score < best_score:
                         best_score = trial_score
-                        best_move = (step_idx, src_idx, alt, trial)
+                        best_move = (step_idx, src_idx, alt, delta)
         if best_move is None:
             break
-        step_idx, src_idx, alt, loads = best_move
+        step_idx, src_idx, alt, delta = best_move
         sources_per_step[step_idx][src_idx] = alt
+        for disk, change in delta.items():
+            if not change:
+                continue
+            old = loads.get(disk, 0)
+            new = old + change
+            shift(hist, old, new)
+            if new:
+                loads[disk] = new
+            else:
+                del loads[disk]
+            total += change
         current = best_score
 
 

@@ -46,7 +46,7 @@ from repro.sim.rebuild import (
     analytic_rebuild_time,
     simulate_rebuild,
 )
-from repro.sim.serve import ThrottlePolicy
+from repro.sim.serve import SERVE_KERNELS, ThrottlePolicy
 from repro.schemes import build_scheme_layout
 from repro.workloads.arrivals import ArrivalProcess, OpenLoop
 from repro.workloads.generators import WorkloadSpec
@@ -118,6 +118,11 @@ class Scenario:
             switching changes individual trials but not the statistics;
             the lifecycle kernels share one sampling plane, so there the
             choice changes wall clock only, never the result.
+        serve_kernel: serving kernel (serve only) — ``auto`` picks the
+            vectorized queue sweep when numpy is available,
+            ``vectorized``/``event`` force one. Both serve kernels read
+            one sampling plane, so the choice changes wall clock only,
+            never a bit of the result or its telemetry.
         telemetry: collecting telemetry, or ``None`` for the ambient
             default.
     """
@@ -145,6 +150,7 @@ class Scenario:
     seed: Optional[int] = 0
     jobs: int = 1
     mc_kernel: str = "auto"
+    serve_kernel: str = "auto"
     telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
@@ -157,6 +163,11 @@ class Scenario:
             raise SimulationError(
                 f"unknown mc_kernel {self.mc_kernel!r} "
                 f"(expected one of {MC_KERNELS})"
+            )
+        if self.serve_kernel not in SERVE_KERNELS:
+            raise SimulationError(
+                f"unknown serve_kernel {self.serve_kernel!r} "
+                f"(expected one of {SERVE_KERNELS})"
             )
         if self.scheme is not None:
             built = build_scheme_layout(self.scheme, **self.scheme_params)
@@ -238,6 +249,7 @@ def _run_serve(scenario: Scenario, progress):
         sparing=scenario.sparing,
         rebuild_batches=scenario.rebuild_batches,
         trials=scenario.trials,
+        kernel=scenario.serve_kernel,
         seed=scenario.seed,
         jobs=scenario.jobs,
         telemetry=scenario.telemetry,
@@ -307,6 +319,7 @@ def scenario_config(scenario: Scenario) -> Dict[str, object]:
         "lambda_boost": scenario.lambda_boost,
         "trials": scenario.trials,
         "mc_kernel": scenario.mc_kernel,
+        "serve_kernel": scenario.serve_kernel,
     }
 
 

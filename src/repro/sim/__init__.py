@@ -81,6 +81,7 @@ from repro.sim.rebuild import (
 )
 from repro.sim.pool import pool_stats, shutdown_pool
 from repro.sim.serve import (
+    SERVE_KERNELS,
     AdaptiveThrottle,
     FixedRateThrottle,
     IdleSlotThrottle,
@@ -89,7 +90,10 @@ from repro.sim.serve import (
     ThrottlePolicy,
     build_serve_tables,
     merge_serve_results,
+    serve_batch_supported,
+    serve_kernel,
     simulate_serve,
+    simulate_serve_vectorized,
 )
 
 __all__ = [
@@ -144,6 +148,10 @@ __all__ = [
     "ServeTables",
     "build_serve_tables",
     "simulate_serve",
+    "simulate_serve_vectorized",
     "simulate_serve_parallel",
     "merge_serve_results",
+    "SERVE_KERNELS",
+    "serve_kernel",
+    "serve_batch_supported",
 ]

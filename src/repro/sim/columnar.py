@@ -61,10 +61,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 _MASK64 = (1 << 64) - 1
 #: 64-bit golden-ratio increment — the same stride
-#: :func:`repro.sim.parallel.derive_chunk_seed` uses for chunk seeds.
+#: :func:`derive_chunk_seed` uses for chunk seeds.
 GOLDEN_STRIDE = 0x9E3779B97F4A7C15
 _MIX_A = 0xBF58476D1CE4E5B9
 _MIX_B = 0x94D049BB133111EB
+#: Python's ``random`` seeds are arbitrary-precision; keep derived seeds
+#: in a fixed 63-bit space so results don't depend on platform int width.
+_SEED_MASK = (1 << 63) - 1
 
 #: :attr:`DiskStateTable.status` values.
 STATUS_ALIVE, STATUS_FAILED, STATUS_REBUILDING = 0, 1, 2
@@ -88,6 +91,40 @@ def _mix64_np(z):  # pragma: no cover - exercised via TrialStreams
 def lane_seed(seed: int, trial: int) -> int:
     """The lane seed of *trial* under run seed *seed* (both impls agree)."""
     return mix64((seed & _MASK64) + (trial + 1) * GOLDEN_STRIDE)
+
+
+def derive_chunk_seed(seed: int, chunk_id: int) -> int:
+    """Deterministic sub-seed for chunk *chunk_id* of a run seeded *seed*.
+
+    Chunk 0 reproduces *seed* itself, so a single-chunk parallel run is
+    bit-identical to the serial simulator called directly — and any
+    simulator that derives per-trial seeds this way (trial ``t`` gets
+    ``derive_chunk_seed(seed, t)``) makes trial 0 of a batch identical
+    to a plain single-trial run with the same seed.
+    """
+    return (seed ^ (chunk_id * GOLDEN_STRIDE)) & _SEED_MASK
+
+
+def derive_lane_seeds(seeds, lanes_per_seed: int):
+    """Flat per-purpose lane seeds for a batch of run seeds.
+
+    Entry ``i * lanes_per_seed + p`` equals ``lane_seed(seeds[i], p)`` —
+    the glue that lets one batched :class:`TrialStreams` (via the
+    ``lane_seeds`` override) materialize many runs' purpose-keyed lanes
+    side by side while each run keeps reading exactly the floats it
+    would read alone. Returns a ``uint64`` array on numpy builds, a
+    list of ints otherwise.
+    """
+    if lanes_per_seed < 1:
+        raise SimulationError(
+            f"lanes_per_seed must be >= 1, got {lanes_per_seed}"
+        )
+    if _np is not None:
+        base = _np.array([s & _MASK64 for s in seeds], dtype=_np.uint64)
+        purposes = _np.arange(1, lanes_per_seed + 1, dtype=_np.uint64)
+        mixed = base[:, None] + purposes[None, :] * _np.uint64(GOLDEN_STRIDE)
+        return _mix64_np(mixed.reshape(-1))
+    return [lane_seed(s, p) for s in seeds for p in range(lanes_per_seed)]
 
 
 def oracle_guarantee(oracle: Callable[..., bool]) -> int:
@@ -176,13 +213,21 @@ class TrialStreams:
     kernel uses this to key one lane per ``(array, trial)`` mission while
     materializing only a chunk of missions at a time — chunk boundaries
     can never change which floats a mission reads.
+
+    *lane_seeds* overrides the per-row lane derivation entirely: row
+    ``t`` reads the already-mixed lane value ``lane_seeds[t]`` (as
+    produced by :func:`lane_seed` / :func:`derive_lane_seeds`). The
+    serve kernel uses this to pack many *independently seeded* runs'
+    purpose lanes into one plane — each row is then bit-identical to
+    the same lane of a stream built for that run alone.
     """
 
     __slots__ = ("seed", "trials", "lambd", "lane_offset", "_lanes",
                  "_uniforms", "_exponentials", "_slots")
 
     def __init__(self, seed: int, trials: int, lambd: float,
-                 slots: int = 64, lane_offset: int = 0) -> None:
+                 slots: int = 64, lane_offset: int = 0,
+                 lane_seeds=None) -> None:
         if _np is None:
             raise SimulationError("TrialStreams requires numpy")
         if trials < 1:
@@ -197,11 +242,26 @@ class TrialStreams:
         self.trials = trials
         self.lambd = lambd
         self.lane_offset = lane_offset
-        base = _np.uint64(seed & _MASK64)
-        counters = _np.arange(
-            lane_offset + 1, lane_offset + trials + 1, dtype=_np.uint64
-        )
-        self._lanes = _mix64_np(base + counters * _np.uint64(GOLDEN_STRIDE))
+        if lane_seeds is not None:
+            if lane_offset != 0:
+                raise SimulationError(
+                    "lane_seeds and lane_offset are mutually exclusive"
+                )
+            lanes = _np.asarray(lane_seeds, dtype=_np.uint64)
+            if lanes.shape != (trials,):
+                raise SimulationError(
+                    f"lane_seeds must have shape ({trials},), "
+                    f"got {lanes.shape}"
+                )
+            self._lanes = lanes
+        else:
+            base = _np.uint64(seed & _MASK64)
+            counters = _np.arange(
+                lane_offset + 1, lane_offset + trials + 1, dtype=_np.uint64
+            )
+            self._lanes = _mix64_np(
+                base + counters * _np.uint64(GOLDEN_STRIDE)
+            )
         self._slots = 0
         self._uniforms = _np.zeros((trials, 0))
         self._exponentials = _np.zeros((trials, 0))
@@ -268,10 +328,11 @@ class PyTrialStreams:
     ``math.log`` and may differ from a numpy build in the final ulp.
     """
 
-    __slots__ = ("seed", "trials", "lambd", "lane_offset")
+    __slots__ = ("seed", "trials", "lambd", "lane_offset", "_lane_seeds")
 
     def __init__(self, seed: int, trials: int, lambd: float,
-                 slots: int = 0, lane_offset: int = 0) -> None:
+                 slots: int = 0, lane_offset: int = 0,
+                 lane_seeds=None) -> None:
         if trials < 1:
             raise SimulationError(f"trials must be >= 1, got {trials}")
         if lambd <= 0:
@@ -280,14 +341,29 @@ class PyTrialStreams:
             raise SimulationError(
                 f"lane_offset must be >= 0, got {lane_offset}"
             )
+        if lane_seeds is not None:
+            if lane_offset != 0:
+                raise SimulationError(
+                    "lane_seeds and lane_offset are mutually exclusive"
+                )
+            lane_seeds = tuple(int(s) & _MASK64 for s in lane_seeds)
+            if len(lane_seeds) != trials:
+                raise SimulationError(
+                    f"lane_seeds must have length {trials}, "
+                    f"got {len(lane_seeds)}"
+                )
         self.seed = seed
         self.trials = trials
         self.lambd = lambd
         self.lane_offset = lane_offset
+        self._lane_seeds = lane_seeds
 
     def uniform(self, trial: int, pos: int) -> float:
         """Slot *pos* of trial *trial*'s uniform lane, computed on demand."""
-        lane = lane_seed(self.seed, trial + self.lane_offset)
+        if self._lane_seeds is not None:
+            lane = self._lane_seeds[trial]
+        else:
+            lane = lane_seed(self.seed, trial + self.lane_offset)
         z = mix64(lane + (pos + 1) * GOLDEN_STRIDE)
         return (z >> 11) * 2.0 ** -53
 

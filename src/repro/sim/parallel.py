@@ -44,7 +44,7 @@ from repro.layouts.recovery import is_recoverable
 from repro.obs.prof import PhaseProfiler, ambient_profiler, use_profiler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.sim.latency import LatencyModel
-from repro.sim.columnar import LifecycleTables, fresh_seed
+from repro.sim.columnar import LifecycleTables, derive_chunk_seed, fresh_seed
 from repro.sim.fleet import (
     FLEET_CHUNK_MISSIONS,
     FleetResult,
@@ -71,7 +71,10 @@ from repro.sim.serve import (
     ThrottlePolicy,
     build_serve_tables,
     merge_serve_results,
+    serve_batch_supported,
+    serve_kernel,
     simulate_serve,
+    simulate_serve_vectorized,
 )
 from repro.workloads.arrivals import ArrivalProcess, OpenLoop
 from repro.workloads.generators import WorkloadSpec
@@ -91,9 +94,6 @@ DEFAULT_CHUNK_TRIALS = 256
 
 #: Failure patterns per sweep chunk.
 DEFAULT_CHUNK_PATTERNS = 512
-
-_SEED_STRIDE = 0x9E3779B97F4A7C15  # 64-bit golden-ratio increment
-_SEED_MASK = (1 << 63) - 1
 
 
 def default_jobs() -> int:
@@ -121,11 +121,6 @@ def default_jobs() -> int:
             f"REPRO_JOBS must be a positive integer, got {raw!r}"
         )
     return jobs
-
-
-def derive_chunk_seed(seed: int, chunk_id: int) -> int:
-    """Deterministic per-chunk seed; chunk 0 reproduces *seed* itself."""
-    return (seed ^ (chunk_id * _SEED_STRIDE)) & _SEED_MASK
 
 
 def chunk_sizes(total: int, chunk: int) -> List[int]:
@@ -569,10 +564,16 @@ def simulate_fleet_parallel(
     )
 
 
-#: Serving trials per chunk. One trial per chunk by default — serving
-#: replications are far heavier than Monte-Carlo missions, and a chunk
-#: size of 1 makes trial *i*'s seed depend only on ``(seed, i)``.
+#: Serving trials per chunk for the event kernel. One trial per chunk —
+#: serving replications are far heavier than Monte-Carlo missions, and a
+#: chunk size of 1 makes trial *i*'s seed depend only on ``(seed, i)``.
 DEFAULT_CHUNK_SERVE_TRIALS = 1
+
+#: Serving trials per chunk when the vectorized sweep applies: wide
+#: chunks amortize the numpy dispatch over ``(trials x disks)`` queue
+#: lanes. Safe for any value — per-trial seeds are global, so chunk
+#: geometry never changes the merged result.
+VECTORIZED_CHUNK_SERVE_TRIALS = 16
 
 
 def _serve_worker(state, common, spec):
@@ -584,7 +585,9 @@ def _serve_worker(state, common, spec):
     trials skip re-planning. Per-trial seeds are derived from
     ``(seed, start_trial + i)`` — a global trial index, never the chunk
     geometry — so the merged result is bit-identical for any worker
-    count.
+    count. When the caller resolved a batched sweep (``batched``), the
+    whole chunk runs as one :func:`simulate_serve_vectorized` call over
+    those same per-trial seeds.
     """
     layout, tables = state
     (
@@ -598,13 +601,33 @@ def _serve_worker(state, common, spec):
         seed,
         collect,
         profile,
+        kernel,
+        batched,
     ) = common
     start_trial, size = spec
     chunk_tel = Telemetry.collecting() if collect else None
     chunk_prof = _chunk_profiler(profile)
-    parts = []
+    trial_seeds = [
+        derive_chunk_seed(seed, start_trial + i) for i in range(size)
+    ]
     with use_profiler(chunk_prof):
-        for i in range(size):
+        if batched:
+            result = simulate_serve_vectorized(
+                layout,
+                workload=workload,
+                failed_disks=failed_disks,
+                arrival=arrival,
+                model=model,
+                throttle=throttle,
+                sparing=sparing,
+                rebuild_batches=rebuild_batches,
+                telemetry=chunk_tel,
+                tables=tables,
+                trial_seeds=trial_seeds,
+            )
+            return result, chunk_tel, chunk_prof
+        parts = []
+        for trial_seed in trial_seeds:
             parts.append(
                 simulate_serve(
                     layout,
@@ -615,9 +638,10 @@ def _serve_worker(state, common, spec):
                     throttle=throttle,
                     sparing=sparing,
                     rebuild_batches=rebuild_batches,
-                    seed=derive_chunk_seed(seed, start_trial + i),
+                    seed=trial_seed,
                     telemetry=chunk_tel,
                     tables=tables,
+                    kernel=kernel,
                 )
             )
     return merge_serve_results(parts), chunk_tel, chunk_prof
@@ -633,7 +657,8 @@ def simulate_serve_parallel(
     sparing: str = "distributed",
     rebuild_batches: int = 1,
     trials: int = 1,
-    chunk_trials: int = DEFAULT_CHUNK_SERVE_TRIALS,
+    chunk_trials: Optional[int] = None,
+    kernel: str = "auto",
     *,
     seed: Optional[int] = 0,
     jobs: int = 1,
@@ -651,25 +676,48 @@ def simulate_serve_parallel(
     for any ``jobs``. *workload* must be a picklable
     :class:`~repro.workloads.generators.WorkloadSpec` (not a request
     list) because workers regenerate it from the trial seed.
+
+    *kernel* (:data:`~repro.sim.serve.SERVE_KERNELS`) is a pure speed
+    knob, exactly as on :func:`~repro.sim.serve.simulate_serve`: both
+    kernels read one per-trial sampling plane, so the merged result —
+    telemetry included — is bit-identical across kernels too. When the
+    vectorized sweep applies (feedback-free config, telemetry off),
+    chunks default to :data:`VECTORIZED_CHUNK_SERVE_TRIALS` trials so
+    one numpy sweep covers a whole chunk; otherwise one trial per chunk
+    (:data:`DEFAULT_CHUNK_SERVE_TRIALS`). *chunk_trials* overrides
+    either default; chunk geometry never changes the result, only the
+    progress-callback granularity.
     """
     if jobs < 1:
         raise SimulationError(f"jobs must be >= 1, got {jobs}")
     if trials < 1:
         raise SimulationError(f"trials must be >= 1, got {trials}")
+    resolved = serve_kernel(kernel)
     if seed is None:
         seed = random.SystemRandom().getrandbits(48)
     arrival = arrival if arrival is not None else OpenLoop(100.0)
     collect = telemetry is not None and telemetry.enabled
+    failed = tuple(sorted(set(failed_disks)))
+    # Plan the recovery once, here; workers get the routing tables as
+    # broadcast state instead of re-planning per trial.
+    tables = build_serve_tables(layout, failed, sparing, rebuild_batches)
+    batched = (
+        resolved == "vectorized"
+        and not collect
+        and serve_batch_supported(arrival, throttle, tables)
+    )
+    if chunk_trials is None:
+        chunk_trials = (
+            VECTORIZED_CHUNK_SERVE_TRIALS
+            if batched
+            else DEFAULT_CHUNK_SERVE_TRIALS
+        )
     sizes = chunk_sizes(trials, chunk_trials)
     specs = []
     start = 0
     for size in sizes:
         specs.append((start, size))
         start += size
-    failed = tuple(sorted(set(failed_disks)))
-    # Plan the recovery once, here; workers get the routing tables as
-    # broadcast state instead of re-planning per trial.
-    tables = build_serve_tables(layout, failed, sparing, rebuild_batches)
     common = (
         workload,
         failed,
@@ -681,6 +729,8 @@ def simulate_serve_parallel(
         seed,
         collect,
         ambient_profiler().enabled,
+        resolved,
+        batched,
     )
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("simulate_serve_parallel", trials=trials, jobs=jobs):

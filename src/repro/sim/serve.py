@@ -26,6 +26,24 @@ shaped service model behind all of them:
   don't. Sweeping policies traces the rebuild-time-vs-user-latency
   frontier the paper argues OI-RAID wins.
 
+Like the lifecycle simulator, serving ships **two kernels over one
+sampling plane** (``kernel='auto'|'vectorized'|'event'``). Every trial's
+workload — arrival gaps, unit addresses, write coin-flips — is drawn
+from purpose-keyed :class:`~repro.sim.columnar.TrialStreams` lanes, so
+which kernel consumes the trace can never change a float of it:
+
+* the **event kernel** walks the trace through the discrete-event heap
+  (:class:`~repro.sim.engine.Simulator`), one pop per leg — required for
+  closed loops, throttled rebuild injection, and adaptive SLO windows,
+  whose feedback makes the schedule data-dependent;
+* the **vectorized kernel** recognizes the feedback-free common case
+  (open loop, no rebuild traffic in flight, no latency-observing
+  throttle) and replaces the heap with batched per-disk Lindley
+  recursions across ``(trials × disks)`` queue lanes — the same floats,
+  ~an order of magnitude faster. Configs outside that case fall back to
+  the exact walk *on the same sampled lanes* (screen-then-replay, as in
+  :mod:`repro.sim.lifecycle`), so the flag is a pure speed knob.
+
 Results are :class:`ServeResult` (pooled latencies + I/O accounting +
 rebuild completion), mergeable in chunk order so
 :func:`~repro.sim.parallel.simulate_serve_parallel` is bit-identical for
@@ -35,9 +53,14 @@ any worker count — the same contract as every other simulator here.
 from __future__ import annotations
 
 import math
-import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
+
+try:  # the vectorized kernel needs numpy; the event kernel does not
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 from repro.errors import SimulationError
 from repro.layouts.base import Layout
@@ -46,14 +69,49 @@ from repro.layouts.recovery import (
     parity_disk_table,
     plan_recovery,
 )
+from repro.obs.metrics import Histogram
 from repro.obs.prof import ambient_profiler
 from repro.obs.telemetry import Telemetry, ambient, use_telemetry
 from repro.results import ResultBase, register_result
+from repro.sim.columnar import (
+    PyTrialStreams,
+    TrialStreams,
+    derive_chunk_seed,
+    derive_lane_seeds,
+    fresh_seed,
+)
 from repro.sim.engine import FcfsServer, Simulator
 from repro.sim.latency import LatencyModel
+from repro.util.checks import check_positive, check_probability
 from repro.util.stats import mean, percentile
 from repro.workloads.arrivals import ArrivalProcess, ClosedLoop, OpenLoop
 from repro.workloads.generators import Request, WorkloadSpec
+
+#: Kernel names accepted by ``simulate_serve(..., kernel=...)`` and the
+#: ``--serve-kernel`` CLI flag, mirroring ``MC_KERNELS``/``--mc-kernel``.
+SERVE_KERNELS = ("auto", "vectorized", "event")
+
+
+def serve_kernel(name: str) -> str:
+    """Resolve a kernel name to the concrete kernel (``auto`` decides).
+
+    Returns ``'vectorized'`` or ``'event'``. ``'auto'`` picks the
+    vectorized kernel whenever numpy is importable — safe because both
+    kernels read one sampling plane and return bit-identical results —
+    and the event walk otherwise. Asking for ``'vectorized'`` without
+    numpy raises instead of silently degrading.
+    """
+    if name not in SERVE_KERNELS:
+        raise SimulationError(
+            f"unknown serve kernel {name!r} (expected one of {SERVE_KERNELS})"
+        )
+    if name == "auto":
+        return "vectorized" if _np is not None else "event"
+    if name == "vectorized" and _np is None:
+        raise SimulationError(
+            "the vectorized serve kernel requires numpy; use kernel='event'"
+        )
+    return name
 
 
 class ThrottlePolicy:
@@ -139,6 +197,14 @@ class AdaptiveThrottle(ThrottlePolicy):
     ``[min_ops_per_s, max_ops_per_s]``). Starts at the maximum rate, so
     an unloaded array rebuilds flat out and a loaded one converges to
     the fastest rate its users tolerate.
+
+    The window is a streaming geometric-bucket
+    :class:`~repro.obs.metrics.Histogram`, so :meth:`observe` is O(1)
+    per request (the old list-accumulate-then-sort recomputation was
+    O(window log window) at every boundary and held the whole window in
+    memory); the p99 read at a window boundary is bucket-interpolated
+    with ~half-bucket (<5 %) resolution, which is well inside the AIMD
+    loop's own granularity.
     """
 
     target_p99_ms: float = 20.0
@@ -169,7 +235,7 @@ class AdaptiveThrottle(ThrottlePolicy):
         """Restart at the maximum rate with an empty window."""
         self._rate = self.max_ops_per_s
         self._next = 0.0
-        self._window: List[float] = []
+        self._hist = Histogram()
         self._now = 0.0
         self.rate_trace = [(0.0, self._rate)]
 
@@ -180,11 +246,11 @@ class AdaptiveThrottle(ThrottlePolicy):
 
     def observe(self, latency_ms: float) -> None:
         """Accumulate a foreground latency; adapt at window boundaries."""
-        self._window.append(latency_ms)
-        if len(self._window) < self.window:
+        self._hist.observe(latency_ms)
+        if self._hist.count < self.window:
             return
-        p99 = percentile(self._window, 99)
-        self._window.clear()
+        p99 = self._hist.quantile(0.99)
+        self._hist = Histogram()
         if p99 > self.target_p99_ms:
             new_rate = max(self.min_ops_per_s, self._rate * self.backoff)
         else:
@@ -286,6 +352,13 @@ def merge_serve_results(parts: Sequence[ServeResult]) -> ServeResult:
     """Combine per-chunk serving outcomes in the given (chunk) order."""
     if not parts:
         raise SimulationError("no chunk results to merge")
+    latencies: List[float] = []
+    rebuild_s: List[float] = []
+    foreground_s: List[float] = []
+    for p in parts:
+        latencies.extend(p.latencies_ms)
+        rebuild_s.extend(p.rebuild_seconds_per_trial)
+        foreground_s.extend(p.foreground_seconds_per_trial)
     return ServeResult(
         trials=sum(p.trials for p in parts),
         requests=sum(p.requests for p in parts),
@@ -295,15 +368,11 @@ def merge_serve_results(parts: Sequence[ServeResult]) -> ServeResult:
         degraded_writes=sum(p.degraded_writes for p in parts),
         device_reads=sum(p.device_reads for p in parts),
         device_writes=sum(p.device_writes for p in parts),
-        latencies_ms=tuple(x for p in parts for x in p.latencies_ms),
+        latencies_ms=tuple(latencies),
         rebuild_ops=sum(p.rebuild_ops for p in parts),
         rebuild_ops_done=sum(p.rebuild_ops_done for p in parts),
-        rebuild_seconds_per_trial=tuple(
-            x for p in parts for x in p.rebuild_seconds_per_trial
-        ),
-        foreground_seconds_per_trial=tuple(
-            x for p in parts for x in p.foreground_seconds_per_trial
-        ),
+        rebuild_seconds_per_trial=tuple(rebuild_s),
+        foreground_seconds_per_trial=tuple(foreground_s),
     )
 
 
@@ -491,78 +560,449 @@ def build_serve_tables(
     )
 
 
-def simulate_serve(
+def _resolve_tables(
     layout: Layout,
-    workload: Union[WorkloadSpec, Sequence[Request]] = WorkloadSpec(),
-    failed_disks: Sequence[int] = (),
-    arrival: ArrivalProcess = OpenLoop(100.0),
-    model: Optional[LatencyModel] = None,
-    throttle: Optional[ThrottlePolicy] = None,
-    sparing: str = "distributed",
-    rebuild_batches: int = 1,
-    seed: Optional[int] = 0,
-    telemetry: Optional[Telemetry] = None,
-    tables: Optional[ServeTables] = None,
-) -> ServeResult:
-    """Serve one foreground workload against a (possibly degraded) array.
+    failed_disks: Sequence[int],
+    sparing: str,
+    rebuild_batches: int,
+    tables: Optional[ServeTables],
+) -> ServeTables:
+    """Build the routing tables, or validate caller-supplied ones."""
+    if tables is None:
+        return build_serve_tables(
+            layout, failed_disks, sparing, rebuild_batches
+        )
+    expected = tuple(sorted(set(failed_disks)))
+    if (
+        tables.layout_name != layout.name
+        or tables.n_units != len(layout.data_cells)
+        or tables.failed != expected
+        or tables.sparing != sparing
+        or tables.rebuild_batches != rebuild_batches
+    ):
+        raise SimulationError(
+            "serve tables were built for a different scenario "
+            f"({tables.layout_name}, failed={tables.failed}, "
+            f"sparing={tables.sparing!r}, "
+            f"batches={tables.rebuild_batches})"
+        )
+    if rebuild_batches < 1:
+        raise SimulationError(
+            f"rebuild_batches must be >= 1, got {rebuild_batches}"
+        )
+    return tables
 
-    *workload* is either a picklable :class:`WorkloadSpec` recipe
-    (materialized against the layout's user address space with *seed*)
-    or an explicit request sequence. *throttle* of ``None`` injects no
-    rebuild traffic; otherwise the recovery plan of *failed_disks* is
-    tiled *rebuild_batches* times and dispatched per the policy.
 
-    *tables* optionally supplies the precomputed routing of
-    :func:`build_serve_tables` — callers running many trials of the same
-    scenario (the parallel runner broadcasts one instance to every
-    worker) skip re-planning the recovery per trial. The tables must
-    have been built for this layout and the same ``failed_disks`` /
-    ``sparing`` / ``rebuild_batches``; a mismatch raises.
+# -- the shared sampling plane ---------------------------------------------
+#
+# Each trial owns four purpose-keyed draw lanes; lane p of a trial seeded
+# ts is lane_seed(ts, p), so the plane is a pure function of the trial
+# seed — the batched plane of k trials is, row for row, the plane each
+# trial would sample alone (derive_lane_seeds packs them side by side).
 
-    Raises :class:`~repro.errors.DataLossError` when *failed_disks* is
-    not a survivable pattern (there is nothing to serve). The result is
-    a deterministic function of the arguments (the engine breaks ties by
-    schedule order), which is what the parallel runner's per-chunk
-    seeding builds on.
+_LANE_ARRIVAL, _LANE_UNIT, _LANE_WRITE, _LANE_PERM = range(4)
+_N_LANES = 4
+
+
+def _zipf_cumulative(n_units: int, skew: float):
+    """Cumulative Zipf weights (rank r weighted 1/r**skew), plus total.
+
+    Plain sequential Python accumulation, shared verbatim by the numpy
+    and fallback samplers so both read identical cut points.
     """
-    prof = ambient_profiler()
-    with prof.phase("sample"):
-        model = model or LatencyModel()
-        if tables is None:
-            tables = build_serve_tables(
-                layout, failed_disks, sparing, rebuild_batches
-            )
-        else:
-            expected = tuple(sorted(set(failed_disks)))
-            if (
-                tables.layout_name != layout.name
-                or tables.n_units != len(layout.data_cells)
-                or tables.failed != expected
-                or tables.sparing != sparing
-                or tables.rebuild_batches != rebuild_batches
-            ):
-                raise SimulationError(
-                    "serve tables were built for a different scenario "
-                    f"({tables.layout_name}, failed={tables.failed}, "
-                    f"sparing={tables.sparing!r}, "
-                    f"batches={tables.rebuild_batches})"
-                )
-            if rebuild_batches < 1:
-                raise SimulationError(
-                    f"rebuild_batches must be >= 1, got {rebuild_batches}"
-                )
-        if isinstance(workload, WorkloadSpec):
-            requests = workload.build(len(layout.data_cells), seed)
-        else:
-            requests = list(workload)
+    cumulative: List[float] = []
+    total = 0.0
+    for rank in range(1, n_units + 1):
+        total += 1.0 / (rank ** skew)
+        cumulative.append(total)
+    return cumulative, total
+
+
+class _TraceBatch:
+    """The materialized sampling plane for a batch of serving trials.
+
+    ``arrivals`` is the ``(trials, n_requests)`` absolute arrival-time
+    table (``None`` for closed loops, which pace themselves); ``units``
+    and ``is_write`` are per-trial request tables, or — for an explicit
+    request list (``shared=True``) — single rows every trial replays.
+    Rows come back as plain Python lists for the event walk's hot loop;
+    the vectorized sweep reads the arrays whole.
+    """
+
+    __slots__ = (
+        "trials", "n_requests", "arrivals", "units", "is_write", "shared",
+    )
+
+    def __init__(self, trials, n_requests, arrivals, units, is_write,
+                 shared) -> None:
+        self.trials = trials
+        self.n_requests = n_requests
+        self.arrivals = arrivals
+        self.units = units
+        self.is_write = is_write
+        self.shared = shared
+
+    def row(self, i: int):
+        """Trial *i*'s ``(arrivals, units, is_write)`` as Python lists."""
+        arrivals = self.arrivals
+        if arrivals is not None:
+            arrivals = _as_list(arrivals[i])
+        units = self.units if self.shared else self.units[i]
+        is_write = self.is_write if self.shared else self.is_write[i]
+        return arrivals, _as_list(units), _as_list(is_write)
+
+
+def _as_list(row):
+    """Materialize a numpy row as a list; pass plain lists through."""
+    return row.tolist() if hasattr(row, "tolist") else list(row)
+
+
+def _spec_units_np(spec: WorkloadSpec, n_units: int, u, n: int):
+    """Vectorized unit/write tables for a WorkloadSpec (numpy builds)."""
+    k = u.shape[0]
+    if spec.kind == "sequential":
+        base = (spec.start + _np.arange(n, dtype=_np.int64)) % n_units
+        units = _np.broadcast_to(base, (k, n))
+        is_write = _np.broadcast_to(
+            _np.array(spec.write_fraction >= 0.5), (k, n)
+        )
+        return units, is_write
+    if spec.kind == "uniform":
+        units = _np.minimum(
+            (u[:, _LANE_UNIT, :n] * n_units).astype(_np.int64), n_units - 1
+        )
+    else:  # zipf
+        cumulative, total = _zipf_cumulative(n_units, spec.skew)
+        # Hot ranks land on shuffled unit addresses: the permutation is
+        # the stable sort order of the permutation lane's first n_units
+        # uniforms — a per-trial Fisher-Yates-free shuffle both sampler
+        # implementations reproduce exactly (uniforms are bit-identical
+        # across implementations, and both sorts are stable).
+        perm = _np.argsort(u[:, _LANE_PERM, :n_units], axis=1, kind="stable")
+        cuts = _np.asarray(cumulative)
+        idx = _np.searchsorted(cuts, u[:, _LANE_UNIT, :n] * total, side="left")
+        idx = _np.minimum(idx, n_units - 1)
+        units = _np.take_along_axis(perm, idx, axis=1)
+    wf = spec.write_fraction
+    if wf <= 0.0:
+        is_write = _np.broadcast_to(_np.array(False), (k, n))
+    elif wf >= 1.0:
+        is_write = _np.broadcast_to(_np.array(True), (k, n))
+    else:
+        is_write = u[:, _LANE_WRITE, :n] < wf
+    return units, is_write
+
+
+def _spec_units_py(spec: WorkloadSpec, n_units: int, streams, n: int):
+    """Pure-Python mirror of :func:`_spec_units_np` for one trial."""
+    if spec.kind == "sequential":
+        units = [(spec.start + i) % n_units for i in range(n)]
+        return units, [spec.write_fraction >= 0.5] * n
+    if spec.kind == "uniform":
+        units = []
+        for j in range(n):
+            v = int(streams.uniform(_LANE_UNIT, j) * n_units)
+            units.append(v if v < n_units else n_units - 1)
+    else:  # zipf
+        cumulative, total = _zipf_cumulative(n_units, spec.skew)
+        keys = [streams.uniform(_LANE_PERM, j) for j in range(n_units)]
+        perm = sorted(range(n_units), key=keys.__getitem__)
+        units = []
+        for j in range(n):
+            x = streams.uniform(_LANE_UNIT, j) * total
+            idx = bisect_left(cumulative, x)
+            units.append(perm[min(idx, n_units - 1)])
+    wf = spec.write_fraction
+    if wf <= 0.0:
+        is_write = [False] * n
+    elif wf >= 1.0:
+        is_write = [True] * n
+    else:
+        is_write = [
+            streams.uniform(_LANE_WRITE, j) < wf for j in range(n)
+        ]
+    return units, is_write
+
+
+def _sample_traces(
+    workload: Union[WorkloadSpec, Sequence[Request]],
+    n_units: int,
+    arrival: ArrivalProcess,
+    trial_seeds: Sequence[int],
+) -> _TraceBatch:
+    """Sample every trial's workload trace from the columnar lanes.
+
+    This is the single sampling plane both serve kernels read: the
+    floats depend only on ``(trial seed, workload, arrival)``, never on
+    which kernel consumes them or how trials are batched into chunks.
+    """
+    k = len(trial_seeds)
+    spec: Optional[WorkloadSpec] = None
+    requests: Optional[List[Request]] = None
+    if isinstance(workload, WorkloadSpec):
+        spec = workload
+        n = spec.n_requests
+        check_positive("n_requests", n, 1)
+        check_probability("write_fraction", spec.write_fraction)
+        if spec.kind == "zipf" and spec.skew <= 0:
+            raise ValueError(f"skew must be > 0, got {spec.skew}")
+    else:
+        requests = list(workload)
         if not requests:
             raise SimulationError("workload has no requests")
+        n = len(requests)
+    if isinstance(arrival, OpenLoop):
+        lambd = arrival.rate_per_s
+    elif isinstance(arrival, ClosedLoop):
+        lambd = 1.0  # arrival lane unused: closed loops pace themselves
+    else:
+        raise SimulationError(
+            f"unknown arrival process {type(arrival).__name__}"
+        )
+    slots = n
+    if spec is not None and spec.kind == "zipf":
+        slots = max(n, n_units)
 
+    if _np is not None:
+        streams = TrialStreams(
+            0, k * _N_LANES, lambd, slots,
+            lane_seeds=derive_lane_seeds(trial_seeds, _N_LANES),
+        )
+        width = streams.slots
+        arrivals = None
+        if isinstance(arrival, OpenLoop):
+            exp = streams.exponentials.reshape(k, _N_LANES, width)
+            arrivals = _np.cumsum(exp[:, _LANE_ARRIVAL, :n], axis=1)
+        if requests is not None:
+            units = _np.array([r.unit for r in requests], dtype=_np.int64)
+            is_write = _np.array(
+                [bool(r.is_write) for r in requests], dtype=bool
+            )
+            return _TraceBatch(k, n, arrivals, units, is_write, shared=True)
+        u = streams.uniforms.reshape(k, _N_LANES, width)
+        units, is_write = _spec_units_np(spec, n_units, u, n)
+        return _TraceBatch(k, n, arrivals, units, is_write, shared=False)
+
+    arrivals_rows = [] if isinstance(arrival, OpenLoop) else None
+    units_rows: List[List[int]] = []
+    write_rows: List[List[bool]] = []
+    for ts in trial_seeds:
+        streams = PyTrialStreams(
+            0, _N_LANES, lambd,
+            lane_seeds=derive_lane_seeds((ts,), _N_LANES),
+        )
+        if arrivals_rows is not None:
+            t = 0.0
+            row = []
+            for j in range(n):
+                t += streams.exponential(_LANE_ARRIVAL, j)
+                row.append(t)
+            arrivals_rows.append(row)
+        if spec is not None:
+            units_row, write_row = _spec_units_py(spec, n_units, streams, n)
+            units_rows.append(units_row)
+            write_rows.append(write_row)
+    if requests is not None:
+        units = [r.unit for r in requests]
+        is_write = [bool(r.is_write) for r in requests]
+        return _TraceBatch(k, n, arrivals_rows, units, is_write, shared=True)
+    return _TraceBatch(
+        k, n, arrivals_rows, units_rows, write_rows, shared=False
+    )
+
+
+def serve_batch_supported(
+    arrival: ArrivalProcess,
+    throttle: Optional[ThrottlePolicy],
+    tables: ServeTables,
+) -> bool:
+    """May the vectorized sweep replace the event walk for this config?
+
+    The sweep requires a feedback-free schedule: open-loop arrivals (a
+    closed loop's next arrival depends on the previous completion), no
+    rebuild ops in flight (their dispatch interleaves with foreground
+    legs through the throttle's clock), and no throttle that *observes*
+    latencies (an overridden ``observe`` — AdaptiveThrottle's SLO window
+    — accumulates state per completion even when no ops exist). Configs
+    outside this set are replayed through the exact event walk on the
+    same sampled lanes.
+    """
+    ops = tables.rebuild_ops if throttle is not None else ()
+    return (
+        isinstance(arrival, OpenLoop)
+        and not ops
+        and (
+            throttle is None
+            or type(throttle).observe is ThrottlePolicy.observe
+        )
+    )
+
+
+class _ColumnarRoutes:
+    """Flat numpy mirror of a :class:`ServeTables` routing (sweep gather).
+
+    Per-unit route lengths and start offsets into one concatenated
+    leg-lane array (read routes first, write routes after), with lanes
+    renumbered to survivor indices — one fancy-index gather per request
+    batch instead of a Python tuple walk per request.
+    """
+
+    __slots__ = (
+        "read_len", "read_start", "write_len", "write_start",
+        "leg_lanes", "read_deg", "write_deg",
+    )
+
+
+def _columnar_routes(tables: ServeTables) -> _ColumnarRoutes:
+    """The cached columnar mirror of *tables* (built on first use)."""
+    cached = getattr(tables, "_columnar_routes", None)
+    if cached is not None:
+        return cached
+    lane_of = {disk: i for i, disk in enumerate(tables.survivors)}
+    routes = _ColumnarRoutes()
+    routes.read_len = _np.array(
+        [len(r) for r in tables.read_routes], dtype=_np.int64
+    )
+    routes.write_len = _np.array(
+        [len(r) for r in tables.write_routes], dtype=_np.int64
+    )
+    read_cum = _np.cumsum(routes.read_len)
+    write_cum = _np.cumsum(routes.write_len)
+    routes.read_start = read_cum - routes.read_len
+    n_read_legs = int(read_cum[-1]) if len(read_cum) else 0
+    routes.write_start = (write_cum - routes.write_len) + n_read_legs
+    read_legs = [lane_of[d] for route in tables.read_routes for d in route]
+    write_legs = [lane_of[d] for route in tables.write_routes for d in route]
+    routes.leg_lanes = _np.array(read_legs + write_legs, dtype=_np.int64)
+    routes.read_deg = _np.array(tables.read_degraded, dtype=bool)
+    routes.write_deg = _np.array(tables.write_degraded, dtype=bool)
+    # ServeTables is frozen but not slotted: stash the mirror on the
+    # instance so repeated chunks (and the broadcast copy a worker holds)
+    # build it once.
+    object.__setattr__(tables, "_columnar_routes", routes)
+    return routes
+
+
+def _sweep_batch(
+    batch: _TraceBatch, tables: ServeTables, model: LatencyModel
+) -> ServeResult:
+    """Sweep a feedback-free trace batch: Lindley recursion per queue lane.
+
+    Every request leg is flattened into one ``(total_legs,)`` table keyed
+    by its ``(trial, disk)`` queue lane. Within a lane, legs sit in
+    submission order (request order — exactly the order the event walk's
+    arrival events fire), so each per-disk FIFO is the Lindley recurrence
+    ``done[j] = max(done[j-1], t[j]) + s[j]``. The recursion runs
+    position-by-position *across all lanes at once* (lanes sorted by
+    depth so each step is a shrinking prefix), which replaces the heap's
+    per-event Python frames with ~max-queue-depth numpy steps. Float op
+    order matches :meth:`FcfsServer.submit` exactly — ``max`` then add,
+    completion re-expressed as ``t + (done - t)`` the way the engine's
+    delay arithmetic does — so the sweep is bit-identical to the walk.
+    """
+    routes = _columnar_routes(tables)
+    k, n = batch.trials, batch.n_requests
+    units = batch.units
+    is_write = batch.is_write
+    if batch.shared:
+        units = _np.broadcast_to(units, (k, n))
+        is_write = _np.broadcast_to(is_write, (k, n))
+    arrivals = batch.arrivals
+    service = model.service_seconds()
+    write_service = 2 * service
+
+    lens = _np.where(is_write, routes.write_len[units], routes.read_len[units])
+    starts = _np.where(
+        is_write, routes.write_start[units], routes.read_start[units]
+    )
+    svc = _np.where(is_write, write_service, service)
+
+    flat_lens = lens.ravel()
+    leg_ends = _np.cumsum(flat_lens)
+    req_starts = leg_ends - flat_lens
+    total_legs = int(leg_ends[-1])
+    leg_req = _np.repeat(_np.arange(k * n), flat_lens)
+    leg_pos = _np.arange(total_legs) - _np.repeat(req_starts, flat_lens)
+    leg_src = _np.repeat(starts.ravel(), flat_lens) + leg_pos
+    n_lanes = len(tables.survivors)
+    lane_ids = (leg_req // n) * n_lanes + routes.leg_lanes[leg_src]
+    leg_t = _np.repeat(arrivals.ravel(), flat_lens)
+    leg_s = _np.repeat(svc.ravel(), flat_lens)
+
+    # Group legs by queue lane, preserving submission order within each.
+    order = _np.argsort(lane_ids, kind="stable")
+    t_sorted = leg_t[order]
+    s_sorted = leg_s[order]
+    counts = _np.bincount(lane_ids, minlength=k * n_lanes)
+    lane_starts = _np.cumsum(counts) - counts
+    by_depth = _np.argsort(-counts, kind="stable")
+    depth_sorted = counts[by_depth]
+    neg_depth = -depth_sorted
+    max_depth = int(depth_sorted[0]) if depth_sorted.size else 0
+
+    starts_by_depth = lane_starts[by_depth]
+    busy = _np.zeros(len(by_depth))
+    done_sorted = _np.empty(total_legs)
+    for pos in range(max_depth):
+        alive = int(_np.searchsorted(neg_depth, -pos, side="left"))
+        idx = starts_by_depth[:alive] + pos
+        done = _np.maximum(busy[:alive], t_sorted[idx]) + s_sorted[idx]
+        busy[:alive] = done
+        done_sorted[idx] = done
+
+    leg_done = _np.empty(total_legs)
+    leg_done[order] = done_sorted
+    # The engine schedules completions as now + (done - now): reproduce
+    # that arithmetic so event timestamps match the walk to the last ulp.
+    leg_event = leg_t + (leg_done - leg_t)
+    completion = _np.maximum.reduceat(leg_event, req_starts)
+    flat_arrivals = arrivals.ravel()
+    latency_ms = (completion - flat_arrivals) * 1000.0
+    # The walk appends a latency when a request's last leg pops — heap
+    # order (completion time, then schedule seq, which is request order
+    # within a trial). A stable per-trial sort by completion reproduces
+    # that pooled order exactly.
+    pop_order = _np.lexsort((completion, _np.repeat(_np.arange(k), n)))
+
+    n_requests = k * n
+    n_writes = int(is_write.sum())
+    degraded_reads = int((routes.read_deg[units] & ~is_write).sum())
+    degraded_writes = int((routes.write_deg[units] & is_write).sum())
+    device_writes = int(flat_lens[is_write.ravel()].sum())
+    fg_done = completion.reshape(k, n).max(axis=1)
+
+    return ServeResult(
+        trials=k,
+        requests=n_requests,
+        reads=n_requests - n_writes,
+        writes=n_writes,
+        degraded_reads=degraded_reads,
+        degraded_writes=degraded_writes,
+        device_reads=total_legs,
+        device_writes=device_writes,
+        latencies_ms=tuple(latency_ms[pop_order].tolist()),
+        rebuild_ops=0,
+        rebuild_ops_done=0,
+        rebuild_seconds_per_trial=(),
+        foreground_seconds_per_trial=tuple(fg_done.tolist()),
+    )
+
+
+def _serve_event_trial(
+    tables: ServeTables,
+    trace_row,
+    arrival: ArrivalProcess,
+    model: LatencyModel,
+    throttle: Optional[ThrottlePolicy],
+    tel: Telemetry,
+) -> ServeResult:
+    """The exact discrete-event walk of one trial's sampled trace."""
+    arrivals_row, units_row, iswrite_row = trace_row
+    n = len(units_row)
+    prof = ambient_profiler()
     survivors = tables.survivors
     ops = tables.rebuild_ops if throttle is not None else ()
 
-    rng = random.Random(None if seed is None else f"serve:{seed}")
-    tel = telemetry if telemetry is not None else ambient()
     sim = Simulator(telemetry=tel)
     servers = {d: FcfsServer(sim, f"disk{d}") for d in survivors}
     service = model.service_seconds()
@@ -596,9 +1036,9 @@ def simulate_serve(
         for disk in disks:
             servers[disk].submit(per_disk_service, one_done)
 
-    def issue(request: Request, arrival_s: float, done) -> None:
-        unit = request.unit
-        if not request.is_write:
+    def issue(index: int, arrival_s: float, done) -> None:
+        unit = units_row[index]
+        if not iswrite_row[index]:
             # Healthy reads hit the home disk; a lost cell fans out to
             # its repair step's source disks (plan-driven routing).
             route = read_routes[unit]
@@ -626,12 +1066,11 @@ def simulate_serve(
     # -- foreground arrivals ------------------------------------------------
     with prof.phase("sample"):
         if isinstance(arrival, OpenLoop):
-            t = 0.0
-            for request in requests:
-                t += rng.expovariate(arrival.rate_per_s)
+            for index in range(n):
+                t = arrivals_row[index]
 
-                def fire(request=request, t=t) -> None:
-                    issue(request, t, lambda t=t: finish_request(t))
+                def fire(index=index, t=t) -> None:
+                    issue(index, t, lambda t=t: finish_request(t))
 
                 sim.schedule(t, fire)
         elif isinstance(arrival, ClosedLoop):
@@ -639,7 +1078,7 @@ def simulate_serve(
 
             def client_issue() -> None:
                 index = queue["next"]
-                if index >= len(requests):
+                if index >= n:
                     return
                 queue["next"] = index + 1
                 arrival_s = sim.now
@@ -651,9 +1090,9 @@ def simulate_serve(
                     else:
                         client_issue()
 
-                issue(requests[index], arrival_s, done)
+                issue(index, arrival_s, done)
 
-            for _client in range(min(arrival.clients, len(requests))):
+            for _client in range(min(arrival.clients, n)):
                 sim.schedule(0.0, client_issue)
         else:
             raise SimulationError(
@@ -710,7 +1149,7 @@ def simulate_serve(
 
     if prof.enabled:
         prof.count("serve.trials", 1)
-        prof.count("serve.requests", len(requests))
+        prof.count("serve.requests", n)
     with use_telemetry(tel), prof.phase("serve"):
         sim.run()
 
@@ -746,3 +1185,167 @@ def simulate_serve(
         ),
         foreground_seconds_per_trial=(stats.fg_done,),
     )
+
+
+def simulate_serve(
+    layout: Layout,
+    workload: Union[WorkloadSpec, Sequence[Request]] = WorkloadSpec(),
+    failed_disks: Sequence[int] = (),
+    arrival: ArrivalProcess = OpenLoop(100.0),
+    model: Optional[LatencyModel] = None,
+    throttle: Optional[ThrottlePolicy] = None,
+    sparing: str = "distributed",
+    rebuild_batches: int = 1,
+    seed: Optional[int] = 0,
+    telemetry: Optional[Telemetry] = None,
+    tables: Optional[ServeTables] = None,
+    kernel: str = "auto",
+) -> ServeResult:
+    """Serve one foreground workload against a (possibly degraded) array.
+
+    *workload* is either a picklable :class:`WorkloadSpec` recipe
+    (materialized against the layout's user address space from *seed*'s
+    columnar draw lanes) or an explicit request sequence. *throttle* of
+    ``None`` injects no rebuild traffic; otherwise the recovery plan of
+    *failed_disks* is tiled *rebuild_batches* times and dispatched per
+    the policy.
+
+    *tables* optionally supplies the precomputed routing of
+    :func:`build_serve_tables` — callers running many trials of the same
+    scenario (the parallel runner broadcasts one instance to every
+    worker) skip re-planning the recovery per trial. The tables must
+    have been built for this layout and the same ``failed_disks`` /
+    ``sparing`` / ``rebuild_batches``; a mismatch raises.
+
+    *kernel* picks the execution strategy (:data:`SERVE_KERNELS`), never
+    the answer: both kernels consume the same sampled trace, so for any
+    config the result is bit-identical across kernels — the vectorized
+    kernel sweeps feedback-free configs and replays the rest through the
+    event walk (see :func:`serve_batch_supported`). Telemetry-collecting
+    runs always take the walk (its per-event observation stream *is* the
+    telemetry contract).
+
+    Raises :class:`~repro.errors.DataLossError` when *failed_disks* is
+    not a survivable pattern (there is nothing to serve). The result is
+    a deterministic function of the arguments (the engine breaks ties by
+    schedule order), which is what the parallel runner's per-chunk
+    seeding builds on.
+    """
+    resolved = serve_kernel(kernel)
+    prof = ambient_profiler()
+    tel = telemetry if telemetry is not None else ambient()
+    with prof.phase("sample"):
+        model = model or LatencyModel()
+        tables = _resolve_tables(
+            layout, failed_disks, sparing, rebuild_batches, tables
+        )
+        if seed is None:
+            seed = fresh_seed()
+        trace = _sample_traces(workload, tables.n_units, arrival, (seed,))
+
+    if (
+        resolved == "vectorized"
+        and not tel.enabled
+        and serve_batch_supported(arrival, throttle, tables)
+    ):
+        with prof.phase("sweep"):
+            result = _sweep_batch(trace, tables, model)
+        if prof.enabled:
+            prof.count("serve.trials", 1)
+            prof.count("serve.requests", trace.n_requests)
+        return result
+    row = trace.row(0)
+    if resolved == "vectorized":
+        # The vectorized kernel's fallback: same lanes, exact walk.
+        with use_telemetry(tel), prof.phase("replay"):
+            return _serve_event_trial(
+                tables, row, arrival, model, throttle, tel
+            )
+    return _serve_event_trial(tables, row, arrival, model, throttle, tel)
+
+
+def simulate_serve_vectorized(
+    layout: Layout,
+    workload: Union[WorkloadSpec, Sequence[Request]] = WorkloadSpec(),
+    failed_disks: Sequence[int] = (),
+    arrival: ArrivalProcess = OpenLoop(100.0),
+    model: Optional[LatencyModel] = None,
+    throttle: Optional[ThrottlePolicy] = None,
+    sparing: str = "distributed",
+    rebuild_batches: int = 1,
+    trials: int = 1,
+    seed: Optional[int] = 0,
+    telemetry: Optional[Telemetry] = None,
+    tables: Optional[ServeTables] = None,
+    trial_seeds: Optional[Sequence[int]] = None,
+) -> ServeResult:
+    """Serve a batch of trials through the vectorized sweep.
+
+    Trial ``t`` is seeded ``derive_chunk_seed(seed, t)`` (trial 0 is
+    *seed* itself), so the merged result equals a loop of single-trial
+    :func:`simulate_serve` calls seeded the same way — bit for bit, for
+    any batch size. *trial_seeds* overrides that derivation with
+    explicit per-trial seeds (the parallel runner passes each chunk's
+    global trial seeds so chunk geometry can't change the result).
+
+    Feedback-free configs (see :func:`serve_batch_supported`) run as one
+    batched Lindley sweep across every ``(trial, disk)`` queue lane;
+    other configs — and telemetry-collecting runs, whose per-event
+    observation stream must match the walk's exactly — replay each trial
+    through the event walk on the same sampled lanes.
+    """
+    if _np is None:
+        raise SimulationError(
+            "the vectorized serve kernel requires numpy; use kernel='event'"
+        )
+    if trial_seeds is not None:
+        seeds = tuple(int(s) for s in trial_seeds)
+        if not seeds:
+            raise SimulationError("trial_seeds must be non-empty")
+        trials = len(seeds)
+    else:
+        if trials < 1:
+            raise SimulationError(f"trials must be >= 1, got {trials}")
+        if seed is None:
+            seed = fresh_seed()
+        seeds = tuple(derive_chunk_seed(seed, t) for t in range(trials))
+
+    tel = telemetry if telemetry is not None else ambient()
+    if tel.enabled:
+        # Telemetry observes per event, in order — delegate to the walk
+        # per trial so collecting runs are identical across kernels.
+        parts = [
+            simulate_serve(
+                layout, workload, failed_disks, arrival, model, throttle,
+                sparing, rebuild_batches, seed=trial_seed,
+                telemetry=telemetry, tables=tables, kernel="event",
+            )
+            for trial_seed in seeds
+        ]
+        return merge_serve_results(parts)
+
+    prof = ambient_profiler()
+    with prof.phase("sample"):
+        model = model or LatencyModel()
+        tables = _resolve_tables(
+            layout, failed_disks, sparing, rebuild_batches, tables
+        )
+        trace = _sample_traces(workload, tables.n_units, arrival, seeds)
+
+    if not serve_batch_supported(arrival, throttle, tables):
+        with use_telemetry(tel), prof.phase("replay"):
+            parts = [
+                _serve_event_trial(
+                    tables, trace.row(i), arrival, model, throttle, tel
+                )
+                for i in range(trials)
+            ]
+        with prof.phase("merge"):
+            return merge_serve_results(parts)
+
+    with prof.phase("sweep"):
+        result = _sweep_batch(trace, tables, model)
+    if prof.enabled:
+        prof.count("serve.trials", trials)
+        prof.count("serve.requests", trials * trace.n_requests)
+    return result

@@ -316,10 +316,21 @@ class TestParallelDeterminism:
     def test_progress_reports_all_trials(self):
         seen = []
         simulate_serve_parallel(
-            LAYOUT, self.WORKLOAD, trials=3, seed=0, jobs=1,
+            LAYOUT, self.WORKLOAD, trials=3, chunk_trials=1, seed=0, jobs=1,
             progress=lambda done, total, losses: seen.append((done, total)),
         )
         assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_progress_covers_all_trials_at_default_chunking(self):
+        # The vectorized default batches trials into wide chunks;
+        # progress then lands per chunk but still totals every trial.
+        seen = []
+        simulate_serve_parallel(
+            LAYOUT, self.WORKLOAD, trials=3, seed=0, jobs=1,
+            progress=lambda done, total, losses: seen.append((done, total)),
+        )
+        assert seen[-1] == (3, 3)
+        assert [total for _done, total in seen] == [3] * len(seen)
 
     def test_validation(self):
         with pytest.raises(SimulationError):

@@ -1,0 +1,242 @@
+"""The vectorized serve kernel: bit-identity, replay, kernel wiring.
+
+Mirror of ``tests/sim/test_lifecycle_vectorized.py`` for the serving
+simulator: both serve kernels read one sampling plane, so the kernel
+flag (and the job count, and the throttle) may change wall clock only —
+never a bit of :class:`ServeResult` or its merged telemetry.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.errors import SimulationError
+from repro.obs.prof import PhaseProfiler, use_profiler
+from repro.obs.telemetry import Telemetry
+from repro.sim.parallel import simulate_serve_parallel
+from repro.sim.serve import (
+    SERVE_KERNELS,
+    AdaptiveThrottle,
+    FixedRateThrottle,
+    IdleSlotThrottle,
+    build_serve_tables,
+    merge_serve_results,
+    serve_batch_supported,
+    serve_kernel,
+    simulate_serve,
+    simulate_serve_vectorized,
+)
+from repro.workloads.arrivals import ClosedLoop, OpenLoop
+from repro.workloads.generators import WorkloadSpec
+
+WORKLOADS = [
+    WorkloadSpec(kind="uniform", n_requests=120),
+    WorkloadSpec(kind="zipf", n_requests=120, skew=1.2, write_fraction=0.3),
+    WorkloadSpec(kind="sequential", n_requests=120),
+]
+
+THROTTLES = {
+    "none": lambda: None,
+    "fixed": lambda: FixedRateThrottle(250.0),
+    "idle": lambda: IdleSlotThrottle(),
+    "adaptive": lambda: AdaptiveThrottle(target_p99_ms=15.0, window=40),
+}
+
+
+class TestKernelBitIdentity:
+    """Both kernels consume one sampling plane: results are identical."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("failed", [(), (0,)])
+    def test_single_trial_identity(self, fano_layout, workload, failed):
+        kwargs = dict(
+            workload=workload, failed_disks=failed,
+            arrival=OpenLoop(400.0), seed=7,
+        )
+        event = simulate_serve(fano_layout, kernel="event", **kwargs)
+        vec = simulate_serve(fano_layout, kernel="vectorized", **kwargs)
+        assert event.to_dict() == vec.to_dict()
+
+    @pytest.mark.parametrize("name", ["fixed", "idle", "adaptive"])
+    def test_throttled_replay_identity(self, fano_layout, name):
+        """Rebuild-injecting configs replay the exact event walk.
+
+        A fresh throttle instance per run: policies carry mutable state
+        (rate traces, latency windows), which must not leak across runs.
+        """
+        kwargs = dict(
+            workload=WorkloadSpec(n_requests=150),
+            failed_disks=(0,), arrival=OpenLoop(300.0), seed=11,
+        )
+        event = simulate_serve(
+            fano_layout, throttle=THROTTLES[name](), kernel="event", **kwargs
+        )
+        vec = simulate_serve(
+            fano_layout, throttle=THROTTLES[name](), kernel="vectorized",
+            **kwargs
+        )
+        assert event.rebuild_ops_done > 0
+        assert event.to_dict() == vec.to_dict()
+
+    def test_closed_loop_replay_identity(self, fano_layout):
+        kwargs = dict(
+            workload=WorkloadSpec(n_requests=100),
+            arrival=ClosedLoop(8, think_s=0.002), seed=3,
+        )
+        event = simulate_serve(fano_layout, kernel="event", **kwargs)
+        vec = simulate_serve(fano_layout, kernel="vectorized", **kwargs)
+        assert event.to_dict() == vec.to_dict()
+
+    def test_batched_trials_equal_merged_singles(self, fano_layout):
+        from repro.sim.columnar import derive_chunk_seed
+
+        batch = simulate_serve_vectorized(
+            fano_layout, WorkloadSpec(n_requests=80), failed_disks=(0,),
+            arrival=OpenLoop(500.0), trials=7, seed=21,
+        )
+        singles = merge_serve_results([
+            simulate_serve(
+                fano_layout, WorkloadSpec(n_requests=80), failed_disks=(0,),
+                arrival=OpenLoop(500.0), seed=derive_chunk_seed(21, t),
+                kernel="event",
+            )
+            for t in range(7)
+        ])
+        assert batch.to_dict() == singles.to_dict()
+
+    def test_prebuilt_tables_change_nothing(self, fano_layout):
+        tables = build_serve_tables(fano_layout, failed_disks=(0,))
+        plain = simulate_serve_vectorized(
+            fano_layout, WorkloadSpec(n_requests=60), failed_disks=(0,),
+            trials=4, seed=2,
+        )
+        shared = simulate_serve_vectorized(
+            fano_layout, WorkloadSpec(n_requests=60), failed_disks=(0,),
+            trials=4, seed=2, tables=tables,
+        )
+        assert plain.to_dict() == shared.to_dict()
+
+
+class TestParallelKernelContract:
+    @pytest.mark.parametrize("throttle_name", ["none", "adaptive"])
+    def test_kernel_and_jobs_never_change_the_result(
+        self, fano_layout, throttle_name
+    ):
+        results = [
+            simulate_serve_parallel(
+                fano_layout, WorkloadSpec(n_requests=100),
+                failed_disks=(0,), arrival=OpenLoop(400.0),
+                throttle=THROTTLES[throttle_name](),
+                trials=9, kernel=kernel, seed=13, jobs=jobs,
+            ).to_dict()
+            for kernel in ("event", "vectorized", "auto")
+            for jobs in (1, 2, 4)
+        ]
+        assert all(r == results[0] for r in results[1:])
+
+    def test_chunking_never_changes_the_result(self, fano_layout):
+        results = [
+            simulate_serve_parallel(
+                fano_layout, WorkloadSpec(n_requests=80),
+                trials=10, chunk_trials=chunk, kernel="vectorized",
+                seed=5, jobs=2,
+            ).to_dict()
+            for chunk in (1, 3, 16, None)
+        ]
+        assert all(r == results[0] for r in results[1:])
+
+    def test_unknown_kernel_is_rejected_up_front(self, fano_layout):
+        with pytest.raises(SimulationError):
+            simulate_serve_parallel(
+                fano_layout, WorkloadSpec(n_requests=10), trials=2,
+                kernel="warp",
+            )
+
+
+class TestTelemetryInvariance:
+    @pytest.mark.parametrize("throttle_name", ["none", "fixed"])
+    def test_metrics_and_events_identical_across_kernels(
+        self, fano_layout, throttle_name
+    ):
+        captures = {}
+        for kernel in ("event", "vectorized"):
+            tel = Telemetry.collecting()
+            result = simulate_serve_parallel(
+                fano_layout, WorkloadSpec(n_requests=60),
+                failed_disks=(0,), arrival=OpenLoop(300.0),
+                throttle=THROTTLES[throttle_name](),
+                trials=6, kernel=kernel, seed=4, telemetry=tel,
+            )
+            captures[kernel] = (result.to_dict(), tel)
+        ev_result, ev_tel = captures["event"]
+        vec_result, vec_tel = captures["vectorized"]
+        assert ev_result == vec_result
+        assert ev_tel.metrics.counters() == vec_tel.metrics.counters()
+        ev_hists = {k: h.to_dict() for k, h in ev_tel.metrics.histograms()}
+        vec_hists = {k: h.to_dict() for k, h in vec_tel.metrics.histograms()}
+        assert ev_hists == vec_hists
+        assert ev_tel.events.records == vec_tel.events.records
+        assert ev_tel.events.records, "telemetry captured no events"
+
+
+class TestKernelResolver:
+    def test_names(self):
+        assert SERVE_KERNELS == ("auto", "vectorized", "event")
+
+    def test_auto_prefers_vectorized_when_numpy_present(self):
+        assert serve_kernel("auto") == "vectorized"
+        assert serve_kernel("vectorized") == "vectorized"
+        assert serve_kernel("event") == "event"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SimulationError):
+            serve_kernel("fancy")
+
+
+class TestBatchSupport:
+    def test_open_loop_sweeps_when_nothing_decides(self, fano_layout):
+        healthy = build_serve_tables(fano_layout, failed_disks=())
+        degraded = build_serve_tables(fano_layout, failed_disks=(0,))
+        assert serve_batch_supported(OpenLoop(100.0), None, healthy)
+        # Degraded reads alone don't force replay — only rebuild traffic
+        # (a throttle with pending ops) or adaptive decisions do.
+        assert serve_batch_supported(OpenLoop(100.0), None, degraded)
+        # A throttle over a healthy array has no ops to inject.
+        assert serve_batch_supported(
+            OpenLoop(100.0), FixedRateThrottle(100.0), healthy
+        )
+
+    def test_rebuild_adaptive_and_closed_loop_replay(self, fano_layout):
+        degraded = build_serve_tables(fano_layout, failed_disks=(0,))
+        assert not serve_batch_supported(
+            OpenLoop(100.0), FixedRateThrottle(100.0), degraded
+        )
+        assert not serve_batch_supported(
+            OpenLoop(100.0), AdaptiveThrottle(), degraded
+        )
+        assert not serve_batch_supported(ClosedLoop(4), None, degraded)
+
+
+class TestProfilerSpans:
+    def test_sweep_path_bills_sample_and_sweep(self, fano_layout):
+        prof = PhaseProfiler()
+        with use_profiler(prof):
+            simulate_serve_vectorized(
+                fano_layout, WorkloadSpec(n_requests=40), trials=3, seed=1
+            )
+        assert "sample" in prof.phases
+        assert "sweep" in prof.phases
+        assert "replay" not in prof.phases
+        assert prof.counters["serve.trials"] == 3
+
+    def test_replay_path_bills_replay(self, fano_layout):
+        prof = PhaseProfiler()
+        with use_profiler(prof):
+            simulate_serve_vectorized(
+                fano_layout, WorkloadSpec(n_requests=40), failed_disks=(0,),
+                throttle=AdaptiveThrottle(target_p99_ms=15.0),
+                trials=3, seed=1,
+            )
+        assert "sample" in prof.phases
+        assert "replay" in prof.phases
+        assert "merge" in prof.phases

@@ -107,6 +107,19 @@ class TestScenario:
                      workload=WorkloadSpec(n_requests=50)),
             progress=lambda done, total, losses: seen.append(done),
         )
+        # Batched serve chunks may report several trials at once; progress
+        # must still be monotone and end at the full trial count.
+        assert seen == sorted(seen)
+        assert seen[-1] == 2
+
+    def test_progress_forwarded_per_trial_with_event_kernel(self):
+        seen = []
+        run(
+            Scenario(kind="serve", layout=LAYOUT, trials=2,
+                     workload=WorkloadSpec(n_requests=50),
+                     serve_kernel="event"),
+            progress=lambda done, total, losses: seen.append(done),
+        )
         assert seen == [1, 2]
 
 
